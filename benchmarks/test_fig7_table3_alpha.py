@@ -1,0 +1,100 @@
+"""Figure 7 and Table III — effect of the balance parameter α (US dataset).
+
+Paper:
+
+* Figure 7(a): the runtime of the exact solutions (CCS, aG2) is essentially
+  unaffected by α.
+* Figure 7(b): same for the approximate solutions (GAPS, MGAPS).
+* Table III: the observed approximation ratio of GAPS / MGAPS decreases
+  mildly as α grows (the theoretical bound (1-α)/4 shrinks with α), with
+  GAPS at ~77-83% and MGAPS at ~86-91%.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import scaled
+from repro.datasets.profiles import US_PROFILE
+from repro.evaluation.experiments import ratio_vs_alpha, runtime_vs_alpha
+from repro.evaluation.tables import format_paper_expectation, format_series
+
+
+def test_fig7a_exact_runtime_vs_alpha(benchmark, record):
+    series = benchmark.pedantic(
+        runtime_vs_alpha,
+        kwargs={
+            "profile": US_PROFILE,
+            "algorithms": ("ccs", "ag2"),
+            "n_objects": scaled(1200),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    text = format_series(
+        "Figure 7(a) (US): exact solutions, mean µs per object vs alpha",
+        "alpha",
+        series,
+    )
+    text += "\n" + format_paper_expectation("runtime is hardly affected by alpha.")
+    print("\n" + text)
+    record("fig7a_alpha_exact", text)
+
+    for name, points in series.items():
+        values = list(points.values())
+        # "Hardly affected": no more than ~5x spread across alpha values
+        # (timing noise at this scale is larger than any alpha effect).
+        assert max(values) <= 5.0 * max(min(values), 1e-9), name
+
+
+def test_fig7b_approx_runtime_vs_alpha(benchmark, record):
+    series = benchmark.pedantic(
+        runtime_vs_alpha,
+        kwargs={
+            "profile": US_PROFILE,
+            "algorithms": ("gaps", "mgaps"),
+            "n_objects": scaled(4000),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    text = format_series(
+        "Figure 7(b) (US): approximate solutions, mean µs per object vs alpha",
+        "alpha",
+        series,
+    )
+    text += "\n" + format_paper_expectation("runtime is hardly affected by alpha.")
+    print("\n" + text)
+    record("fig7b_alpha_approx", text)
+
+    for name, points in series.items():
+        values = list(points.values())
+        assert max(values) <= 5.0 * max(min(values), 1e-9), name
+
+
+def test_table3_approximation_ratio_vs_alpha(benchmark, record):
+    series = benchmark.pedantic(
+        ratio_vs_alpha,
+        kwargs={"profile": US_PROFILE, "n_objects": scaled(1200), "sample_every": 25},
+        rounds=1,
+        iterations=1,
+    )
+    text = format_series(
+        "Table III (US): approximation ratio (%) vs alpha",
+        "alpha",
+        series,
+        value_format="{:.1f}%",
+    )
+    text += "\n" + format_paper_expectation(
+        "GAPS ~77-83%, MGAPS ~87-91%; both far above the worst-case (1-alpha)/4, "
+        "decreasing mildly as alpha grows."
+    )
+    print("\n" + text)
+    record("table3_ratio_alpha", text)
+
+    for alpha, ratio in series["gaps"].items():
+        assert ratio >= (1.0 - alpha) / 4.0 * 100.0 - 1e-6
+        assert ratio <= 100.0 + 1e-6
+        assert series["mgaps"][alpha] >= ratio - 10.0
+    # Observed quality is far better than the worst case (paper: >= ~70%).
+    assert sum(series["mgaps"].values()) / len(series["mgaps"]) >= 50.0

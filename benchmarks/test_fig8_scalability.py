@@ -1,0 +1,105 @@
+"""Figure 8 — scalability with the arrival rate (2M to 10M objects/day).
+
+Paper: the same objects are re-timed so the stream runs at 2, 4, 6, 8 and 10
+million objects per day.  The reported metric is the processing time needed
+for one hour of stream time.  Expected shape: CCS's cost per stream-hour
+grows steeply with the rate (it eventually cannot keep up with the Taxi
+stream), while GAPS grows only mildly and stays far below CCS.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import scaled
+from repro.datasets.profiles import PROFILES
+from repro.evaluation.experiments import scalability_vs_arrival_rate
+from repro.evaluation.tables import format_paper_expectation, format_series
+
+RATES = (2_000_000, 4_000_000, 6_000_000, 8_000_000, 10_000_000)
+
+
+def _run(algorithm: str, n_objects: int):
+    return scalability_vs_arrival_rate(
+        [PROFILES["taxi"], PROFILES["uk"], PROFILES["us"]],
+        algorithm=algorithm,
+        n_objects=n_objects,
+        rates_per_day=RATES,
+        window_seconds=60.0,
+    )
+
+
+def test_fig8a_ccs_scalability(benchmark, record):
+    series = benchmark.pedantic(
+        _run, kwargs={"algorithm": "ccs", "n_objects": scaled(1500)}, rounds=1, iterations=1
+    )
+    text = format_series(
+        "Figure 8(a): CCS processing time (s) per hour of stream vs arrival rate",
+        "objects_per_day",
+        series,
+    )
+    text += "\n" + format_paper_expectation(
+        "grows steeply with the arrival rate; hours of processing per stream-hour "
+        "at 10M/day on the paper's full-size streams."
+    )
+    print("\n" + text)
+    record("fig8a_scalability_ccs", text)
+
+    for dataset, points in series.items():
+        rates = sorted(points)
+        assert points[rates[-1] ] >= points[rates[0]], dataset
+
+
+def test_fig8b_gaps_scalability(benchmark, record):
+    series = benchmark.pedantic(
+        _run, kwargs={"algorithm": "gaps", "n_objects": scaled(3000)}, rounds=1, iterations=1
+    )
+    text = format_series(
+        "Figure 8(b): GAPS processing time (s) per hour of stream vs arrival rate",
+        "objects_per_day",
+        series,
+    )
+    text += "\n" + format_paper_expectation(
+        "stays within seconds per stream-hour at every rate (scales well)."
+    )
+    print("\n" + text)
+    record("fig8b_scalability_gaps", text)
+
+    for dataset, points in series.items():
+        rates = sorted(points)
+        assert points[rates[-1]] >= points[rates[0]] * 0.5, dataset
+
+
+def test_fig8_gaps_much_cheaper_than_ccs(benchmark, record):
+    """Cross-check of the two panels: GAPS ≪ CCS at the highest rate."""
+
+    def both():
+        ccs = scalability_vs_arrival_rate(
+            [PROFILES["taxi"]],
+            algorithm="ccs",
+            n_objects=scaled(1500),
+            rates_per_day=(10_000_000,),
+            window_seconds=60.0,
+        )
+        gaps = scalability_vs_arrival_rate(
+            [PROFILES["taxi"]],
+            algorithm="gaps",
+            n_objects=scaled(1500),
+            rates_per_day=(10_000_000,),
+            window_seconds=60.0,
+        )
+        return ccs, gaps
+
+    ccs, gaps = benchmark.pedantic(both, rounds=1, iterations=1)
+    ccs_value = ccs["Taxi"][10_000_000]
+    gaps_value = gaps["Taxi"][10_000_000]
+    text = (
+        "Figure 8 cross-check (Taxi @ 10M/day): "
+        f"CCS = {ccs_value:.4g} s per stream-hour, GAPS = {gaps_value:.4g} s per stream-hour"
+    )
+    text += "\n" + format_paper_expectation(
+        "GAPS is orders of magnitude cheaper than CCS at high arrival rates."
+    )
+    print("\n" + text)
+    record("fig8_crosscheck", text)
+    assert gaps_value < ccs_value

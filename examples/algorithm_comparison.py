@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Compare every SURGE algorithm on the same stream: speed vs quality.
+
+This example reproduces, at example scale, the central trade-off of the
+paper: the exact detectors (Cell-CSPOT and the baselines it improves upon)
+return the true bursty region but pay for it per event, while GAP-SURGE /
+MGAP-SURGE are orders of magnitude faster and stay within a provable factor
+of the optimum.
+
+It runs all detectors over a Taxi-profile stream, then prints a table with
+the mean per-object processing time, the number of cell searches, and the
+average approximation ratio relative to Cell-CSPOT.
+
+Run it with::
+
+    python examples/algorithm_comparison.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.monitor import make_detector
+from repro.datasets.profiles import TAXI_PROFILE
+from repro.datasets.synthetic import generate_profile_stream
+from repro.datasets.workloads import default_query_for_profile
+from repro.evaluation.tables import format_table
+from repro.streams.windows import SlidingWindowPair
+
+ALGORITHMS = ("ccs", "bccs", "base", "ag2", "gaps", "mgaps")
+
+
+def main() -> None:
+    stream = generate_profile_stream(TAXI_PROFILE, n_objects=1500, seed=7)
+    query = default_query_for_profile(TAXI_PROFILE, window_seconds=240.0, alpha=0.5)
+
+    detectors = {name: make_detector(name, query) for name in ALGORITHMS}
+    timings = {name: 0.0 for name in ALGORITHMS}
+    ratio_sums = {name: 0.0 for name in ALGORITHMS}
+    ratio_counts = 0
+
+    windows = SlidingWindowPair(query.current_length, query.past_length)
+    for index, obj in enumerate(stream):
+        events = windows.observe(obj)
+        for name, detector in detectors.items():
+            started = time.perf_counter()
+            for event in events:
+                detector.process(event)
+            timings[name] += time.perf_counter() - started
+        if windows.is_stable() and index % 25 == 0:
+            optimum = detectors["ccs"].current_score()
+            if optimum > 0:
+                ratio_counts += 1
+                for name, detector in detectors.items():
+                    ratio_sums[name] += detector.current_score() / optimum
+
+    rows = []
+    for name in ALGORITHMS:
+        detector = detectors[name]
+        mean_micros = timings[name] / len(stream) * 1e6
+        mean_ratio = (ratio_sums[name] / ratio_counts * 100.0) if ratio_counts else float("nan")
+        rows.append(
+            [
+                name.upper(),
+                mean_micros,
+                detector.stats.cells_searched,
+                f"{100.0 * detector.stats.search_trigger_ratio:.1f}%",
+                f"{mean_ratio:.1f}%",
+            ]
+        )
+
+    print(
+        format_table(
+            f"Algorithm comparison on a Taxi-profile stream ({len(stream)} objects, "
+            f"window = {query.window_length:.0f} s, alpha = {query.alpha})",
+            ["algorithm", "mean µs/object", "cell searches", "events triggering search", "avg score vs CCS"],
+            rows,
+            value_format="{:.1f}",
+        )
+    )
+    print()
+    print("Expected shape (paper, Figures 5-6 and Table IV): CCS well below B-CCS/Base/aG2;")
+    print("GAPS and MGAPS one or more orders of magnitude faster than every exact method,")
+    print("with MGAPS closer to 100% quality than GAPS.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Ride-hailing surge detection (Example 2 of the paper).
+
+A ride-hailing platform receives a stream of trip requests.  Drivers want to
+be notified, in real time, of the ``a × b`` neighbourhood where demand is
+currently surging — i.e. the region with the maximum burst score — so they can
+reposition before the surge-pricing multiplier kicks in.
+
+The simulation mimics a working day in a Rome-sized city (the paper's Taxi
+dataset): background demand clustered around the city centre, plus two
+unpredictable demand spikes (a metro disruption and a stadium event letting
+out).  Each request's weight is its passenger count.  We run the exact
+detector and the MGAP-SURGE approximation side by side and compare what they
+report while the spikes are active.
+
+Run it with::
+
+    python examples/ride_hailing_surge.py
+"""
+
+from __future__ import annotations
+
+from repro import SurgeMonitor, SurgeQuery
+from repro.datasets.profiles import TAXI_PROFILE
+from repro.datasets.synthetic import BurstSpec, StreamConfig, generate_stream
+
+
+def build_demand_stream():
+    """Trip requests over Rome with two planted demand spikes."""
+    extent = TAXI_PROFILE.extent
+    metro_disruption = BurstSpec(
+        center_x=12.48,          # Termini-ish
+        center_y=41.90,
+        radius_x=0.004,
+        radius_y=0.004,
+        start_time=2400.0,
+        duration=600.0,
+        rate_multiplier=5.0,
+    )
+    stadium_exit = BurstSpec(
+        center_x=12.455,         # Stadio Olimpico-ish
+        center_y=41.934,
+        radius_x=0.003,
+        radius_y=0.003,
+        start_time=5400.0,
+        duration=450.0,
+        rate_multiplier=6.0,
+    )
+    config = StreamConfig(
+        extent=extent,
+        n_objects=2500,
+        arrival_rate_per_hour=TAXI_PROFILE.arrival_rate_per_hour / 16.0,
+        weight_range=(1.0, 4.0),   # passengers per request
+        hotspot_count=TAXI_PROFILE.hotspot_count,
+        bursts=(metro_disruption, stadium_exit),
+        seed=2024,
+    )
+    return generate_stream(config), (metro_disruption, stadium_exit)
+
+
+def main() -> None:
+    stream, spikes = build_demand_stream()
+
+    # Drivers ask for a neighbourhood roughly 1 km x 1 km (about 0.01 degrees)
+    # and a 10-minute window, strongly weighting the recent increase.
+    query = SurgeQuery(
+        rect_width=0.01,
+        rect_height=0.01,
+        window_length=600.0,
+        alpha=0.7,
+        area=TAXI_PROFILE.extent,
+    )
+    exact = SurgeMonitor(query, algorithm="ccs")
+    approx = SurgeMonitor(query, algorithm="mgaps")
+
+    def active_spike(timestamp: float):
+        for spike in spikes:
+            if spike.start_time <= timestamp <= spike.start_time + spike.duration:
+                return spike
+        return None
+
+    print(f"{'time (s)':>9} | {'exact score':>11} | {'MGAPS score':>11} | surge located at spike?")
+    print("-" * 72)
+    agreements = 0
+    checks = 0
+    for index, request in enumerate(stream):
+        exact_result = exact.push(request)
+        approx_result = approx.push(request)
+        spike = active_spike(request.timestamp)
+        if index % 200 != 0 or exact_result is None:
+            continue
+        located = (
+            spike is not None
+            and exact_result.region.contains_xy(spike.center_x, spike.center_y)
+        )
+        if spike is not None:
+            checks += 1
+            agreements += int(located)
+        print(
+            f"{request.timestamp:>9.0f} | {exact_result.score:>11.4f} | "
+            f"{(approx_result.score if approx_result else 0.0):>11.4f} | "
+            f"{'yes' if located else ('n/a' if spike is None else 'no')}"
+        )
+
+    print("-" * 72)
+    if checks:
+        print(f"Exact detector pointed at the active demand spike in {agreements}/{checks} "
+              "sampled instants while a spike was active.")
+    exact_stats = exact.detector.stats
+    print(
+        f"Cell-CSPOT searched {exact_stats.cells_searched} cells over "
+        f"{exact_stats.events_processed} events "
+        f"({100.0 * exact_stats.search_trigger_ratio:.2f}% of events triggered a search)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""repro — a reproduction of SURGE (Feng et al., ICDE 2018).
+
+SURGE continuously detects *bursty regions* — fixed-size rectangles showing
+the largest spike of weighted spatial objects across two consecutive sliding
+windows — over a high-rate stream of spatial objects.  This package provides
+
+* the exact detector Cell-CSPOT and the approximate detectors GAP-SURGE and
+  MGAP-SURGE, plus their top-k extensions,
+* the baselines the paper compares against (Base, B-CCS, adapted aG2, naive
+  full recomputation),
+* the stream / window / dataset substrates they run on, and
+* an evaluation harness reproducing every table and figure of the paper.
+
+Quickstart
+----------
+>>> from repro import SurgeQuery, SurgeMonitor, SpatialObject
+>>> query = SurgeQuery(rect_width=1.0, rect_height=1.0, window_length=60.0)
+>>> monitor = SurgeMonitor(query, algorithm="ccs")
+>>> monitor.push(SpatialObject(x=0.5, y=0.5, timestamp=0.0, weight=2.0))
+...
+"""
+
+from repro.core.base import BurstyRegionDetector, DetectorStats, RegionResult
+from repro.core.burst import burst_score
+from repro.core.monitor import DETECTOR_NAMES, SurgeMonitor, make_detector
+from repro.core.query import SurgeQuery
+from repro.geometry.primitives import Point, Rect
+from repro.streams.objects import EventKind, RectangleObject, SpatialObject, WindowEvent
+from repro.streams.windows import SlidingWindowPair
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BurstyRegionDetector",
+    "DetectorStats",
+    "RegionResult",
+    "burst_score",
+    "SurgeMonitor",
+    "make_detector",
+    "DETECTOR_NAMES",
+    "SurgeQuery",
+    "Point",
+    "Rect",
+    "EventKind",
+    "RectangleObject",
+    "SpatialObject",
+    "WindowEvent",
+    "SlidingWindowPair",
+    "__version__",
+]

@@ -1,0 +1,25 @@
+"""Baseline detectors the paper compares against.
+
+* :class:`~repro.baselines.naive.NaiveSweepDetector` — re-run SL-CSPOT over
+  every rectangle in both windows on every event (the "naïve idea" of
+  Section IV-C).
+* :class:`~repro.baselines.base_cell.BaseCellDetector` — the paper's
+  ``Base``: cells, no upper bounds; every cell touched by an event is
+  searched immediately.
+* :class:`~repro.baselines.bccs.StaticBoundCellCSPOT` — the paper's
+  ``B-CCS``: cells with the static upper bound only.
+* :class:`~repro.baselines.ag2.AG2Detector` — the adapted ``aG2`` continuous
+  MaxRS baseline of Amagata & Hara (Appendix J of the paper).
+"""
+
+from repro.baselines.naive import NaiveSweepDetector
+from repro.baselines.base_cell import BaseCellDetector
+from repro.baselines.bccs import StaticBoundCellCSPOT
+from repro.baselines.ag2 import AG2Detector
+
+__all__ = [
+    "NaiveSweepDetector",
+    "BaseCellDetector",
+    "StaticBoundCellCSPOT",
+    "AG2Detector",
+]

@@ -1,0 +1,124 @@
+"""``Base``: the cell-based baseline without any upper-bound pruning.
+
+Appendix J of the paper describes it as: divide the space into cells and,
+whenever an event happens, search every cell that overlaps with the event's
+rectangle object.  The per-cell best points are memoised so that unaffected
+cells keep their previous answer, and the global answer is the best memoised
+point.  The only thing missing compared to Cell-CSPOT is the pruning — every
+affected cell is swept on every event — which is exactly what makes it an
+order of magnitude slower (Figure 5).
+"""
+
+from __future__ import annotations
+
+from repro.core.base import BurstyRegionDetector, RegionResult
+from repro.core.cells import CandidatePoint, CellState
+from repro.core.query import SurgeQuery
+from repro.core.sweepline import LabeledRect, sweep_bursty_point
+from repro.geometry.grids import CellIndex, GridSpec
+from repro.geometry.heaps import LazyMaxHeap
+from repro.streams.objects import EventKind, RectangleObject, WindowEvent
+
+
+class BaseCellDetector(BurstyRegionDetector):
+    """Exact cell-based detector that searches every affected cell (paper's ``Base``)."""
+
+    name = "base"
+    exact = True
+
+    def __init__(self, query: SurgeQuery, grid: GridSpec | None = None) -> None:
+        super().__init__(query)
+        self.grid = grid if grid is not None else query.base_grid()
+        self.cells: dict[CellIndex, CellState] = {}
+        self._score_heap: LazyMaxHeap[CellIndex] = LazyMaxHeap()
+
+    # ------------------------------------------------------------------
+    # Event processing
+    # ------------------------------------------------------------------
+    def process(self, event: WindowEvent) -> None:
+        self.stats.events_processed += 1
+        obj = event.obj
+        if not self.query.accepts(obj.x, obj.y):
+            self.stats.events_skipped += 1
+            return
+        rect = obj.to_rectangle(self.query.rect_width, self.query.rect_height)
+        searched = False
+
+        for key in self.grid.cells_overlapping(rect.rect):
+            cell = self.cells.get(key)
+            if event.kind is EventKind.NEW:
+                if cell is None:
+                    cell = CellState(bounds=self.grid.cell_rect(key))
+                    self.cells[key] = cell
+                cell.add_new(rect, self.query.current_length)
+            elif event.kind is EventKind.GROWN:
+                if cell is None:
+                    continue
+                cell.mark_grown(rect, self.query.current_length)
+            else:  # EXPIRED
+                if cell is None:
+                    continue
+                cell.remove_expired(rect, self.query.past_length, self.query.alpha)
+                if cell.is_empty:
+                    del self.cells[key]
+                    self._score_heap.remove(key)
+                    continue
+            self._search_cell(key, cell)
+            searched = True
+
+        if searched:
+            self.stats.events_triggering_search += 1
+
+    def _search_cell(self, key: CellIndex, cell: CellState) -> None:
+        """Unconditionally sweep one cell and memoise its best point."""
+        self.stats.cells_searched += 1
+        labeled = [
+            LabeledRect(
+                record.rect.x,
+                record.rect.y,
+                record.rect.x + record.rect.width,
+                record.rect.y + record.rect.height,
+                record.rect.weight,
+                record.in_current,
+            )
+            for record in cell.records.values()
+        ]
+        outcome = sweep_bursty_point(
+            labeled,
+            alpha=self.query.alpha,
+            current_length=self.query.current_length,
+            past_length=self.query.past_length,
+            bounds=cell.bounds,
+        )
+        if outcome is None:  # pragma: no cover - records always intersect the cell
+            cell.candidate = None
+            self._score_heap.remove(key)
+            return
+        self.stats.rectangles_swept += outcome.rectangles_swept
+        cell.candidate = CandidatePoint(
+            point=outcome.point,
+            score=outcome.score,
+            fc=outcome.fc,
+            fp=outcome.fp,
+            valid=True,
+        )
+        self._score_heap.push(key, outcome.score)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def result(self) -> RegionResult | None:
+        top = self._score_heap.peek()
+        if top is None:
+            return None
+        key, _ = top
+        candidate = self.cells[key].candidate
+        if candidate is None:  # pragma: no cover - defensive
+            return None
+        return RegionResult.from_point(
+            candidate.point,
+            candidate.score,
+            self.query,
+            fc=candidate.fc,
+            fp=candidate.fp,
+        )

@@ -1,0 +1,90 @@
+"""The naïve exact baseline: full sweep-line recomputation on every event.
+
+Section IV-C of the paper opens with this idea ("whenever an event happens,
+we invoke Algorithm 1 to detect a bursty point on the snapshot of the
+stream") and rejects it as prohibitively expensive.  We keep it both as a
+reference point for the benchmarks and as a second, structurally independent
+exact implementation for the test suite (its answers must agree with
+Cell-CSPOT on every snapshot).
+"""
+
+from __future__ import annotations
+
+from repro.core.base import BurstyRegionDetector, RegionResult
+from repro.core.query import SurgeQuery
+from repro.core.sweepline import LabeledRect, sweep_bursty_point
+from repro.streams.objects import EventKind, WindowEvent
+
+
+class NaiveSweepDetector(BurstyRegionDetector):
+    """Exact detector that re-sweeps the full rectangle set on every event."""
+
+    name = "naive"
+    exact = True
+
+    def __init__(self, query: SurgeQuery) -> None:
+        super().__init__(query)
+        # object_id -> (labelled rectangle geometry, weight, in_current flag)
+        self._rects: dict[int, LabeledRect] = {}
+        self._result: RegionResult | None = None
+
+    # ------------------------------------------------------------------
+    # Event processing
+    # ------------------------------------------------------------------
+    def process(self, event: WindowEvent) -> None:
+        self.stats.events_processed += 1
+        obj = event.obj
+        if not self.query.accepts(obj.x, obj.y):
+            self.stats.events_skipped += 1
+            return
+
+        if event.kind is EventKind.NEW:
+            self._rects[obj.object_id] = LabeledRect(
+                obj.x,
+                obj.y,
+                obj.x + self.query.rect_width,
+                obj.y + self.query.rect_height,
+                obj.weight,
+                True,
+            )
+        elif event.kind is EventKind.GROWN:
+            existing = self._rects.get(obj.object_id)
+            if existing is not None:
+                self._rects[obj.object_id] = LabeledRect(
+                    existing.min_x,
+                    existing.min_y,
+                    existing.max_x,
+                    existing.max_y,
+                    existing.weight,
+                    False,
+                )
+        else:  # EXPIRED
+            self._rects.pop(obj.object_id, None)
+
+        self._recompute()
+        self.stats.events_triggering_search += 1
+
+    def _recompute(self) -> None:
+        if not self._rects:
+            self._result = None
+            return
+        self.stats.sweepline_calls += 1
+        outcome = sweep_bursty_point(
+            self._rects.values(),
+            alpha=self.query.alpha,
+            current_length=self.query.current_length,
+            past_length=self.query.past_length,
+        )
+        if outcome is None:  # pragma: no cover - defensive
+            self._result = None
+            return
+        self.stats.rectangles_swept += outcome.rectangles_swept
+        self._result = RegionResult.from_point(
+            outcome.point, outcome.score, self.query, fc=outcome.fc, fp=outcome.fp
+        )
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def result(self) -> RegionResult | None:
+        return self._result

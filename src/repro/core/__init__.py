@@ -1,0 +1,37 @@
+"""Core SURGE contribution: burst scores, queries, and the detectors.
+
+The public entry points are:
+
+* :class:`~repro.core.query.SurgeQuery` — the query ``⟨A, a × b, |W|, α⟩``,
+* :class:`~repro.core.monitor.SurgeMonitor` — facade that feeds a raw object
+  stream into a detector and exposes the continuously-maintained result,
+* the detectors themselves:
+  :class:`~repro.core.cell_cspot.CellCSPOT` (exact, Algorithm 2),
+  :class:`~repro.core.gap.GapSurge` (Algorithm 3) and
+  :class:`~repro.core.mgap.MGapSurge` (Algorithm 5),
+* :func:`~repro.core.monitor.make_detector` — name-based detector factory
+  covering the baselines and top-k extensions as well.
+"""
+
+from repro.core.burst import burst_score, WindowAccumulator
+from repro.core.query import SurgeQuery
+from repro.core.base import BurstyRegionDetector, DetectorStats, RegionResult
+from repro.core.cell_cspot import CellCSPOT
+from repro.core.gap import GapSurge
+from repro.core.mgap import MGapSurge
+from repro.core.monitor import SurgeMonitor, make_detector, DETECTOR_NAMES
+
+__all__ = [
+    "burst_score",
+    "WindowAccumulator",
+    "SurgeQuery",
+    "BurstyRegionDetector",
+    "DetectorStats",
+    "RegionResult",
+    "CellCSPOT",
+    "GapSurge",
+    "MGapSurge",
+    "SurgeMonitor",
+    "make_detector",
+    "DETECTOR_NAMES",
+]

@@ -1,0 +1,115 @@
+"""Brute-force snapshot algorithms used as ground truth.
+
+These routines evaluate the burst score by direct enumeration and are used
+
+* by the test suite to validate SL-CSPOT, Cell-CSPOT and the approximation
+  guarantees on small instances, and
+* by the approximation-ratio harness (Tables III and IV) when an
+  independent reference is wanted.
+
+They are deliberately simple and cubic in the number of objects — clarity
+over speed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.base import RegionResult
+from repro.core.burst import burst_score
+from repro.core.query import SurgeQuery
+from repro.geometry.primitives import Point, Rect, rect_from_top_right
+from repro.streams.objects import SpatialObject
+
+
+def score_of_region(
+    region: Rect,
+    current: Iterable[SpatialObject],
+    past: Iterable[SpatialObject],
+    query: SurgeQuery,
+) -> tuple[float, float, float]:
+    """Burst score of an explicit region; returns ``(score, fc, fp)``."""
+    fc = sum(o.weight for o in current if region.contains_xy(o.x, o.y))
+    fp = sum(o.weight for o in past if region.contains_xy(o.x, o.y))
+    fc /= query.current_length
+    fp /= query.past_length
+    return burst_score(fc, fp, query.alpha), fc, fp
+
+
+def _candidate_coordinates(values: Sequence[float], extent: float) -> list[float]:
+    """Candidate coordinates for one axis of the top-right corner.
+
+    For an object coordinate ``v`` the corresponding rectangle object spans
+    ``[v, v + extent]``; the arrangement's edge coordinates along this axis
+    are therefore ``{v} ∪ {v + extent}``.  Candidates are those coordinates
+    plus the midpoints of consecutive distinct coordinates, which together
+    hit every face, edge and vertex of the arrangement.
+    """
+    edges = sorted({v for v in values} | {v + extent for v in values})
+    candidates = list(edges)
+    for left, right in zip(edges, edges[1:]):
+        candidates.append((left + right) / 2.0)
+    return candidates
+
+
+def best_region_brute_force(
+    current: Sequence[SpatialObject],
+    past: Sequence[SpatialObject],
+    query: SurgeQuery,
+) -> RegionResult | None:
+    """Exact bursty region of a snapshot by exhaustive candidate enumeration.
+
+    Only objects inside the preferred area are considered, mirroring the
+    reduction used by the streaming detectors.  Returns ``None`` when no
+    object is alive.
+    """
+    current = [o for o in current if query.accepts(o.x, o.y)]
+    past = [o for o in past if query.accepts(o.x, o.y)]
+    everything = current + past
+    if not everything:
+        return None
+
+    xs = _candidate_coordinates([o.x for o in everything], query.rect_width)
+    ys = _candidate_coordinates([o.y for o in everything], query.rect_height)
+
+    best: RegionResult | None = None
+    for x in xs:
+        for y in ys:
+            region = rect_from_top_right(Point(x, y), query.rect_width, query.rect_height)
+            score, fc, fp = score_of_region(region, current, past, query)
+            if best is None or score > best.score:
+                best = RegionResult(
+                    region=region, score=score, point=Point(x, y), fc=fc, fp=fp
+                )
+    return best
+
+
+def greedy_top_k_brute_force(
+    current: Sequence[SpatialObject],
+    past: Sequence[SpatialObject],
+    query: SurgeQuery,
+    k: int | None = None,
+) -> list[RegionResult]:
+    """Greedy top-k bursty regions of a snapshot (Definition 9), by brute force.
+
+    The i-th region maximises the burst score computed over the objects not
+    covered by the first ``i - 1`` regions; objects covered by an earlier
+    region stop contributing to later ones.
+    """
+    if k is None:
+        k = query.k
+    remaining_current = [o for o in current if query.accepts(o.x, o.y)]
+    remaining_past = [o for o in past if query.accepts(o.x, o.y)]
+    results: list[RegionResult] = []
+    for _ in range(k):
+        best = best_region_brute_force(remaining_current, remaining_past, query)
+        if best is None:
+            break
+        results.append(best)
+        remaining_current = [
+            o for o in remaining_current if not best.region.contains_xy(o.x, o.y)
+        ]
+        remaining_past = [
+            o for o in remaining_past if not best.region.contains_xy(o.x, o.y)
+        ]
+    return results

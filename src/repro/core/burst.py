@@ -1,0 +1,119 @@
+"""The burst score function (Definition 1 of the paper) and accumulators.
+
+For a region (or point) with window scores ``fc = f(·, Wc)`` and
+``fp = f(·, Wp)`` the burst score is::
+
+    S = α · max(fc - fp, 0) + (1 - α) · fc
+
+with ``α ∈ [0, 1)`` balancing *burstiness* (the increase from the past to the
+current window) against *significance* (the mass in the current window).
+Window scores are weight sums normalised by the window length.
+
+:class:`WindowAccumulator` is the small mutable helper shared by every
+grid-cell and interval structure in the library: it tracks the pair
+``(fc, fp)`` together with object counts, supports the three window events,
+and exposes the resulting burst score.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def validate_alpha(alpha: float) -> float:
+    """Validate the balance parameter ``α ∈ [0, 1)`` and return it."""
+    if not 0.0 <= alpha < 1.0:
+        raise ValueError(f"alpha must be in [0, 1), got {alpha}")
+    return float(alpha)
+
+
+def burst_score(fc: float, fp: float, alpha: float) -> float:
+    """Burst score ``α·max(fc - fp, 0) + (1 - α)·fc`` (Definition 1)."""
+    increase = fc - fp
+    if increase < 0.0:
+        increase = 0.0
+    return alpha * increase + (1.0 - alpha) * fc
+
+
+def window_score(total_weight: float, window_length: float) -> float:
+    """Window score ``f(·, W)``: total weight normalised by the window length."""
+    if window_length <= 0:
+        raise ValueError("window_length must be positive")
+    return total_weight / window_length
+
+
+@dataclass
+class WindowAccumulator:
+    """Incrementally maintained ``(fc, fp)`` pair for one region/point/cell.
+
+    The accumulator works in *normalised* units: callers add or remove the
+    quantity ``weight / |W|`` through the event-oriented methods below, so
+    that the stored values are directly the window scores of Definition 1.
+
+    Attributes
+    ----------
+    fc, fp:
+        Current- and past-window scores.
+    count_current, count_past:
+        Number of contributing objects per window; used to decide when a
+        cell has become empty and can be discarded.
+    """
+
+    fc: float = 0.0
+    fp: float = 0.0
+    count_current: int = 0
+    count_past: int = 0
+
+    # ------------------------------------------------------------------
+    # Window events (Section IV-C)
+    # ------------------------------------------------------------------
+    def apply_new(self, weight: float, current_length: float) -> None:
+        """A new object entered the current window."""
+        self.fc += weight / current_length
+        self.count_current += 1
+
+    def apply_grown(self, weight: float, current_length: float, past_length: float) -> None:
+        """An object moved from the current window to the past window."""
+        self.fc -= weight / current_length
+        self.fp += weight / past_length
+        self.count_current -= 1
+        self.count_past += 1
+
+    def apply_expired(self, weight: float, past_length: float) -> None:
+        """An object left the past window."""
+        self.fp -= weight / past_length
+        self.count_past -= 1
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def score(self, alpha: float) -> float:
+        """The burst score of the accumulated mass."""
+        return burst_score(self.fc, self.fp, alpha)
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether no object currently contributes to either window."""
+        return self.count_current == 0 and self.count_past == 0
+
+    def copy(self) -> "WindowAccumulator":
+        """A detached copy of this accumulator."""
+        return WindowAccumulator(
+            fc=self.fc,
+            fp=self.fp,
+            count_current=self.count_current,
+            count_past=self.count_past,
+        )
+
+
+def score_of_weights(
+    current_weights: float,
+    past_weights: float,
+    current_length: float,
+    past_length: float,
+    alpha: float,
+) -> float:
+    """Burst score from raw (un-normalised) weight sums of the two windows."""
+    fc = window_score(current_weights, current_length)
+    fp = window_score(past_weights, past_length)
+    return burst_score(fc, fp, alpha)

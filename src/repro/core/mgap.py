@@ -1,0 +1,90 @@
+"""MGAP-SURGE: the multi-grid approximate detector (Algorithm 5).
+
+The burst score of the cell returned by GAP-SURGE depends on where the grid
+happens to be anchored.  MGAP-SURGE therefore runs four GAP-SURGE instances
+over grids shifted by half a cell along x, along y, and along both axes, and
+reports the best of the four answers.  The worst-case guarantee stays
+``(1 - α) / 4`` (Theorem 4) but the observed quality is noticeably better
+(Table IV of the paper), at roughly four times the per-event cost.
+
+The top-k extension MGAP-kSURGE (Algorithm 7) collects the top ``4k`` cells of
+every grid, merges them, and greedily keeps the k best pairwise
+non-overlapping cells.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import BurstyRegionDetector, DetectorStats, RegionResult
+from repro.core.gap import GapSurge
+from repro.core.query import SurgeQuery
+from repro.streams.objects import WindowEvent
+
+
+class MGapSurge(BurstyRegionDetector):
+    """Multi-grid approximate detector (paper's ``MGAPS``)."""
+
+    name = "mgaps"
+    exact = False
+
+    def __init__(self, query: SurgeQuery) -> None:
+        super().__init__(query)
+        base_grid = query.base_grid()
+        self.detectors = tuple(
+            GapSurge(query, grid=grid) for grid in base_grid.mgap_family()
+        )
+
+    # ------------------------------------------------------------------
+    # Event processing
+    # ------------------------------------------------------------------
+    def process(self, event: WindowEvent) -> None:
+        self.stats.events_processed += 1
+        if not self.query.accepts(event.obj.x, event.obj.y):
+            self.stats.events_skipped += 1
+            return
+        for detector in self.detectors:
+            detector.process(event)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def result(self) -> RegionResult | None:
+        best: RegionResult | None = None
+        for detector in self.detectors:
+            candidate = detector.result()
+            if candidate is None:
+                continue
+            if best is None or candidate.score > best.score:
+                best = candidate
+        return best
+
+    def top_k(self, k: int | None = None) -> list[RegionResult]:
+        """Top-k non-overlapping cells across the four grids (MGAP-kSURGE)."""
+        if k is None:
+            k = self.query.k
+        pool: list[RegionResult] = []
+        for detector in self.detectors:
+            pool.extend(detector.top_k(4 * k))
+        pool.sort(key=lambda result: -result.score)
+
+        selected: list[RegionResult] = []
+        for candidate in pool:
+            overlaps = any(
+                candidate.region.intersects_interior(chosen.region)
+                for chosen in selected
+            )
+            if not overlaps:
+                selected.append(candidate)
+            if len(selected) == k:
+                break
+        return selected
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def combined_stats(self) -> DetectorStats:
+        """Counters aggregated over the four underlying GAP instances."""
+        merged = self.stats
+        for detector in self.detectors:
+            merged = merged.merge(detector.stats)
+        return merged

@@ -1,0 +1,164 @@
+"""The user-facing facade: feed a raw object stream, read bursty regions.
+
+:class:`SurgeMonitor` wires together the sliding-window pair (which turns
+arriving spatial objects into window events) and any detector, so that a
+caller only has to push objects::
+
+    query = SurgeQuery(rect_width=0.01, rect_height=0.01, window_length=3600)
+    monitor = SurgeMonitor(query, algorithm="ccs")
+    for obj in stream:
+        result = monitor.push(obj)
+        if result is not None:
+            print(result.region, result.score)
+
+:func:`make_detector` is the name-based factory used by the monitor, the
+evaluation harness and the benchmarks; it covers the exact detector, the two
+approximations, all baselines and the top-k extensions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+from repro.core.base import BurstyRegionDetector, RegionResult
+from repro.core.query import SurgeQuery
+from repro.streams.objects import SpatialObject, WindowEvent
+from repro.streams.windows import SlidingWindowPair, WindowState
+
+#: Names accepted by :func:`make_detector`, mapping to the paper's algorithm
+#: acronyms: exact Cell-CSPOT (``ccs``), static-bound-only variant (``bccs``),
+#: no-bound cell baseline (``base``), adapted continuous-MaxRS baseline
+#: (``ag2``), full-sweep naive baseline (``naive``), grid approximation
+#: (``gaps``), multi-grid approximation (``mgaps``), and their top-k
+#: extensions (``kccs``, ``kgaps``, ``kmgaps``).
+DETECTOR_NAMES = (
+    "ccs",
+    "bccs",
+    "base",
+    "ag2",
+    "naive",
+    "gaps",
+    "mgaps",
+    "kccs",
+    "kgaps",
+    "kmgaps",
+)
+
+
+def make_detector(name: str, query: SurgeQuery, **options) -> BurstyRegionDetector:
+    """Instantiate a detector by its paper acronym.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`DETECTOR_NAMES` (case-insensitive).
+    query:
+        The SURGE query the detector will answer.
+    options:
+        Extra keyword arguments forwarded to the detector constructor (e.g.
+        ``cell_scale`` for ``ag2``).
+    """
+    # Imported lazily to keep the factory free of import cycles and to avoid
+    # paying for the top-k machinery when it is not used.
+    from repro.baselines.ag2 import AG2Detector
+    from repro.baselines.base_cell import BaseCellDetector
+    from repro.baselines.bccs import StaticBoundCellCSPOT
+    from repro.baselines.naive import NaiveSweepDetector
+    from repro.core.cell_cspot import CellCSPOT
+    from repro.core.gap import GapSurge
+    from repro.core.mgap import MGapSurge
+    from repro.topk.kccs import CellCSPOTTopK
+    from repro.topk.kgap import GapSurgeTopK
+    from repro.topk.kmgap import MGapSurgeTopK
+
+    factories: dict[str, Callable[..., BurstyRegionDetector]] = {
+        "ccs": CellCSPOT,
+        "bccs": StaticBoundCellCSPOT,
+        "base": BaseCellDetector,
+        "ag2": AG2Detector,
+        "naive": NaiveSweepDetector,
+        "gaps": GapSurge,
+        "mgaps": MGapSurge,
+        "kccs": CellCSPOTTopK,
+        "kgaps": GapSurgeTopK,
+        "kmgaps": MGapSurgeTopK,
+    }
+    key = name.lower()
+    if key not in factories:
+        raise ValueError(
+            f"unknown detector {name!r}; expected one of {', '.join(DETECTOR_NAMES)}"
+        )
+    return factories[key](query, **options)
+
+
+class SurgeMonitor:
+    """Continuous monitor combining the sliding windows with a detector."""
+
+    def __init__(
+        self,
+        query: SurgeQuery,
+        algorithm: str | BurstyRegionDetector = "ccs",
+        **options,
+    ) -> None:
+        self.query = query
+        if isinstance(algorithm, BurstyRegionDetector):
+            self.detector = algorithm
+        else:
+            self.detector = make_detector(algorithm, query, **options)
+        self.windows = SlidingWindowPair(
+            window_length=query.current_length,
+            past_window_length=query.past_length,
+        )
+        self._objects_seen = 0
+
+    # ------------------------------------------------------------------
+    # Stream interface
+    # ------------------------------------------------------------------
+    def push(self, obj: SpatialObject) -> RegionResult | None:
+        """Ingest one spatial object and return the current bursty region."""
+        for event in self.windows.observe(obj):
+            self.detector.process(event)
+        self._objects_seen += 1
+        return self.detector.result()
+
+    def push_events(self, events: Iterable[WindowEvent]) -> RegionResult | None:
+        """Feed pre-computed window events directly (advanced use)."""
+        for event in events:
+            self.detector.process(event)
+        return self.detector.result()
+
+    def advance_time(self, time: float) -> RegionResult | None:
+        """Advance the stream clock without a new arrival and return the result."""
+        for event in self.windows.advance_time(time):
+            self.detector.process(event)
+        return self.detector.result()
+
+    def run(self, stream: Iterable[SpatialObject]) -> Iterator[RegionResult | None]:
+        """Push a whole stream, yielding the result after every object."""
+        for obj in stream:
+            yield self.push(obj)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def result(self) -> RegionResult | None:
+        """The current bursty region."""
+        return self.detector.result()
+
+    def top_k(self, k: int | None = None) -> list[RegionResult]:
+        """The current top-k bursty regions (best first)."""
+        return self.detector.top_k(k)
+
+    def window_state(self) -> WindowState:
+        """Snapshot of the two sliding windows (used for ground-truth checks)."""
+        return self.windows.state()
+
+    @property
+    def objects_seen(self) -> int:
+        """Number of spatial objects pushed so far."""
+        return self._objects_seen
+
+    @property
+    def is_stable(self) -> bool:
+        """Whether the warm-up period of the paper's protocol has passed."""
+        return self.windows.is_stable()

@@ -1,0 +1,115 @@
+"""The SURGE query object.
+
+A SURGE query (Definition 2 of the paper) is ``q = ⟨A, a × b, |W|⟩`` together
+with the burst-score balance parameter ``α``: the user asks for the position
+of the ``a × b`` region inside the preferred area ``A`` with the maximum
+burst score, continuously re-evaluated as the stream advances.  The top-k
+variant (Definition 9) additionally carries ``k``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.burst import validate_alpha
+from repro.geometry.grids import GridSpec
+from repro.geometry.primitives import Rect
+
+
+@dataclass(frozen=True)
+class SurgeQuery:
+    """A continuous bursty-region query.
+
+    Parameters
+    ----------
+    rect_width, rect_height:
+        The requested region size ``a × b`` (``a`` along x, ``b`` along y).
+    window_length:
+        Length ``|W|`` of the current sliding window, in the same time unit
+        as object timestamps (seconds throughout this library).
+    alpha:
+        Burst-score balance parameter ``α ∈ [0, 1)``; ``0`` means "pure
+        significance" (the continuous MaxRS objective), values close to ``1``
+        emphasise the increase over the past window.
+    area:
+        Preferred area ``A``; objects outside it are ignored.  ``None`` means
+        the whole space.
+    past_window_length:
+        Length of the past window; defaults to ``window_length`` as in the
+        paper.
+    k:
+        Number of bursty regions to maintain (``1`` for the plain SURGE
+        problem, ``> 1`` for the top-k variant).
+    """
+
+    rect_width: float
+    rect_height: float
+    window_length: float
+    alpha: float = 0.5
+    area: Rect | None = None
+    past_window_length: float | None = None
+    k: int = 1
+    _alpha_checked: float = field(init=False, repr=False, default=0.0)
+
+    def __post_init__(self) -> None:
+        if self.rect_width <= 0 or self.rect_height <= 0:
+            raise ValueError("the query rectangle must have positive size")
+        if self.window_length <= 0:
+            raise ValueError("window_length must be positive")
+        if self.past_window_length is not None and self.past_window_length <= 0:
+            raise ValueError("past_window_length must be positive")
+        if self.k < 1:
+            raise ValueError("k must be at least 1")
+        object.__setattr__(self, "_alpha_checked", validate_alpha(self.alpha))
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def current_length(self) -> float:
+        """``|Wc|``."""
+        return self.window_length
+
+    @property
+    def past_length(self) -> float:
+        """``|Wp|`` (defaults to ``|Wc|``)."""
+        return (
+            self.past_window_length
+            if self.past_window_length is not None
+            else self.window_length
+        )
+
+    def accepts(self, x: float, y: float) -> bool:
+        """Whether an object at ``(x, y)`` falls inside the preferred area."""
+        if self.area is None:
+            return True
+        return self.area.contains_xy(x, y)
+
+    def base_grid(self) -> GridSpec:
+        """The aligned grid of Definition 6: cells of exactly the query size.
+
+        The grid origin is anchored at the preferred area's bottom-left
+        corner when an area is given, and at the coordinate origin otherwise.
+        """
+        if self.area is not None:
+            return GridSpec(
+                cell_width=self.rect_width,
+                cell_height=self.rect_height,
+                origin_x=self.area.min_x,
+                origin_y=self.area.min_y,
+            )
+        return GridSpec(cell_width=self.rect_width, cell_height=self.rect_height)
+
+    def with_(self, **changes) -> "SurgeQuery":
+        """A copy of the query with the given fields replaced."""
+        fields = {
+            "rect_width": self.rect_width,
+            "rect_height": self.rect_height,
+            "window_length": self.window_length,
+            "alpha": self.alpha,
+            "area": self.area,
+            "past_window_length": self.past_window_length,
+            "k": self.k,
+        }
+        fields.update(changes)
+        return SurgeQuery(**fields)

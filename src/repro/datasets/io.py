@@ -1,0 +1,183 @@
+"""Reading and writing spatial-object streams (CSV and JSON Lines).
+
+Real deployments of SURGE consume recorded traces — ride requests exported
+from a dispatch system, geo-tagged messages collected from an API — so the
+library ships simple, dependency-free readers and writers for the two common
+interchange formats:
+
+* **CSV** with the columns ``timestamp, x, y, weight[, object_id]`` (extra
+  columns are preserved as string attributes), and
+* **JSON Lines**, one object per line with the same required keys and an
+  optional ``attributes`` object.
+
+Both readers stream lazily, validate each record, and either skip or raise on
+malformed rows depending on ``on_error``.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, Iterator, Literal
+
+from repro.streams.objects import SpatialObject
+
+#: Required CSV columns (``object_id`` is optional and auto-assigned).
+REQUIRED_COLUMNS = ("timestamp", "x", "y")
+
+OnError = Literal["raise", "skip"]
+
+
+class StreamFormatError(ValueError):
+    """Raised for malformed records when ``on_error='raise'``."""
+
+
+def _build_object(
+    record: dict[str, object], index: int, source: str
+) -> SpatialObject:
+    """Validate one parsed record and turn it into a :class:`SpatialObject`."""
+    try:
+        timestamp = float(record["timestamp"])  # type: ignore[arg-type]
+        x = float(record["x"])  # type: ignore[arg-type]
+        y = float(record["y"])  # type: ignore[arg-type]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise StreamFormatError(f"{source}: bad record at index {index}: {exc}") from exc
+    weight = record.get("weight", 1.0)
+    try:
+        weight = float(weight) if weight not in (None, "") else 1.0
+    except (TypeError, ValueError) as exc:
+        raise StreamFormatError(
+            f"{source}: bad weight at index {index}: {record.get('weight')!r}"
+        ) from exc
+    raw_id = record.get("object_id")
+    try:
+        object_id = int(raw_id) if raw_id not in (None, "") else index
+    except (TypeError, ValueError) as exc:
+        raise StreamFormatError(
+            f"{source}: bad object_id at index {index}: {raw_id!r}"
+        ) from exc
+    attributes = record.get("attributes")
+    if not isinstance(attributes, dict):
+        attributes = {
+            key: value
+            for key, value in record.items()
+            if key not in {"timestamp", "x", "y", "weight", "object_id", "attributes"}
+            and value not in (None, "")
+        }
+    if weight < 0:
+        raise StreamFormatError(f"{source}: negative weight at index {index}")
+    return SpatialObject(
+        x=x,
+        y=y,
+        timestamp=timestamp,
+        weight=weight,
+        object_id=object_id,
+        attributes=attributes,
+    )
+
+
+def _handle(
+    record: dict[str, object], index: int, source: str, on_error: OnError
+) -> SpatialObject | None:
+    try:
+        return _build_object(record, index, source)
+    except StreamFormatError:
+        if on_error == "raise":
+            raise
+        return None
+
+
+# ---------------------------------------------------------------------------
+# CSV
+# ---------------------------------------------------------------------------
+def read_csv_stream(path: str | Path, on_error: OnError = "raise") -> Iterator[SpatialObject]:
+    """Lazily read spatial objects from a CSV file.
+
+    The file must have a header row containing at least ``timestamp``, ``x``
+    and ``y``; ``weight`` and ``object_id`` are optional, and any further
+    columns become string attributes of the object.
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None or not set(REQUIRED_COLUMNS) <= set(reader.fieldnames):
+            raise StreamFormatError(
+                f"{path}: CSV header must contain the columns {REQUIRED_COLUMNS}"
+            )
+        for index, row in enumerate(reader):
+            obj = _handle(dict(row), index, str(path), on_error)
+            if obj is not None:
+                yield obj
+
+
+def write_csv_stream(path: str | Path, objects: Iterable[SpatialObject]) -> int:
+    """Write spatial objects to a CSV file; returns the number of rows written."""
+    path = Path(path)
+    count = 0
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["timestamp", "x", "y", "weight", "object_id"])
+        for obj in objects:
+            writer.writerow([obj.timestamp, obj.x, obj.y, obj.weight, obj.object_id])
+            count += 1
+    return count
+
+
+# ---------------------------------------------------------------------------
+# JSON Lines
+# ---------------------------------------------------------------------------
+def read_jsonl_stream(path: str | Path, on_error: OnError = "raise") -> Iterator[SpatialObject]:
+    """Lazily read spatial objects from a JSON Lines file."""
+    path = Path(path)
+    with path.open() as handle:
+        for index, line in enumerate(handle):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                if on_error == "raise":
+                    raise StreamFormatError(f"{path}: invalid JSON on line {index + 1}") from exc
+                continue
+            if not isinstance(record, dict):
+                if on_error == "raise":
+                    raise StreamFormatError(f"{path}: line {index + 1} is not an object")
+                continue
+            obj = _handle(record, index, str(path), on_error)
+            if obj is not None:
+                yield obj
+
+
+def write_jsonl_stream(path: str | Path, objects: Iterable[SpatialObject]) -> int:
+    """Write spatial objects to a JSON Lines file; returns the number written."""
+    path = Path(path)
+    count = 0
+    with path.open("w") as handle:
+        for obj in objects:
+            record = {
+                "timestamp": obj.timestamp,
+                "x": obj.x,
+                "y": obj.y,
+                "weight": obj.weight,
+                "object_id": obj.object_id,
+            }
+            if obj.attributes:
+                record["attributes"] = dict(obj.attributes)
+            handle.write(json.dumps(record) + "\n")
+            count += 1
+    return count
+
+
+def load_stream(path: str | Path, on_error: OnError = "raise") -> list[SpatialObject]:
+    """Load a whole stream from a ``.csv`` / ``.jsonl`` / ``.json`` file, sorted by time."""
+    path = Path(path)
+    if path.suffix.lower() == ".csv":
+        objects = list(read_csv_stream(path, on_error=on_error))
+    elif path.suffix.lower() in {".jsonl", ".json", ".ndjson"}:
+        objects = list(read_jsonl_stream(path, on_error=on_error))
+    else:
+        raise StreamFormatError(f"unsupported stream file extension: {path.suffix!r}")
+    objects.sort(key=lambda o: (o.timestamp, o.object_id))
+    return objects

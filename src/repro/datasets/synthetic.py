@@ -1,0 +1,239 @@
+"""Synthetic spatial-object stream generation.
+
+The generator produces streams with the same macroscopic properties as the
+paper's datasets (Table I) while giving the burst-detection machinery
+something to find:
+
+* arrivals follow a Poisson process at the profile's average rate
+  (exponential inter-arrival gaps),
+* locations are drawn from a mixture of Gaussian hotspots covering the
+  profile's spatial extent plus a uniform background component — geo-tagged
+  tweets and taxi requests are strongly clustered around cities and venues,
+* weights are uniform over the profile's weight range (``[1, 100]`` in the
+  paper), and
+* optional *bursts* temporarily add a high-rate, tightly localized component
+  (a concert letting out, a subway disruption) so that the maximum burst
+  score genuinely moves around during the stream.
+
+Everything is driven by an explicit ``numpy`` random generator seed, so every
+experiment and test in this repository is reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datasets.profiles import DatasetProfile
+from repro.geometry.primitives import Rect
+from repro.streams.objects import SpatialObject
+
+
+@dataclass(frozen=True)
+class BurstSpec:
+    """One planted burst: a localized surge of arrivals during a time span.
+
+    Parameters
+    ----------
+    center_x, center_y:
+        Centre of the burst region.
+    radius_x, radius_y:
+        Standard deviation of the burst's Gaussian footprint along each axis.
+    start_time, duration:
+        When the burst is active (seconds, stream time).
+    rate_multiplier:
+        Arrival-rate multiplier of the burst component relative to the
+        background rate while it is active.
+    weight_multiplier:
+        Factor applied to the weights of burst objects (1.0 keeps the
+        background weight law).
+    """
+
+    center_x: float
+    center_y: float
+    radius_x: float
+    radius_y: float
+    start_time: float
+    duration: float
+    rate_multiplier: float = 3.0
+    weight_multiplier: float = 1.0
+
+
+@dataclass(frozen=True)
+class StreamConfig:
+    """Full specification of one synthetic stream."""
+
+    extent: Rect
+    n_objects: int
+    arrival_rate_per_hour: float
+    weight_range: tuple[float, float] = (1.0, 100.0)
+    hotspot_count: int = 10
+    #: Fraction of background objects drawn uniformly instead of from hotspots.
+    uniform_fraction: float = 0.2
+    #: Hotspot standard deviation as a fraction of the extent per axis.
+    hotspot_spread: float = 0.02
+    bursts: tuple[BurstSpec, ...] = field(default_factory=tuple)
+    integer_weights: bool = True
+    start_time: float = 0.0
+    seed: int = 7
+
+
+def _sample_locations(
+    rng: np.random.Generator, config: StreamConfig, count: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sample ``count`` background locations from the hotspot mixture."""
+    extent = config.extent
+    hotspot_x = rng.uniform(extent.min_x, extent.max_x, size=config.hotspot_count)
+    hotspot_y = rng.uniform(extent.min_y, extent.max_y, size=config.hotspot_count)
+    hotspot_weights = rng.dirichlet(np.ones(config.hotspot_count))
+
+    uniform_mask = rng.random(count) < config.uniform_fraction
+    assignments = rng.choice(config.hotspot_count, size=count, p=hotspot_weights)
+
+    spread_x = extent.width * config.hotspot_spread
+    spread_y = extent.height * config.hotspot_spread
+    xs = hotspot_x[assignments] + rng.normal(0.0, spread_x, size=count)
+    ys = hotspot_y[assignments] + rng.normal(0.0, spread_y, size=count)
+
+    xs = np.where(uniform_mask, rng.uniform(extent.min_x, extent.max_x, size=count), xs)
+    ys = np.where(uniform_mask, rng.uniform(extent.min_y, extent.max_y, size=count), ys)
+
+    xs = np.clip(xs, extent.min_x, extent.max_x)
+    ys = np.clip(ys, extent.min_y, extent.max_y)
+    return xs, ys
+
+
+def _sample_weights(
+    rng: np.random.Generator, config: StreamConfig, count: int
+) -> np.ndarray:
+    low, high = config.weight_range
+    if config.integer_weights:
+        return rng.integers(int(low), int(high) + 1, size=count).astype(float)
+    return rng.uniform(low, high, size=count)
+
+
+def generate_stream(config: StreamConfig) -> list[SpatialObject]:
+    """Generate a timestamp-ordered synthetic stream according to ``config``."""
+    if config.n_objects <= 0:
+        return []
+    rng = np.random.default_rng(config.seed)
+
+    # --- background arrivals: Poisson process at the configured rate -------
+    mean_gap = 3600.0 / config.arrival_rate_per_hour
+    gaps = rng.exponential(mean_gap, size=config.n_objects)
+    timestamps = config.start_time + np.cumsum(gaps)
+    xs, ys = _sample_locations(rng, config, config.n_objects)
+    weights = _sample_weights(rng, config, config.n_objects)
+
+    objects = [
+        SpatialObject(
+            x=float(xs[i]),
+            y=float(ys[i]),
+            timestamp=float(timestamps[i]),
+            weight=float(weights[i]),
+            object_id=i,
+        )
+        for i in range(config.n_objects)
+    ]
+
+    # --- planted bursts ------------------------------------------------------
+    next_id = config.n_objects
+    extent = config.extent
+    for burst in config.bursts:
+        burst_rate_per_second = (
+            config.arrival_rate_per_hour / 3600.0
+        ) * burst.rate_multiplier
+        expected = burst_rate_per_second * burst.duration
+        burst_count = int(rng.poisson(expected))
+        if burst_count == 0:
+            continue
+        times = rng.uniform(
+            burst.start_time, burst.start_time + burst.duration, size=burst_count
+        )
+        bx = np.clip(
+            rng.normal(burst.center_x, burst.radius_x, size=burst_count),
+            extent.min_x,
+            extent.max_x,
+        )
+        by = np.clip(
+            rng.normal(burst.center_y, burst.radius_y, size=burst_count),
+            extent.min_y,
+            extent.max_y,
+        )
+        bw = _sample_weights(rng, config, burst_count) * burst.weight_multiplier
+        for i in range(burst_count):
+            objects.append(
+                SpatialObject(
+                    x=float(bx[i]),
+                    y=float(by[i]),
+                    timestamp=float(times[i]),
+                    weight=float(bw[i]),
+                    object_id=next_id,
+                    attributes={"burst": True},
+                )
+            )
+            next_id += 1
+
+    objects.sort(key=lambda o: (o.timestamp, o.object_id))
+    return objects
+
+
+def default_bursts_for_profile(
+    profile: DatasetProfile, n_objects: int, seed: int = 7, count: int = 3
+) -> tuple[BurstSpec, ...]:
+    """A small set of plausible bursts spread over the stream's time span."""
+    rng = np.random.default_rng(seed + 1)
+    duration_total = n_objects * profile.mean_interarrival_seconds
+    # Bursts are sized relative to the generated stream so that scaled-down
+    # streams stay roughly at the profile's average arrival rate: each burst
+    # is active for ~5% of the stream and adds ~15% extra objects.
+    burst_duration = min(profile.default_window_seconds, 0.05 * duration_total)
+    bursts = []
+    for index in range(count):
+        start = duration_total * (index + 0.5) / (count + 0.5)
+        bursts.append(
+            BurstSpec(
+                center_x=float(
+                    rng.uniform(profile.extent.min_x, profile.extent.max_x)
+                ),
+                center_y=float(
+                    rng.uniform(profile.extent.min_y, profile.extent.max_y)
+                ),
+                radius_x=profile.default_rect_width,
+                radius_y=profile.default_rect_height,
+                start_time=float(start),
+                duration=float(burst_duration),
+                rate_multiplier=3.0,
+            )
+        )
+    return tuple(bursts)
+
+
+def generate_profile_stream(
+    profile: DatasetProfile,
+    n_objects: int,
+    seed: int = 7,
+    with_bursts: bool = True,
+) -> list[SpatialObject]:
+    """Generate a stream mimicking one of the Table I datasets.
+
+    ``n_objects`` scales the dataset down (or up) while keeping the arrival
+    rate, extent and weight law of the profile, which is how the benchmarks
+    keep pure-Python running times manageable.
+    """
+    bursts = (
+        default_bursts_for_profile(profile, n_objects, seed=seed)
+        if with_bursts
+        else ()
+    )
+    config = StreamConfig(
+        extent=profile.extent,
+        n_objects=n_objects,
+        arrival_rate_per_hour=profile.arrival_rate_per_hour,
+        weight_range=profile.weight_range,
+        hotspot_count=profile.hotspot_count,
+        bursts=bursts,
+        seed=seed,
+    )
+    return generate_stream(config)

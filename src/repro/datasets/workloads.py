@@ -1,0 +1,91 @@
+"""Experiment workload helpers: queries, sweeps, and stream scaling.
+
+These helpers encode the parameter grid of Section VII so that the
+benchmarks, the experiment drivers and the examples all agree on what "the
+paper's setting" means:
+
+* default query rectangle = 1/1000 of the dataset extent per side,
+* default window = 1 hour (UK, US) or 5 minutes (Taxi),
+* window sweeps of {30 min, 1 h, 2 h, 5 h, 12 h} resp. {1, 5, 10, 20, 30} min,
+* rectangle sweeps of {0.5 q, q, 2 q, 3 q},
+* α sweep of {0.1, 0.3, 0.5, 0.7, 0.9},
+* arrival-rate sweep of {2, 4, 6, 8, 10} million objects per day.
+"""
+
+from __future__ import annotations
+
+from repro.core.query import SurgeQuery
+from repro.datasets.profiles import DatasetProfile
+from repro.datasets.synthetic import generate_profile_stream
+from repro.streams.objects import SpatialObject
+from repro.streams.sources import stretch_to_rate
+
+#: Rectangle-size multipliers used in Figures 5(d-f) and 6(d-f).
+RECT_MULTIPLIERS = (0.5, 1.0, 2.0, 3.0)
+
+#: α values used in Figure 7 and Table III.
+ALPHA_SWEEP = (0.1, 0.3, 0.5, 0.7, 0.9)
+
+#: Arrival rates (objects per day) used in Figure 8.
+ARRIVAL_RATE_SWEEP = (2_000_000, 4_000_000, 6_000_000, 8_000_000, 10_000_000)
+
+#: k values used in Figures 9(d-f).
+K_SWEEP = (3, 5, 7, 9)
+
+#: Window sweeps (seconds) per dataset, matching Figures 5, 6 and 9.
+WINDOW_SWEEPS: dict[str, tuple[float, ...]] = {
+    "Taxi": (60.0, 300.0, 600.0, 1200.0, 1800.0),
+    "UK": (1800.0, 3600.0, 7200.0, 18_000.0, 43_200.0),
+    "US": (1800.0, 3600.0, 7200.0, 18_000.0, 43_200.0),
+}
+
+
+def default_query_for_profile(
+    profile: DatasetProfile,
+    window_seconds: float | None = None,
+    rect_multiplier: float = 1.0,
+    alpha: float = 0.5,
+    k: int = 1,
+) -> SurgeQuery:
+    """The paper's default query for a dataset, with optional overrides."""
+    return SurgeQuery(
+        rect_width=profile.default_rect_width * rect_multiplier,
+        rect_height=profile.default_rect_height * rect_multiplier,
+        window_length=(
+            window_seconds if window_seconds is not None else profile.default_window_seconds
+        ),
+        alpha=alpha,
+        area=profile.extent,
+        k=k,
+    )
+
+
+def window_sweep_values(profile: DatasetProfile) -> tuple[float, ...]:
+    """The window lengths (seconds) swept for this dataset in Figures 5/6/9."""
+    return WINDOW_SWEEPS[profile.name]
+
+
+def rect_size_multipliers() -> tuple[float, ...]:
+    """The query-rectangle multipliers swept in Figures 5(d-f) / 6(d-f)."""
+    return RECT_MULTIPLIERS
+
+
+def scaled_stream(
+    profile: DatasetProfile,
+    n_objects: int,
+    seed: int = 7,
+    arrivals_per_day: float | None = None,
+    with_bursts: bool = True,
+) -> list[SpatialObject]:
+    """A profile-shaped stream, optionally re-timed to a target arrival rate.
+
+    ``arrivals_per_day`` implements the Figure 8 protocol: the same objects
+    are kept but their arrival times are rescaled so the stream runs at the
+    requested daily rate.
+    """
+    stream = generate_profile_stream(
+        profile, n_objects=n_objects, seed=seed, with_bursts=with_bursts
+    )
+    if arrivals_per_day is not None:
+        stream = stretch_to_rate(stream, arrivals_per_day)
+    return stream

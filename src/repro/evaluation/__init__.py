@@ -1,0 +1,30 @@
+"""Evaluation harness: timing runs, approximation ratios, and experiment drivers.
+
+* :mod:`repro.evaluation.runner` — run a detector over a stream with the
+  paper's warm-up protocol and collect per-object processing times plus the
+  detector's operation counters.
+* :mod:`repro.evaluation.ratio` — measure approximation ratios of GAP /
+  MGAP against an exact detector (Tables III and IV).
+* :mod:`repro.evaluation.metrics` — summary statistics over timing runs.
+* :mod:`repro.evaluation.tables` — plain-text table / figure-series
+  formatting used by the benchmark harness and EXPERIMENTS.md.
+* :mod:`repro.evaluation.experiments` — one driver function per table and
+  figure of the paper's evaluation section.
+"""
+
+from repro.evaluation.metrics import TimingSummary, summarize_times
+from repro.evaluation.runner import RunResult, run_detector, run_detectors
+from repro.evaluation.ratio import RatioResult, measure_approximation_ratio
+from repro.evaluation.tables import format_table, format_series
+
+__all__ = [
+    "TimingSummary",
+    "summarize_times",
+    "RunResult",
+    "run_detector",
+    "run_detectors",
+    "RatioResult",
+    "measure_approximation_ratio",
+    "format_table",
+    "format_series",
+]

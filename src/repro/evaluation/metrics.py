@@ -1,0 +1,61 @@
+"""Summary statistics over per-object timing measurements."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TimingSummary:
+    """Aggregated per-object processing-time statistics (seconds)."""
+
+    count: int
+    mean: float
+    median: float
+    p95: float
+    maximum: float
+    total: float
+
+    @property
+    def mean_micros(self) -> float:
+        """Mean time per object in microseconds (the unit of the paper's figures)."""
+        return self.mean * 1e6
+
+    @property
+    def objects_per_second(self) -> float:
+        """Sustained throughput implied by the mean per-object time."""
+        if self.mean <= 0:
+            return float("inf")
+        return 1.0 / self.mean
+
+
+def summarize_times(times: Sequence[float]) -> TimingSummary:
+    """Summarise a list of per-object processing times (seconds)."""
+    if not times:
+        return TimingSummary(count=0, mean=0.0, median=0.0, p95=0.0, maximum=0.0, total=0.0)
+    array = np.asarray(times, dtype=float)
+    return TimingSummary(
+        count=int(array.size),
+        mean=float(array.mean()),
+        median=float(np.median(array)),
+        p95=float(np.percentile(array, 95)),
+        maximum=float(array.max()),
+        total=float(array.sum()),
+    )
+
+
+def processing_time_per_hour_of_stream(
+    total_processing_seconds: float, stream_span_seconds: float
+) -> float:
+    """The Figure 8 metric: processing time per hour of stream time.
+
+    The paper reports ``t_h = runtime / |O|_time`` where ``|O|_time`` is the
+    total stream span; this helper converts our measurements to the same
+    unit (seconds of processing per hour of stream).
+    """
+    if stream_span_seconds <= 0:
+        return float("inf")
+    return total_processing_seconds / (stream_span_seconds / 3600.0)

@@ -1,0 +1,71 @@
+"""Plain-text formatting of benchmark tables and figure series.
+
+The benchmark harness prints, for every table and figure of the paper, the
+same rows / series the paper reports (series name, x value, measured value).
+These helpers keep that output consistent and readable in pytest's captured
+output and in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+
+def format_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    value_format: str = "{:.4g}",
+) -> str:
+    """Render a simple aligned text table.
+
+    Numeric cells are formatted with ``value_format``; everything else is
+    rendered with ``str``.
+    """
+    rendered_rows: list[list[str]] = []
+    for row in rows:
+        rendered: list[str] = []
+        for value in row:
+            if isinstance(value, float):
+                rendered.append(value_format.format(value))
+            else:
+                rendered.append(str(value))
+        rendered_rows.append(rendered)
+
+    widths = [len(str(column)) for column in columns]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[index]) for index, cell in enumerate(cells))
+
+    lines = [title, render_line([str(c) for c in columns])]
+    lines.append("-+-".join("-" * width for width in widths))
+    lines.extend(render_line(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    series: Mapping[str, Mapping[object, float]],
+    value_format: str = "{:.4g}",
+) -> str:
+    """Render figure-style data: one line per (series, x) pair.
+
+    ``series`` maps a series name (e.g. ``"CCS"``) to a mapping from x value
+    (e.g. window length) to measured value (e.g. microseconds per object).
+    """
+    lines = [title]
+    for name, points in series.items():
+        for x_value, y_value in points.items():
+            lines.append(
+                f"  {name:<8} {x_label}={x_value!s:<10} -> " + value_format.format(y_value)
+            )
+    return "\n".join(lines)
+
+
+def format_paper_expectation(text: str) -> str:
+    """Render the qualitative expectation from the paper alongside a result."""
+    return f"  [paper expectation] {text}"

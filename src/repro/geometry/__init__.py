@@ -1,0 +1,29 @@
+"""Geometry substrate used by every SURGE detector.
+
+The SURGE algorithms only need a handful of geometric primitives — points,
+axis-aligned rectangles, regular grids (optionally shifted), and an
+addressable lazy max-heap used to rank grid cells by their upper bounds.
+They are implemented here from scratch so that the rest of the library has
+no geometric dependencies.
+"""
+
+from repro.geometry.primitives import (
+    Point,
+    Rect,
+    rect_from_bottom_left,
+    rect_from_top_right,
+)
+from repro.geometry.grids import GridSpec, CellIndex, cell_of_point, cells_overlapping_rect
+from repro.geometry.heaps import LazyMaxHeap
+
+__all__ = [
+    "Point",
+    "Rect",
+    "rect_from_bottom_left",
+    "rect_from_top_right",
+    "GridSpec",
+    "CellIndex",
+    "cell_of_point",
+    "cells_overlapping_rect",
+    "LazyMaxHeap",
+]

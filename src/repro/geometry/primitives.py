@@ -1,0 +1,210 @@
+"""Planar primitives: points and axis-aligned rectangles.
+
+Conventions used throughout the library
+---------------------------------------
+
+* Coordinates are plain floats in an arbitrary planar coordinate system
+  (the datasets use longitude on the x axis and latitude on the y axis, but
+  nothing in the algorithms depends on that interpretation).
+* Rectangles are **closed** on all four edges: a point lying exactly on an
+  edge is considered covered.  The paper is agnostic about boundary
+  semantics; using closed rectangles everywhere keeps the reduction of
+  Theorem 1 exact (a spatial object on the boundary of a region corresponds
+  to a rectangle object whose boundary touches the query point).
+* The query rectangle has size ``a × b`` where ``a`` is the extent along x
+  and ``b`` the extent along y.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """A point in the plane."""
+
+    x: float
+    y: float
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """Return a copy of this point translated by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def as_tuple(self) -> tuple[float, float]:
+        """Return ``(x, y)``."""
+        return (self.x, self.y)
+
+
+@dataclass(frozen=True, slots=True)
+class Rect:
+    """A closed axis-aligned rectangle ``[min_x, max_x] × [min_y, max_y]``."""
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.max_x < self.min_x or self.max_y < self.min_y:
+            raise ValueError(
+                f"degenerate rectangle: ({self.min_x}, {self.min_y}) .. "
+                f"({self.max_x}, {self.max_y})"
+            )
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> float:
+        """Extent along the x axis."""
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        """Extent along the y axis."""
+        return self.max_y - self.min_y
+
+    @property
+    def area(self) -> float:
+        """Area of the rectangle."""
+        return self.width * self.height
+
+    @property
+    def bottom_left(self) -> Point:
+        """The ``(min_x, min_y)`` corner."""
+        return Point(self.min_x, self.min_y)
+
+    @property
+    def top_right(self) -> Point:
+        """The ``(max_x, max_y)`` corner."""
+        return Point(self.max_x, self.max_y)
+
+    @property
+    def center(self) -> Point:
+        """The centroid of the rectangle."""
+        return Point((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+    def contains_point(self, point: Point) -> bool:
+        """Whether ``point`` lies inside the (closed) rectangle."""
+        return (
+            self.min_x <= point.x <= self.max_x
+            and self.min_y <= point.y <= self.max_y
+        )
+
+    def contains_xy(self, x: float, y: float) -> bool:
+        """Whether the coordinates ``(x, y)`` lie inside the rectangle."""
+        return self.min_x <= x <= self.max_x and self.min_y <= y <= self.max_y
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """Whether ``other`` is fully contained in this rectangle."""
+        return (
+            self.min_x <= other.min_x
+            and self.min_y <= other.min_y
+            and other.max_x <= self.max_x
+            and other.max_y <= self.max_y
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        """Whether the two closed rectangles share at least one point."""
+        return (
+            self.min_x <= other.max_x
+            and other.min_x <= self.max_x
+            and self.min_y <= other.max_y
+            and other.min_y <= self.max_y
+        )
+
+    def intersects_interior(self, other: "Rect") -> bool:
+        """Whether the two rectangles share an area of positive measure."""
+        return (
+            self.min_x < other.max_x
+            and other.min_x < self.max_x
+            and self.min_y < other.max_y
+            and other.min_y < self.max_y
+        )
+
+    # ------------------------------------------------------------------
+    # Constructive operations
+    # ------------------------------------------------------------------
+    def intersection(self, other: "Rect") -> "Rect | None":
+        """The intersection rectangle, or ``None`` if the two are disjoint."""
+        if not self.intersects(other):
+            return None
+        return Rect(
+            max(self.min_x, other.min_x),
+            max(self.min_y, other.min_y),
+            min(self.max_x, other.max_x),
+            min(self.max_y, other.max_y),
+        )
+
+    def union_bounds(self, other: "Rect") -> "Rect":
+        """The smallest rectangle covering both rectangles."""
+        return Rect(
+            min(self.min_x, other.min_x),
+            min(self.min_y, other.min_y),
+            max(self.max_x, other.max_x),
+            max(self.max_y, other.max_y),
+        )
+
+    def translated(self, dx: float, dy: float) -> "Rect":
+        """Return a copy translated by ``(dx, dy)``."""
+        return Rect(self.min_x + dx, self.min_y + dy, self.max_x + dx, self.max_y + dy)
+
+    def expanded(self, margin: float) -> "Rect":
+        """Return a copy grown by ``margin`` on every side."""
+        return Rect(
+            self.min_x - margin,
+            self.min_y - margin,
+            self.max_x + margin,
+            self.max_y + margin,
+        )
+
+    def clamp_point(self, point: Point) -> Point:
+        """Return the point of the rectangle closest to ``point``."""
+        return Point(
+            min(max(point.x, self.min_x), self.max_x),
+            min(max(point.y, self.min_y), self.max_y),
+        )
+
+    def corners(self) -> Iterator[Point]:
+        """Yield the four corners in counter-clockwise order."""
+        yield Point(self.min_x, self.min_y)
+        yield Point(self.max_x, self.min_y)
+        yield Point(self.max_x, self.max_y)
+        yield Point(self.min_x, self.max_y)
+
+    def as_tuple(self) -> tuple[float, float, float, float]:
+        """Return ``(min_x, min_y, max_x, max_y)``."""
+        return (self.min_x, self.min_y, self.max_x, self.max_y)
+
+
+def rect_from_bottom_left(corner: Point, width: float, height: float) -> Rect:
+    """Build the rectangle of size ``width × height`` with ``corner`` at the bottom-left.
+
+    This is the mapping used by the SURGE → CSPOT reduction: each spatial
+    object becomes a rectangle object whose bottom-left corner is the object
+    location (Section IV-A of the paper).
+    """
+    if width < 0 or height < 0:
+        raise ValueError("width and height must be non-negative")
+    return Rect(corner.x, corner.y, corner.x + width, corner.y + height)
+
+
+def rect_from_top_right(corner: Point, width: float, height: float) -> Rect:
+    """Build the rectangle of size ``width × height`` with ``corner`` at the top-right.
+
+    This is the inverse mapping of Theorem 1: a bursty *point* is the
+    top-right corner of the reported bursty *region*.
+    """
+    if width < 0 or height < 0:
+        raise ValueError("width and height must be non-negative")
+    return Rect(corner.x - width, corner.y - height, corner.x, corner.y)

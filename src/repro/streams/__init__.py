@@ -1,0 +1,42 @@
+"""Stream substrate: spatial objects, window events, and stream sources.
+
+The paper's detectors consume a stream of *events* rather than raw objects:
+whenever a spatial object arrives, the two consecutive sliding windows
+(current ``Wc`` and past ``Wp``) advance, which produces
+
+* one ``NEW`` event for the arriving object,
+* a ``GROWN`` event for every object whose creation time falls out of the
+  current window into the past window, and
+* an ``EXPIRED`` event for every object that leaves the past window.
+
+:class:`~repro.streams.windows.SlidingWindowPair` performs this conversion;
+:mod:`repro.streams.sources` provides stream iterators, merging, and the
+arrival-rate stretching used by the scalability experiment (Figure 8).
+"""
+
+from repro.streams.objects import (
+    EventKind,
+    RectangleObject,
+    SpatialObject,
+    WindowEvent,
+)
+from repro.streams.windows import SlidingWindowPair, WindowState
+from repro.streams.sources import (
+    ListSource,
+    merge_streams,
+    stretch_to_rate,
+    stretch_to_duration,
+)
+
+__all__ = [
+    "EventKind",
+    "RectangleObject",
+    "SpatialObject",
+    "WindowEvent",
+    "SlidingWindowPair",
+    "WindowState",
+    "ListSource",
+    "merge_streams",
+    "stretch_to_rate",
+    "stretch_to_duration",
+]

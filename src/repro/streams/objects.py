@@ -1,0 +1,148 @@
+"""Core stream data types: spatial objects, rectangle objects, window events.
+
+Terminology follows Section III of the paper:
+
+* a **spatial object** ``o = ⟨w, ρ, tc⟩`` carries a weight, a location and a
+  creation time; optional free-form attributes (e.g. keywords) support the
+  case-study workloads;
+* a **rectangle object** ``g = ⟨w, ρ, tc⟩`` is the ``a × b`` rectangle whose
+  bottom-left corner is the spatial object's location — the unit the CSPOT
+  detectors operate on (Definition 3);
+* a **window event** records an object entering the current window
+  (``NEW``), moving from the current to the past window (``GROWN``), or
+  leaving the past window (``EXPIRED``) — Section IV-C.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.geometry.primitives import Point, Rect, rect_from_bottom_left
+
+
+@dataclass(frozen=True, slots=True)
+class SpatialObject:
+    """A weighted, timestamped point object from the stream.
+
+    Parameters
+    ----------
+    x, y:
+        Location of the object (longitude / latitude or any planar frame).
+    timestamp:
+        Creation time ``tc`` in seconds (any monotone unit works as long as
+        window lengths use the same unit).
+    weight:
+        Non-negative weight ``w``; e.g. relevance of a tweet or number of
+        passengers of a trip request.
+    object_id:
+        Stable identifier; events referring to the same object share it.
+    attributes:
+        Optional application payload (keywords, category, ...) used by the
+        case-study workloads and ignored by the detectors.
+    """
+
+    x: float
+    y: float
+    timestamp: float
+    weight: float = 1.0
+    object_id: int = -1
+    attributes: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.weight < 0:
+            raise ValueError(f"object weight must be non-negative, got {self.weight}")
+
+    @property
+    def location(self) -> Point:
+        """The object location as a :class:`~repro.geometry.Point`."""
+        return Point(self.x, self.y)
+
+    def to_rectangle(self, width: float, height: float) -> "RectangleObject":
+        """Map this spatial object to its rectangle object (Section IV-A).
+
+        The rectangle has size ``width × height`` and its bottom-left corner
+        at the object location; weight and creation time carry over.
+        """
+        return RectangleObject(
+            x=self.x,
+            y=self.y,
+            width=width,
+            height=height,
+            timestamp=self.timestamp,
+            weight=self.weight,
+            object_id=self.object_id,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class RectangleObject:
+    """The rectangle object generated from a spatial object (Definition 3)."""
+
+    x: float
+    y: float
+    width: float
+    height: float
+    timestamp: float
+    weight: float = 1.0
+    object_id: int = -1
+
+    @property
+    def rect(self) -> Rect:
+        """The geometric extent of the rectangle object."""
+        return rect_from_bottom_left(Point(self.x, self.y), self.width, self.height)
+
+    @property
+    def location(self) -> Point:
+        """The bottom-left corner (the originating object location)."""
+        return Point(self.x, self.y)
+
+    def covers(self, x: float, y: float) -> bool:
+        """Whether the rectangle covers the point ``(x, y)`` (closed edges)."""
+        return (
+            self.x <= x <= self.x + self.width
+            and self.y <= y <= self.y + self.height
+        )
+
+    def covers_point(self, point: Point) -> bool:
+        """Whether the rectangle covers ``point``."""
+        return self.covers(point.x, point.y)
+
+
+class EventKind(enum.Enum):
+    """The three window-transition events of Section IV-C."""
+
+    #: The object just arrived and entered the current window ``Wc``.
+    NEW = "new"
+    #: The object left the current window and entered the past window ``Wp``.
+    GROWN = "grown"
+    #: The object left the past window and no longer contributes to any score.
+    EXPIRED = "expired"
+
+
+@dataclass(frozen=True, slots=True)
+class WindowEvent:
+    """A window transition for one spatial object.
+
+    ``time`` is the stream time at which the transition is observed (the
+    arrival time of the object that triggered the window advance), which is
+    at least ``obj.timestamp`` for ``NEW`` and strictly later for ``GROWN``
+    and ``EXPIRED`` events.
+    """
+
+    kind: EventKind
+    obj: SpatialObject
+    time: float
+
+    @property
+    def is_new(self) -> bool:
+        return self.kind is EventKind.NEW
+
+    @property
+    def is_grown(self) -> bool:
+        return self.kind is EventKind.GROWN
+
+    @property
+    def is_expired(self) -> bool:
+        return self.kind is EventKind.EXPIRED

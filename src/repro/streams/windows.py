@@ -1,0 +1,177 @@
+"""The two consecutive sliding windows and their event stream.
+
+Section III of the paper defines, at stream time ``t`` and for a window
+length ``|W|``:
+
+* the current window  ``Wc = (t - |W|,  t]``
+* the past window     ``Wp = (t - 2|W|, t - |W|]``
+
+:class:`SlidingWindowPair` ingests spatial objects in timestamp order and
+emits the ``NEW`` / ``GROWN`` / ``EXPIRED`` events that the detectors consume
+(Section IV-C).  It also exposes the exact contents of both windows at any
+point in time via :class:`WindowState`, which the brute-force ground-truth
+algorithms and the approximation-ratio harness rely on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.streams.objects import EventKind, SpatialObject, WindowEvent
+
+
+@dataclass(frozen=True, slots=True)
+class WindowState:
+    """An immutable snapshot of the two sliding windows.
+
+    ``current`` and ``past`` hold the objects whose creation times fall in
+    ``Wc`` and ``Wp`` respectively, ordered by creation time; ``time`` is the
+    stream time of the snapshot and ``window_length`` is ``|W|``.
+    """
+
+    time: float
+    window_length: float
+    current: tuple[SpatialObject, ...]
+    past: tuple[SpatialObject, ...]
+
+    @property
+    def total_objects(self) -> int:
+        """Number of objects alive in either window."""
+        return len(self.current) + len(self.past)
+
+
+class SlidingWindowPair:
+    """Maintains ``Wc`` and ``Wp`` and converts arrivals into window events.
+
+    Parameters
+    ----------
+    window_length:
+        Length ``|W|`` shared by the current and past windows (the paper's
+        default setting; different lengths are supported through
+        ``past_window_length``).
+    past_window_length:
+        Optional distinct length for the past window.
+
+    Notes
+    -----
+    Objects must be observed in non-decreasing timestamp order; the class
+    raises :class:`ValueError` otherwise, because out-of-order arrivals would
+    silently corrupt every detector's incremental state.
+    """
+
+    def __init__(self, window_length: float, past_window_length: float | None = None) -> None:
+        if window_length <= 0:
+            raise ValueError("window_length must be positive")
+        if past_window_length is not None and past_window_length <= 0:
+            raise ValueError("past_window_length must be positive")
+        self.window_length = float(window_length)
+        self.past_window_length = float(
+            past_window_length if past_window_length is not None else window_length
+        )
+        self._current: deque[SpatialObject] = deque()
+        self._past: deque[SpatialObject] = deque()
+        self._time = float("-inf")
+        self._expired_seen = False
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def observe(self, obj: SpatialObject) -> list[WindowEvent]:
+        """Ingest one spatial object and return the resulting window events.
+
+        The returned list contains the ``GROWN`` and ``EXPIRED`` events caused
+        by advancing the stream time to ``obj.timestamp`` (oldest first),
+        followed by the ``NEW`` event for ``obj`` itself.
+        """
+        if obj.timestamp < self._time:
+            raise ValueError(
+                f"out-of-order arrival: object at t={obj.timestamp} after "
+                f"stream time t={self._time}"
+            )
+        events = self.advance_time(obj.timestamp)
+        self._current.append(obj)
+        events.append(WindowEvent(kind=EventKind.NEW, obj=obj, time=obj.timestamp))
+        return events
+
+    def advance_time(self, time: float) -> list[WindowEvent]:
+        """Advance the stream clock to ``time`` without inserting an object.
+
+        Returns the ``GROWN`` and ``EXPIRED`` events triggered by the advance
+        (oldest first).  Useful to flush the windows at the end of a stream or
+        to evaluate the detector state at an arbitrary instant.
+        """
+        if time < self._time:
+            raise ValueError(f"cannot move stream time backwards ({time} < {self._time})")
+        self._time = time
+        events: list[WindowEvent] = []
+        current_cutoff = time - self.window_length
+        past_cutoff = time - self.window_length - self.past_window_length
+
+        # Objects falling out of the past window expire first (they are the
+        # oldest), then objects falling out of the current window grow into
+        # the past window.  Processing in this order keeps both deques sorted.
+        while self._past and self._past[0].timestamp <= past_cutoff:
+            expired = self._past.popleft()
+            self._expired_seen = True
+            events.append(WindowEvent(kind=EventKind.EXPIRED, obj=expired, time=time))
+
+        while self._current and self._current[0].timestamp <= current_cutoff:
+            grown = self._current.popleft()
+            if grown.timestamp <= past_cutoff:
+                # The clock jumped by more than a full window: the object
+                # skips the past window entirely.  Emit both transitions so
+                # detectors see a consistent lifecycle.
+                self._expired_seen = True
+                events.append(WindowEvent(kind=EventKind.GROWN, obj=grown, time=time))
+                events.append(WindowEvent(kind=EventKind.EXPIRED, obj=grown, time=time))
+            else:
+                self._past.append(grown)
+                events.append(WindowEvent(kind=EventKind.GROWN, obj=grown, time=time))
+        return events
+
+    def observe_many(self, objects: Iterable[SpatialObject]) -> Iterator[WindowEvent]:
+        """Ingest a whole stream, yielding events in order."""
+        for obj in objects:
+            yield from self.observe(obj)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def time(self) -> float:
+        """The current stream time (arrival time of the latest object)."""
+        return self._time
+
+    @property
+    def current_window(self) -> Sequence[SpatialObject]:
+        """Objects currently in ``Wc`` (oldest first)."""
+        return tuple(self._current)
+
+    @property
+    def past_window(self) -> Sequence[SpatialObject]:
+        """Objects currently in ``Wp`` (oldest first)."""
+        return tuple(self._past)
+
+    def state(self) -> WindowState:
+        """An immutable snapshot of both windows."""
+        return WindowState(
+            time=self._time,
+            window_length=self.window_length,
+            current=tuple(self._current),
+            past=tuple(self._past),
+        )
+
+    def is_stable(self) -> bool:
+        """Whether the system has reached the paper's "stable" regime.
+
+        The experimental protocol of Section VII starts measuring only once
+        at least one object has expired from the past window, i.e. the
+        stream has been running for longer than ``|Wc| + |Wp|``.
+        """
+        return self._expired_seen
+
+    def __len__(self) -> int:
+        """Total number of objects alive in either window."""
+        return len(self._current) + len(self._past)

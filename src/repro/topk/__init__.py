@@ -1,0 +1,27 @@
+"""Top-k bursty region detection (Section VI of the paper).
+
+The top-k variant reports ``k`` regions under the greedy, object-disjoint
+semantics of Definition 9: the i-th region maximises the burst score computed
+over the objects not covered by the first ``i - 1`` regions.
+
+* :class:`~repro.topk.kccs.CellCSPOTTopK` — exact extension of Cell-CSPOT
+  (Algorithm 4): rectangle levels, per-level candidate reuse.
+* :class:`~repro.topk.kgap.GapSurgeTopK` — GAP-kSURGE (Algorithm 6): the k
+  best grid cells.
+* :class:`~repro.topk.kmgap.MGapSurgeTopK` — MGAP-kSURGE (Algorithm 7): the k
+  best non-overlapping cells across four shifted grids.
+* :func:`~repro.topk.greedy_brute.greedy_top_k_snapshot` — brute-force ground
+  truth used by the tests.
+"""
+
+from repro.topk.kccs import CellCSPOTTopK
+from repro.topk.kgap import GapSurgeTopK
+from repro.topk.kmgap import MGapSurgeTopK
+from repro.topk.greedy_brute import greedy_top_k_snapshot
+
+__all__ = [
+    "CellCSPOTTopK",
+    "GapSurgeTopK",
+    "MGapSurgeTopK",
+    "greedy_top_k_snapshot",
+]

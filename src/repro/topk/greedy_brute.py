@@ -1,0 +1,26 @@
+"""Greedy brute-force top-k ground truth on window snapshots.
+
+A thin wrapper around :func:`repro.core.brute.greedy_top_k_brute_force` that
+works directly on a :class:`~repro.streams.windows.WindowState`, so tests and
+the evaluation harness can validate the streaming top-k detectors at any
+instant of a run.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import RegionResult
+from repro.core.brute import greedy_top_k_brute_force
+from repro.core.query import SurgeQuery
+from repro.streams.windows import WindowState
+
+
+def greedy_top_k_snapshot(
+    state: WindowState, query: SurgeQuery, k: int | None = None
+) -> list[RegionResult]:
+    """Exact greedy top-k bursty regions for a window snapshot (Definition 9)."""
+    return greedy_top_k_brute_force(
+        current=state.current,
+        past=state.past,
+        query=query,
+        k=k,
+    )

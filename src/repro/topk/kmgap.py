@@ -1,0 +1,27 @@
+"""MGAP-kSURGE: top-k extension of the multi-grid approximation (Algorithm 7).
+
+Each of the four shifted grids contributes its top ``4k`` cells (a cell of
+one grid can overlap at most four cells of another, so ``4k`` per grid is
+enough to guarantee k non-overlapping winners exist in the merged pool); the
+merged pool is then scanned greedily, keeping the best cells that do not
+overlap an already-selected one.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import RegionResult
+from repro.core.mgap import MGapSurge
+from repro.core.query import SurgeQuery
+
+
+class MGapSurgeTopK(MGapSurge):
+    """Multi-grid approximate top-k detector (paper's ``kMGAPS``)."""
+
+    name = "kmgaps"
+    exact = False
+
+    def top_k(self, k: int | None = None) -> list[RegionResult]:
+        """The k best pairwise non-overlapping cells across the four grids."""
+        if k is None:
+            k = self.query.k
+        return super().top_k(k)

@@ -1,0 +1,21 @@
+"""Shared fixtures for the SURGE reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.query import SurgeQuery
+
+
+@pytest.fixture
+def small_query() -> SurgeQuery:
+    """A small query used across unit tests: 1×1 regions, 20 s windows."""
+    return SurgeQuery(rect_width=1.0, rect_height=1.0, window_length=20.0, alpha=0.5)
+
+
+@pytest.fixture
+def topk_query() -> SurgeQuery:
+    """A top-3 query variant of :func:`small_query`."""
+    return SurgeQuery(
+        rect_width=1.0, rect_height=1.0, window_length=20.0, alpha=0.5, k=3
+    )

@@ -1,0 +1,65 @@
+"""Shared non-fixture helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+from repro.streams.objects import SpatialObject
+from repro.streams.windows import SlidingWindowPair
+
+#: Relative tolerance for comparing burst scores computed through different
+#: code paths (incremental accumulation vs direct summation).
+SCORE_RTOL = 1e-6
+
+
+def make_objects(
+    count: int,
+    seed: int = 0,
+    extent: float = 8.0,
+    max_weight: float = 10.0,
+    time_step: float = 1.0,
+    integer_weights: bool = False,
+) -> list[SpatialObject]:
+    """A deterministic random stream of spatial objects with increasing timestamps."""
+    rng = random.Random(seed)
+    objects = []
+    for index in range(count):
+        weight = (
+            float(rng.randint(1, int(max_weight)))
+            if integer_weights
+            else rng.uniform(0.5, max_weight)
+        )
+        objects.append(
+            SpatialObject(
+                x=rng.uniform(0.0, extent),
+                y=rng.uniform(0.0, extent),
+                timestamp=index * time_step,
+                weight=weight,
+                object_id=index,
+            )
+        )
+    return objects
+
+
+def feed(detector, objects, window_length, past_window_length=None):
+    """Feed objects through a window pair into a detector; return the window pair."""
+    windows = SlidingWindowPair(window_length, past_window_length)
+    for obj in objects:
+        for event in windows.observe(obj):
+            detector.process(event)
+    return windows
+
+
+def feed_many(detectors, objects, window_length, past_window_length=None):
+    """Feed the same event stream to several detectors; return the window pair."""
+    windows = SlidingWindowPair(window_length, past_window_length)
+    for obj in objects:
+        for event in windows.observe(obj):
+            for detector in detectors:
+                detector.process(event)
+    return windows
+
+
+def scores_close(a: float, b: float, rtol: float = SCORE_RTOL) -> bool:
+    """Whether two burst scores agree up to relative tolerance."""
+    return abs(a - b) <= rtol * max(1.0, abs(a), abs(b))

@@ -1,0 +1,99 @@
+"""Unit tests for the adapted aG2 baseline."""
+
+import pytest
+
+from tests.helpers import feed, make_objects, scores_close
+from repro.baselines.ag2 import AG2Detector, DEFAULT_CELL_SCALE
+from repro.core.cell_cspot import CellCSPOT
+from repro.core.query import SurgeQuery
+from repro.streams.objects import SpatialObject
+from repro.streams.windows import SlidingWindowPair
+
+
+def obj(x, y, timestamp, weight=1.0, object_id=0):
+    return SpatialObject(x=x, y=y, timestamp=timestamp, weight=weight, object_id=object_id)
+
+
+class TestConstruction:
+    def test_default_cell_scale_is_ten(self, small_query):
+        detector = AG2Detector(small_query)
+        assert detector.cell_scale == DEFAULT_CELL_SCALE
+        assert detector.grid.cell_width == pytest.approx(10.0 * small_query.rect_width)
+
+    def test_invalid_scale_rejected(self, small_query):
+        with pytest.raises(ValueError):
+            AG2Detector(small_query, cell_scale=0.5)
+
+    def test_no_objects_no_result(self, small_query):
+        assert AG2Detector(small_query).result() is None
+
+
+class TestOverlapGraph:
+    def test_overlapping_rectangles_become_neighbours(self, small_query):
+        detector = AG2Detector(small_query)
+        feed(
+            detector,
+            [obj(1.0, 1.0, 0.0, 1.0, 0), obj(1.5, 1.5, 0.1, 1.0, 1)],
+            small_query.window_length,
+        )
+        assert detector.total_graph_edges == 2  # one undirected edge stored twice
+
+    def test_disjoint_rectangles_have_no_edges(self, small_query):
+        detector = AG2Detector(small_query)
+        feed(
+            detector,
+            [obj(1.0, 1.0, 0.0, 1.0, 0), obj(7.0, 7.0, 0.1, 1.0, 1)],
+            small_query.window_length,
+        )
+        assert detector.total_graph_edges == 0
+
+    def test_expiration_removes_graph_nodes(self, small_query):
+        detector = AG2Detector(small_query)
+        windows = SlidingWindowPair(small_query.window_length)
+        for spatial in [obj(1.0, 1.0, 0.0, 1.0, 0), obj(1.2, 1.2, 0.1, 1.0, 1)]:
+            for event in windows.observe(spatial):
+                detector.process(event)
+        for event in windows.advance_time(500.0):
+            detector.process(event)
+        assert detector.total_graph_edges == 0
+        assert detector.result() is None
+
+
+class TestExactness:
+    def test_single_object(self, small_query):
+        detector = AG2Detector(small_query)
+        feed(detector, [obj(1.0, 1.0, 0.0, 6.0)], small_query.window_length)
+        assert detector.result().score == pytest.approx(0.3)
+
+    def test_matches_exact_detector_continuously(self, small_query):
+        ag2 = AG2Detector(small_query)
+        ccs = CellCSPOT(small_query)
+        windows = SlidingWindowPair(small_query.window_length)
+        for spatial in make_objects(60, seed=17, extent=5.0):
+            for event in windows.observe(spatial):
+                ag2.process(event)
+                ccs.process(event)
+            assert scores_close(ag2.current_score(), ccs.current_score())
+
+    def test_matches_exact_detector_with_small_cells(self, small_query):
+        ag2 = AG2Detector(small_query, cell_scale=2.0)
+        ccs = CellCSPOT(small_query)
+        windows = SlidingWindowPair(small_query.window_length)
+        for spatial in make_objects(50, seed=18, extent=4.0):
+            for event in windows.observe(spatial):
+                ag2.process(event)
+                ccs.process(event)
+            assert scores_close(ag2.current_score(), ccs.current_score())
+
+    def test_area_filter(self):
+        from repro.geometry.primitives import Rect
+
+        query = SurgeQuery(
+            rect_width=1.0,
+            rect_height=1.0,
+            window_length=10.0,
+            area=Rect(0.0, 0.0, 3.0, 3.0),
+        )
+        detector = AG2Detector(query)
+        feed(detector, [obj(1.0, 1.0, 0.0, 1.0, 0), obj(9.0, 9.0, 0.5, 50.0, 1)], 10.0)
+        assert detector.result().score == pytest.approx(0.1)

@@ -1,0 +1,60 @@
+"""Unit tests for the Base cell baseline (no upper bounds)."""
+
+import pytest
+
+from tests.helpers import feed, make_objects, scores_close
+from repro.baselines.base_cell import BaseCellDetector
+from repro.core.cell_cspot import CellCSPOT
+from repro.core.query import SurgeQuery
+from repro.streams.objects import SpatialObject
+from repro.streams.windows import SlidingWindowPair
+
+
+def obj(x, y, timestamp, weight=1.0, object_id=0):
+    return SpatialObject(x=x, y=y, timestamp=timestamp, weight=weight, object_id=object_id)
+
+
+class TestBaseCellDetector:
+    def test_no_objects_no_result(self, small_query):
+        assert BaseCellDetector(small_query).result() is None
+
+    def test_single_object(self, small_query):
+        detector = BaseCellDetector(small_query)
+        feed(detector, [obj(1.5, 1.5, 0.0, 2.0)], small_query.window_length)
+        assert detector.result().score == pytest.approx(0.1)
+
+    def test_every_accepted_event_triggers_searches(self, small_query):
+        detector = BaseCellDetector(small_query)
+        feed(detector, make_objects(25, seed=2), small_query.window_length)
+        stats = detector.stats
+        assert stats.events_triggering_search == stats.events_processed - stats.events_skipped
+        # Each event touches between one and four (occasionally a few more,
+        # when aligned with grid lines) cells, each of which is swept.
+        assert stats.cells_searched >= stats.events_triggering_search
+
+    def test_searches_more_cells_than_ccs(self, small_query):
+        objects = make_objects(100, seed=3, extent=6.0)
+        base = BaseCellDetector(small_query)
+        ccs = CellCSPOT(small_query)
+        feed(base, objects, small_query.window_length)
+        feed(ccs, objects, small_query.window_length)
+        assert base.stats.cells_searched > ccs.stats.cells_searched
+
+    def test_expiration_cleans_up(self, small_query):
+        detector = BaseCellDetector(small_query)
+        windows = SlidingWindowPair(small_query.window_length)
+        for event in windows.observe(obj(1.0, 1.0, 0.0)):
+            detector.process(event)
+        for event in windows.advance_time(200.0):
+            detector.process(event)
+        assert detector.result() is None
+
+    def test_matches_exact_detector_continuously(self, small_query):
+        base = BaseCellDetector(small_query)
+        ccs = CellCSPOT(small_query)
+        windows = SlidingWindowPair(small_query.window_length)
+        for spatial in make_objects(70, seed=5, extent=5.0):
+            for event in windows.observe(spatial):
+                base.process(event)
+                ccs.process(event)
+            assert scores_close(base.current_score(), ccs.current_score())

@@ -1,0 +1,68 @@
+"""Unit tests for B-CCS (static upper bound only)."""
+
+import pytest
+
+from tests.helpers import feed, make_objects, scores_close
+from repro.baselines.bccs import StaticBoundCellCSPOT
+from repro.core.cell_cspot import CellCSPOT
+from repro.core.query import SurgeQuery
+from repro.streams.objects import SpatialObject
+from repro.streams.windows import SlidingWindowPair
+
+
+def obj(x, y, timestamp, weight=1.0, object_id=0):
+    return SpatialObject(x=x, y=y, timestamp=timestamp, weight=weight, object_id=object_id)
+
+
+class TestStaticBoundDetector:
+    def test_no_objects_no_result(self, small_query):
+        assert StaticBoundCellCSPOT(small_query).result() is None
+
+    def test_single_object(self, small_query):
+        detector = StaticBoundCellCSPOT(small_query)
+        feed(detector, [obj(1.0, 1.0, 0.0, 5.0)], small_query.window_length)
+        assert detector.result().score == pytest.approx(0.25)
+
+    def test_expiration_cleans_up(self, small_query):
+        detector = StaticBoundCellCSPOT(small_query)
+        windows = SlidingWindowPair(small_query.window_length)
+        for event in windows.observe(obj(1.0, 1.0, 0.0)):
+            detector.process(event)
+        for event in windows.advance_time(300.0):
+            detector.process(event)
+        assert detector.result() is None
+
+    def test_matches_exact_detector_continuously(self, small_query):
+        bccs = StaticBoundCellCSPOT(small_query)
+        ccs = CellCSPOT(small_query)
+        windows = SlidingWindowPair(small_query.window_length)
+        for spatial in make_objects(80, seed=11, extent=5.0):
+            for event in windows.observe(spatial):
+                bccs.process(event)
+                ccs.process(event)
+            assert scores_close(bccs.current_score(), ccs.current_score())
+
+    def test_triggers_more_searches_than_ccs(self, small_query):
+        """The Table II effect: the loose static bound forces more searches."""
+        objects = make_objects(150, seed=12, extent=4.0, max_weight=100.0)
+        bccs = StaticBoundCellCSPOT(small_query)
+        ccs = CellCSPOT(small_query)
+        feed(bccs, objects, small_query.window_length)
+        feed(ccs, objects, small_query.window_length)
+        assert bccs.stats.events_triggering_search >= ccs.stats.events_triggering_search
+        assert bccs.stats.search_trigger_ratio >= ccs.stats.search_trigger_ratio
+
+    def test_far_low_weight_objects_do_not_trigger_searches(self, small_query):
+        detector = StaticBoundCellCSPOT(small_query)
+        windows = SlidingWindowPair(small_query.window_length)
+        # A heavy cluster establishes a high incumbent.
+        for index in range(5):
+            for event in windows.observe(obj(0.2, 0.2, index * 0.1, 100.0, index)):
+                detector.process(event)
+        searches = detector.stats.cells_searched
+        # Tiny objects far away have static bounds far below the incumbent.
+        for index in range(5, 20):
+            spatial = obj(40.0 + index, 40.0, 1.0 + index * 0.01, 0.01, index)
+            for event in windows.observe(spatial):
+                detector.process(event)
+        assert detector.stats.cells_searched == searches

@@ -1,0 +1,71 @@
+"""Unit tests for the naive full-sweep baseline."""
+
+import pytest
+
+from tests.helpers import feed, feed_many, make_objects, scores_close
+from repro.baselines.naive import NaiveSweepDetector
+from repro.core.cell_cspot import CellCSPOT
+from repro.core.query import SurgeQuery
+from repro.geometry.primitives import Rect
+from repro.streams.objects import SpatialObject
+from repro.streams.windows import SlidingWindowPair
+
+
+def obj(x, y, timestamp, weight=1.0, object_id=0):
+    return SpatialObject(x=x, y=y, timestamp=timestamp, weight=weight, object_id=object_id)
+
+
+class TestNaiveDetector:
+    def test_no_objects_no_result(self, small_query):
+        assert NaiveSweepDetector(small_query).result() is None
+
+    def test_single_object(self, small_query):
+        detector = NaiveSweepDetector(small_query)
+        feed(detector, [obj(1.0, 1.0, 0.0, 4.0)], small_query.window_length)
+        assert detector.result().score == pytest.approx(0.2)
+
+    def test_every_event_triggers_a_sweep(self, small_query):
+        detector = NaiveSweepDetector(small_query)
+        feed(detector, make_objects(20, seed=1), small_query.window_length)
+        assert detector.stats.sweepline_calls == detector.stats.events_processed
+        assert detector.stats.events_triggering_search == detector.stats.events_processed
+
+    def test_area_filter(self):
+        query = SurgeQuery(
+            rect_width=1.0,
+            rect_height=1.0,
+            window_length=10.0,
+            area=Rect(0.0, 0.0, 2.0, 2.0),
+        )
+        detector = NaiveSweepDetector(query)
+        feed(detector, [obj(1.0, 1.0, 0.0, 1.0, 0), obj(8.0, 8.0, 1.0, 9.0, 1)], 10.0)
+        assert detector.result().score == pytest.approx(0.1)
+
+    def test_objects_expire(self, small_query):
+        detector = NaiveSweepDetector(small_query)
+        windows = SlidingWindowPair(small_query.window_length)
+        for event in windows.observe(obj(1.0, 1.0, 0.0)):
+            detector.process(event)
+        for event in windows.advance_time(500.0):
+            detector.process(event)
+        assert detector.result() is None
+
+    def test_grown_objects_keep_geometry_but_change_window(self, small_query):
+        detector = NaiveSweepDetector(small_query)
+        windows = SlidingWindowPair(small_query.window_length)
+        for event in windows.observe(obj(1.0, 1.0, 0.0, 4.0)):
+            detector.process(event)
+        for event in windows.advance_time(25.0):
+            detector.process(event)
+        # Object now only in the past window: burst score is 0 everywhere.
+        assert detector.result().score == pytest.approx(0.0)
+
+    def test_agrees_with_cell_cspot(self, small_query):
+        naive = NaiveSweepDetector(small_query)
+        ccs = CellCSPOT(small_query)
+        windows = SlidingWindowPair(small_query.window_length)
+        for spatial in make_objects(50, seed=7, extent=5.0):
+            for event in windows.observe(spatial):
+                naive.process(event)
+                ccs.process(event)
+            assert scores_close(naive.current_score(), ccs.current_score())

@@ -1,0 +1,151 @@
+"""White-box invariant checks on Cell-CSPOT's per-cell state during a stream.
+
+These tests re-derive, after every event of a random stream, the quantities
+the detector maintains incrementally and check the invariants its pruning
+logic relies on (Lemmas 2-4 and the Ud-tracks-candidate-score property).
+They complement the black-box exactness tests by pinpointing *which* piece of
+bookkeeping broke if a regression is introduced.
+"""
+
+import pytest
+
+from tests.helpers import make_objects
+from repro.core.burst import burst_score
+from repro.core.cell_cspot import CellCSPOT
+from repro.core.query import SurgeQuery
+from repro.core.sweepline import LabeledRect, sweep_bursty_point
+from repro.streams.windows import SlidingWindowPair
+
+
+def cell_true_maximum(detector, cell):
+    """The true maximum burst score inside a cell, recomputed from scratch."""
+    labeled = [
+        LabeledRect(
+            record.rect.x,
+            record.rect.y,
+            record.rect.x + record.rect.width,
+            record.rect.y + record.rect.height,
+            record.rect.weight,
+            record.in_current,
+        )
+        for record in cell.records.values()
+    ]
+    outcome = sweep_bursty_point(
+        labeled,
+        alpha=detector.query.alpha,
+        current_length=detector.query.current_length,
+        past_length=detector.query.past_length,
+        bounds=cell.bounds,
+    )
+    return 0.0 if outcome is None else outcome.score
+
+
+@pytest.fixture
+def detector_and_windows():
+    query = SurgeQuery(rect_width=1.1, rect_height=0.9, window_length=12.0, alpha=0.6)
+    return CellCSPOT(query), SlidingWindowPair(query.window_length)
+
+
+class TestPerCellInvariants:
+    def _run_checking(self, detector, windows, objects, check):
+        for index, obj in enumerate(objects):
+            for event in windows.observe(obj):
+                detector.process(event)
+            if index % 4 == 0:
+                for key, cell in detector.cells.items():
+                    check(detector, key, cell)
+
+    def test_static_bound_dominates_cell_maximum(self, detector_and_windows):
+        """Lemma 2: Us(c) is an upper bound on every point's score in c."""
+        detector, windows = detector_and_windows
+
+        def check(det, key, cell):
+            true_max = cell_true_maximum(det, cell)
+            assert cell.static_bound >= true_max - 1e-6 * max(1.0, true_max), key
+
+        self._run_checking(detector, windows, make_objects(60, seed=51, extent=5.0), check)
+
+    def test_dynamic_bound_dominates_cell_maximum(self, detector_and_windows):
+        """Lemma 3: Ud(c), maintained through Equation 3, stays an upper bound."""
+        detector, windows = detector_and_windows
+
+        def check(det, key, cell):
+            true_max = cell_true_maximum(det, cell)
+            assert cell.dynamic_bound >= true_max - 1e-6 * max(1.0, true_max), key
+
+        self._run_checking(detector, windows, make_objects(60, seed=52, extent=5.0), check)
+
+    def test_valid_candidate_is_the_cell_maximum(self, detector_and_windows):
+        """Lemma 4: a candidate kept valid across events equals the cell max."""
+        detector, windows = detector_and_windows
+
+        def check(det, key, cell):
+            if not cell.has_valid_candidate():
+                return
+            true_max = cell_true_maximum(det, cell)
+            assert cell.candidate.score == pytest.approx(true_max, rel=1e-6, abs=1e-9), key
+
+        self._run_checking(detector, windows, make_objects(70, seed=53, extent=5.0), check)
+
+    def test_dynamic_bound_tracks_valid_candidate_score(self, detector_and_windows):
+        """The invariant the early-termination argument relies on."""
+        detector, windows = detector_and_windows
+
+        def check(det, key, cell):
+            if not cell.has_valid_candidate():
+                return
+            assert cell.dynamic_bound == pytest.approx(
+                cell.candidate.score, rel=1e-9, abs=1e-12
+            ), key
+
+        self._run_checking(detector, windows, make_objects(70, seed=54, extent=5.0), check)
+
+    def test_candidate_window_scores_match_recount(self, detector_and_windows):
+        """A valid candidate's stored (fc, fp) equal a from-scratch recount."""
+        detector, windows = detector_and_windows
+
+        def check(det, key, cell):
+            if not cell.has_valid_candidate():
+                return
+            point = cell.candidate.point
+            fc = sum(
+                record.rect.weight
+                for record in cell.records.values()
+                if record.in_current and record.rect.covers(point.x, point.y)
+            ) / det.query.current_length
+            fp = sum(
+                record.rect.weight
+                for record in cell.records.values()
+                if not record.in_current and record.rect.covers(point.x, point.y)
+            ) / det.query.past_length
+            assert cell.candidate.fc == pytest.approx(fc, rel=1e-6, abs=1e-9)
+            assert cell.candidate.fp == pytest.approx(fp, rel=1e-6, abs=1e-9)
+            assert cell.candidate.score == pytest.approx(
+                burst_score(fc, fp, det.query.alpha), rel=1e-6, abs=1e-9
+            )
+
+        self._run_checking(detector, windows, make_objects(70, seed=55, extent=5.0), check)
+
+    def test_cell_membership_matches_geometry(self, detector_and_windows):
+        """Every stored rectangle genuinely overlaps its cell, and vice versa."""
+        detector, windows = detector_and_windows
+
+        def check(det, key, cell):
+            for record in cell.records.values():
+                assert record.rect.rect.intersects(cell.bounds)
+
+        self._run_checking(detector, windows, make_objects(60, seed=56, extent=5.0), check)
+
+    def test_global_result_is_max_over_cells(self, detector_and_windows):
+        """The reported score equals the maximum true cell score."""
+        detector, windows = detector_and_windows
+        for index, obj in enumerate(make_objects(60, seed=57, extent=5.0)):
+            for event in windows.observe(obj):
+                detector.process(event)
+            if index % 5:
+                continue
+            true_best = max(
+                (cell_true_maximum(detector, cell) for cell in detector.cells.values()),
+                default=0.0,
+            )
+            assert detector.current_score() == pytest.approx(true_best, rel=1e-6, abs=1e-9)

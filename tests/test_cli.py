@@ -1,0 +1,130 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.datasets.io import load_stream
+
+
+class TestGenerateCommand:
+    def test_generate_csv(self, tmp_path, capsys):
+        out = tmp_path / "taxi.csv"
+        code = main(
+            ["generate", "--profile", "taxi", "--objects", "200", "--out", str(out)]
+        )
+        assert code == 0
+        assert out.exists()
+        stream = load_stream(out)
+        assert len(stream) >= 200
+        captured = capsys.readouterr()
+        assert "wrote" in captured.out
+
+    def test_generate_jsonl_without_bursts(self, tmp_path):
+        out = tmp_path / "uk.jsonl"
+        code = main(
+            [
+                "generate",
+                "--profile",
+                "uk",
+                "--objects",
+                "150",
+                "--no-bursts",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert len(load_stream(out)) == 150
+
+    def test_generate_rejects_unknown_extension(self, tmp_path, capsys):
+        out = tmp_path / "stream.xyz"
+        code = main(["generate", "--objects", "10", "--out", str(out)])
+        assert code == 1
+        assert "must end in" in capsys.readouterr().err
+
+    def test_generate_unknown_profile_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["generate", "--profile", "mars", "--out", str(tmp_path / "x.csv")])
+
+
+class TestRunCommand:
+    def _make_stream(self, tmp_path):
+        out = tmp_path / "stream.csv"
+        assert (
+            main(
+                [
+                    "generate",
+                    "--profile",
+                    "taxi",
+                    "--objects",
+                    "300",
+                    "--no-bursts",
+                    "--out",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        return out
+
+    def test_run_prints_reports(self, tmp_path, capsys):
+        stream_path = self._make_stream(tmp_path)
+        capsys.readouterr()
+        code = main(
+            [
+                "run",
+                str(stream_path),
+                "--algorithm",
+                "gaps",
+                "--rect",
+                "0.01",
+                "0.01",
+                "--window",
+                "300",
+                "--report-every",
+                "100",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "score=" in captured.out
+        assert "events" in captured.err
+
+    def test_run_top_k(self, tmp_path, capsys):
+        stream_path = self._make_stream(tmp_path)
+        capsys.readouterr()
+        code = main(
+            [
+                "run",
+                str(stream_path),
+                "--algorithm",
+                "kgaps",
+                "--rect",
+                "0.01",
+                "0.01",
+                "--window",
+                "300",
+                "--k",
+                "3",
+                "--report-every",
+                "150",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # The final report lists up to three regions separated by semicolons.
+        assert out.strip().splitlines()[-1].count("score=") >= 1
+
+    def test_run_empty_stream_fails(self, tmp_path, capsys):
+        empty = tmp_path / "empty.csv"
+        empty.write_text("timestamp,x,y\n")
+        code = main(
+            ["run", str(empty), "--rect", "1", "1", "--window", "10"]
+        )
+        assert code == 1
+        assert "empty" in capsys.readouterr().err
+
+    def test_run_requires_rect_and_window(self, tmp_path):
+        stream_path = self._make_stream(tmp_path)
+        with pytest.raises(SystemExit):
+            main(["run", str(stream_path)])

@@ -1,0 +1,144 @@
+"""Unit tests for the brute-force ground-truth algorithms."""
+
+import pytest
+
+from repro.core.brute import (
+    best_region_brute_force,
+    greedy_top_k_brute_force,
+    score_of_region,
+)
+from repro.core.query import SurgeQuery
+from repro.geometry.primitives import Rect
+from repro.streams.objects import SpatialObject
+
+
+def obj(x, y, weight=1.0, object_id=0):
+    return SpatialObject(x=x, y=y, timestamp=0.0, weight=weight, object_id=object_id)
+
+
+@pytest.fixture
+def unit_query():
+    return SurgeQuery(rect_width=1.0, rect_height=1.0, window_length=1.0, alpha=0.5)
+
+
+class TestScoreOfRegion:
+    def test_counts_objects_inside_each_window(self, unit_query):
+        region = Rect(0.0, 0.0, 1.0, 1.0)
+        current = [obj(0.5, 0.5, 2.0), obj(5.0, 5.0, 9.0)]
+        past = [obj(0.9, 0.9, 1.0)]
+        score, fc, fp = score_of_region(region, current, past, unit_query)
+        assert fc == pytest.approx(2.0)
+        assert fp == pytest.approx(1.0)
+        assert score == pytest.approx(0.5 * 1.0 + 0.5 * 2.0)
+
+    def test_normalises_by_window_lengths(self):
+        query = SurgeQuery(rect_width=1.0, rect_height=1.0, window_length=4.0, alpha=0.0)
+        region = Rect(0.0, 0.0, 1.0, 1.0)
+        score, fc, fp = score_of_region(region, [obj(0.5, 0.5, 8.0)], [], query)
+        assert fc == pytest.approx(2.0)
+        assert score == pytest.approx(2.0)
+
+    def test_closed_region_boundaries(self, unit_query):
+        region = Rect(0.0, 0.0, 1.0, 1.0)
+        score, fc, _ = score_of_region(region, [obj(1.0, 1.0, 3.0)], [], unit_query)
+        assert fc == pytest.approx(3.0)
+
+
+class TestBestRegion:
+    def test_empty_snapshot(self, unit_query):
+        assert best_region_brute_force([], [], unit_query) is None
+
+    def test_single_object(self, unit_query):
+        best = best_region_brute_force([obj(2.0, 3.0, 4.0)], [], unit_query)
+        assert best.score == pytest.approx(4.0)
+        assert best.region.contains_xy(2.0, 3.0)
+
+    def test_cluster_beats_isolated_heavy_object(self, unit_query):
+        current = [obj(0.0, 0.0, 2.0), obj(0.2, 0.2, 2.0), obj(0.4, 0.4, 2.0), obj(9.0, 9.0, 5.0)]
+        best = best_region_brute_force(current, [], unit_query)
+        assert best.score == pytest.approx(6.0)
+        for point in [(0.0, 0.0), (0.2, 0.2), (0.4, 0.4)]:
+            assert best.region.contains_xy(*point)
+
+    def test_past_object_at_same_location_reduces_the_score(self, unit_query):
+        current = [obj(0.0, 0.0, 2.0)]
+        past = [obj(0.0, 0.0, 2.0)]
+        best = best_region_brute_force(current, past, unit_query)
+        # Every region containing the current object also contains the past
+        # one (identical location), so S = 0.5*0 + 0.5*2 = 1.
+        assert best.score == pytest.approx(1.0)
+
+    def test_nearby_past_object_can_be_excluded_by_placement(self, unit_query):
+        current = [obj(0.0, 0.0, 2.0)]
+        past = [obj(0.1, 0.1, 2.0)]
+        best = best_region_brute_force(current, past, unit_query)
+        # A region whose top-right corner is just below (0.1, 0.1) contains
+        # the current object but not the past one, so the full score survives.
+        assert best.score == pytest.approx(2.0)
+        assert best.region.contains_xy(0.0, 0.0)
+        assert not best.region.contains_xy(0.1, 0.1)
+
+    def test_region_has_requested_size(self):
+        query = SurgeQuery(rect_width=2.0, rect_height=0.5, window_length=1.0)
+        best = best_region_brute_force([obj(1.0, 1.0)], [], query)
+        assert best.region.width == pytest.approx(2.0)
+        assert best.region.height == pytest.approx(0.5)
+
+    def test_preferred_area_filters_objects(self):
+        area = Rect(0.0, 0.0, 1.0, 1.0)
+        query = SurgeQuery(
+            rect_width=1.0, rect_height=1.0, window_length=1.0, alpha=0.5, area=area
+        )
+        current = [obj(0.5, 0.5, 1.0), obj(5.0, 5.0, 100.0)]
+        best = best_region_brute_force(current, [], query)
+        assert best.score == pytest.approx(1.0)
+
+    def test_four_corner_cluster_with_surrounding_past_objects(self):
+        # Inspired by Lemma 7's tight example: four current objects around the
+        # junction of four cells, with one past object at each cell centre.
+        # Every 2x2 region containing all four current objects necessarily
+        # contains exactly one of the past objects, so the optimum is
+        # 0.5*(4-1) + 0.5*4 = 3.5.
+        query = SurgeQuery(rect_width=2.0, rect_height=2.0, window_length=1.0, alpha=0.5)
+        eps = 0.2
+        current = [
+            obj(2.0 - eps, 2.0 - eps),
+            obj(2.0 + eps, 2.0 - eps),
+            obj(2.0 - eps, 2.0 + eps),
+            obj(2.0 + eps, 2.0 + eps),
+        ]
+        past = [obj(1.0, 1.0), obj(3.0, 1.0), obj(1.0, 3.0), obj(3.0, 3.0)]
+        best = best_region_brute_force(current, past, query)
+        assert best.score == pytest.approx(3.5)
+
+
+class TestGreedyTopK:
+    def test_two_separated_clusters(self, unit_query):
+        cluster_a = [obj(0.0, 0.0, 3.0, 1), obj(0.2, 0.2, 3.0, 2)]
+        cluster_b = [obj(5.0, 5.0, 2.0, 3), obj(5.2, 5.2, 2.0, 4)]
+        results = greedy_top_k_brute_force(cluster_a + cluster_b, [], unit_query, k=2)
+        assert len(results) == 2
+        assert results[0].score == pytest.approx(6.0)
+        assert results[1].score == pytest.approx(4.0)
+
+    def test_objects_are_not_double_counted(self, unit_query):
+        # A single tight cluster: the second region must not reuse its objects.
+        cluster = [obj(0.0, 0.0, 5.0, 1), obj(0.1, 0.1, 5.0, 2)]
+        results = greedy_top_k_brute_force(cluster, [], unit_query, k=2)
+        assert results[0].score == pytest.approx(10.0)
+        assert len(results) == 1 or results[1].score == pytest.approx(0.0)
+
+    def test_k_defaults_to_query_k(self):
+        query = SurgeQuery(rect_width=1.0, rect_height=1.0, window_length=1.0, k=2)
+        objects = [obj(0.0, 0.0, 1.0, 1), obj(5.0, 5.0, 1.0, 2)]
+        results = greedy_top_k_brute_force(objects, [], query)
+        assert len(results) == 2
+
+    def test_scores_are_non_increasing(self, unit_query):
+        objects = [obj(float(i % 5), float(i // 5), 1.0 + i * 0.1, i) for i in range(20)]
+        results = greedy_top_k_brute_force(objects, [], unit_query, k=4)
+        scores = [result.score for result in results]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_empty_snapshot_returns_nothing(self, unit_query):
+        assert greedy_top_k_brute_force([], [], unit_query, k=3) == []

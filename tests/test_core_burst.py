@@ -1,0 +1,115 @@
+"""Unit tests for the burst score function and the window accumulator."""
+
+import pytest
+
+from repro.core.burst import (
+    WindowAccumulator,
+    burst_score,
+    score_of_weights,
+    validate_alpha,
+    window_score,
+)
+
+
+class TestBurstScore:
+    def test_definition_when_increasing(self):
+        # S = alpha*(fc - fp) + (1 - alpha)*fc when fc > fp.
+        assert burst_score(4.0, 1.0, 0.5) == pytest.approx(0.5 * 3.0 + 0.5 * 4.0)
+
+    def test_definition_when_decreasing(self):
+        # The burstiness term is clamped at zero when fc < fp.
+        assert burst_score(1.0, 4.0, 0.5) == pytest.approx(0.5 * 1.0)
+
+    def test_alpha_zero_is_pure_significance(self):
+        assert burst_score(3.0, 100.0, 0.0) == pytest.approx(3.0)
+
+    def test_alpha_near_one_is_mostly_burstiness(self):
+        assert burst_score(3.0, 3.0, 0.99) == pytest.approx(0.01 * 3.0)
+
+    def test_score_is_non_negative(self):
+        assert burst_score(0.0, 5.0, 0.7) == 0.0
+
+    def test_paper_example_three_unit_objects(self):
+        # Example 3 of the paper: three unit-weight objects in Wc, |Wc| = 1,
+        # empty past window -> burst score 3 regardless of alpha.
+        assert burst_score(3.0, 0.0, 0.5) == pytest.approx(3.0)
+        assert burst_score(3.0, 0.0, 0.9) == pytest.approx(3.0)
+
+    def test_validate_alpha(self):
+        assert validate_alpha(0.0) == 0.0
+        assert validate_alpha(0.999) == 0.999
+        with pytest.raises(ValueError):
+            validate_alpha(1.0)
+        with pytest.raises(ValueError):
+            validate_alpha(-0.1)
+
+    def test_window_score(self):
+        assert window_score(10.0, 5.0) == 2.0
+        with pytest.raises(ValueError):
+            window_score(10.0, 0.0)
+
+    def test_score_of_weights(self):
+        assert score_of_weights(10.0, 5.0, 2.0, 2.0, 0.5) == pytest.approx(
+            0.5 * (5.0 - 2.5) + 0.5 * 5.0
+        )
+
+
+class TestWindowAccumulator:
+    def test_starts_empty(self):
+        acc = WindowAccumulator()
+        assert acc.is_empty
+        assert acc.score(0.5) == 0.0
+
+    def test_new_event_increases_current_score(self):
+        acc = WindowAccumulator()
+        acc.apply_new(weight=6.0, current_length=2.0)
+        assert acc.fc == pytest.approx(3.0)
+        assert acc.count_current == 1
+        assert not acc.is_empty
+
+    def test_grown_event_moves_mass_to_past(self):
+        acc = WindowAccumulator()
+        acc.apply_new(6.0, current_length=2.0)
+        acc.apply_grown(6.0, current_length=2.0, past_length=3.0)
+        assert acc.fc == pytest.approx(0.0)
+        assert acc.fp == pytest.approx(2.0)
+        assert acc.count_current == 0
+        assert acc.count_past == 1
+
+    def test_expired_event_removes_past_mass(self):
+        acc = WindowAccumulator()
+        acc.apply_new(6.0, 2.0)
+        acc.apply_grown(6.0, 2.0, 2.0)
+        acc.apply_expired(6.0, 2.0)
+        assert acc.is_empty
+        assert acc.fc == pytest.approx(0.0)
+        assert acc.fp == pytest.approx(0.0)
+
+    def test_score_matches_direct_formula(self):
+        acc = WindowAccumulator()
+        acc.apply_new(4.0, 2.0)
+        acc.apply_new(2.0, 2.0)
+        acc.apply_grown(4.0, 2.0, 2.0)
+        expected = burst_score(acc.fc, acc.fp, 0.3)
+        assert acc.score(0.3) == pytest.approx(expected)
+
+    def test_copy_is_detached(self):
+        acc = WindowAccumulator()
+        acc.apply_new(1.0, 1.0)
+        clone = acc.copy()
+        acc.apply_new(1.0, 1.0)
+        assert clone.fc == pytest.approx(1.0)
+        assert acc.fc == pytest.approx(2.0)
+
+    def test_full_lifecycle_returns_to_zero(self):
+        acc = WindowAccumulator()
+        weights = [3.0, 7.0, 1.5]
+        for w in weights:
+            acc.apply_new(w, 4.0)
+        for w in weights:
+            acc.apply_grown(w, 4.0, 4.0)
+        for w in weights:
+            acc.apply_expired(w, 4.0)
+        assert acc.is_empty
+        assert acc.fc == pytest.approx(0.0, abs=1e-12)
+        assert acc.fp == pytest.approx(0.0, abs=1e-12)

@@ -1,0 +1,167 @@
+"""Unit and behavioural tests for the exact Cell-CSPOT detector."""
+
+import pytest
+
+from tests.helpers import feed, make_objects, scores_close
+from repro.core.brute import best_region_brute_force
+from repro.core.cell_cspot import CellCSPOT
+from repro.core.query import SurgeQuery
+from repro.geometry.primitives import Rect
+from repro.streams.objects import SpatialObject
+from repro.streams.windows import SlidingWindowPair
+
+
+def obj(x, y, timestamp, weight=1.0, object_id=0):
+    return SpatialObject(x=x, y=y, timestamp=timestamp, weight=weight, object_id=object_id)
+
+
+class TestBasicDetection:
+    def test_no_objects_no_result(self, small_query):
+        detector = CellCSPOT(small_query)
+        assert detector.result() is None
+        assert detector.current_score() == 0.0
+
+    def test_single_object(self, small_query):
+        detector = CellCSPOT(small_query)
+        feed(detector, [obj(2.0, 3.0, 0.0, weight=4.0)], small_query.window_length)
+        result = detector.result()
+        assert result is not None
+        assert result.score == pytest.approx(4.0 / small_query.window_length)
+        assert result.region.contains_xy(2.0, 3.0)
+
+    def test_result_region_has_query_size(self, small_query):
+        detector = CellCSPOT(small_query)
+        feed(detector, [obj(1.0, 1.0, 0.0)], small_query.window_length)
+        region = detector.result().region
+        assert region.width == pytest.approx(small_query.rect_width)
+        assert region.height == pytest.approx(small_query.rect_height)
+
+    def test_cluster_detected_over_scattered_objects(self, small_query):
+        objects = [
+            obj(0.1, 0.1, 0.0, 1.0, 0),
+            obj(0.3, 0.3, 1.0, 1.0, 1),
+            obj(0.5, 0.5, 2.0, 1.0, 2),
+            obj(7.0, 7.0, 3.0, 1.0, 3),
+        ]
+        detector = CellCSPOT(small_query)
+        feed(detector, objects, small_query.window_length)
+        result = detector.result()
+        assert result.score == pytest.approx(3.0 / small_query.window_length)
+        for i in range(3):
+            assert result.region.contains_xy(objects[i].x, objects[i].y)
+
+    def test_objects_outside_preferred_area_are_ignored(self):
+        query = SurgeQuery(
+            rect_width=1.0,
+            rect_height=1.0,
+            window_length=10.0,
+            alpha=0.5,
+            area=Rect(0.0, 0.0, 5.0, 5.0),
+        )
+        detector = CellCSPOT(query)
+        feed(
+            detector,
+            [obj(2.0, 2.0, 0.0, 1.0, 0), obj(9.0, 9.0, 1.0, 100.0, 1)],
+            query.window_length,
+        )
+        assert detector.result().score == pytest.approx(0.1)
+        assert detector.stats.events_skipped == 1
+
+    def test_expired_objects_free_their_cells(self, small_query):
+        detector = CellCSPOT(small_query)
+        objects = [obj(1.0, 1.0, 0.0, 1.0, 0), obj(1.0, 1.0, 100.0, 1.0, 1)]
+        feed(detector, objects, small_query.window_length)
+        # The first object expired long ago; only the second remains.
+        assert detector.live_cell_count >= 1
+        assert detector.result().score == pytest.approx(1.0 / small_query.window_length)
+
+    def test_empty_after_everything_expires(self, small_query):
+        detector = CellCSPOT(small_query)
+        windows = SlidingWindowPair(small_query.window_length)
+        for event in windows.observe(obj(1.0, 1.0, 0.0, 1.0, 0)):
+            detector.process(event)
+        for event in windows.advance_time(1_000.0):
+            detector.process(event)
+        assert detector.result() is None
+        assert detector.live_cell_count == 0
+
+
+class TestLazyUpdateMachinery:
+    def test_far_away_events_do_not_trigger_searches(self, small_query):
+        detector = CellCSPOT(small_query)
+        windows = SlidingWindowPair(small_query.window_length)
+        # Establish a strong cluster near the origin.
+        for index in range(5):
+            for event in windows.observe(obj(0.2, 0.2, index * 0.1, 10.0, index)):
+                detector.process(event)
+        searches_after_cluster = detector.stats.cells_searched
+        # Light objects far away cannot beat the cluster: their cells' upper
+        # bounds stay below the incumbent, so no search should be triggered.
+        for index in range(5, 25):
+            x = 50.0 + (index % 5) * 3.0
+            y = 50.0 + (index // 5) * 3.0
+            for event in windows.observe(obj(x, y, 0.5 + index * 0.01, 0.1, index)):
+                detector.process(event)
+        assert detector.stats.cells_searched == searches_after_cluster
+
+    def test_search_trigger_ratio_is_small_on_skewed_streams(self, small_query):
+        detector = CellCSPOT(small_query)
+        objects = []
+        for index in range(120):
+            if index % 10 == 0:
+                objects.append(obj(0.5, 0.5, index * 0.1, 50.0, index))
+            else:
+                objects.append(
+                    obj(5.0 + (index % 7), 5.0 + (index % 5), index * 0.1, 1.0, index)
+                )
+        feed(detector, objects, small_query.window_length)
+        assert detector.stats.search_trigger_ratio < 0.5
+
+    def test_stats_count_events(self, small_query):
+        detector = CellCSPOT(small_query)
+        feed(detector, make_objects(30, seed=2), small_query.window_length)
+        assert detector.stats.events_processed >= 30
+        assert detector.stats.cells_searched > 0
+        assert detector.stats.rectangles_swept >= detector.stats.cells_searched
+
+    def test_live_rectangle_count_bounded_by_four_copies(self, small_query):
+        detector = CellCSPOT(small_query)
+        windows = SlidingWindowPair(small_query.window_length)
+        count = 25
+        for index in range(count):
+            for event in windows.observe(
+                obj(index * 0.3, index * 0.2, index * 0.1, 1.0, index)
+            ):
+                detector.process(event)
+        alive = len(windows)
+        assert detector.live_rectangle_count <= 4 * alive
+
+
+class TestExactnessAgainstBruteForce:
+    @pytest.mark.parametrize("alpha", [0.0, 0.3, 0.7])
+    def test_matches_brute_force_continuously(self, alpha):
+        query = SurgeQuery(rect_width=1.3, rect_height=0.9, window_length=15.0, alpha=alpha)
+        detector = CellCSPOT(query)
+        windows = SlidingWindowPair(query.window_length)
+        for index, spatial in enumerate(make_objects(80, seed=4, extent=6.0)):
+            for event in windows.observe(spatial):
+                detector.process(event)
+            if index % 5:
+                continue
+            state = windows.state()
+            expected = best_region_brute_force(state.current, state.past, query)
+            expected_score = expected.score if expected else 0.0
+            assert scores_close(detector.current_score(), expected_score)
+
+    def test_candidate_reuse_can_be_disabled(self):
+        query = SurgeQuery(rect_width=1.0, rect_height=1.0, window_length=15.0, alpha=0.5)
+        lazy = CellCSPOT(query)
+        eager = CellCSPOT(query, candidate_reuse=False)
+        windows = SlidingWindowPair(query.window_length)
+        for spatial in make_objects(60, seed=9, extent=5.0):
+            for event in windows.observe(spatial):
+                lazy.process(event)
+                eager.process(event)
+            assert scores_close(lazy.current_score(), eager.current_score())
+        # Disabling candidate reuse can only increase the number of searches.
+        assert eager.stats.cells_searched >= lazy.stats.cells_searched

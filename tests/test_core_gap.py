@@ -1,0 +1,140 @@
+"""Unit tests for GAP-SURGE (Algorithm 3) and its guarantee."""
+
+import pytest
+
+from tests.helpers import feed, feed_many, make_objects
+from repro.core.brute import best_region_brute_force
+from repro.core.cell_cspot import CellCSPOT
+from repro.core.gap import GapSurge
+from repro.core.query import SurgeQuery
+from repro.streams.objects import SpatialObject
+from repro.streams.windows import SlidingWindowPair
+
+
+def obj(x, y, timestamp, weight=1.0, object_id=0):
+    return SpatialObject(x=x, y=y, timestamp=timestamp, weight=weight, object_id=object_id)
+
+
+class TestCellAccumulation:
+    def test_no_objects_no_result(self, small_query):
+        assert GapSurge(small_query).result() is None
+
+    def test_single_object_scores_its_cell(self, small_query):
+        detector = GapSurge(small_query)
+        feed(detector, [obj(2.5, 3.5, 0.0, weight=4.0)], small_query.window_length)
+        result = detector.result()
+        assert result.score == pytest.approx(4.0 / small_query.window_length)
+        # The reported region is the grid cell containing the object.
+        assert result.region.contains_xy(2.5, 3.5)
+        assert result.region.as_tuple() == (2.0, 3.0, 3.0, 4.0)
+
+    def test_objects_in_same_cell_accumulate(self, small_query):
+        detector = GapSurge(small_query)
+        feed(
+            detector,
+            [obj(2.1, 3.1, 0.0, 1.0, 0), obj(2.9, 3.9, 1.0, 2.0, 1)],
+            small_query.window_length,
+        )
+        assert detector.result().score == pytest.approx(3.0 / small_query.window_length)
+        assert detector.live_cell_count == 1
+
+    def test_objects_in_different_cells_do_not_accumulate(self, small_query):
+        detector = GapSurge(small_query)
+        feed(
+            detector,
+            [obj(0.5, 0.5, 0.0, 2.0, 0), obj(5.5, 5.5, 1.0, 3.0, 1)],
+            small_query.window_length,
+        )
+        assert detector.result().score == pytest.approx(3.0 / small_query.window_length)
+        assert detector.live_cell_count == 2
+
+    def test_grown_event_shifts_mass_and_lowers_score(self, small_query):
+        detector = GapSurge(small_query)
+        windows = SlidingWindowPair(small_query.window_length)
+        for event in windows.observe(obj(0.5, 0.5, 0.0, 4.0, 0)):
+            detector.process(event)
+        assert detector.result().score == pytest.approx(0.2)
+        # Advance so the object grows into the past window.
+        for event in windows.advance_time(25.0):
+            detector.process(event)
+        # fc = 0, fp = 0.2 -> burst score 0.
+        assert detector.result().score == pytest.approx(0.0)
+
+    def test_expired_event_empties_the_cell(self, small_query):
+        detector = GapSurge(small_query)
+        windows = SlidingWindowPair(small_query.window_length)
+        for event in windows.observe(obj(0.5, 0.5, 0.0, 4.0, 0)):
+            detector.process(event)
+        for event in windows.advance_time(100.0):
+            detector.process(event)
+        assert detector.result() is None
+        assert detector.live_cell_count == 0
+
+    def test_area_filter(self):
+        from repro.geometry.primitives import Rect
+
+        query = SurgeQuery(
+            rect_width=1.0,
+            rect_height=1.0,
+            window_length=10.0,
+            area=Rect(0.0, 0.0, 4.0, 4.0),
+        )
+        detector = GapSurge(query)
+        feed(
+            detector,
+            [obj(1.0, 1.0, 0.0, 1.0, 0), obj(9.0, 9.0, 1.0, 50.0, 1)],
+            query.window_length,
+        )
+        assert detector.result().score == pytest.approx(0.1)
+        assert detector.stats.events_skipped == 1
+
+    def test_top_k_returns_best_cells_in_order(self, small_query):
+        detector = GapSurge(small_query)
+        feed(
+            detector,
+            [
+                obj(0.5, 0.5, 0.0, 5.0, 0),
+                obj(2.5, 2.5, 1.0, 3.0, 1),
+                obj(4.5, 4.5, 2.0, 1.0, 2),
+            ],
+            small_query.window_length,
+        )
+        top = detector.top_k(2)
+        assert len(top) == 2
+        assert top[0].score > top[1].score
+        assert top[0].score == pytest.approx(0.25)
+
+
+class TestApproximationGuarantee:
+    @pytest.mark.parametrize("alpha", [0.1, 0.5, 0.9])
+    def test_score_at_least_quarter_of_one_minus_alpha(self, alpha):
+        query = SurgeQuery(rect_width=1.0, rect_height=1.0, window_length=15.0, alpha=alpha)
+        exact = CellCSPOT(query)
+        approx = GapSurge(query)
+        windows = feed_many([exact, approx], make_objects(90, seed=6, extent=6.0), 15.0)
+        assert windows.is_stable()
+        optimum = exact.current_score()
+        assert optimum > 0
+        bound = (1.0 - alpha) / 4.0
+        assert approx.current_score() >= bound * optimum - 1e-9
+
+    def test_guarantee_holds_continuously(self):
+        query = SurgeQuery(rect_width=0.8, rect_height=0.8, window_length=12.0, alpha=0.4)
+        exact = CellCSPOT(query)
+        approx = GapSurge(query)
+        windows = SlidingWindowPair(query.window_length)
+        bound = (1.0 - query.alpha) / 4.0
+        for spatial in make_objects(70, seed=13, extent=5.0):
+            for event in windows.observe(spatial):
+                exact.process(event)
+                approx.process(event)
+            optimum = exact.current_score()
+            assert approx.current_score() >= bound * optimum - 1e-9
+
+    def test_exactly_recovers_optimum_when_cluster_fits_a_cell(self, small_query):
+        # All objects inside one grid cell: the cell *is* the optimal region.
+        objects = [obj(0.2 + 0.05 * i, 0.2 + 0.05 * i, i * 0.1, 1.0, i) for i in range(5)]
+        exact = CellCSPOT(small_query)
+        approx = GapSurge(small_query)
+        feed_many([exact, approx], objects, small_query.window_length)
+        assert approx.current_score() == pytest.approx(exact.current_score())

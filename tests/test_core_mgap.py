@@ -1,0 +1,100 @@
+"""Unit tests for MGAP-SURGE (Algorithm 5)."""
+
+import pytest
+
+from tests.helpers import feed, feed_many, make_objects
+from repro.core.cell_cspot import CellCSPOT
+from repro.core.gap import GapSurge
+from repro.core.mgap import MGapSurge
+from repro.core.query import SurgeQuery
+from repro.streams.objects import SpatialObject
+
+
+def obj(x, y, timestamp, weight=1.0, object_id=0):
+    return SpatialObject(x=x, y=y, timestamp=timestamp, weight=weight, object_id=object_id)
+
+
+class TestStructure:
+    def test_uses_four_shifted_grids(self, small_query):
+        detector = MGapSurge(small_query)
+        assert len(detector.detectors) == 4
+        origins = {
+            (d.grid.origin_x, d.grid.origin_y) for d in detector.detectors
+        }
+        assert len(origins) == 4
+
+    def test_no_objects_no_result(self, small_query):
+        assert MGapSurge(small_query).result() is None
+
+    def test_combined_stats_aggregate_sub_detectors(self, small_query):
+        detector = MGapSurge(small_query)
+        feed(detector, make_objects(20, seed=1), small_query.window_length)
+        combined = detector.combined_stats
+        assert combined.events_processed >= 4 * detector.stats.events_processed
+
+    def test_area_filter_counts_skips_once(self):
+        from repro.geometry.primitives import Rect
+
+        query = SurgeQuery(
+            rect_width=1.0,
+            rect_height=1.0,
+            window_length=10.0,
+            area=Rect(0.0, 0.0, 2.0, 2.0),
+        )
+        detector = MGapSurge(query)
+        feed(detector, [obj(5.0, 5.0, 0.0, 1.0, 0)], query.window_length)
+        assert detector.stats.events_skipped == 1
+        assert detector.result() is None
+
+
+class TestQualityVersusSingleGrid:
+    def test_never_worse_than_single_grid(self):
+        query = SurgeQuery(rect_width=1.0, rect_height=1.0, window_length=15.0, alpha=0.5)
+        single = GapSurge(query)
+        multi = MGapSurge(query)
+        feed_many([single, multi], make_objects(80, seed=3, extent=6.0), 15.0)
+        assert multi.current_score() >= single.current_score() - 1e-12
+
+    def test_recovers_optimum_for_cluster_straddling_grid_lines(self, small_query):
+        # A tight cluster centred on a grid corner is split across four cells
+        # of the aligned grid, but one of the shifted grids has a cell centred
+        # on the corner and captures the full cluster.
+        objects = [
+            obj(0.95, 0.95, 0.0, 1.0, 0),
+            obj(1.05, 0.95, 0.1, 1.0, 1),
+            obj(0.95, 1.05, 0.2, 1.0, 2),
+            obj(1.05, 1.05, 0.3, 1.0, 3),
+        ]
+        exact = CellCSPOT(small_query)
+        single = GapSurge(small_query)
+        multi = MGapSurge(small_query)
+        feed_many([exact, single, multi], objects, small_query.window_length)
+        assert single.current_score() == pytest.approx(exact.current_score() / 4.0)
+        assert multi.current_score() == pytest.approx(exact.current_score())
+
+    @pytest.mark.parametrize("alpha", [0.2, 0.8])
+    def test_approximation_guarantee(self, alpha):
+        query = SurgeQuery(rect_width=0.9, rect_height=1.1, window_length=12.0, alpha=alpha)
+        exact = CellCSPOT(query)
+        multi = MGapSurge(query)
+        feed_many([exact, multi], make_objects(80, seed=8, extent=5.0), 12.0)
+        optimum = exact.current_score()
+        assert optimum > 0
+        assert multi.current_score() >= (1.0 - alpha) / 4.0 * optimum - 1e-9
+
+
+class TestTopK:
+    def test_top_k_regions_are_non_overlapping(self, small_query):
+        detector = MGapSurge(small_query)
+        feed(detector, make_objects(60, seed=5, extent=6.0), small_query.window_length)
+        top = detector.top_k(3)
+        assert 1 <= len(top) <= 3
+        for i, first in enumerate(top):
+            for second in top[i + 1 :]:
+                assert not first.region.intersects_interior(second.region)
+
+    def test_top_k_scores_sorted(self, small_query):
+        detector = MGapSurge(small_query)
+        feed(detector, make_objects(60, seed=5, extent=6.0), small_query.window_length)
+        scores = [r.score for r in detector.top_k(4)]
+        assert scores == sorted(scores, reverse=True)

@@ -1,0 +1,104 @@
+"""Unit tests for the SurgeMonitor facade and the detector factory."""
+
+import pytest
+
+from tests.helpers import make_objects
+from repro.core.cell_cspot import CellCSPOT
+from repro.core.gap import GapSurge
+from repro.core.monitor import DETECTOR_NAMES, SurgeMonitor, make_detector
+from repro.core.query import SurgeQuery
+from repro.streams.objects import SpatialObject
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", DETECTOR_NAMES)
+    def test_every_name_constructs_a_detector(self, name, small_query):
+        detector = make_detector(name, small_query)
+        assert detector.name == name
+        assert detector.query is small_query
+
+    def test_factory_is_case_insensitive(self, small_query):
+        assert isinstance(make_detector("CCS", small_query), CellCSPOT)
+        assert isinstance(make_detector("Gaps", small_query), GapSurge)
+
+    def test_unknown_name_rejected(self, small_query):
+        with pytest.raises(ValueError, match="unknown detector"):
+            make_detector("does-not-exist", small_query)
+
+    def test_options_are_forwarded(self, small_query):
+        ag2 = make_detector("ag2", small_query, cell_scale=5.0)
+        assert ag2.cell_scale == 5.0
+
+    def test_exactness_flags(self, small_query):
+        assert make_detector("ccs", small_query).exact
+        assert make_detector("naive", small_query).exact
+        assert not make_detector("gaps", small_query).exact
+        assert not make_detector("mgaps", small_query).exact
+
+
+class TestMonitor:
+    def test_push_returns_current_result(self, small_query):
+        monitor = SurgeMonitor(small_query, algorithm="ccs")
+        result = monitor.push(SpatialObject(x=1.0, y=1.0, timestamp=0.0, weight=5.0))
+        assert result is not None
+        assert result.score == pytest.approx(0.25)
+        assert monitor.objects_seen == 1
+
+    def test_accepts_prebuilt_detector(self, small_query):
+        detector = GapSurge(small_query)
+        monitor = SurgeMonitor(small_query, algorithm=detector)
+        assert monitor.detector is detector
+
+    def test_run_yields_one_result_per_object(self, small_query):
+        monitor = SurgeMonitor(small_query, algorithm="gaps")
+        results = list(monitor.run(make_objects(15, seed=1)))
+        assert len(results) == 15
+        assert results[-1] is not None
+
+    def test_monitor_and_manual_feeding_agree(self, small_query):
+        objects = make_objects(40, seed=2)
+        monitor = SurgeMonitor(small_query, algorithm="ccs")
+        for obj in objects:
+            monitor.push(obj)
+
+        from tests.helpers import feed
+
+        detector = CellCSPOT(small_query)
+        feed(detector, objects, small_query.window_length)
+        assert monitor.result().score == pytest.approx(detector.current_score())
+
+    def test_advance_time_expires_objects(self, small_query):
+        monitor = SurgeMonitor(small_query, algorithm="ccs")
+        monitor.push(SpatialObject(x=1.0, y=1.0, timestamp=0.0))
+        assert monitor.advance_time(1_000.0) is None
+
+    def test_window_state_snapshot(self, small_query):
+        monitor = SurgeMonitor(small_query, algorithm="gaps")
+        monitor.push(SpatialObject(x=1.0, y=1.0, timestamp=0.0))
+        state = monitor.window_state()
+        assert state.total_objects == 1
+
+    def test_is_stable_flag(self, small_query):
+        monitor = SurgeMonitor(small_query, algorithm="gaps")
+        monitor.push(SpatialObject(x=1.0, y=1.0, timestamp=0.0, object_id=0))
+        assert not monitor.is_stable
+        monitor.push(SpatialObject(x=1.0, y=1.0, timestamp=100.0, object_id=1))
+        assert monitor.is_stable
+
+    def test_top_k_passthrough(self, topk_query):
+        monitor = SurgeMonitor(topk_query, algorithm="kgaps")
+        for obj in make_objects(30, seed=3):
+            monitor.push(obj)
+        top = monitor.top_k()
+        assert 1 <= len(top) <= topk_query.k
+        scores = [r.score for r in top]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_push_events_directly(self, small_query):
+        from repro.streams.windows import SlidingWindowPair
+
+        monitor = SurgeMonitor(small_query, algorithm="ccs")
+        windows = SlidingWindowPair(small_query.window_length)
+        events = windows.observe(SpatialObject(x=0.5, y=0.5, timestamp=0.0, weight=2.0))
+        result = monitor.push_events(events)
+        assert result.score == pytest.approx(0.1)

@@ -1,0 +1,88 @@
+"""Unit tests for the SURGE query object."""
+
+import pytest
+
+from repro.core.query import SurgeQuery
+from repro.geometry.primitives import Rect
+
+
+class TestValidation:
+    def test_valid_query(self):
+        query = SurgeQuery(rect_width=1.0, rect_height=2.0, window_length=60.0)
+        assert query.current_length == 60.0
+        assert query.past_length == 60.0
+        assert query.k == 1
+
+    def test_invalid_rect_size(self):
+        with pytest.raises(ValueError):
+            SurgeQuery(rect_width=0.0, rect_height=1.0, window_length=60.0)
+        with pytest.raises(ValueError):
+            SurgeQuery(rect_width=1.0, rect_height=-1.0, window_length=60.0)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            SurgeQuery(rect_width=1.0, rect_height=1.0, window_length=0.0)
+        with pytest.raises(ValueError):
+            SurgeQuery(
+                rect_width=1.0, rect_height=1.0, window_length=60.0, past_window_length=0.0
+            )
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            SurgeQuery(rect_width=1.0, rect_height=1.0, window_length=60.0, alpha=1.0)
+        with pytest.raises(ValueError):
+            SurgeQuery(rect_width=1.0, rect_height=1.0, window_length=60.0, alpha=-0.2)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            SurgeQuery(rect_width=1.0, rect_height=1.0, window_length=60.0, k=0)
+
+
+class TestDerivedQuantities:
+    def test_distinct_past_window_length(self):
+        query = SurgeQuery(
+            rect_width=1.0, rect_height=1.0, window_length=60.0, past_window_length=120.0
+        )
+        assert query.current_length == 60.0
+        assert query.past_length == 120.0
+
+    def test_accepts_everything_without_area(self):
+        query = SurgeQuery(rect_width=1.0, rect_height=1.0, window_length=60.0)
+        assert query.accepts(1e9, -1e9)
+
+    def test_accepts_respects_area(self):
+        area = Rect(0.0, 0.0, 10.0, 10.0)
+        query = SurgeQuery(rect_width=1.0, rect_height=1.0, window_length=60.0, area=area)
+        assert query.accepts(5.0, 5.0)
+        assert query.accepts(0.0, 10.0)
+        assert not query.accepts(10.5, 5.0)
+
+    def test_base_grid_cell_size_matches_query(self):
+        query = SurgeQuery(rect_width=2.0, rect_height=3.0, window_length=60.0)
+        grid = query.base_grid()
+        assert grid.cell_width == 2.0
+        assert grid.cell_height == 3.0
+        assert grid.origin_x == 0.0
+
+    def test_base_grid_anchored_at_area(self):
+        area = Rect(-5.0, 7.0, 5.0, 17.0)
+        query = SurgeQuery(
+            rect_width=1.0, rect_height=1.0, window_length=60.0, area=area
+        )
+        grid = query.base_grid()
+        assert grid.origin_x == -5.0
+        assert grid.origin_y == 7.0
+
+    def test_with_replaces_fields(self):
+        query = SurgeQuery(rect_width=1.0, rect_height=1.0, window_length=60.0, alpha=0.5)
+        changed = query.with_(alpha=0.9, k=5)
+        assert changed.alpha == 0.9
+        assert changed.k == 5
+        assert changed.rect_width == 1.0
+        # The original is untouched (queries are immutable).
+        assert query.alpha == 0.5
+
+    def test_with_validates_changes(self):
+        query = SurgeQuery(rect_width=1.0, rect_height=1.0, window_length=60.0)
+        with pytest.raises(ValueError):
+            query.with_(alpha=2.0)

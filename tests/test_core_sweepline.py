@@ -1,0 +1,123 @@
+"""Unit tests for SL-CSPOT, the sweep-line bursty-point search (Algorithm 1)."""
+
+import pytest
+
+from repro.core.sweepline import LabeledRect, SweepResult, sweep_bursty_point
+from repro.geometry.primitives import Point, Rect
+
+
+def current(min_x, min_y, max_x, max_y, weight=1.0):
+    return LabeledRect(min_x, min_y, max_x, max_y, weight, True)
+
+
+def past(min_x, min_y, max_x, max_y, weight=1.0):
+    return LabeledRect(min_x, min_y, max_x, max_y, weight, False)
+
+
+class TestSingleRectangles:
+    def test_empty_input(self):
+        assert sweep_bursty_point([], 0.5, 1.0, 1.0) is None
+
+    def test_single_current_rectangle(self):
+        result = sweep_bursty_point([current(0, 0, 1, 1, 2.0)], 0.5, 1.0, 1.0)
+        assert result is not None
+        assert result.score == pytest.approx(2.0)
+        assert result.fc == pytest.approx(2.0)
+        assert Rect(0, 0, 1, 1).contains_point(result.point)
+
+    def test_single_past_rectangle_scores_zero(self):
+        result = sweep_bursty_point([past(0, 0, 1, 1, 5.0)], 0.5, 1.0, 1.0)
+        assert result is not None
+        assert result.score == pytest.approx(0.0)
+
+    def test_window_lengths_normalise_weights(self):
+        result = sweep_bursty_point([current(0, 0, 1, 1, 6.0)], 0.5, 3.0, 3.0)
+        assert result.score == pytest.approx(2.0)
+
+
+class TestOverlapStructure:
+    def test_two_overlapping_current_rectangles(self):
+        rects = [current(0, 0, 2, 2, 1.0), current(1, 1, 3, 3, 1.0)]
+        result = sweep_bursty_point(rects, 0.5, 1.0, 1.0)
+        assert result.score == pytest.approx(2.0)
+        assert Rect(1, 1, 2, 2).contains_point(result.point)
+
+    def test_disjoint_rectangles_pick_the_heavier(self):
+        rects = [current(0, 0, 1, 1, 1.0), current(5, 5, 6, 6, 3.0)]
+        result = sweep_bursty_point(rects, 0.5, 1.0, 1.0)
+        assert result.score == pytest.approx(3.0)
+        assert Rect(5, 5, 6, 6).contains_point(result.point)
+
+    def test_past_rectangle_lowers_score_in_overlap(self):
+        # With alpha close to 1 the optimum avoids the past rectangle.
+        rects = [current(0, 0, 2, 2, 1.0), past(1, 0, 3, 2, 1.0)]
+        result = sweep_bursty_point(rects, 0.9, 1.0, 1.0)
+        assert result.score == pytest.approx(1.0)
+        assert result.point.x < 1.0  # strictly outside the past rectangle
+
+    def test_optimum_on_shared_edge_of_current_rectangles(self):
+        # Two current rectangles touching at x = 1: only the shared edge is
+        # covered by both, so the exact optimum lies exactly on the edge.
+        rects = [current(0, 0, 1, 1, 1.0), current(1, 0, 2, 1, 1.0)]
+        result = sweep_bursty_point(rects, 0.5, 1.0, 1.0)
+        assert result.score == pytest.approx(2.0)
+        assert result.point.x == pytest.approx(1.0)
+
+    def test_paper_figure3_example(self):
+        # Figure 3 of the paper: g1 (w=3) in Wp, g2 (w=1) and g3 (w=2) in Wc,
+        # |Wc| = |Wp| = 1, alpha = 0.5.  The bursty point lies where g2 and g3
+        # overlap but g1 does not reach, with burst score 3.
+        g1 = past(1.0, 0.0, 4.0, 2.0, 3.0)
+        g2 = current(2.0, 1.0, 5.0, 3.0, 1.0)
+        g3 = current(2.5, 1.5, 5.5, 3.5, 2.0)
+        result = sweep_bursty_point([g1, g2, g3], 0.5, 1.0, 1.0)
+        assert result.score == pytest.approx(3.0)
+        assert result.fc == pytest.approx(3.0)
+        assert result.fp == pytest.approx(0.0)
+        assert result.point.y > 2.0  # above g1
+
+    def test_fully_covered_by_current_and_past(self):
+        rects = [current(0, 0, 2, 2, 4.0), past(0, 0, 2, 2, 4.0)]
+        result = sweep_bursty_point(rects, 0.5, 1.0, 1.0)
+        # fc = fp = 4 everywhere inside: S = 0.5*0 + 0.5*4 = 2.
+        assert result.score == pytest.approx(2.0)
+        assert result.fc == pytest.approx(4.0)
+        assert result.fp == pytest.approx(4.0)
+
+
+class TestBounds:
+    def test_bounds_restrict_the_search(self):
+        rects = [current(0, 0, 1, 1, 5.0), current(10, 10, 11, 11, 1.0)]
+        bounded = sweep_bursty_point(rects, 0.5, 1.0, 1.0, bounds=Rect(9, 9, 12, 12))
+        assert bounded.score == pytest.approx(1.0)
+        assert Rect(10, 10, 11, 11).contains_point(bounded.point)
+
+    def test_bounds_with_no_intersection(self):
+        rects = [current(0, 0, 1, 1, 5.0)]
+        assert sweep_bursty_point(rects, 0.5, 1.0, 1.0, bounds=Rect(5, 5, 6, 6)) is None
+
+    def test_point_always_inside_bounds(self):
+        rects = [current(0, 0, 10, 10, 1.0), current(2, 2, 12, 12, 2.0)]
+        bounds = Rect(3.0, 3.0, 4.0, 4.0)
+        result = sweep_bursty_point(rects, 0.3, 1.0, 1.0, bounds=bounds)
+        assert bounds.contains_point(result.point)
+        assert result.score == pytest.approx(3.0)
+
+    def test_rectangles_swept_counts_clipped_rectangles(self):
+        rects = [current(0, 0, 1, 1), current(5, 5, 6, 6)]
+        result = sweep_bursty_point(rects, 0.5, 1.0, 1.0, bounds=Rect(0, 0, 2, 2))
+        assert result.rectangles_swept == 1
+
+
+class TestResultType:
+    def test_result_is_sweepresult(self):
+        result = sweep_bursty_point([current(0, 0, 1, 1)], 0.5, 1.0, 1.0)
+        assert isinstance(result, SweepResult)
+        assert isinstance(result.point, Point)
+
+    def test_labeled_rect_from_rect(self):
+        labeled = LabeledRect.from_rect(Rect(0, 1, 2, 3), weight=4.0, in_current=False)
+        assert labeled.min_y == 1
+        assert labeled.max_x == 2
+        assert labeled.weight == 4.0
+        assert labeled.in_current is False

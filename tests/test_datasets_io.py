@@ -1,0 +1,141 @@
+"""Unit tests for stream file readers and writers (CSV / JSON Lines)."""
+
+import json
+
+import pytest
+
+from repro.datasets.io import (
+    StreamFormatError,
+    load_stream,
+    read_csv_stream,
+    read_jsonl_stream,
+    write_csv_stream,
+    write_jsonl_stream,
+)
+from repro.streams.objects import SpatialObject
+
+
+def sample_objects():
+    return [
+        SpatialObject(x=1.0, y=2.0, timestamp=10.0, weight=3.0, object_id=0),
+        SpatialObject(x=-1.5, y=0.25, timestamp=20.0, weight=1.0, object_id=1),
+        SpatialObject(
+            x=4.0, y=4.0, timestamp=30.0, weight=2.0, object_id=2, attributes={"keywords": ["zika"]}
+        ),
+    ]
+
+
+class TestCsvRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        path = tmp_path / "stream.csv"
+        written = write_csv_stream(path, sample_objects())
+        assert written == 3
+        loaded = list(read_csv_stream(path))
+        assert len(loaded) == 3
+        assert loaded[0].x == 1.0
+        assert loaded[1].weight == 1.0
+        assert loaded[2].object_id == 2
+
+    def test_missing_required_columns(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(StreamFormatError, match="header"):
+            list(read_csv_stream(path))
+
+    def test_extra_columns_become_attributes(self, tmp_path):
+        path = tmp_path / "extra.csv"
+        path.write_text("timestamp,x,y,weight,city\n1.0,2.0,3.0,4.0,rome\n")
+        (obj,) = list(read_csv_stream(path))
+        assert obj.attributes["city"] == "rome"
+
+    def test_defaults_for_missing_optional_fields(self, tmp_path):
+        path = tmp_path / "minimal.csv"
+        path.write_text("timestamp,x,y\n5.0,1.0,1.0\n6.0,2.0,2.0\n")
+        objects = list(read_csv_stream(path))
+        assert [o.weight for o in objects] == [1.0, 1.0]
+        assert [o.object_id for o in objects] == [0, 1]
+
+    def test_malformed_row_raises_or_skips(self, tmp_path):
+        path = tmp_path / "broken.csv"
+        path.write_text("timestamp,x,y\n1.0,2.0,3.0\nnot-a-number,2.0,3.0\n")
+        with pytest.raises(StreamFormatError):
+            list(read_csv_stream(path, on_error="raise"))
+        kept = list(read_csv_stream(path, on_error="skip"))
+        assert len(kept) == 1
+
+    def test_negative_weight_rejected(self, tmp_path):
+        path = tmp_path / "neg.csv"
+        path.write_text("timestamp,x,y,weight\n1.0,2.0,3.0,-4.0\n")
+        with pytest.raises(StreamFormatError, match="negative weight"):
+            list(read_csv_stream(path))
+
+
+class TestJsonlRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        written = write_jsonl_stream(path, sample_objects())
+        assert written == 3
+        loaded = list(read_jsonl_stream(path))
+        assert len(loaded) == 3
+        assert loaded[2].attributes["keywords"] == ["zika"]
+
+    def test_blank_lines_are_ignored(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        path.write_text('{"timestamp": 1, "x": 2, "y": 3}\n\n{"timestamp": 2, "x": 0, "y": 0}\n')
+        assert len(list(read_jsonl_stream(path))) == 2
+
+    def test_invalid_json_raises_or_skips(self, tmp_path):
+        path = tmp_path / "broken.jsonl"
+        path.write_text('{"timestamp": 1, "x": 2, "y": 3}\nnot json\n')
+        with pytest.raises(StreamFormatError):
+            list(read_jsonl_stream(path, on_error="raise"))
+        assert len(list(read_jsonl_stream(path, on_error="skip"))) == 1
+
+    def test_non_object_line_rejected(self, tmp_path):
+        path = tmp_path / "array.jsonl"
+        path.write_text("[1, 2, 3]\n")
+        with pytest.raises(StreamFormatError, match="not an object"):
+            list(read_jsonl_stream(path))
+
+
+class TestLoadStream:
+    def test_load_sorts_by_timestamp(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        records = [
+            {"timestamp": 30.0, "x": 0, "y": 0, "object_id": 2},
+            {"timestamp": 10.0, "x": 0, "y": 0, "object_id": 0},
+            {"timestamp": 20.0, "x": 0, "y": 0, "object_id": 1},
+        ]
+        path.write_text("\n".join(json.dumps(r) for r in records))
+        loaded = load_stream(path)
+        assert [o.object_id for o in loaded] == [0, 1, 2]
+
+    def test_load_csv_by_extension(self, tmp_path):
+        path = tmp_path / "stream.csv"
+        write_csv_stream(path, sample_objects())
+        assert len(load_stream(path)) == 3
+
+    def test_unsupported_extension(self, tmp_path):
+        path = tmp_path / "stream.parquet"
+        path.write_text("")
+        with pytest.raises(StreamFormatError, match="unsupported"):
+            load_stream(path)
+
+    def test_round_trip_preserves_detection_results(self, tmp_path):
+        """Persisting and reloading a stream does not change what is detected."""
+        from repro.core.monitor import SurgeMonitor
+        from repro.core.query import SurgeQuery
+        from tests.helpers import make_objects
+
+        objects = make_objects(40, seed=3)
+        path = tmp_path / "round.jsonl"
+        write_jsonl_stream(path, objects)
+        reloaded = load_stream(path)
+
+        query = SurgeQuery(rect_width=1.0, rect_height=1.0, window_length=20.0)
+        direct = SurgeMonitor(query, algorithm="ccs")
+        from_file = SurgeMonitor(query, algorithm="ccs")
+        for a, b in zip(objects, reloaded):
+            direct.push(a)
+            from_file.push(b)
+        assert direct.result().score == pytest.approx(from_file.result().score)

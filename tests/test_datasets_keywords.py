@@ -1,0 +1,126 @@
+"""Unit tests for keyword-tagged streams (case-study substrate)."""
+
+import pytest
+
+from repro.datasets.keywords import (
+    DEFAULT_VOCABULARY,
+    KeywordEvent,
+    attach_keywords,
+    filter_by_keyword,
+    generate_keyword_stream,
+)
+from repro.datasets.synthetic import StreamConfig, generate_stream
+from repro.geometry.primitives import Rect
+
+EXTENT = Rect(0.0, 0.0, 10.0, 10.0)
+
+
+def background(n=100, seed=4):
+    return generate_stream(
+        StreamConfig(extent=EXTENT, n_objects=n, arrival_rate_per_hour=3600.0, seed=seed)
+    )
+
+
+class TestAttachKeywords:
+    def test_every_object_gets_a_keyword(self):
+        tagged = attach_keywords(background())
+        assert all("keywords" in obj.attributes for obj in tagged)
+        for obj in tagged:
+            (keyword,) = obj.attributes["keywords"]
+            assert keyword in DEFAULT_VOCABULARY
+
+    def test_original_objects_not_mutated(self):
+        objects = background()
+        attach_keywords(objects)
+        assert all("keywords" not in obj.attributes for obj in objects)
+
+    def test_custom_vocabulary(self):
+        tagged = attach_keywords(background(), vocabulary=("zika",))
+        assert all(obj.attributes["keywords"] == ("zika",) for obj in tagged)
+
+    def test_deterministic_for_seed(self):
+        a = attach_keywords(background(), seed=3)
+        b = attach_keywords(background(), seed=3)
+        assert [o.attributes["keywords"] for o in a] == [o.attributes["keywords"] for o in b]
+
+
+class TestKeywordEvent:
+    def test_event_region_covers_two_sigmas(self):
+        event = KeywordEvent(
+            keyword="concert",
+            center_x=5.0,
+            center_y=5.0,
+            start_time=0.0,
+            duration=100.0,
+            radius_x=0.5,
+            radius_y=0.25,
+        )
+        assert event.region == Rect(4.0, 4.5, 6.0, 5.5)
+        burst = event.to_burst()
+        assert burst.center_x == 5.0
+        assert burst.duration == 100.0
+
+
+class TestGenerateKeywordStream:
+    def _event(self):
+        return KeywordEvent(
+            keyword="concert",
+            center_x=5.0,
+            center_y=5.0,
+            start_time=50.0,
+            duration=60.0,
+            radius_x=0.2,
+            radius_y=0.2,
+            rate_multiplier=10.0,
+        )
+
+    def test_stream_contains_background_and_event_objects(self):
+        stream = generate_keyword_stream(
+            extent=EXTENT,
+            n_background=150,
+            arrival_rate_per_hour=3600.0,
+            events=(self._event(),),
+            seed=2,
+        )
+        assert len(stream) > 150
+        event_objects = [o for o in stream if o.attributes.get("event") == "concert"]
+        assert event_objects
+        for obj in event_objects:
+            assert 50.0 <= obj.timestamp <= 110.0
+
+    def test_stream_is_sorted(self):
+        stream = generate_keyword_stream(
+            extent=EXTENT,
+            n_background=100,
+            arrival_rate_per_hour=3600.0,
+            events=(self._event(),),
+            seed=2,
+        )
+        times = [o.timestamp for o in stream]
+        assert times == sorted(times)
+
+    def test_filter_by_keyword_selects_matching_objects(self):
+        stream = generate_keyword_stream(
+            extent=EXTENT,
+            n_background=200,
+            arrival_rate_per_hour=3600.0,
+            events=(self._event(),),
+            seed=2,
+        )
+        concert = filter_by_keyword(stream, "concert")
+        assert concert
+        assert all("concert" in o.attributes["keywords"] for o in concert)
+        # Background chatter may also mention "music" etc. but never the
+        # missing keyword below.
+        assert filter_by_keyword(stream, "not-a-keyword") == []
+
+    def test_object_ids_unique_across_background_and_events(self):
+        stream = generate_keyword_stream(
+            extent=EXTENT,
+            n_background=100,
+            arrival_rate_per_hour=3600.0,
+            events=(self._event(),),
+            seed=2,
+        )
+        ids = [o.object_id for o in stream]
+        assert len(ids) == len(set(ids))

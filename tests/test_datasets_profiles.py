@@ -1,0 +1,50 @@
+"""Unit tests for the dataset profiles (Table I stand-ins)."""
+
+import pytest
+
+from repro.datasets.profiles import PROFILES, TAXI_PROFILE, UK_PROFILE, US_PROFILE
+
+
+class TestProfiles:
+    def test_all_three_profiles_registered(self):
+        assert set(PROFILES) == {"uk", "us", "taxi"}
+        assert PROFILES["uk"] is UK_PROFILE
+        assert PROFILES["us"] is US_PROFILE
+        assert PROFILES["taxi"] is TAXI_PROFILE
+
+    def test_table1_arrival_rates(self):
+        assert UK_PROFILE.arrival_rate_per_hour == 5_747
+        assert US_PROFILE.arrival_rate_per_hour == 16_802
+        assert TAXI_PROFILE.arrival_rate_per_hour == 18_145
+
+    def test_table1_object_counts(self):
+        for profile in PROFILES.values():
+            assert profile.total_objects == 1_000_000
+
+    def test_weight_range_matches_paper(self):
+        for profile in PROFILES.values():
+            assert profile.weight_range == (1.0, 100.0)
+
+    def test_default_windows(self):
+        assert UK_PROFILE.default_window_seconds == 3600.0
+        assert US_PROFILE.default_window_seconds == 3600.0
+        assert TAXI_PROFILE.default_window_seconds == 300.0
+
+    def test_taxi_extent_matches_rome(self):
+        extent = TAXI_PROFILE.extent
+        assert extent.min_x == pytest.approx(12.0)
+        assert extent.max_x == pytest.approx(12.9)
+        assert extent.min_y == pytest.approx(41.6)
+        assert extent.max_y == pytest.approx(42.2)
+
+    def test_default_rect_is_one_thousandth_of_range(self):
+        for profile in PROFILES.values():
+            assert profile.default_rect_width == pytest.approx(profile.lon_range / 1000.0)
+            assert profile.default_rect_height == pytest.approx(profile.lat_range / 1000.0)
+
+    def test_mean_interarrival(self):
+        assert UK_PROFILE.mean_interarrival_seconds == pytest.approx(3600.0 / 5747.0)
+
+    def test_extents_have_positive_area(self):
+        for profile in PROFILES.values():
+            assert profile.extent.area > 0

@@ -1,0 +1,131 @@
+"""Unit tests for the synthetic stream generator."""
+
+import pytest
+
+from repro.datasets.profiles import TAXI_PROFILE, UK_PROFILE
+from repro.datasets.synthetic import (
+    BurstSpec,
+    StreamConfig,
+    default_bursts_for_profile,
+    generate_profile_stream,
+    generate_stream,
+)
+from repro.geometry.primitives import Rect
+from repro.streams.sources import ListSource
+
+EXTENT = Rect(0.0, 0.0, 10.0, 10.0)
+
+
+def base_config(**overrides):
+    defaults = dict(
+        extent=EXTENT,
+        n_objects=400,
+        arrival_rate_per_hour=3600.0,
+        seed=3,
+    )
+    defaults.update(overrides)
+    return StreamConfig(**defaults)
+
+
+class TestGenerateStream:
+    def test_empty_request(self):
+        assert generate_stream(base_config(n_objects=0)) == []
+
+    def test_object_count(self):
+        stream = generate_stream(base_config())
+        assert len(stream) == 400
+
+    def test_timestamps_are_sorted_and_start_after_start_time(self):
+        stream = generate_stream(base_config(start_time=100.0))
+        times = [o.timestamp for o in stream]
+        assert times == sorted(times)
+        assert times[0] >= 100.0
+
+    def test_locations_within_extent(self):
+        stream = generate_stream(base_config())
+        for obj in stream:
+            assert EXTENT.contains_xy(obj.x, obj.y)
+
+    def test_weights_within_range_and_integer(self):
+        stream = generate_stream(base_config(weight_range=(1.0, 100.0)))
+        for obj in stream:
+            assert 1.0 <= obj.weight <= 100.0
+            assert obj.weight == int(obj.weight)
+
+    def test_continuous_weights_option(self):
+        stream = generate_stream(base_config(integer_weights=False, weight_range=(0.5, 2.0)))
+        assert any(obj.weight != int(obj.weight) for obj in stream)
+
+    def test_reproducible_with_same_seed(self):
+        a = generate_stream(base_config(seed=9))
+        b = generate_stream(base_config(seed=9))
+        assert [(o.x, o.y, o.timestamp, o.weight) for o in a] == [
+            (o.x, o.y, o.timestamp, o.weight) for o in b
+        ]
+
+    def test_different_seeds_differ(self):
+        a = generate_stream(base_config(seed=1))
+        b = generate_stream(base_config(seed=2))
+        assert [(o.x, o.y) for o in a] != [(o.x, o.y) for o in b]
+
+    def test_arrival_rate_close_to_target(self):
+        stream = generate_stream(base_config(n_objects=2000, arrival_rate_per_hour=7200.0))
+        rate = ListSource(stream).arrival_rate(per=3600.0)
+        assert rate == pytest.approx(7200.0, rel=0.15)
+
+    def test_object_ids_are_unique(self):
+        stream = generate_stream(base_config())
+        ids = [o.object_id for o in stream]
+        assert len(ids) == len(set(ids))
+
+
+class TestBursts:
+    def test_burst_adds_tagged_objects_in_footprint(self):
+        burst = BurstSpec(
+            center_x=5.0,
+            center_y=5.0,
+            radius_x=0.2,
+            radius_y=0.2,
+            start_time=100.0,
+            duration=200.0,
+            rate_multiplier=5.0,
+        )
+        plain = generate_stream(base_config())
+        with_burst = generate_stream(base_config(bursts=(burst,)))
+        assert len(with_burst) > len(plain)
+        burst_objects = [o for o in with_burst if o.attributes.get("burst")]
+        assert burst_objects
+        for obj in burst_objects:
+            assert 100.0 <= obj.timestamp <= 300.0
+            assert abs(obj.x - 5.0) <= 1.5  # within a few sigma (clipped)
+
+    def test_default_bursts_for_profile(self):
+        bursts = default_bursts_for_profile(TAXI_PROFILE, n_objects=1000, count=2)
+        assert len(bursts) == 2
+        stream_span = 1000 * TAXI_PROFILE.mean_interarrival_seconds
+        for burst in bursts:
+            assert TAXI_PROFILE.extent.contains_xy(burst.center_x, burst.center_y)
+            # Bursts are capped so scaled-down streams are not swamped: never
+            # longer than the profile's default window nor than ~5% of the
+            # generated stream's span.
+            assert 0.0 < burst.duration <= TAXI_PROFILE.default_window_seconds
+            assert burst.duration <= 0.05 * stream_span + 1e-9
+            assert 0.0 <= burst.start_time <= stream_span
+
+
+class TestProfileStreams:
+    def test_profile_stream_respects_extent_and_count(self):
+        stream = generate_profile_stream(UK_PROFILE, n_objects=300, seed=5)
+        assert len(stream) >= 300  # bursts add extra objects
+        for obj in stream:
+            assert UK_PROFILE.extent.contains_xy(obj.x, obj.y)
+
+    def test_profile_stream_without_bursts(self):
+        stream = generate_profile_stream(UK_PROFILE, n_objects=300, seed=5, with_bursts=False)
+        assert len(stream) == 300
+        assert not any(obj.attributes.get("burst") for obj in stream)
+
+    def test_profile_stream_sorted(self):
+        stream = generate_profile_stream(TAXI_PROFILE, n_objects=200, seed=6)
+        times = [o.timestamp for o in stream]
+        assert times == sorted(times)

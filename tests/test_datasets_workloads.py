@@ -1,0 +1,70 @@
+"""Unit tests for the experiment workload helpers."""
+
+import pytest
+
+from repro.datasets.profiles import TAXI_PROFILE, UK_PROFILE, US_PROFILE
+from repro.datasets.workloads import (
+    ALPHA_SWEEP,
+    ARRIVAL_RATE_SWEEP,
+    K_SWEEP,
+    RECT_MULTIPLIERS,
+    default_query_for_profile,
+    rect_size_multipliers,
+    scaled_stream,
+    window_sweep_values,
+)
+from repro.streams.sources import ListSource
+
+
+class TestSweepConstants:
+    def test_paper_parameter_grids(self):
+        assert RECT_MULTIPLIERS == (0.5, 1.0, 2.0, 3.0)
+        assert ALPHA_SWEEP == (0.1, 0.3, 0.5, 0.7, 0.9)
+        assert K_SWEEP == (3, 5, 7, 9)
+        assert ARRIVAL_RATE_SWEEP[0] == 2_000_000
+        assert ARRIVAL_RATE_SWEEP[-1] == 10_000_000
+
+    def test_window_sweeps_match_paper(self):
+        assert window_sweep_values(TAXI_PROFILE) == (60.0, 300.0, 600.0, 1200.0, 1800.0)
+        assert window_sweep_values(UK_PROFILE)[0] == 1800.0
+        assert window_sweep_values(US_PROFILE)[-1] == 43_200.0
+
+    def test_rect_size_multipliers_helper(self):
+        assert rect_size_multipliers() == RECT_MULTIPLIERS
+
+
+class TestDefaultQuery:
+    def test_defaults_follow_profile(self):
+        query = default_query_for_profile(UK_PROFILE)
+        assert query.window_length == UK_PROFILE.default_window_seconds
+        assert query.rect_width == pytest.approx(UK_PROFILE.default_rect_width)
+        assert query.area == UK_PROFILE.extent
+        assert query.k == 1
+
+    def test_overrides(self):
+        query = default_query_for_profile(
+            TAXI_PROFILE, window_seconds=60.0, rect_multiplier=2.0, alpha=0.9, k=5
+        )
+        assert query.window_length == 60.0
+        assert query.rect_width == pytest.approx(2.0 * TAXI_PROFILE.default_rect_width)
+        assert query.alpha == 0.9
+        assert query.k == 5
+
+
+class TestScaledStream:
+    def test_scaled_stream_size(self):
+        stream = scaled_stream(TAXI_PROFILE, n_objects=150, seed=3, with_bursts=False)
+        assert len(stream) == 150
+
+    def test_scaled_stream_rate_override(self):
+        stream = scaled_stream(
+            TAXI_PROFILE, n_objects=500, seed=3, arrivals_per_day=86_400.0 * 10
+        )
+        source = ListSource(stream)
+        # 10 objects per second target rate.
+        assert source.arrival_rate(per=1.0) == pytest.approx(10.0, rel=0.01)
+
+    def test_scaled_stream_objects_inside_extent(self):
+        stream = scaled_stream(US_PROFILE, n_objects=100, seed=1)
+        for obj in stream:
+            assert US_PROFILE.extent.contains_xy(obj.x, obj.y)

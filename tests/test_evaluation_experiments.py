@@ -1,0 +1,111 @@
+"""Tests for the experiment drivers (scaled-down versions of every figure/table)."""
+
+import pytest
+
+from repro.datasets.profiles import TAXI_PROFILE, UK_PROFILE
+from repro.evaluation import experiments
+
+
+class TestTable1:
+    def test_rows_cover_all_datasets(self):
+        rows = experiments.table1_dataset_statistics(n_objects=300)
+        assert [row["dataset"] for row in rows] == ["UK", "US", "Taxi"]
+        for row in rows:
+            assert row["objects"] >= 300
+            assert row["measured_rate_per_hour"] == pytest.approx(
+                row["target_rate_per_hour"], rel=0.3
+            )
+
+
+class TestRuntimeSweeps:
+    def test_runtime_vs_window_shape(self):
+        series = experiments.runtime_vs_window(
+            TAXI_PROFILE,
+            algorithms=("ccs", "gaps"),
+            n_objects=250,
+            window_values=[60.0, 300.0],
+        )
+        assert set(series) == {"ccs", "gaps"}
+        for points in series.values():
+            assert set(points) == {60.0, 300.0}
+            assert all(value > 0 for value in points.values())
+
+    def test_runtime_vs_rect_size_shape(self):
+        series = experiments.runtime_vs_rect_size(
+            TAXI_PROFILE, algorithms=("gaps",), n_objects=250, multipliers=(1.0, 2.0)
+        )
+        assert set(series["gaps"]) == {1.0, 2.0}
+
+    def test_runtime_vs_alpha_shape(self):
+        series = experiments.runtime_vs_alpha(
+            TAXI_PROFILE, algorithms=("gaps",), n_objects=200, alphas=(0.1, 0.9)
+        )
+        assert set(series["gaps"]) == {0.1, 0.9}
+
+
+class TestSearchRatio:
+    def test_ccs_triggers_fewer_searches_than_bccs(self):
+        series = experiments.search_trigger_ratio_vs_window(
+            TAXI_PROFILE, n_objects=400, window_values=[300.0]
+        )
+        assert series["ccs"][300.0] <= series["bccs"][300.0] + 1e-9
+        assert 0.0 <= series["ccs"][300.0] <= 100.0
+
+
+class TestApproximationRatios:
+    def test_ratio_vs_alpha_within_bounds(self):
+        series = experiments.ratio_vs_alpha(
+            TAXI_PROFILE, n_objects=250, alphas=(0.5,), sample_every=10
+        )
+        for name in ("gaps", "mgaps"):
+            ratio = series[name][0.5]
+            assert 12.5 - 1e-6 <= ratio <= 100.0 + 1e-6
+        assert series["mgaps"][0.5] >= series["gaps"][0.5] - 5.0
+
+    def test_ratio_vs_window_within_bounds(self):
+        series = experiments.ratio_vs_window(
+            TAXI_PROFILE, n_objects=250, window_values=[300.0], sample_every=10
+        )
+        assert 12.5 <= series["gaps"][300.0] <= 100.0 + 1e-6
+
+
+class TestScalability:
+    def test_processing_time_reported_per_rate(self):
+        series = experiments.scalability_vs_arrival_rate(
+            [TAXI_PROFILE],
+            algorithm="gaps",
+            n_objects=200,
+            rates_per_day=(2_000_000, 10_000_000),
+            window_seconds=60.0,
+        )
+        points = series["Taxi"]
+        assert set(points) == {2_000_000, 10_000_000}
+        assert all(value >= 0 for value in points.values())
+
+
+class TestTopK:
+    def test_topk_runtime_vs_window(self):
+        series = experiments.topk_runtime_vs_window(
+            TAXI_PROFILE,
+            n_objects=200,
+            k=3,
+            window_values=[300.0],
+            algorithms=("kgaps", "kmgaps"),
+        )
+        assert set(series) == {"kgaps", "kmgaps"}
+        assert series["kgaps"][300.0] > 0
+
+    def test_topk_runtime_vs_k(self):
+        points = experiments.topk_runtime_vs_k(
+            TAXI_PROFILE, algorithm="kgaps", n_objects=200, k_values=(3, 5)
+        )
+        assert set(points) == {3, 5}
+
+
+class TestCaseStudy:
+    def test_detector_finds_the_planted_event(self):
+        outcome = experiments.case_study(keyword="concert", n_background=400, seed=11)
+        assert outcome["keyword"] == "concert"
+        assert outcome["objects_with_keyword"] > 0
+        assert outcome["detected_region"] is not None
+        assert outcome["hit"] is True

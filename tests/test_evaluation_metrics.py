@@ -1,0 +1,52 @@
+"""Unit tests for timing summaries and Figure 8 metrics."""
+
+import pytest
+
+from repro.evaluation.metrics import (
+    TimingSummary,
+    processing_time_per_hour_of_stream,
+    summarize_times,
+)
+
+
+class TestSummarizeTimes:
+    def test_empty_input(self):
+        summary = summarize_times([])
+        assert summary.count == 0
+        assert summary.mean == 0.0
+        assert summary.total == 0.0
+
+    def test_basic_statistics(self):
+        summary = summarize_times([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.median == pytest.approx(2.5)
+        assert summary.maximum == 4.0
+        assert summary.total == pytest.approx(10.0)
+
+    def test_p95_upper_tail(self):
+        times = [0.001] * 99 + [1.0]
+        summary = summarize_times(times)
+        assert summary.p95 <= 1.0
+        assert summary.p95 >= 0.001
+
+    def test_mean_micros(self):
+        summary = summarize_times([1e-6, 3e-6])
+        assert summary.mean_micros == pytest.approx(2.0)
+
+    def test_objects_per_second(self):
+        summary = summarize_times([0.01, 0.01])
+        assert summary.objects_per_second == pytest.approx(100.0)
+
+    def test_objects_per_second_when_mean_zero(self):
+        summary = summarize_times([])
+        assert summary.objects_per_second == float("inf")
+
+
+class TestProcessingTimePerStreamHour:
+    def test_basic_conversion(self):
+        # 10 seconds of processing for 2 hours of stream = 5 s per stream-hour.
+        assert processing_time_per_hour_of_stream(10.0, 7200.0) == pytest.approx(5.0)
+
+    def test_degenerate_stream_span(self):
+        assert processing_time_per_hour_of_stream(1.0, 0.0) == float("inf")

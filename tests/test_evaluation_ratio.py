@@ -1,0 +1,54 @@
+"""Unit tests for the approximation-ratio harness."""
+
+import math
+
+import pytest
+
+from tests.helpers import make_objects
+from repro.core.query import SurgeQuery
+from repro.evaluation.ratio import measure_approximation_ratio
+
+
+@pytest.fixture
+def query():
+    return SurgeQuery(rect_width=1.0, rect_height=1.0, window_length=10.0, alpha=0.5)
+
+
+@pytest.fixture
+def stream():
+    return make_objects(100, seed=41, extent=6.0, time_step=0.4)
+
+
+class TestMeasureApproximationRatio:
+    def test_ratio_between_bound_and_one(self, query, stream):
+        outcome = measure_approximation_ratio("gaps", query, stream, sample_every=5)
+        assert outcome.samples > 0
+        assert outcome.mean_ratio <= 1.0 + 1e-9
+        assert outcome.min_ratio >= (1 - query.alpha) / 4.0 - 1e-9
+        assert outcome.mean_percent == pytest.approx(outcome.mean_ratio * 100.0)
+
+    def test_exact_versus_exact_is_one(self, query, stream):
+        outcome = measure_approximation_ratio("naive", query, stream, sample_every=10)
+        assert outcome.samples > 0
+        assert outcome.mean_ratio == pytest.approx(1.0)
+        assert outcome.min_ratio == pytest.approx(1.0)
+
+    def test_mgaps_at_least_as_good_as_gaps(self, query, stream):
+        gaps = measure_approximation_ratio("gaps", query, stream, sample_every=5)
+        mgaps = measure_approximation_ratio("mgaps", query, stream, sample_every=5)
+        assert mgaps.mean_ratio >= gaps.mean_ratio - 0.05
+
+    def test_requires_exact_reference(self, query, stream):
+        with pytest.raises(ValueError, match="not exact"):
+            measure_approximation_ratio("gaps", query, stream, exact="mgaps")
+
+    def test_no_samples_when_stream_never_stabilises(self, query):
+        short = make_objects(5, seed=1, time_step=0.1)
+        outcome = measure_approximation_ratio("gaps", query, short, sample_every=1)
+        assert outcome.samples == 0
+        assert math.isnan(outcome.mean_ratio)
+
+    def test_names_recorded(self, query, stream):
+        outcome = measure_approximation_ratio("gaps", query, stream[:40], sample_every=10)
+        assert outcome.approximate_name == "gaps"
+        assert outcome.exact_name == "ccs"

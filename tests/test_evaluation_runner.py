@@ -1,0 +1,81 @@
+"""Unit tests for the stream runner (the paper's measurement protocol)."""
+
+import pytest
+
+from tests.helpers import make_objects
+from repro.core.query import SurgeQuery
+from repro.evaluation.runner import run_detector, run_detectors
+
+
+@pytest.fixture
+def query():
+    return SurgeQuery(rect_width=1.0, rect_height=1.0, window_length=10.0, alpha=0.5)
+
+
+@pytest.fixture
+def stream():
+    return make_objects(80, seed=31, extent=6.0, time_step=0.5)
+
+
+class TestRunDetector:
+    def test_run_by_name(self, query, stream):
+        outcome = run_detector("gaps", query, stream)
+        assert outcome.detector_name == "gaps"
+        assert outcome.objects_total == len(stream)
+        assert outcome.final_result is not None
+        assert outcome.timing.count == outcome.objects_measured
+
+    def test_warmup_stable_measures_fewer_objects(self, query, stream):
+        stable = run_detector("gaps", query, stream, warmup="stable")
+        everything = run_detector("gaps", query, stream, warmup="none")
+        assert stable.objects_measured < everything.objects_measured
+        assert everything.objects_measured == len(stream)
+
+    def test_max_measured_objects_cap(self, query, stream):
+        outcome = run_detector("gaps", query, stream, warmup="none", max_measured_objects=10)
+        assert outcome.objects_measured == 10
+        # The whole stream is still processed.
+        assert outcome.objects_total == len(stream)
+
+    def test_stream_span(self, query, stream):
+        outcome = run_detector("gaps", query, stream, warmup="none")
+        assert outcome.stream_span_seconds == pytest.approx(
+            stream[-1].timestamp - stream[0].timestamp
+        )
+
+    def test_stats_are_propagated(self, query, stream):
+        outcome = run_detector("ccs", query, stream)
+        assert outcome.stats.events_processed > 0
+
+    def test_final_top_k_for_topk_query(self, stream):
+        query = SurgeQuery(rect_width=1.0, rect_height=1.0, window_length=10.0, k=3)
+        outcome = run_detector("kgaps", query, stream)
+        assert 1 <= len(outcome.final_top_k) <= 3
+
+    def test_accepts_prebuilt_detector(self, query, stream):
+        from repro.core.gap import GapSurge
+
+        detector = GapSurge(query)
+        outcome = run_detector(detector, query, stream)
+        assert outcome.detector_name == "gaps"
+
+    def test_mean_time_property(self, query, stream):
+        outcome = run_detector("gaps", query, stream, warmup="none")
+        assert outcome.mean_time_per_object_micros == pytest.approx(
+            outcome.timing.mean * 1e6
+        )
+
+
+class TestRunDetectors:
+    def test_runs_every_name(self, query, stream):
+        outcomes = run_detectors(["gaps", "mgaps"], query, stream)
+        assert set(outcomes) == {"gaps", "mgaps"}
+        for outcome in outcomes.values():
+            assert outcome.objects_total == len(stream)
+
+    def test_exact_and_approx_scores_relate(self, query, stream):
+        outcomes = run_detectors(["ccs", "gaps"], query, stream)
+        exact_score = outcomes["ccs"].final_result.score
+        approx_score = outcomes["gaps"].final_result.score
+        assert approx_score <= exact_score + 1e-9
+        assert approx_score >= (1 - query.alpha) / 4.0 * exact_score - 1e-9

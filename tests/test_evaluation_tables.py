@@ -1,0 +1,55 @@
+"""Unit tests for the table / series formatting helpers."""
+
+from repro.evaluation.tables import format_paper_expectation, format_series, format_table
+
+
+class TestFormatTable:
+    def test_contains_title_columns_and_rows(self):
+        text = format_table(
+            "Table I",
+            ["dataset", "objects", "rate"],
+            [["UK", 1000, 5747.0], ["US", 2000, 16802.0]],
+        )
+        assert text.splitlines()[0] == "Table I"
+        assert "dataset" in text
+        assert "UK" in text
+        assert "1.68e+04" in text or "16802" in text or "1.68e+4" in text
+
+    def test_alignment_uses_widest_cell(self):
+        text = format_table("T", ["a"], [["short"], ["a-much-longer-cell"]])
+        lines = text.splitlines()
+        # All data lines have the same width.
+        assert len(lines[2]) == len(lines[3]) or lines[2].startswith("-")
+
+    def test_float_formatting(self):
+        text = format_table("T", ["v"], [[0.123456789]], value_format="{:.2f}")
+        assert "0.12" in text
+
+    def test_empty_rows(self):
+        text = format_table("T", ["a", "b"], [])
+        assert "a" in text and "b" in text
+
+
+class TestFormatSeries:
+    def test_one_line_per_point(self):
+        text = format_series(
+            "Figure 5(a)",
+            "window",
+            {"CCS": {60: 12.5, 300: 40.0}, "Base": {60: 100.0}},
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Figure 5(a)"
+        assert len(lines) == 4
+        assert any("CCS" in line and "window=60" in line for line in lines)
+        assert any("Base" in line for line in lines)
+
+    def test_value_format(self):
+        text = format_series("F", "x", {"s": {1: 3.14159}}, value_format="{:.1f}")
+        assert "3.1" in text
+
+
+class TestPaperExpectation:
+    def test_prefix(self):
+        note = format_paper_expectation("CCS is fastest")
+        assert note.strip().startswith("[paper expectation]")
+        assert "CCS is fastest" in note

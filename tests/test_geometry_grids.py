@@ -1,0 +1,109 @@
+"""Unit tests for the regular grid addressing used by every detector."""
+
+import pytest
+
+from repro.geometry.grids import GridSpec, cell_of_point, cells_overlapping_rect
+from repro.geometry.primitives import Point, Rect
+
+
+class TestGridSpecBasics:
+    def test_invalid_cell_size_rejected(self):
+        with pytest.raises(ValueError):
+            GridSpec(cell_width=0.0, cell_height=1.0)
+        with pytest.raises(ValueError):
+            GridSpec(cell_width=1.0, cell_height=-2.0)
+
+    def test_cell_of_origin_cell(self):
+        grid = GridSpec(cell_width=2.0, cell_height=3.0)
+        assert grid.cell_of(0.5, 0.5) == (0, 0)
+        assert grid.cell_of(1.9, 2.9) == (0, 0)
+
+    def test_cell_of_negative_coordinates(self):
+        grid = GridSpec(cell_width=1.0, cell_height=1.0)
+        assert grid.cell_of(-0.5, -0.5) == (-1, -1)
+        assert grid.cell_of(-1.0, -1.0) == (-1, -1)
+
+    def test_cell_of_boundary_goes_to_higher_cell(self):
+        grid = GridSpec(cell_width=1.0, cell_height=1.0)
+        assert grid.cell_of(1.0, 0.5) == (1, 0)
+        assert grid.cell_of(0.5, 2.0) == (0, 2)
+
+    def test_cell_of_respects_origin(self):
+        grid = GridSpec(cell_width=1.0, cell_height=1.0, origin_x=0.5, origin_y=0.5)
+        assert grid.cell_of(0.4, 0.4) == (-1, -1)
+        assert grid.cell_of(0.6, 0.6) == (0, 0)
+
+    def test_cell_rect_round_trip(self):
+        grid = GridSpec(cell_width=2.0, cell_height=0.5, origin_x=-1.0, origin_y=3.0)
+        rect = grid.cell_rect((2, -1))
+        assert rect == Rect(3.0, 2.5, 5.0, 3.0)
+        # Every interior point of a cell maps back to the same index.
+        assert grid.cell_of(rect.center.x, rect.center.y) == (2, -1)
+
+    def test_point_always_inside_its_cell_rect(self):
+        grid = GridSpec(cell_width=0.7, cell_height=1.3, origin_x=0.1, origin_y=-0.2)
+        for x, y in [(0.0, 0.0), (5.3, -2.7), (-3.9, 10.0), (0.1, -0.2)]:
+            index = grid.cell_of(x, y)
+            assert grid.cell_rect(index).contains_xy(x, y)
+
+    def test_module_level_wrappers(self):
+        grid = GridSpec(cell_width=1.0, cell_height=1.0)
+        assert cell_of_point(grid, Point(2.5, 3.5)) == (2, 3)
+        cells = cells_overlapping_rect(grid, Rect(0.1, 0.1, 0.9, 0.9))
+        assert cells == [(0, 0)]
+
+
+class TestCellsOverlapping:
+    def test_rect_inside_one_cell(self):
+        grid = GridSpec(cell_width=1.0, cell_height=1.0)
+        assert list(grid.cells_overlapping(Rect(0.2, 0.2, 0.8, 0.8))) == [(0, 0)]
+
+    def test_query_sized_rect_general_position_overlaps_four_cells(self):
+        grid = GridSpec(cell_width=1.0, cell_height=1.0)
+        cells = set(grid.cells_overlapping(Rect(0.5, 0.5, 1.5, 1.5)))
+        assert cells == {(0, 0), (1, 0), (0, 1), (1, 1)}
+
+    def test_aligned_rect_touches_neighbouring_cells(self):
+        # A cell-aligned rectangle touches its neighbours along zero-area
+        # strips; the overlap enumeration reports them, which costs a bit of
+        # extra work for the detectors but never correctness.
+        grid = GridSpec(cell_width=1.0, cell_height=1.0)
+        cells = set(grid.cells_overlapping(Rect(1.0, 1.0, 2.0, 2.0)))
+        assert (1, 1) in cells
+        assert cells <= {(i, j) for i in (0, 1, 2) for j in (0, 1, 2)}
+
+    def test_large_rect_spans_many_cells(self):
+        grid = GridSpec(cell_width=1.0, cell_height=1.0)
+        cells = set(grid.cells_overlapping(Rect(0.1, 0.1, 3.1, 1.1)))
+        assert {(0, 0), (1, 0), (2, 0), (3, 0), (0, 1), (3, 1)} <= cells
+
+    def test_every_reported_cell_actually_intersects(self):
+        grid = GridSpec(cell_width=0.8, cell_height=1.2, origin_x=0.3, origin_y=-0.4)
+        rect = Rect(1.05, 0.2, 2.9, 2.7)
+        for index in grid.cells_overlapping(rect):
+            assert grid.cell_rect(index).intersects(rect)
+
+
+class TestShiftedGrids:
+    def test_shifted_moves_origin_by_cell_fraction(self):
+        grid = GridSpec(cell_width=2.0, cell_height=4.0)
+        shifted = grid.shifted(0.5, 0.5)
+        assert shifted.origin_x == pytest.approx(1.0)
+        assert shifted.origin_y == pytest.approx(2.0)
+        assert shifted.cell_width == grid.cell_width
+
+    def test_mgap_family_has_four_distinct_origins(self):
+        grid = GridSpec(cell_width=1.0, cell_height=1.0)
+        family = grid.mgap_family()
+        assert len(family) == 4
+        assert family[0] is grid
+        origins = {(g.origin_x, g.origin_y) for g in family}
+        assert origins == {(0.0, 0.0), (0.5, 0.0), (0.0, 0.5), (0.5, 0.5)}
+
+    def test_point_maps_to_different_cells_in_shifted_grids(self):
+        grid = GridSpec(cell_width=1.0, cell_height=1.0)
+        shifted = grid.shifted(0.5, 0.0)
+        assert grid.cell_of(0.6, 0.1) == (0, 0)
+        assert shifted.cell_of(0.6, 0.1) == (0, 0)
+        assert grid.cell_of(0.4, 0.1) == (0, 0)
+        assert shifted.cell_of(0.4, 0.1) == (-1, 0)

@@ -1,0 +1,138 @@
+"""Unit tests for the lazy addressable max-heap."""
+
+import pytest
+
+from repro.geometry.heaps import LazyMaxHeap
+
+
+class TestBasicOperations:
+    def test_empty_heap(self):
+        heap = LazyMaxHeap()
+        assert heap.peek() is None
+        assert len(heap) == 0
+        with pytest.raises(IndexError):
+            heap.pop()
+
+    def test_push_and_peek(self):
+        heap = LazyMaxHeap()
+        heap.push("a", 1.0)
+        heap.push("b", 3.0)
+        heap.push("c", 2.0)
+        assert heap.peek() == ("b", 3.0)
+        assert len(heap) == 3
+
+    def test_pop_returns_descending_order(self):
+        heap = LazyMaxHeap()
+        for key, priority in [("a", 1.0), ("b", 5.0), ("c", 3.0), ("d", 4.0)]:
+            heap.push(key, priority)
+        popped = [heap.pop() for _ in range(4)]
+        assert popped == [("b", 5.0), ("d", 4.0), ("c", 3.0), ("a", 1.0)]
+        assert len(heap) == 0
+
+    def test_update_priority_overrides_previous(self):
+        heap = LazyMaxHeap()
+        heap.push("a", 1.0)
+        heap.push("b", 2.0)
+        heap.push("a", 10.0)
+        assert heap.peek() == ("a", 10.0)
+        assert len(heap) == 2
+
+    def test_decrease_priority(self):
+        heap = LazyMaxHeap()
+        heap.push("a", 10.0)
+        heap.push("b", 5.0)
+        heap.push("a", 1.0)
+        assert heap.peek() == ("b", 5.0)
+
+    def test_remove(self):
+        heap = LazyMaxHeap()
+        heap.push("a", 10.0)
+        heap.push("b", 5.0)
+        heap.remove("a")
+        assert heap.peek() == ("b", 5.0)
+        assert "a" not in heap
+        heap.remove("missing")  # no-op
+
+    def test_contains_and_priority_of(self):
+        heap = LazyMaxHeap()
+        heap.push("x", 7.0)
+        assert "x" in heap
+        assert heap.priority_of("x") == 7.0
+        assert heap.priority_of("y") is None
+        assert heap.priority_of("y", default=0.0) == 0.0
+
+    def test_clear(self):
+        heap = LazyMaxHeap()
+        heap.push("x", 1.0)
+        heap.clear()
+        assert len(heap) == 0
+        assert heap.peek() is None
+
+    def test_iteration_yields_live_entries(self):
+        heap = LazyMaxHeap()
+        heap.push("a", 1.0)
+        heap.push("b", 2.0)
+        heap.push("a", 3.0)
+        assert dict(iter(heap)) == {"a": 3.0, "b": 2.0}
+
+
+class TestTopN:
+    def test_top_n_sorted_descending(self):
+        heap = LazyMaxHeap()
+        for index in range(10):
+            heap.push(index, float(index))
+        assert heap.top_n(3) == [(9, 9.0), (8, 8.0), (7, 7.0)]
+
+    def test_top_n_larger_than_heap(self):
+        heap = LazyMaxHeap()
+        heap.push("a", 1.0)
+        assert heap.top_n(5) == [("a", 1.0)]
+
+    def test_top_n_zero_or_negative(self):
+        heap = LazyMaxHeap()
+        heap.push("a", 1.0)
+        assert heap.top_n(0) == []
+        assert heap.top_n(-2) == []
+
+    def test_top_n_reflects_updates(self):
+        heap = LazyMaxHeap()
+        heap.push("a", 1.0)
+        heap.push("b", 2.0)
+        heap.push("a", 5.0)
+        assert heap.top_n(2) == [("a", 5.0), ("b", 2.0)]
+
+
+class TestStressAndCompaction:
+    def test_many_updates_remain_consistent(self):
+        heap = LazyMaxHeap()
+        reference = {}
+        import random
+
+        rng = random.Random(1)
+        for step in range(3000):
+            key = rng.randrange(40)
+            if rng.random() < 0.15 and key in reference:
+                heap.remove(key)
+                del reference[key]
+            else:
+                priority = rng.random() * 100
+                heap.push(key, priority)
+                reference[key] = priority
+            if reference:
+                best_key, best_priority = max(reference.items(), key=lambda kv: kv[1])
+                top = heap.peek()
+                assert top is not None
+                assert top[1] == pytest.approx(best_priority)
+            else:
+                assert heap.peek() is None
+        assert len(heap) == len(reference)
+
+    def test_pop_skips_stale_entries(self):
+        heap = LazyMaxHeap()
+        heap.push("a", 5.0)
+        heap.push("a", 1.0)
+        heap.push("b", 3.0)
+        assert heap.pop() == ("b", 3.0)
+        assert heap.pop() == ("a", 1.0)
+        with pytest.raises(IndexError):
+            heap.pop()

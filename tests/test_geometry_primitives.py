@@ -1,0 +1,142 @@
+"""Unit tests for points and axis-aligned rectangles."""
+
+import math
+
+import pytest
+
+from repro.geometry.primitives import (
+    Point,
+    Rect,
+    rect_from_bottom_left,
+    rect_from_top_right,
+)
+
+
+class TestPoint:
+    def test_translated_moves_both_coordinates(self):
+        assert Point(1.0, 2.0).translated(0.5, -1.0) == Point(1.5, 1.0)
+
+    def test_distance_is_euclidean(self):
+        assert Point(0.0, 0.0).distance_to(Point(3.0, 4.0)) == pytest.approx(5.0)
+
+    def test_distance_is_symmetric(self):
+        a, b = Point(1.2, -3.4), Point(-0.7, 2.2)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    def test_as_tuple_round_trips(self):
+        assert Point(2.5, -1.0).as_tuple() == (2.5, -1.0)
+
+
+class TestRectConstruction:
+    def test_degenerate_rectangle_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(1.0, 0.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            Rect(0.0, 1.0, 1.0, 0.0)
+
+    def test_zero_area_rectangle_allowed(self):
+        rect = Rect(1.0, 1.0, 1.0, 1.0)
+        assert rect.area == 0.0
+        assert rect.contains_xy(1.0, 1.0)
+
+    def test_width_height_area(self):
+        rect = Rect(0.0, 0.0, 2.0, 3.0)
+        assert rect.width == 2.0
+        assert rect.height == 3.0
+        assert rect.area == 6.0
+
+    def test_corners_and_center(self):
+        rect = Rect(0.0, 0.0, 2.0, 4.0)
+        assert rect.bottom_left == Point(0.0, 0.0)
+        assert rect.top_right == Point(2.0, 4.0)
+        assert rect.center == Point(1.0, 2.0)
+        assert len(list(rect.corners())) == 4
+
+    def test_from_bottom_left(self):
+        rect = rect_from_bottom_left(Point(1.0, 2.0), 3.0, 4.0)
+        assert rect == Rect(1.0, 2.0, 4.0, 6.0)
+
+    def test_from_top_right(self):
+        rect = rect_from_top_right(Point(4.0, 6.0), 3.0, 4.0)
+        assert rect == Rect(1.0, 2.0, 4.0, 6.0)
+
+    def test_bottom_left_top_right_are_inverses(self):
+        rect = rect_from_bottom_left(Point(-1.0, 5.0), 2.0, 0.5)
+        again = rect_from_top_right(rect.top_right, 2.0, 0.5)
+        assert again == rect
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            rect_from_bottom_left(Point(0, 0), -1.0, 1.0)
+        with pytest.raises(ValueError):
+            rect_from_top_right(Point(0, 0), 1.0, -1.0)
+
+
+class TestRectPredicates:
+    def test_contains_point_closed_boundaries(self):
+        rect = Rect(0.0, 0.0, 1.0, 1.0)
+        assert rect.contains_point(Point(0.0, 0.0))
+        assert rect.contains_point(Point(1.0, 1.0))
+        assert rect.contains_point(Point(0.5, 1.0))
+        assert not rect.contains_point(Point(1.0001, 0.5))
+
+    def test_contains_rect(self):
+        outer = Rect(0.0, 0.0, 10.0, 10.0)
+        inner = Rect(2.0, 2.0, 3.0, 3.0)
+        assert outer.contains_rect(inner)
+        assert not inner.contains_rect(outer)
+        assert outer.contains_rect(outer)
+
+    def test_intersects_touching_edges(self):
+        a = Rect(0.0, 0.0, 1.0, 1.0)
+        b = Rect(1.0, 0.0, 2.0, 1.0)
+        assert a.intersects(b)
+        assert not a.intersects_interior(b)
+
+    def test_intersects_disjoint(self):
+        a = Rect(0.0, 0.0, 1.0, 1.0)
+        b = Rect(1.5, 1.5, 2.0, 2.0)
+        assert not a.intersects(b)
+        assert a.intersection(b) is None
+
+    def test_intersects_interior_overlap(self):
+        a = Rect(0.0, 0.0, 2.0, 2.0)
+        b = Rect(1.0, 1.0, 3.0, 3.0)
+        assert a.intersects_interior(b)
+        assert a.intersection(b) == Rect(1.0, 1.0, 2.0, 2.0)
+
+
+class TestRectOperations:
+    def test_union_bounds(self):
+        a = Rect(0.0, 0.0, 1.0, 1.0)
+        b = Rect(2.0, -1.0, 3.0, 0.5)
+        assert a.union_bounds(b) == Rect(0.0, -1.0, 3.0, 1.0)
+
+    def test_translated(self):
+        assert Rect(0.0, 0.0, 1.0, 1.0).translated(1.0, 2.0) == Rect(1.0, 2.0, 2.0, 3.0)
+
+    def test_expanded(self):
+        assert Rect(0.0, 0.0, 1.0, 1.0).expanded(0.5) == Rect(-0.5, -0.5, 1.5, 1.5)
+
+    def test_clamp_point_inside_returns_same(self):
+        rect = Rect(0.0, 0.0, 2.0, 2.0)
+        assert rect.clamp_point(Point(1.0, 1.5)) == Point(1.0, 1.5)
+
+    def test_clamp_point_outside_projects_to_boundary(self):
+        rect = Rect(0.0, 0.0, 2.0, 2.0)
+        assert rect.clamp_point(Point(5.0, -3.0)) == Point(2.0, 0.0)
+
+    def test_as_tuple(self):
+        assert Rect(1.0, 2.0, 3.0, 4.0).as_tuple() == (1.0, 2.0, 3.0, 4.0)
+
+    def test_intersection_is_commutative(self):
+        a = Rect(0.0, 0.0, 2.5, 2.5)
+        b = Rect(1.0, -1.0, 3.0, 1.5)
+        assert a.intersection(b) == b.intersection(a)
+
+    def test_intersection_contained_in_both(self):
+        a = Rect(0.0, 0.0, 2.5, 2.5)
+        b = Rect(1.0, -1.0, 3.0, 1.5)
+        both = a.intersection(b)
+        assert a.contains_rect(both)
+        assert b.contains_rect(both)

@@ -1,0 +1,218 @@
+"""Integration tests: end-to-end continuous detection scenarios.
+
+These tests run realistic (scaled-down) scenarios through the full public
+API — generator → monitor → detector — and check behaviour the paper's
+motivating examples promise: planted bursts are found when and where they
+happen, detectors agree with each other, and keyword filtering finds the
+planted case-study events.
+"""
+
+import pytest
+
+from repro.core.monitor import SurgeMonitor
+from repro.core.query import SurgeQuery
+from repro.datasets.keywords import KeywordEvent, filter_by_keyword, generate_keyword_stream
+from repro.datasets.profiles import TAXI_PROFILE
+from repro.datasets.synthetic import BurstSpec, StreamConfig, generate_stream
+from repro.datasets.workloads import default_query_for_profile
+from repro.geometry.primitives import Rect
+
+EXTENT = Rect(0.0, 0.0, 100.0, 100.0)
+
+
+def burst_scenario(seed=5):
+    """Low uniform background plus one intense localized burst near the end."""
+    burst = BurstSpec(
+        center_x=30.0,
+        center_y=70.0,
+        radius_x=0.5,
+        radius_y=0.5,
+        start_time=2800.0,
+        duration=300.0,
+        rate_multiplier=4.0,
+    )
+    config = StreamConfig(
+        extent=EXTENT,
+        n_objects=450,
+        arrival_rate_per_hour=500.0,
+        weight_range=(1.0, 5.0),
+        hotspot_count=6,
+        uniform_fraction=0.8,
+        bursts=(burst,),
+        seed=seed,
+    )
+    return generate_stream(config), burst
+
+
+class TestBurstDetection:
+    @pytest.mark.parametrize("algorithm", ["ccs", "gaps", "mgaps"])
+    def test_planted_burst_is_detected_while_active(self, algorithm):
+        stream, burst = burst_scenario()
+        query = SurgeQuery(
+            rect_width=3.0, rect_height=3.0, window_length=400.0, alpha=0.7
+        )
+        monitor = SurgeMonitor(query, algorithm=algorithm)
+        hits = 0
+        checks = 0
+        for obj in stream:
+            result = monitor.push(obj)
+            in_burst_window = (
+                burst.start_time + 100.0 <= obj.timestamp <= burst.start_time + burst.duration
+            )
+            if result is None or not in_burst_window:
+                continue
+            checks += 1
+            if result.region.contains_xy(burst.center_x, burst.center_y):
+                hits += 1
+        assert checks > 0
+        # The burst is by far the densest area; the detector should point at
+        # it for the vast majority of the burst period.
+        assert hits / checks > 0.8
+
+    def test_detection_follows_the_burst_not_the_background(self):
+        stream, burst = burst_scenario(seed=9)
+        query = SurgeQuery(rect_width=3.0, rect_height=3.0, window_length=400.0, alpha=0.7)
+        monitor = SurgeMonitor(query, algorithm="ccs")
+        before_scores = []
+        during_scores = []
+        for obj in stream:
+            result = monitor.push(obj)
+            if result is None:
+                continue
+            if obj.timestamp < burst.start_time:
+                before_scores.append(result.score)
+            elif obj.timestamp <= burst.start_time + burst.duration:
+                during_scores.append(result.score)
+        assert during_scores
+        assert max(during_scores) > 3.0 * max(before_scores)
+
+
+class TestDetectorAgreementOnProfileStream:
+    def test_exact_detectors_agree_on_taxi_like_stream(self):
+        from repro.datasets.synthetic import generate_profile_stream
+
+        stream = generate_profile_stream(TAXI_PROFILE, n_objects=250, seed=3)
+        query = default_query_for_profile(TAXI_PROFILE, window_seconds=60.0)
+        ccs = SurgeMonitor(query, algorithm="ccs")
+        base = SurgeMonitor(query, algorithm="base")
+        for obj in stream:
+            a = ccs.push(obj)
+            b = base.push(obj)
+            score_a = a.score if a else 0.0
+            score_b = b.score if b else 0.0
+            assert abs(score_a - score_b) <= 1e-6 * max(1.0, score_a)
+
+    def test_approximation_quality_on_taxi_like_stream(self):
+        from repro.datasets.synthetic import generate_profile_stream
+
+        stream = generate_profile_stream(TAXI_PROFILE, n_objects=250, seed=4)
+        query = default_query_for_profile(TAXI_PROFILE, window_seconds=60.0, alpha=0.5)
+        exact = SurgeMonitor(query, algorithm="ccs")
+        approx = SurgeMonitor(query, algorithm="mgaps")
+        ratios = []
+        for obj in stream:
+            a = exact.push(obj)
+            b = approx.push(obj)
+            if a is not None and a.score > 0:
+                ratios.append((b.score if b else 0.0) / a.score)
+        assert ratios
+        # Theoretical bound is 12.5%; in practice MGAPS does far better.
+        assert min(ratios) >= (1 - query.alpha) / 4.0 - 1e-9
+        assert sum(ratios) / len(ratios) > 0.5
+
+
+class TestKeywordCaseStudy:
+    def test_concert_event_found_by_keyword_filtering(self):
+        event = KeywordEvent(
+            keyword="concert",
+            center_x=60.0,
+            center_y=40.0,
+            start_time=2000.0,
+            duration=600.0,
+            radius_x=1.0,
+            radius_y=1.0,
+            rate_multiplier=4.0,
+        )
+        stream = generate_keyword_stream(
+            extent=EXTENT,
+            n_background=600,
+            arrival_rate_per_hour=700.0,
+            events=(event,),
+            seed=7,
+        )
+        filtered = filter_by_keyword(stream, "concert")
+        assert 0 < len(filtered) < len(stream)
+
+        query = SurgeQuery(rect_width=5.0, rect_height=5.0, window_length=600.0, alpha=0.6)
+        monitor = SurgeMonitor(query, algorithm="ccs")
+        detected_during_event = None
+        for obj in filtered:
+            result = monitor.push(obj)
+            if event.start_time + 200 <= obj.timestamp <= event.start_time + event.duration:
+                detected_during_event = result
+        assert detected_during_event is not None
+        assert detected_during_event.region.intersects(event.region)
+
+    def test_unrelated_keyword_does_not_see_the_event(self):
+        event = KeywordEvent(
+            keyword="concert",
+            center_x=60.0,
+            center_y=40.0,
+            start_time=2000.0,
+            duration=600.0,
+            radius_x=1.0,
+            radius_y=1.0,
+            rate_multiplier=8.0,
+        )
+        stream = generate_keyword_stream(
+            extent=EXTENT,
+            n_background=400,
+            arrival_rate_per_hour=1200.0,
+            events=(event,),
+            seed=8,
+        )
+        other = filter_by_keyword(stream, "weather")
+        assert all(o.attributes.get("event") != "concert" for o in other)
+
+
+class TestTopKIntegration:
+    def test_topk_detectors_report_distinct_hotspots(self):
+        bursts = tuple(
+            BurstSpec(
+                center_x=cx,
+                center_y=cy,
+                radius_x=0.4,
+                radius_y=0.4,
+                start_time=1000.0,
+                duration=500.0,
+                rate_multiplier=rate,
+            )
+            for cx, cy, rate in [(20.0, 20.0, 3.0), (50.0, 60.0, 2.5), (80.0, 30.0, 2.0)]
+        )
+        config = StreamConfig(
+            extent=EXTENT,
+            n_objects=250,
+            arrival_rate_per_hour=400.0,
+            uniform_fraction=1.0,
+            hotspot_count=1,
+            weight_range=(1.0, 3.0),
+            bursts=bursts,
+            seed=12,
+        )
+        stream = generate_stream(config)
+        query = SurgeQuery(
+            rect_width=4.0, rect_height=4.0, window_length=500.0, alpha=0.5, k=3
+        )
+        monitor = SurgeMonitor(query, algorithm="kccs")
+        final = None
+        for obj in stream:
+            monitor.push(obj)
+            if 1400.0 <= obj.timestamp <= 1800.0:
+                final = monitor.top_k()
+        assert final is not None
+        assert len(final) == 3
+        centres_found = 0
+        for cx, cy, _ in [(20.0, 20.0, 12.0), (50.0, 60.0, 9.0), (80.0, 30.0, 6.0)]:
+            if any(region.region.contains_xy(cx, cy) for region in final):
+                centres_found += 1
+        assert centres_found >= 2

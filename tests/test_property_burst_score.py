@@ -1,0 +1,106 @@
+"""Property-based tests for the burst score function and its lemmas."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.burst import WindowAccumulator, burst_score
+
+scores = st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False)
+alphas = st.floats(min_value=0.0, max_value=0.999, allow_nan=False)
+weights = st.floats(min_value=0.0, max_value=1e3, allow_nan=False)
+
+
+class TestScoreBounds:
+    @given(fc=scores, fp=scores, alpha=alphas)
+    def test_score_is_non_negative(self, fc, fp, alpha):
+        assert burst_score(fc, fp, alpha) >= 0.0
+
+    @given(fc=scores, fp=scores, alpha=alphas)
+    def test_static_upper_bound_lemma2(self, fc, fp, alpha):
+        """Lemma 2: S(p) <= f(p, Wc) — the static bound is always valid."""
+        assert burst_score(fc, fp, alpha) <= fc + 1e-9 * max(1.0, fc)
+
+    @given(fc=scores, fp=scores, alpha=alphas)
+    def test_removing_past_mass_never_decreases_score(self, fc, fp, alpha):
+        assert burst_score(fc, 0.0, alpha) >= burst_score(fc, fp, alpha) - 1e-12
+
+    @given(fc=scores, fp=scores, extra=scores, alpha=alphas)
+    def test_adding_current_mass_never_decreases_score(self, fc, fp, extra, alpha):
+        assert burst_score(fc + extra, fp, alpha) >= burst_score(fc, fp, alpha) - 1e-9
+
+    @given(fc=scores, fp=scores, alpha=alphas)
+    def test_score_between_significance_and_current_mass(self, fc, fp, alpha):
+        """(1-alpha)*fc <= S <= fc — the containment Lemma 5 relies on."""
+        score = burst_score(fc, fp, alpha)
+        assert score >= (1.0 - alpha) * fc - 1e-9 * max(1.0, fc)
+        assert score <= fc + 1e-9 * max(1.0, fc)
+
+
+class TestSubadditivity:
+    @given(
+        fc1=scores, fp1=scores, fc2=scores, fp2=scores, alpha=alphas
+    )
+    def test_lemma6_subadditivity_over_disjoint_regions(self, fc1, fp1, fc2, fp2, alpha):
+        """Lemma 6: S(r1 ∪ r2) <= S(r1) + S(r2) for disjoint r1, r2.
+
+        For disjoint regions the window scores add, so this is a statement
+        about the score function itself.
+        """
+        union = burst_score(fc1 + fc2, fp1 + fp2, alpha)
+        separate = burst_score(fc1, fp1, alpha) + burst_score(fc2, fp2, alpha)
+        assert union <= separate + 1e-6 * max(1.0, separate)
+
+    @given(fc1=scores, fp1=scores, fc2=scores, fp2=scores, alpha=alphas)
+    def test_lemma5_containment(self, fc1, fp1, fc2, fp2, alpha):
+        """Lemma 5: S(r2) >= (1 - alpha) * S(r1) when r1 ⊆ r2.
+
+        Containment means fc2 >= fc1 (and fp2 >= fp1, which only matters for
+        the burstiness term the lemma discards).
+        """
+        big_fc = fc1 + fc2
+        big_fp = fp1 + fp2
+        small = burst_score(fc1, fp1, alpha)
+        big = burst_score(big_fc, big_fp, alpha)
+        assert big >= (1.0 - alpha) * small - 1e-6 * max(1.0, small)
+
+
+class TestAccumulatorConsistency:
+    @given(
+        entries=st.lists(
+            st.tuples(weights, st.sampled_from(["current", "past"])), max_size=30
+        ),
+        alpha=alphas,
+        window=st.floats(min_value=0.5, max_value=100.0),
+    )
+    @settings(max_examples=50)
+    def test_accumulator_matches_direct_computation(self, entries, alpha, window):
+        accumulator = WindowAccumulator()
+        current_total = 0.0
+        past_total = 0.0
+        for weight, label in entries:
+            if label == "current":
+                accumulator.apply_new(weight, window)
+                current_total += weight
+            else:
+                accumulator.apply_new(weight, window)
+                accumulator.apply_grown(weight, window, window)
+                past_total += weight
+        expected = burst_score(current_total / window, past_total / window, alpha)
+        assert abs(accumulator.score(alpha) - expected) <= 1e-6 * max(1.0, expected)
+
+    @given(
+        entries=st.lists(weights, min_size=1, max_size=20),
+        window=st.floats(min_value=0.5, max_value=50.0),
+    )
+    @settings(max_examples=50)
+    def test_full_lifecycle_returns_to_empty(self, entries, window):
+        accumulator = WindowAccumulator()
+        for weight in entries:
+            accumulator.apply_new(weight, window)
+        for weight in entries:
+            accumulator.apply_grown(weight, window, window)
+        for weight in entries:
+            accumulator.apply_expired(weight, window)
+        assert accumulator.is_empty
+        assert abs(accumulator.fc) < 1e-6
+        assert abs(accumulator.fp) < 1e-6

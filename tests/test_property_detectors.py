@@ -1,0 +1,100 @@
+"""Property-based end-to-end tests over random streams.
+
+These are the strongest correctness checks in the suite: for randomly
+generated streams and queries,
+
+* every exact detector (Cell-CSPOT, B-CCS, Base, aG2, naive) must report the
+  same burst score as the brute-force snapshot optimum, and
+* the approximate detectors must respect the ``(1 - α) / 4`` guarantee while
+  never exceeding the optimum.
+
+Stream sizes are kept small so the whole module stays fast.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.brute import best_region_brute_force
+from repro.core.monitor import make_detector
+from repro.core.query import SurgeQuery
+from repro.streams.objects import SpatialObject
+from repro.streams.windows import SlidingWindowPair
+
+
+@st.composite
+def stream_and_query(draw):
+    alpha = draw(st.floats(min_value=0.0, max_value=0.9, allow_nan=False))
+    rect_w = draw(st.floats(min_value=0.4, max_value=2.0, allow_nan=False))
+    rect_h = draw(st.floats(min_value=0.4, max_value=2.0, allow_nan=False))
+    window = draw(st.floats(min_value=3.0, max_value=20.0, allow_nan=False))
+    query = SurgeQuery(
+        rect_width=rect_w, rect_height=rect_h, window_length=window, alpha=alpha
+    )
+    count = draw(st.integers(min_value=1, max_value=35))
+    objects = []
+    timestamp = 0.0
+    for index in range(count):
+        timestamp += draw(st.floats(min_value=0.0, max_value=5.0, allow_nan=False))
+        objects.append(
+            SpatialObject(
+                x=draw(st.floats(min_value=0.0, max_value=8.0, allow_nan=False)),
+                y=draw(st.floats(min_value=0.0, max_value=8.0, allow_nan=False)),
+                timestamp=timestamp,
+                weight=draw(st.floats(min_value=0.1, max_value=10.0, allow_nan=False)),
+                object_id=index,
+            )
+        )
+    return objects, query
+
+
+def run_and_compare(objects, query, names):
+    detectors = {name: make_detector(name, query) for name in names}
+    windows = SlidingWindowPair(query.window_length)
+    for obj in objects:
+        for event in windows.observe(obj):
+            for detector in detectors.values():
+                detector.process(event)
+    state = windows.state()
+    optimum = best_region_brute_force(state.current, state.past, query)
+    optimum_score = optimum.score if optimum is not None else 0.0
+    return detectors, optimum_score
+
+
+class TestExactDetectors:
+    @given(data=stream_and_query())
+    @settings(max_examples=25, deadline=None)
+    def test_cell_detectors_match_brute_force(self, data):
+        objects, query = data
+        detectors, optimum = run_and_compare(objects, query, ["ccs", "bccs", "base"])
+        for name, detector in detectors.items():
+            assert abs(detector.current_score() - optimum) <= 1e-6 * max(1.0, optimum), name
+
+    @given(data=stream_and_query())
+    @settings(max_examples=15, deadline=None)
+    def test_ag2_matches_brute_force(self, data):
+        objects, query = data
+        detectors, optimum = run_and_compare(objects, query, ["ag2"])
+        assert abs(detectors["ag2"].current_score() - optimum) <= 1e-6 * max(1.0, optimum)
+
+
+class TestApproximateDetectors:
+    @given(data=stream_and_query())
+    @settings(max_examples=25, deadline=None)
+    def test_gap_detectors_respect_bounds(self, data):
+        objects, query = data
+        detectors, optimum = run_and_compare(objects, query, ["gaps", "mgaps"])
+        lower = (1.0 - query.alpha) / 4.0 * optimum
+        for name, detector in detectors.items():
+            score = detector.current_score()
+            assert score <= optimum + 1e-6 * max(1.0, optimum), name
+            assert score >= lower - 1e-6 * max(1.0, optimum), name
+
+    @given(data=stream_and_query())
+    @settings(max_examples=15, deadline=None)
+    def test_mgaps_never_worse_than_gaps(self, data):
+        objects, query = data
+        detectors, _ = run_and_compare(objects, query, ["gaps", "mgaps"])
+        assert (
+            detectors["mgaps"].current_score()
+            >= detectors["gaps"].current_score() - 1e-9
+        )

@@ -1,0 +1,98 @@
+"""Property-based tests: SL-CSPOT agrees with exhaustive candidate enumeration."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.burst import burst_score
+from repro.core.sweepline import LabeledRect, sweep_bursty_point
+from repro.geometry.primitives import Rect
+
+coordinate = st.floats(min_value=0.0, max_value=10.0, allow_nan=False, allow_infinity=False)
+size = st.floats(min_value=0.1, max_value=3.0, allow_nan=False)
+weight = st.floats(min_value=0.1, max_value=20.0, allow_nan=False)
+alpha_values = st.floats(min_value=0.0, max_value=0.95, allow_nan=False)
+
+
+@st.composite
+def labeled_rects(draw, max_rects=8):
+    count = draw(st.integers(min_value=1, max_value=max_rects))
+    rects = []
+    for _ in range(count):
+        x = draw(coordinate)
+        y = draw(coordinate)
+        w = draw(size)
+        h = draw(size)
+        rects.append(
+            LabeledRect(x, y, x + w, y + h, draw(weight), draw(st.booleans()))
+        )
+    return rects
+
+
+def brute_force_best_score(rects, alpha, wc, wp):
+    """Evaluate the burst score at every candidate point of the arrangement."""
+    xs = sorted({r.min_x for r in rects} | {r.max_x for r in rects})
+    ys = sorted({r.min_y for r in rects} | {r.max_y for r in rects})
+    candidates_x = list(xs) + [(a + b) / 2.0 for a, b in zip(xs, xs[1:])]
+    candidates_y = list(ys) + [(a + b) / 2.0 for a, b in zip(ys, ys[1:])]
+    best = 0.0
+    for x in candidates_x:
+        for y in candidates_y:
+            fc = sum(
+                r.weight / wc
+                for r in rects
+                if r.in_current and r.min_x <= x <= r.max_x and r.min_y <= y <= r.max_y
+            )
+            fp = sum(
+                r.weight / wp
+                for r in rects
+                if not r.in_current and r.min_x <= x <= r.max_x and r.min_y <= y <= r.max_y
+            )
+            best = max(best, burst_score(fc, fp, alpha))
+    return best
+
+
+class TestSweepMatchesBruteForce:
+    @given(rects=labeled_rects(), alpha=alpha_values)
+    @settings(max_examples=60, deadline=None)
+    def test_best_score_matches(self, rects, alpha):
+        result = sweep_bursty_point(rects, alpha, 1.0, 1.0)
+        expected = brute_force_best_score(rects, alpha, 1.0, 1.0)
+        assert abs(result.score - expected) <= 1e-6 * max(1.0, expected)
+
+    @given(rects=labeled_rects(), alpha=alpha_values)
+    @settings(max_examples=40, deadline=None)
+    def test_reported_point_achieves_reported_score(self, rects, alpha):
+        result = sweep_bursty_point(rects, alpha, 1.0, 1.0)
+        point = result.point
+        fc = sum(
+            r.weight
+            for r in rects
+            if r.in_current and r.min_x <= point.x <= r.max_x and r.min_y <= point.y <= r.max_y
+        )
+        fp = sum(
+            r.weight
+            for r in rects
+            if not r.in_current
+            and r.min_x <= point.x <= r.max_x
+            and r.min_y <= point.y <= r.max_y
+        )
+        assert abs(fc - result.fc) <= 1e-6 * max(1.0, fc)
+        assert abs(fp - result.fp) <= 1e-6 * max(1.0, fp)
+        assert abs(burst_score(fc, fp, alpha) - result.score) <= 1e-6 * max(1.0, result.score)
+
+    @given(rects=labeled_rects(), alpha=alpha_values)
+    @settings(max_examples=40, deadline=None)
+    def test_window_lengths_scale_scores(self, rects, alpha):
+        unit = sweep_bursty_point(rects, alpha, 1.0, 1.0)
+        halved = sweep_bursty_point(rects, alpha, 2.0, 2.0)
+        assert abs(unit.score - 2.0 * halved.score) <= 1e-6 * max(1.0, unit.score)
+
+    @given(rects=labeled_rects(max_rects=6), alpha=alpha_values)
+    @settings(max_examples=40, deadline=None)
+    def test_bounded_search_never_beats_unbounded(self, rects, alpha):
+        bounds = Rect(2.0, 2.0, 6.0, 6.0)
+        unbounded = sweep_bursty_point(rects, alpha, 1.0, 1.0)
+        bounded = sweep_bursty_point(rects, alpha, 1.0, 1.0, bounds=bounds)
+        if bounded is not None:
+            assert bounded.score <= unbounded.score + 1e-9
+            assert bounds.contains_point(bounded.point)

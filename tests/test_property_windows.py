@@ -1,0 +1,79 @@
+"""Property-based tests for the sliding-window pair invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.streams.objects import EventKind, SpatialObject
+from repro.streams.windows import SlidingWindowPair
+
+gaps = st.lists(
+    st.floats(min_value=0.0, max_value=30.0, allow_nan=False), min_size=1, max_size=60
+)
+window_lengths = st.floats(min_value=1.0, max_value=25.0, allow_nan=False)
+
+
+def build_stream(gap_list):
+    timestamp = 0.0
+    objects = []
+    for index, gap in enumerate(gap_list):
+        timestamp += gap
+        objects.append(
+            SpatialObject(x=0.0, y=0.0, timestamp=timestamp, weight=1.0, object_id=index)
+        )
+    return objects
+
+
+class TestWindowInvariants:
+    @given(gap_list=gaps, window=window_lengths)
+    @settings(max_examples=60, deadline=None)
+    def test_window_contents_match_definition(self, gap_list, window):
+        """After each arrival, Wc and Wp contain exactly the objects the paper defines."""
+        windows = SlidingWindowPair(window)
+        stream = build_stream(gap_list)
+        observed: list = []
+        for obj in stream:
+            windows.observe(obj)
+            observed.append(obj)
+            t = windows.time
+            expected_current = {
+                o.object_id for o in observed if t - window < o.timestamp
+            }
+            expected_past = {
+                o.object_id
+                for o in observed
+                if t - 2 * window < o.timestamp <= t - window
+            }
+            assert {o.object_id for o in windows.current_window} == expected_current
+            assert {o.object_id for o in windows.past_window} == expected_past
+
+    @given(gap_list=gaps, window=window_lengths)
+    @settings(max_examples=60, deadline=None)
+    def test_every_object_follows_the_lifecycle(self, gap_list, window):
+        """Every object emits NEW, then optionally GROWN, then optionally EXPIRED."""
+        windows = SlidingWindowPair(window)
+        lifecycle: dict[int, list[EventKind]] = {}
+        for obj in build_stream(gap_list):
+            for event in windows.observe(obj):
+                lifecycle.setdefault(event.obj.object_id, []).append(event.kind)
+        for event in windows.advance_time(windows.time + 10 * window):
+            lifecycle.setdefault(event.obj.object_id, []).append(event.kind)
+        for kinds in lifecycle.values():
+            assert kinds == [EventKind.NEW, EventKind.GROWN, EventKind.EXPIRED]
+
+    @given(gap_list=gaps, window=window_lengths)
+    @settings(max_examples=40, deadline=None)
+    def test_event_times_are_monotone(self, gap_list, window):
+        windows = SlidingWindowPair(window)
+        last_time = float("-inf")
+        for obj in build_stream(gap_list):
+            for event in windows.observe(obj):
+                assert event.time >= last_time
+                last_time = event.time
+
+    @given(gap_list=gaps, window=window_lengths)
+    @settings(max_examples=40, deadline=None)
+    def test_live_count_matches_window_membership(self, gap_list, window):
+        windows = SlidingWindowPair(window)
+        for obj in build_stream(gap_list):
+            windows.observe(obj)
+            assert len(windows) == len(windows.current_window) + len(windows.past_window)

@@ -1,0 +1,71 @@
+"""Tests for the package-level public API surface."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevelExports:
+    def test_version_string(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_core_types_exported(self):
+        assert repro.SurgeQuery is not None
+        assert repro.SurgeMonitor is not None
+        assert repro.SpatialObject is not None
+        assert repro.Rect is not None
+
+    def test_detector_names_cover_all_paper_algorithms(self):
+        assert set(repro.DETECTOR_NAMES) == {
+            "ccs",
+            "bccs",
+            "base",
+            "ag2",
+            "naive",
+            "gaps",
+            "mgaps",
+            "kccs",
+            "kgaps",
+            "kmgaps",
+        }
+
+    def test_subpackages_import_cleanly(self):
+        for module in [
+            "repro.geometry",
+            "repro.streams",
+            "repro.datasets",
+            "repro.datasets.io",
+            "repro.core",
+            "repro.baselines",
+            "repro.topk",
+            "repro.evaluation",
+            "repro.cli",
+        ]:
+            assert importlib.import_module(module) is not None
+
+    def test_quickstart_snippet_from_readme(self):
+        query = repro.SurgeQuery(rect_width=1.0, rect_height=1.0, window_length=60.0)
+        monitor = repro.SurgeMonitor(query, algorithm="ccs")
+        result = monitor.push(
+            repro.SpatialObject(x=0.5, y=0.5, timestamp=0.0, weight=2.0)
+        )
+        assert result is not None
+        assert result.score == pytest.approx(2.0 / 60.0)
+
+    def test_burst_score_exported_function(self):
+        assert repro.burst_score(2.0, 1.0, 0.5) == pytest.approx(1.5)
+
+    def test_public_docstrings_present(self):
+        """Every public module and exported class carries a docstring."""
+        for name in repro.__all__:
+            if name.startswith("__"):
+                continue
+            member = getattr(repro, name)
+            if isinstance(member, (type,)) or callable(member):
+                assert member.__doc__, f"{name} is missing a docstring"

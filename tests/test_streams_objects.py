@@ -1,0 +1,93 @@
+"""Unit tests for spatial objects, rectangle objects and window events."""
+
+import pytest
+
+from repro.geometry.primitives import Point
+from repro.streams.objects import EventKind, RectangleObject, SpatialObject, WindowEvent
+
+
+class TestSpatialObject:
+    def test_fields_and_location(self):
+        obj = SpatialObject(x=1.0, y=2.0, timestamp=10.0, weight=3.0, object_id=7)
+        assert obj.location == Point(1.0, 2.0)
+        assert obj.weight == 3.0
+        assert obj.object_id == 7
+
+    def test_default_weight_is_one(self):
+        obj = SpatialObject(x=0.0, y=0.0, timestamp=0.0)
+        assert obj.weight == 1.0
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            SpatialObject(x=0.0, y=0.0, timestamp=0.0, weight=-1.0)
+
+    def test_attributes_default_empty(self):
+        obj = SpatialObject(x=0.0, y=0.0, timestamp=0.0)
+        assert dict(obj.attributes) == {}
+
+    def test_attributes_carry_payload(self):
+        obj = SpatialObject(
+            x=0.0, y=0.0, timestamp=0.0, attributes={"keywords": ("zika",)}
+        )
+        assert obj.attributes["keywords"] == ("zika",)
+
+    def test_to_rectangle_uses_object_as_bottom_left(self):
+        obj = SpatialObject(x=1.0, y=2.0, timestamp=5.0, weight=4.0, object_id=3)
+        rect = obj.to_rectangle(2.0, 3.0)
+        assert rect.rect.as_tuple() == (1.0, 2.0, 3.0, 5.0)
+        assert rect.weight == 4.0
+        assert rect.timestamp == 5.0
+        assert rect.object_id == 3
+
+
+class TestRectangleObject:
+    def test_covers_closed_boundaries(self):
+        rect = RectangleObject(x=0.0, y=0.0, width=1.0, height=2.0, timestamp=0.0)
+        assert rect.covers(0.0, 0.0)
+        assert rect.covers(1.0, 2.0)
+        assert rect.covers(0.5, 1.0)
+        assert not rect.covers(1.1, 1.0)
+        assert not rect.covers(0.5, -0.1)
+
+    def test_covers_point(self):
+        rect = RectangleObject(x=0.0, y=0.0, width=1.0, height=1.0, timestamp=0.0)
+        assert rect.covers_point(Point(0.5, 0.5))
+        assert not rect.covers_point(Point(2.0, 0.5))
+
+    def test_location_is_bottom_left(self):
+        rect = RectangleObject(x=3.0, y=4.0, width=1.0, height=1.0, timestamp=0.0)
+        assert rect.location == Point(3.0, 4.0)
+
+    def test_reduction_theorem_correspondence(self):
+        # Theorem 1: an object o lies in the region with top-right corner p
+        # iff the rectangle object generated from o covers p.
+        obj = SpatialObject(x=2.0, y=3.0, timestamp=0.0)
+        width, height = 1.5, 1.0
+        rect = obj.to_rectangle(width, height)
+        for px, py, expected in [
+            (2.0, 3.0, True),  # region [0.5,2]x[2,3] contains o
+            (3.5, 4.0, True),  # region [2,3.5]x[3,4] contains o
+            (3.6, 4.0, False),
+            (2.0, 4.1, False),
+        ]:
+            from repro.geometry.primitives import rect_from_top_right
+
+            region = rect_from_top_right(Point(px, py), width, height)
+            assert region.contains_xy(obj.x, obj.y) == expected
+            assert rect.covers(px, py) == expected
+
+
+class TestWindowEvent:
+    def test_kind_predicates(self):
+        obj = SpatialObject(x=0.0, y=0.0, timestamp=0.0)
+        new = WindowEvent(kind=EventKind.NEW, obj=obj, time=0.0)
+        grown = WindowEvent(kind=EventKind.GROWN, obj=obj, time=1.0)
+        expired = WindowEvent(kind=EventKind.EXPIRED, obj=obj, time=2.0)
+        assert new.is_new and not new.is_grown and not new.is_expired
+        assert grown.is_grown and not grown.is_new
+        assert expired.is_expired and not expired.is_grown
+
+    def test_event_kind_values(self):
+        assert EventKind.NEW.value == "new"
+        assert EventKind.GROWN.value == "grown"
+        assert EventKind.EXPIRED.value == "expired"

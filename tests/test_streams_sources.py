@@ -1,0 +1,98 @@
+"""Unit tests for stream sources and stream transformations."""
+
+import pytest
+
+from repro.streams.objects import SpatialObject
+from repro.streams.sources import (
+    ListSource,
+    interleave_sorted,
+    merge_streams,
+    stretch_to_duration,
+    stretch_to_rate,
+)
+
+
+def obj(timestamp, object_id=0):
+    return SpatialObject(x=0.0, y=0.0, timestamp=timestamp, object_id=object_id)
+
+
+class TestListSource:
+    def test_sorts_objects_by_timestamp(self):
+        source = ListSource([obj(5.0, 1), obj(1.0, 2), obj(3.0, 3)])
+        assert [o.timestamp for o in source] == [1.0, 3.0, 5.0]
+        assert len(source) == 3
+        assert source[0].object_id == 2
+
+    def test_duration_and_rate(self):
+        source = ListSource([obj(0.0, 0), obj(1800.0, 1), obj(3600.0, 2)])
+        assert source.duration == 3600.0
+        assert source.arrival_rate(per=3600.0) == pytest.approx(3.0)
+
+    def test_duration_of_tiny_streams(self):
+        assert ListSource([]).duration == 0.0
+        assert ListSource([obj(5.0)]).duration == 0.0
+        assert ListSource([]).arrival_rate() == 0.0
+
+    def test_objects_property(self):
+        source = ListSource([obj(2.0, 1), obj(1.0, 2)])
+        assert [o.object_id for o in source.objects] == [2, 1]
+
+
+class TestMerge:
+    def test_merge_streams_sorted_output(self):
+        merged = merge_streams([obj(3.0, 1), obj(1.0, 2)], [obj(2.0, 3)])
+        assert [o.timestamp for o in merged] == [1.0, 2.0, 3.0]
+
+    def test_merge_empty(self):
+        assert merge_streams([], []) == []
+
+    def test_interleave_sorted(self):
+        a = [obj(1.0, 1), obj(4.0, 2)]
+        b = [obj(2.0, 3), obj(3.0, 4)]
+        merged = list(interleave_sorted(a, b))
+        assert [o.timestamp for o in merged] == [1.0, 2.0, 3.0, 4.0]
+
+
+class TestStretching:
+    def test_stretch_to_duration_scales_span(self):
+        stream = [obj(0.0, 0), obj(10.0, 1), obj(20.0, 2)]
+        stretched = stretch_to_duration(stream, 40.0)
+        assert stretched[0].timestamp == pytest.approx(0.0)
+        assert stretched[-1].timestamp == pytest.approx(40.0)
+        assert stretched[1].timestamp == pytest.approx(20.0)
+
+    def test_stretch_preserves_object_identity(self):
+        stream = [obj(0.0, 0), obj(10.0, 1)]
+        stretched = stretch_to_duration(stream, 5.0)
+        assert [o.object_id for o in stretched] == [0, 1]
+
+    def test_stretch_to_duration_simultaneous_arrivals(self):
+        stream = [obj(5.0, i) for i in range(3)]
+        stretched = stretch_to_duration(stream, 10.0)
+        assert stretched[0].timestamp == pytest.approx(5.0)
+        assert stretched[-1].timestamp == pytest.approx(15.0)
+
+    def test_stretch_to_duration_invalid(self):
+        with pytest.raises(ValueError):
+            stretch_to_duration([obj(0.0)], 0.0)
+
+    def test_stretch_empty_stream(self):
+        assert stretch_to_duration([], 10.0) == []
+        assert stretch_to_rate([], 1000.0) == []
+
+    def test_stretch_to_rate_hits_target_rate(self):
+        stream = [obj(float(i) * 100.0, i) for i in range(100)]
+        stretched = stretch_to_rate(stream, arrivals_per_day=86_400.0)
+        # 100 objects per day at 86400 objects/day means a 100-second span.
+        span = stretched[-1].timestamp - stretched[0].timestamp
+        assert span == pytest.approx(100.0)
+
+    def test_stretch_to_rate_invalid(self):
+        with pytest.raises(ValueError):
+            stretch_to_rate([obj(0.0)], 0.0)
+
+    def test_stretching_is_monotone(self):
+        stream = [obj(float(i) ** 1.5, i) for i in range(50)]
+        stretched = stretch_to_duration(stream, 7.0)
+        times = [o.timestamp for o in stretched]
+        assert times == sorted(times)

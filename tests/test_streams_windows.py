@@ -1,0 +1,153 @@
+"""Unit tests for the sliding-window pair and its event stream."""
+
+import pytest
+
+from repro.streams.objects import EventKind, SpatialObject
+from repro.streams.windows import SlidingWindowPair
+
+
+def obj(timestamp, object_id=0, weight=1.0):
+    return SpatialObject(x=0.0, y=0.0, timestamp=timestamp, weight=weight, object_id=object_id)
+
+
+class TestConstruction:
+    def test_invalid_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            SlidingWindowPair(0.0)
+        with pytest.raises(ValueError):
+            SlidingWindowPair(10.0, past_window_length=-1.0)
+
+    def test_defaults_past_to_current(self):
+        windows = SlidingWindowPair(10.0)
+        assert windows.past_window_length == 10.0
+
+    def test_distinct_past_length(self):
+        windows = SlidingWindowPair(10.0, past_window_length=20.0)
+        assert windows.past_window_length == 20.0
+
+
+class TestEventLifecycle:
+    def test_new_event_on_arrival(self):
+        windows = SlidingWindowPair(10.0)
+        events = windows.observe(obj(0.0, 1))
+        assert [e.kind for e in events] == [EventKind.NEW]
+        assert len(windows.current_window) == 1
+
+    def test_out_of_order_arrival_rejected(self):
+        windows = SlidingWindowPair(10.0)
+        windows.observe(obj(5.0, 1))
+        with pytest.raises(ValueError):
+            windows.observe(obj(4.0, 2))
+
+    def test_grown_when_object_leaves_current_window(self):
+        windows = SlidingWindowPair(10.0)
+        windows.observe(obj(0.0, 1))
+        events = windows.observe(obj(11.0, 2))
+        kinds = [(e.kind, e.obj.object_id) for e in events]
+        assert kinds == [(EventKind.GROWN, 1), (EventKind.NEW, 2)]
+        assert [o.object_id for o in windows.current_window] == [2]
+        assert [o.object_id for o in windows.past_window] == [1]
+
+    def test_expired_when_object_leaves_past_window(self):
+        windows = SlidingWindowPair(10.0)
+        windows.observe(obj(0.0, 1))
+        windows.observe(obj(11.0, 2))
+        events = windows.observe(obj(21.0, 3))
+        kinds = [(e.kind, e.obj.object_id) for e in events]
+        assert (EventKind.EXPIRED, 1) in kinds
+        assert (EventKind.GROWN, 2) in kinds
+        assert (EventKind.NEW, 3) in kinds
+        assert [o.object_id for o in windows.past_window] == [2]
+
+    def test_full_lifecycle_new_grown_expired_exactly_once(self):
+        windows = SlidingWindowPair(5.0)
+        seen: dict[int, list[EventKind]] = {}
+        for index in range(40):
+            for event in windows.observe(obj(index * 1.0, index)):
+                seen.setdefault(event.obj.object_id, []).append(event.kind)
+        # Flush the remainder so every object finishes its lifecycle.
+        for event in windows.advance_time(1000.0):
+            seen.setdefault(event.obj.object_id, []).append(event.kind)
+        for object_id, kinds in seen.items():
+            assert kinds == [EventKind.NEW, EventKind.GROWN, EventKind.EXPIRED], object_id
+
+    def test_large_time_jump_skips_past_window_consistently(self):
+        windows = SlidingWindowPair(10.0)
+        windows.observe(obj(0.0, 1))
+        events = windows.observe(obj(100.0, 2))
+        kinds = [(e.kind, e.obj.object_id) for e in events]
+        assert (EventKind.GROWN, 1) in kinds
+        assert (EventKind.EXPIRED, 1) in kinds
+        assert kinds.index((EventKind.GROWN, 1)) < kinds.index((EventKind.EXPIRED, 1))
+        assert len(windows) == 1
+
+    def test_boundary_timestamps_half_open_windows(self):
+        # Window length 10: at time t the current window is (t-10, t]; an
+        # object created exactly at t-10 has just left it.
+        windows = SlidingWindowPair(10.0)
+        windows.observe(obj(0.0, 1))
+        events = windows.observe(obj(10.0, 2))
+        assert [(e.kind, e.obj.object_id) for e in events] == [
+            (EventKind.GROWN, 1),
+            (EventKind.NEW, 2),
+        ]
+
+
+class TestAdvanceTime:
+    def test_advance_time_without_arrival(self):
+        windows = SlidingWindowPair(10.0)
+        windows.observe(obj(0.0, 1))
+        events = windows.advance_time(15.0)
+        assert [e.kind for e in events] == [EventKind.GROWN]
+        assert windows.time == 15.0
+
+    def test_advance_time_backwards_rejected(self):
+        windows = SlidingWindowPair(10.0)
+        windows.observe(obj(5.0, 1))
+        with pytest.raises(ValueError):
+            windows.advance_time(1.0)
+
+    def test_observe_many_yields_all_events(self):
+        windows = SlidingWindowPair(5.0)
+        stream = [obj(t, i) for i, t in enumerate([0.0, 1.0, 6.0, 12.0])]
+        events = list(windows.observe_many(stream))
+        assert sum(1 for e in events if e.kind is EventKind.NEW) == 4
+        assert sum(1 for e in events if e.kind is EventKind.GROWN) >= 2
+
+
+class TestStateAndStability:
+    def test_state_snapshot_is_immutable_copy(self):
+        windows = SlidingWindowPair(10.0)
+        windows.observe(obj(0.0, 1))
+        state = windows.state()
+        windows.observe(obj(1.0, 2))
+        assert len(state.current) == 1
+        assert state.total_objects == 1
+        assert state.window_length == 10.0
+
+    def test_stability_requires_an_expiration(self):
+        windows = SlidingWindowPair(10.0)
+        assert not windows.is_stable()
+        windows.observe(obj(0.0, 1))
+        windows.observe(obj(11.0, 2))
+        assert not windows.is_stable()
+        windows.observe(obj(21.0, 3))
+        assert windows.is_stable()
+
+    def test_len_counts_both_windows(self):
+        windows = SlidingWindowPair(10.0)
+        windows.observe(obj(0.0, 1))
+        windows.observe(obj(11.0, 2))
+        assert len(windows) == 2
+
+    def test_asymmetric_windows(self):
+        windows = SlidingWindowPair(10.0, past_window_length=20.0)
+        windows.observe(obj(0.0, 1))
+        windows.observe(obj(11.0, 2))  # object 1 grows into the past window
+        events = windows.observe(obj(25.0, 3))
+        # Past window now covers (t-30, t-10]; object 1 (t=0) is still inside.
+        assert all(e.kind is not EventKind.EXPIRED for e in events)
+        events = windows.observe(obj(31.0, 4))
+        assert any(
+            e.kind is EventKind.EXPIRED and e.obj.object_id == 1 for e in events
+        )

@@ -1,0 +1,117 @@
+"""Edge-case tests for SL-CSPOT beyond the main unit tests."""
+
+import pytest
+
+from repro.core.sweepline import LabeledRect, sweep_bursty_point
+from repro.geometry.primitives import Rect
+
+
+def current(min_x, min_y, max_x, max_y, weight=1.0):
+    return LabeledRect(min_x, min_y, max_x, max_y, weight, True)
+
+
+def past(min_x, min_y, max_x, max_y, weight=1.0):
+    return LabeledRect(min_x, min_y, max_x, max_y, weight, False)
+
+
+class TestDegenerateGeometry:
+    def test_many_identical_rectangles_stack(self):
+        rects = [current(0, 0, 1, 1, 2.0) for _ in range(10)]
+        result = sweep_bursty_point(rects, 0.5, 1.0, 1.0)
+        assert result.score == pytest.approx(20.0)
+        assert result.fc == pytest.approx(20.0)
+
+    def test_identical_current_and_past_pairs_cancel_burstiness(self):
+        rects = [current(0, 0, 1, 1, 3.0), past(0, 0, 1, 1, 3.0)]
+        result = sweep_bursty_point(rects, 0.8, 1.0, 1.0)
+        assert result.score == pytest.approx(0.2 * 3.0)
+
+    def test_zero_weight_rectangles_do_not_contribute(self):
+        rects = [current(0, 0, 1, 1, 0.0), current(2, 2, 3, 3, 1.0)]
+        result = sweep_bursty_point(rects, 0.5, 1.0, 1.0)
+        assert result.score == pytest.approx(1.0)
+
+    def test_zero_area_rectangle_is_a_point_mass(self):
+        rects = [
+            LabeledRect(1.0, 1.0, 1.0, 1.0, 5.0, True),
+            current(0.0, 0.0, 2.0, 2.0, 1.0),
+        ]
+        result = sweep_bursty_point(rects, 0.5, 1.0, 1.0)
+        assert result.score == pytest.approx(6.0)
+        assert result.point.x == pytest.approx(1.0)
+        assert result.point.y == pytest.approx(1.0)
+
+    def test_extreme_weight_magnitudes(self):
+        rects = [current(0, 0, 1, 1, 1e12), current(0.5, 0.5, 1.5, 1.5, 1e-9)]
+        result = sweep_bursty_point(rects, 0.5, 1.0, 1.0)
+        assert result.score == pytest.approx(1e12, rel=1e-6)
+
+    def test_negative_coordinates(self):
+        rects = [current(-5.0, -5.0, -4.0, -4.0, 2.0), current(-4.5, -4.5, -3.5, -3.5, 3.0)]
+        result = sweep_bursty_point(rects, 0.5, 1.0, 1.0)
+        assert result.score == pytest.approx(5.0)
+        assert Rect(-4.5, -4.5, -4.0, -4.0).contains_point(result.point)
+
+
+class TestWindowComposition:
+    def test_only_past_rectangles_everywhere_zero(self):
+        rects = [past(float(i), 0.0, float(i) + 1.0, 1.0, 2.0) for i in range(5)]
+        result = sweep_bursty_point(rects, 0.5, 1.0, 1.0)
+        assert result.score == pytest.approx(0.0)
+
+    def test_alpha_zero_ignores_past_entirely(self):
+        rects = [current(0, 0, 1, 1, 4.0), past(0, 0, 1, 1, 100.0)]
+        result = sweep_bursty_point(rects, 0.0, 1.0, 1.0)
+        assert result.score == pytest.approx(4.0)
+
+    def test_high_alpha_prefers_fresh_area_over_heavier_stale_area(self):
+        # Area A: fc = 5, fp = 5 (stale); area B: fc = 4, fp = 0 (fresh).
+        # With alpha = 0.9: S(A) = 0.1*5 = 0.5, S(B) = 0.9*4 + 0.1*4 = 4.
+        rects = [
+            current(0, 0, 1, 1, 5.0),
+            past(0, 0, 1, 1, 5.0),
+            current(10, 10, 11, 11, 4.0),
+        ]
+        result = sweep_bursty_point(rects, 0.9, 1.0, 1.0)
+        assert result.score == pytest.approx(4.0)
+        assert Rect(10, 10, 11, 11).contains_point(result.point)
+
+    def test_low_alpha_prefers_heavier_area_despite_staleness(self):
+        rects = [
+            current(0, 0, 1, 1, 5.0),
+            past(0, 0, 1, 1, 5.0),
+            current(10, 10, 11, 11, 4.0),
+        ]
+        result = sweep_bursty_point(rects, 0.1, 1.0, 1.0)
+        assert result.score == pytest.approx(0.9 * 5.0)
+        assert Rect(0, 0, 1, 1).contains_point(result.point)
+
+    def test_asymmetric_window_lengths(self):
+        # |Wc| = 2, |Wp| = 4: fc = 3, fp = 1 -> S = 0.5*2 + 0.5*3 = 2.5.
+        rects = [current(0, 0, 1, 1, 6.0), past(0, 0, 1, 1, 4.0)]
+        result = sweep_bursty_point(rects, 0.5, 2.0, 4.0)
+        assert result.fc == pytest.approx(3.0)
+        assert result.fp == pytest.approx(1.0)
+        assert result.score == pytest.approx(2.5)
+
+
+class TestClippingEdgeCases:
+    def test_bounds_touching_rectangle_edge(self):
+        rects = [current(0, 0, 1, 1, 2.0)]
+        result = sweep_bursty_point(rects, 0.5, 1.0, 1.0, bounds=Rect(1.0, 1.0, 2.0, 2.0))
+        # Only the single corner point (1, 1) is shared; it is still covered.
+        assert result is not None
+        assert result.score == pytest.approx(2.0)
+        assert result.point.x == pytest.approx(1.0)
+
+    def test_bounds_equal_to_rectangle(self):
+        rects = [current(0, 0, 1, 1, 2.0)]
+        result = sweep_bursty_point(rects, 0.5, 1.0, 1.0, bounds=Rect(0, 0, 1, 1))
+        assert result.score == pytest.approx(2.0)
+
+    def test_degenerate_bounds_line(self):
+        rects = [current(0, 0, 2, 2, 2.0), current(1, 0, 3, 2, 1.0)]
+        result = sweep_bursty_point(rects, 0.5, 1.0, 1.0, bounds=Rect(1.5, 0.0, 1.5, 2.0))
+        assert result is not None
+        assert result.score == pytest.approx(3.0)
+        assert result.point.x == pytest.approx(1.5)

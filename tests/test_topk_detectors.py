@@ -1,0 +1,158 @@
+"""Unit tests for the top-k detectors (kCCS, kGAPS, kMGAPS)."""
+
+import pytest
+
+from tests.helpers import feed, feed_many, make_objects, scores_close
+from repro.core.query import SurgeQuery
+from repro.streams.objects import SpatialObject
+from repro.streams.windows import SlidingWindowPair
+from repro.topk.greedy_brute import greedy_top_k_snapshot
+from repro.topk.kccs import CellCSPOTTopK
+from repro.topk.kgap import GapSurgeTopK
+from repro.topk.kmgap import MGapSurgeTopK
+
+
+def obj(x, y, timestamp, weight=1.0, object_id=0):
+    return SpatialObject(x=x, y=y, timestamp=timestamp, weight=weight, object_id=object_id)
+
+
+def three_clusters(window=20.0):
+    """Three well-separated clusters with decreasing total weight."""
+    objects = []
+    oid = 0
+    for cluster_index, (cx, cy, weight) in enumerate(
+        [(0.5, 0.5, 5.0), (10.5, 10.5, 3.0), (20.5, 20.5, 1.0)]
+    ):
+        for i in range(3):
+            objects.append(
+                obj(cx + i * 0.1, cy + i * 0.1, oid * 0.1, weight, oid)
+            )
+            oid += 1
+    return objects
+
+
+class TestKCCS:
+    def test_empty_detector(self, topk_query):
+        detector = CellCSPOTTopK(topk_query)
+        assert detector.result() is None
+        assert detector.top_k() == []
+
+    def test_three_clusters_found_in_order(self, topk_query):
+        detector = CellCSPOTTopK(topk_query)
+        feed(detector, three_clusters(), topk_query.window_length)
+        top = detector.top_k(3)
+        assert len(top) == 3
+        assert [round(r.score, 6) for r in top] == [
+            pytest.approx(15.0 / 20.0),
+            pytest.approx(9.0 / 20.0),
+            pytest.approx(3.0 / 20.0),
+        ]
+
+    def test_first_region_matches_single_detector(self, topk_query):
+        from repro.core.cell_cspot import CellCSPOT
+
+        objects = make_objects(60, seed=21, extent=6.0)
+        topk = CellCSPOTTopK(topk_query)
+        single = CellCSPOT(topk_query)
+        feed_many([topk, single], objects, topk_query.window_length)
+        assert scores_close(topk.current_score(), single.current_score())
+
+    def test_matches_greedy_brute_force_continuously(self, topk_query):
+        detector = CellCSPOTTopK(topk_query)
+        windows = SlidingWindowPair(topk_query.window_length)
+        for index, spatial in enumerate(make_objects(50, seed=22, extent=5.0)):
+            for event in windows.observe(spatial):
+                detector.process(event)
+            if index % 7:
+                continue
+            expected = greedy_top_k_snapshot(windows.state(), topk_query)
+            got = detector.top_k()
+            for expected_region, got_region in zip(expected, got):
+                assert scores_close(expected_region.score, got_region.score)
+
+    def test_scores_non_increasing(self, topk_query):
+        detector = CellCSPOTTopK(topk_query)
+        feed(detector, make_objects(50, seed=23, extent=4.0), topk_query.window_length)
+        scores = [r.score for r in detector.top_k()]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_memo_reuse_reduces_searches(self, topk_query):
+        detector = CellCSPOTTopK(topk_query)
+        windows = SlidingWindowPair(topk_query.window_length)
+        objects = three_clusters()
+        for spatial in objects:
+            for event in windows.observe(spatial):
+                detector.process(event)
+        searched_first_pass = detector.stats.cells_searched
+        # Far-away light objects do not disturb the top clusters; the memoised
+        # per-level candidates are reused and few additional sweeps happen.
+        for index in range(100, 110):
+            spatial = obj(50.0 + index * 0.01, 50.0, 1.0 + index * 0.001, 0.1, index)
+            for event in windows.observe(spatial):
+                detector.process(event)
+        assert detector.stats.cells_searched <= searched_first_pass + 25
+
+    def test_expiration_shrinks_result_list(self, topk_query):
+        detector = CellCSPOTTopK(topk_query)
+        windows = SlidingWindowPair(topk_query.window_length)
+        for spatial in three_clusters():
+            for event in windows.observe(spatial):
+                detector.process(event)
+        assert len(detector.top_k()) == 3
+        for event in windows.advance_time(10_000.0):
+            detector.process(event)
+        assert detector.top_k() == []
+
+
+class TestKGaps:
+    def test_returns_k_best_cells(self, topk_query):
+        detector = GapSurgeTopK(topk_query)
+        feed(detector, three_clusters(), topk_query.window_length)
+        top = detector.top_k()
+        assert len(top) == 3
+        scores = [r.score for r in top]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_respects_explicit_k(self, topk_query):
+        detector = GapSurgeTopK(topk_query)
+        feed(detector, three_clusters(), topk_query.window_length)
+        assert len(detector.top_k(2)) == 2
+
+    def test_regions_are_grid_cells(self, topk_query):
+        detector = GapSurgeTopK(topk_query)
+        feed(detector, three_clusters(), topk_query.window_length)
+        for result in detector.top_k():
+            assert result.region.width == pytest.approx(topk_query.rect_width)
+            assert result.region.height == pytest.approx(topk_query.rect_height)
+
+    def test_result_equals_first_of_top_k(self, topk_query):
+        detector = GapSurgeTopK(topk_query)
+        feed(detector, make_objects(40, seed=24), topk_query.window_length)
+        assert detector.result().score == pytest.approx(detector.top_k()[0].score)
+
+
+class TestKMGaps:
+    def test_returns_non_overlapping_regions(self, topk_query):
+        detector = MGapSurgeTopK(topk_query)
+        feed(detector, make_objects(60, seed=25, extent=6.0), topk_query.window_length)
+        top = detector.top_k()
+        for i, first in enumerate(top):
+            for second in top[i + 1 :]:
+                assert not first.region.intersects_interior(second.region)
+
+    def test_never_worse_than_kgaps_on_best_region(self, topk_query):
+        kgaps = GapSurgeTopK(topk_query)
+        kmgaps = MGapSurgeTopK(topk_query)
+        feed_many([kgaps, kmgaps], make_objects(60, seed=26, extent=6.0), 20.0)
+        assert kmgaps.current_score() >= kgaps.current_score() - 1e-12
+
+    def test_three_clusters_all_found(self, topk_query):
+        detector = MGapSurgeTopK(topk_query)
+        feed(detector, three_clusters(), topk_query.window_length)
+        top = detector.top_k()
+        assert len(top) == 3
+        # Each cluster fits inside a cell of at least one of the shifted
+        # grids, so each reported score is the full cluster score.
+        assert top[0].score == pytest.approx(15.0 / 20.0)
+        assert top[1].score == pytest.approx(9.0 / 20.0)
+        assert top[2].score == pytest.approx(3.0 / 20.0)
