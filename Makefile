@@ -1,0 +1,25 @@
+# Developer entry points for the SURGE reproduction.
+#
+#   make test    tier-1 test suite (unit tests; pure stdlib fallback works)
+#   make bench   sweep-kernel microbenchmark -> BENCH_sweep.json
+#                (refuses to record a >20% regression; BENCH_FLAGS=--force
+#                 overrides, BENCH_FLAGS=--quick skips the largest size)
+#   make lint    byte-compile every source tree as a fast syntax/import gate
+#
+# The numpy sweep backend is optional: `pip install .[fast]` enables it, and
+# everything degrades to the pure-Python kernel without it.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+BENCH_FLAGS ?=
+
+.PHONY: test bench lint
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) benchmarks/bench_sweep.py $(BENCH_FLAGS)
+
+lint:
+	$(PYTHON) -m compileall -q src/repro tests benchmarks examples

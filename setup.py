@@ -1,10 +1,30 @@
-"""Setup shim for environments without the ``wheel`` package.
+"""Setuptools entry point for the SURGE reproduction.
 
-The project is fully described by ``pyproject.toml``; this file only enables
-the legacy editable install path (``pip install -e . --no-use-pep517``) on
-offline machines that lack the ``wheel`` backend required by PEP 660.
+The library itself is dependency-free pure Python; the vectorized SL-CSPOT
+sweep backend needs NumPy, which is wired up as the optional ``fast`` extra
+so the zero-dependency install keeps working::
+
+    pip install .          # pure-Python kernels only
+    pip install .[fast]    # enables the numpy sweep backend
+
+This file also enables the legacy editable install path
+(``pip install -e . --no-use-pep517``) on offline machines that lack the
+``wheel`` backend required by PEP 660.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-surge",
+    version="1.0.0",
+    description=(
+        "Reproduction of SURGE: continuous bursty region detection over "
+        "spatial streams (ICDE 2018)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    extras_require={
+        "fast": ["numpy>=1.22"],
+    },
+)

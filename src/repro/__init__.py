@@ -23,6 +23,7 @@ Quickstart
 from repro.core.base import BurstyRegionDetector, DetectorStats, RegionResult
 from repro.core.burst import burst_score
 from repro.core.monitor import DETECTOR_NAMES, SurgeMonitor, make_detector
+from repro.core.sweep_backends import available_backends
 from repro.core.query import SurgeQuery
 from repro.geometry.primitives import Point, Rect
 from repro.streams.objects import EventKind, RectangleObject, SpatialObject, WindowEvent
@@ -37,6 +38,7 @@ __all__ = [
     "burst_score",
     "SurgeMonitor",
     "make_detector",
+    "available_backends",
     "DETECTOR_NAMES",
     "SurgeQuery",
     "Point",

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from repro.core.base import BurstyRegionDetector, RegionResult
 from repro.core.cells import CandidatePoint
 from repro.core.query import SurgeQuery
+from repro.core.sweep_backends import SweepBackend, resolve_backend
 from repro.core.sweepline import LabeledRect, sweep_bursty_point
 from repro.geometry.grids import CellIndex, GridSpec
 from repro.geometry.heaps import LazyMaxHeap
@@ -75,11 +76,13 @@ class AG2Detector(BurstyRegionDetector):
         self,
         query: SurgeQuery,
         cell_scale: float = DEFAULT_CELL_SCALE,
+        backend: str | SweepBackend | None = None,
     ) -> None:
         super().__init__(query)
         if cell_scale < 1.0:
             raise ValueError("cell_scale must be at least 1")
         self.cell_scale = cell_scale
+        self.sweep_backend = resolve_backend(backend)
         base = query.base_grid()
         self.grid = GridSpec(
             cell_width=base.cell_width * cell_scale,
@@ -221,6 +224,7 @@ class AG2Detector(BurstyRegionDetector):
                 current_length=current_length,
                 past_length=past_length,
                 bounds=search_bounds,
+                backend=self.sweep_backend,
             )
             if outcome is None:
                 continue

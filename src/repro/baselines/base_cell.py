@@ -14,6 +14,7 @@ from __future__ import annotations
 from repro.core.base import BurstyRegionDetector, RegionResult
 from repro.core.cells import CandidatePoint, CellState
 from repro.core.query import SurgeQuery
+from repro.core.sweep_backends import SweepBackend, resolve_backend
 from repro.core.sweepline import LabeledRect, sweep_bursty_point
 from repro.geometry.grids import CellIndex, GridSpec
 from repro.geometry.heaps import LazyMaxHeap
@@ -26,9 +27,15 @@ class BaseCellDetector(BurstyRegionDetector):
     name = "base"
     exact = True
 
-    def __init__(self, query: SurgeQuery, grid: GridSpec | None = None) -> None:
+    def __init__(
+        self,
+        query: SurgeQuery,
+        grid: GridSpec | None = None,
+        backend: str | SweepBackend | None = None,
+    ) -> None:
         super().__init__(query)
         self.grid = grid if grid is not None else query.base_grid()
+        self.sweep_backend = resolve_backend(backend)
         self.cells: dict[CellIndex, CellState] = {}
         self._score_heap: LazyMaxHeap[CellIndex] = LazyMaxHeap()
 
@@ -89,6 +96,7 @@ class BaseCellDetector(BurstyRegionDetector):
             current_length=self.query.current_length,
             past_length=self.query.past_length,
             bounds=cell.bounds,
+            backend=self.sweep_backend,
         )
         if outcome is None:  # pragma: no cover - records always intersect the cell
             cell.candidate = None

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from repro.core.base import BurstyRegionDetector, RegionResult
 from repro.core.query import SurgeQuery
+from repro.core.sweep_backends import SweepBackend, resolve_backend
 from repro.core.sweepline import LabeledRect, sweep_bursty_point
 from repro.streams.objects import EventKind, WindowEvent
 
@@ -22,8 +23,11 @@ class NaiveSweepDetector(BurstyRegionDetector):
     name = "naive"
     exact = True
 
-    def __init__(self, query: SurgeQuery) -> None:
+    def __init__(
+        self, query: SurgeQuery, backend: str | SweepBackend | None = None
+    ) -> None:
         super().__init__(query)
+        self.sweep_backend = resolve_backend(backend)
         # object_id -> (labelled rectangle geometry, weight, in_current flag)
         self._rects: dict[int, LabeledRect] = {}
         self._result: RegionResult | None = None
@@ -74,6 +78,7 @@ class NaiveSweepDetector(BurstyRegionDetector):
             alpha=self.query.alpha,
             current_length=self.query.current_length,
             past_length=self.query.past_length,
+            backend=self.sweep_backend,
         )
         if outcome is None:  # pragma: no cover - defensive
             self._result = None

@@ -31,7 +31,6 @@ from repro.core.monitor import DETECTOR_NAMES, SurgeMonitor
 from repro.core.query import SurgeQuery
 from repro.datasets.io import load_stream, write_csv_stream, write_jsonl_stream
 from repro.datasets.profiles import PROFILES
-from repro.datasets.synthetic import generate_profile_stream
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -61,6 +60,14 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--alpha", type=float, default=0.5, help="burst-score balance parameter")
     run.add_argument("--k", type=int, default=1, help="number of bursty regions to maintain")
     run.add_argument(
+        "--backend",
+        default=None,
+        choices=("auto", "python", "numpy"),
+        help="SL-CSPOT sweep kernel: pure python, vectorized numpy, or "
+        "size-adaptive auto-selection (default: the REPRO_SWEEP_BACKEND "
+        "environment variable, else auto)",
+    )
+    run.add_argument(
         "--report-every",
         type=int,
         default=1000,
@@ -86,6 +93,9 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _command_run(args: argparse.Namespace) -> int:
+    if args.report_every < 1:
+        print("--report-every must be a positive number of objects", file=sys.stderr)
+        return 2
     stream = load_stream(args.stream)
     if not stream:
         print("stream is empty", file=sys.stderr)
@@ -97,17 +107,28 @@ def _command_run(args: argparse.Namespace) -> int:
         alpha=args.alpha,
         k=args.k,
     )
-    monitor = SurgeMonitor(query, algorithm=args.algorithm)
-    for index, obj in enumerate(stream, start=1):
-        monitor.push(obj)
-        if index % args.report_every == 0 or index == len(stream):
-            results = monitor.top_k() if args.k > 1 else [monitor.result()]
-            summary = "; ".join(
-                f"score={r.score:.4f} region=({r.region.min_x:.4f},{r.region.min_y:.4f})..({r.region.max_x:.4f},{r.region.max_y:.4f})"
-                for r in results
-                if r is not None
-            )
-            print(f"[{index:>8} objects, t={obj.timestamp:.0f}] {summary or 'no bursty region yet'}")
+    try:
+        monitor = SurgeMonitor(query, algorithm=args.algorithm, backend=args.backend)
+    except (ValueError, RuntimeError) as exc:
+        # Bad backend selection (unknown name via REPRO_SWEEP_BACKEND, or
+        # numpy requested without the optional dependency installed).
+        print(str(exc), file=sys.stderr)
+        return 2
+    # Objects are pushed in batches of one reporting interval so detectors
+    # with lazy result maintenance recompute once per report, not per event.
+    for start in range(0, len(stream), args.report_every):
+        batch = stream[start : start + args.report_every]
+        monitor.push_many(batch)
+        index = start + len(batch)
+        results = monitor.top_k() if args.k > 1 else [monitor.result()]
+        summary = "; ".join(
+            f"score={r.score:.4f} region=({r.region.min_x:.4f},{r.region.min_y:.4f})..({r.region.max_x:.4f},{r.region.max_y:.4f})"
+            for r in results
+            if r is not None
+        )
+        print(
+            f"[{index:>8} objects, t={batch[-1].timestamp:.0f}] {summary or 'no bursty region yet'}"
+        )
     stats = monitor.detector.stats
     print(
         f"done: {stats.events_processed} events, {stats.cells_searched} cell searches, "
@@ -118,6 +139,17 @@ def _command_run(args: argparse.Namespace) -> int:
 
 
 def _command_generate(args: argparse.Namespace) -> int:
+    try:
+        # Imported lazily: the synthetic generator is the only CLI path that
+        # needs the optional numpy dependency; ``run`` must work without it.
+        from repro.datasets.synthetic import generate_profile_stream
+    except ImportError:
+        print(
+            "the 'generate' command needs numpy; install it with "
+            "'pip install .[fast]'",
+            file=sys.stderr,
+        )
+        return 1
     profile = PROFILES[args.profile]
     stream = generate_profile_stream(
         profile, n_objects=args.objects, seed=args.seed, with_bursts=not args.no_bursts

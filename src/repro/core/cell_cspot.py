@@ -26,6 +26,7 @@ from __future__ import annotations
 from repro.core.base import BurstyRegionDetector, RegionResult
 from repro.core.cells import CandidatePoint, CellState
 from repro.core.query import SurgeQuery
+from repro.core.sweep_backends import SweepBackend, resolve_backend
 from repro.core.sweepline import LabeledRect, sweep_bursty_point
 from repro.geometry.grids import CellIndex, GridSpec
 from repro.geometry.heaps import LazyMaxHeap
@@ -43,6 +44,7 @@ class CellCSPOT(BurstyRegionDetector):
         query: SurgeQuery,
         grid: GridSpec | None = None,
         candidate_reuse: bool = True,
+        backend: str | SweepBackend | None = None,
     ) -> None:
         """Create the detector.
 
@@ -50,9 +52,12 @@ class CellCSPOT(BurstyRegionDetector):
         on by default and exists so the ablation benchmark can quantify how
         much of the pruning comes from candidate reuse versus the bounds.
         Disabling it never changes the reported result, only the work done.
+        ``backend`` selects the SL-CSPOT sweep kernel (see
+        :mod:`repro.core.sweep_backends`).
         """
         super().__init__(query)
         self.grid = grid if grid is not None else query.base_grid()
+        self.sweep_backend = resolve_backend(backend)
         self.candidate_reuse = candidate_reuse
         self.cells: dict[CellIndex, CellState] = {}
         self._bound_heap: LazyMaxHeap[CellIndex] = LazyMaxHeap()
@@ -162,6 +167,7 @@ class CellCSPOT(BurstyRegionDetector):
             current_length=self.query.current_length,
             past_length=self.query.past_length,
             bounds=cell.bounds,
+            backend=self.sweep_backend,
         )
         if outcome is None:
             # No rectangle intersects the cell (cannot normally happen because

@@ -44,8 +44,14 @@ DETECTOR_NAMES = (
     "kmgaps",
 )
 
+#: Detectors whose inner search runs through the SL-CSPOT sweep kernel and
+#: therefore accept a ``backend`` option (the grid approximations never sweep).
+SWEEP_BACKED_DETECTORS = frozenset({"ccs", "bccs", "base", "ag2", "naive", "kccs"})
 
-def make_detector(name: str, query: SurgeQuery, **options) -> BurstyRegionDetector:
+
+def make_detector(
+    name: str, query: SurgeQuery, backend: str | None = None, **options
+) -> BurstyRegionDetector:
     """Instantiate a detector by its paper acronym.
 
     Parameters
@@ -54,6 +60,10 @@ def make_detector(name: str, query: SurgeQuery, **options) -> BurstyRegionDetect
         One of :data:`DETECTOR_NAMES` (case-insensitive).
     query:
         The SURGE query the detector will answer.
+    backend:
+        SL-CSPOT sweep backend (``"auto"``, ``"python"``, ``"numpy"``) for
+        the detectors in :data:`SWEEP_BACKED_DETECTORS`; silently ignored by
+        the grid approximations, which perform no sweep.
     options:
         Extra keyword arguments forwarded to the detector constructor (e.g.
         ``cell_scale`` for ``ag2``).
@@ -88,6 +98,8 @@ def make_detector(name: str, query: SurgeQuery, **options) -> BurstyRegionDetect
         raise ValueError(
             f"unknown detector {name!r}; expected one of {', '.join(DETECTOR_NAMES)}"
         )
+    if backend is not None and key in SWEEP_BACKED_DETECTORS:
+        options["backend"] = backend
     return factories[key](query, **options)
 
 
@@ -116,9 +128,21 @@ class SurgeMonitor:
     # ------------------------------------------------------------------
     def push(self, obj: SpatialObject) -> RegionResult | None:
         """Ingest one spatial object and return the current bursty region."""
-        for event in self.windows.observe(obj):
-            self.detector.process(event)
-        self._objects_seen += 1
+        return self.push_many((obj,))
+
+    def push_many(self, objs: Iterable[SpatialObject]) -> RegionResult | None:
+        """Ingest a batch of spatial objects and return the final bursty region.
+
+        Unlike calling :meth:`push` per object, the detector's result is read
+        only once, after the whole batch: detectors with lazy result
+        maintenance (notably the top-k ``kccs``) then amortise one
+        recomputation over the entire batch instead of paying for one per
+        event.
+        """
+        for obj in objs:
+            for event in self.windows.observe(obj):
+                self.detector.process(event)
+            self._objects_seen += 1
         return self.detector.result()
 
     def push_events(self, events: Iterable[WindowEvent]) -> RegionResult | None:

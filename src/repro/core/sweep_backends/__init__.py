@@ -1,0 +1,160 @@
+"""Pluggable execution backends for the SL-CSPOT sweep-line kernel.
+
+Every detector funnels its per-snapshot search into
+:func:`repro.core.sweepline.sweep_bursty_point`; this package provides the
+interchangeable kernels that actually run the sweep:
+
+``python``
+    The optimized pure-Python kernel (no dependencies beyond the standard
+    library).  Incremental slab evaluation makes it strictly faster than the
+    original seed kernel while remaining bit-for-bit exact.
+
+``numpy``
+    A vectorized kernel using difference arrays and ``cumsum`` prefix sums.
+    Available only when the optional ``numpy`` dependency is installed
+    (``pip install .[fast]``).
+
+``auto``
+    Adaptive dispatch: small snapshots (where interpreter overhead is
+    irrelevant and array setup dominates) run on the Python kernel, large
+    ones on NumPy when it is importable.  This is the default.
+
+Selection
+---------
+:func:`resolve_backend` accepts a backend instance, a name, or ``None``.
+``None`` consults the ``REPRO_SWEEP_BACKEND`` environment variable and falls
+back to ``auto``.  Detector constructors resolve their backend once and reuse
+it for every sweep.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Protocol, Sequence, runtime_checkable
+
+from repro.core.sweep_backends.python_backend import PythonSweepBackend
+from repro.core.sweep_backends.types import LabeledRect, SweepResult, clip_rects
+
+#: Environment variable consulted by :func:`resolve_backend` when no explicit
+#: backend is requested.
+BACKEND_ENV_VAR = "REPRO_SWEEP_BACKEND"
+
+#: Snapshot size at which ``auto`` switches from the Python kernel to NumPy.
+#: Below this the fixed cost of array construction outweighs vectorization;
+#: the measured crossover (benchmarks/bench_sweep.py snapshots) is ~190.
+AUTO_NUMPY_THRESHOLD = 192
+
+try:  # pragma: no cover - exercised indirectly through available_backends()
+    from repro.core.sweep_backends.numpy_backend import NumpySweepBackend
+
+    _HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - numpy is an optional dependency
+    NumpySweepBackend = None  # type: ignore[assignment,misc]
+    _HAVE_NUMPY = False
+
+
+@runtime_checkable
+class SweepBackend(Protocol):
+    """Protocol every sweep kernel implements.
+
+    ``sweep`` receives a non-empty, already-clipped rectangle list and must
+    return the exact bursty point of the snapshot (the facade handles
+    clipping and the empty case).
+    """
+
+    name: str
+
+    def sweep(
+        self,
+        rects: Sequence[LabeledRect],
+        alpha: float,
+        current_length: float,
+        past_length: float,
+    ) -> SweepResult: ...
+
+
+class AdaptiveSweepBackend:
+    """Dispatch to NumPy for large snapshots, pure Python for small ones."""
+
+    name = "auto"
+
+    def __init__(self, numpy_threshold: int = AUTO_NUMPY_THRESHOLD) -> None:
+        self.numpy_threshold = numpy_threshold
+        self._python = PythonSweepBackend()
+        self._numpy = NumpySweepBackend() if _HAVE_NUMPY else None
+
+    def sweep(
+        self,
+        rects: Sequence[LabeledRect],
+        alpha: float,
+        current_length: float,
+        past_length: float,
+    ) -> SweepResult:
+        if self._numpy is not None and len(rects) >= self.numpy_threshold:
+            return self._numpy.sweep(rects, alpha, current_length, past_length)
+        return self._python.sweep(rects, alpha, current_length, past_length)
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names accepted by :func:`get_backend` in this environment."""
+    if _HAVE_NUMPY:
+        return ("auto", "python", "numpy")
+    return ("auto", "python")
+
+
+_INSTANCES: dict[str, SweepBackend] = {}
+
+
+def get_backend(name: str) -> SweepBackend:
+    """The shared backend instance registered under ``name``."""
+    key = name.lower()
+    cached = _INSTANCES.get(key)
+    if cached is not None:
+        return cached
+    if key == "python":
+        backend: SweepBackend = PythonSweepBackend()
+    elif key == "auto":
+        backend = AdaptiveSweepBackend()
+    elif key == "numpy":
+        if not _HAVE_NUMPY:
+            raise RuntimeError(
+                "the numpy sweep backend was requested but numpy is not "
+                "installed; install the optional dependency with "
+                "'pip install .[fast]' or select the 'python' backend"
+            )
+        backend = NumpySweepBackend()
+    else:
+        raise ValueError(
+            f"unknown sweep backend {name!r}; expected one of "
+            f"{', '.join(available_backends())}"
+        )
+    _INSTANCES[key] = backend
+    return backend
+
+
+def resolve_backend(spec: "str | SweepBackend | None" = None) -> SweepBackend:
+    """Turn a backend spec (instance, name, or ``None``) into a backend.
+
+    ``None`` reads the :data:`BACKEND_ENV_VAR` environment variable and falls
+    back to ``auto`` when it is unset or empty.
+    """
+    if spec is None:
+        spec = os.environ.get(BACKEND_ENV_VAR, "").strip() or "auto"
+    if isinstance(spec, str):
+        return get_backend(spec)
+    return spec
+
+
+__all__ = [
+    "AUTO_NUMPY_THRESHOLD",
+    "BACKEND_ENV_VAR",
+    "AdaptiveSweepBackend",
+    "LabeledRect",
+    "PythonSweepBackend",
+    "SweepBackend",
+    "SweepResult",
+    "available_backends",
+    "clip_rects",
+    "get_backend",
+    "resolve_backend",
+]

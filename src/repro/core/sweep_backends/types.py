@@ -1,0 +1,64 @@
+"""Shared value types of the sweep-line backends.
+
+:class:`LabeledRect` and :class:`SweepResult` are the input and output of
+every SL-CSPOT kernel.  They live here — rather than in
+:mod:`repro.core.sweepline` — so the backend implementations can import them
+without creating a cycle with the facade module, which re-exports both names
+for backwards compatibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.geometry.primitives import Point, Rect
+
+
+@dataclass(frozen=True, slots=True)
+class LabeledRect:
+    """A rectangle object together with its window label.
+
+    ``in_current`` is ``True`` for rectangles whose originating object lies
+    in the current window ``Wc`` and ``False`` for the past window ``Wp``.
+    """
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+    weight: float
+    in_current: bool
+
+    @staticmethod
+    def from_rect(rect: Rect, weight: float, in_current: bool) -> "LabeledRect":
+        """Build a labelled rectangle from a geometric rectangle."""
+        return LabeledRect(
+            rect.min_x, rect.min_y, rect.max_x, rect.max_y, weight, in_current
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class SweepResult:
+    """The outcome of one SL-CSPOT invocation."""
+
+    point: Point
+    score: float
+    fc: float
+    fp: float
+    rectangles_swept: int = 0
+
+
+def clip_rects(rects: Iterable[LabeledRect], bounds: Rect) -> list[LabeledRect]:
+    """Clip rectangles to ``bounds``, dropping the ones that miss it entirely."""
+    clipped = []
+    for rect in rects:
+        min_x = max(rect.min_x, bounds.min_x)
+        min_y = max(rect.min_y, bounds.min_y)
+        max_x = min(rect.max_x, bounds.max_x)
+        max_y = min(rect.max_y, bounds.max_y)
+        if min_x <= max_x and min_y <= max_y:
+            clipped.append(
+                LabeledRect(min_x, min_y, max_x, max_y, rect.weight, rect.in_current)
+            )
+    return clipped

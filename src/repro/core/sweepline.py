@@ -7,6 +7,31 @@ sweep visits the y coordinates of the horizontal edges top-down and maintains
 per-slab ``(fc, fp)`` accumulators, so every face of the rectangle
 arrangement is evaluated exactly once.
 
+Backend architecture
+--------------------
+This module is a thin facade: it normalises the input (clipping to optional
+``bounds``, rejecting empty snapshots) and delegates the actual sweep to a
+pluggable kernel from :mod:`repro.core.sweep_backends`:
+
+* ``python`` — the optimized pure-Python kernel.  Instead of rescanning all
+  slabs at every y event (the original ``O(|ys| · |slabs|)`` behaviour) it
+  re-evaluates only the slabs whose accumulators changed, which is exact
+  because every score change is caused by a rectangle event covering the
+  slab.
+* ``numpy`` — a vectorized kernel: slab accumulators are ``float64`` arrays,
+  rectangle add/remove events are difference-array writes, and each
+  evaluation is a ``cumsum`` prefix sum plus a vectorized ``argmax``.
+  Requires the optional ``numpy`` dependency (``pip install .[fast]``).
+* ``auto`` (default) — adaptive dispatch between the two based on snapshot
+  size, overridable through the ``REPRO_SWEEP_BACKEND`` environment variable
+  or the ``backend`` argument threaded through every detector, the
+  :func:`repro.core.monitor.make_detector` factory and the CLI's
+  ``--backend`` flag.
+
+All backends are exact and agree on best scores (the NumPy kernel up to
+prefix-sum rounding, pinned by the parity test suite); reported points may
+legitimately differ between backends when several points attain the optimum.
+
 Exactness with closed rectangles
 --------------------------------
 The burst score is **not** monotone in the set of covering rectangles (a past
@@ -15,7 +40,7 @@ rectangle sweep — the optimum may lie either strictly inside an arrangement
 face or exactly on an edge shared by two rectangles.  To stay exact the sweep
 therefore evaluates *degenerate* slabs located exactly at the edge
 coordinates in addition to the open slabs between them, in both the x and the
-y direction.  This keeps the overall cost at ``O(n²)`` while returning the
+y direction.  This keeps the worst case at ``O(n²)`` while returning the
 true optimum for closed rectangles.
 
 The same routine powers the stand-alone snapshot search, the per-cell search
@@ -25,64 +50,13 @@ cell), and the neighbourhood searches of the adapted aG2 baseline.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable
 
-from repro.geometry.primitives import Point, Rect
+from repro.core.sweep_backends import SweepBackend, clip_rects, resolve_backend
+from repro.core.sweep_backends.types import LabeledRect, SweepResult
+from repro.geometry.primitives import Rect
 
-
-@dataclass(frozen=True, slots=True)
-class LabeledRect:
-    """A rectangle object together with its window label.
-
-    ``in_current`` is ``True`` for rectangles whose originating object lies
-    in the current window ``Wc`` and ``False`` for the past window ``Wp``.
-    """
-
-    min_x: float
-    min_y: float
-    max_x: float
-    max_y: float
-    weight: float
-    in_current: bool
-
-    @staticmethod
-    def from_rect(rect: Rect, weight: float, in_current: bool) -> "LabeledRect":
-        """Build a labelled rectangle from a geometric rectangle."""
-        return LabeledRect(
-            rect.min_x, rect.min_y, rect.max_x, rect.max_y, weight, in_current
-        )
-
-
-@dataclass(frozen=True, slots=True)
-class SweepResult:
-    """The outcome of one SL-CSPOT invocation."""
-
-    point: Point
-    score: float
-    fc: float
-    fp: float
-    rectangles_swept: int = 0
-
-
-def _clip(rects: Iterable[LabeledRect], bounds: Rect) -> list[LabeledRect]:
-    """Clip rectangles to ``bounds``, dropping the ones that miss it entirely."""
-    clipped = []
-    for rect in rects:
-        min_x = max(rect.min_x, bounds.min_x)
-        min_y = max(rect.min_y, bounds.min_y)
-        max_x = min(rect.max_x, bounds.max_x)
-        max_y = min(rect.max_y, bounds.max_y)
-        if min_x <= max_x and min_y <= max_y:
-            clipped.append(
-                LabeledRect(min_x, min_y, max_x, max_y, rect.weight, rect.in_current)
-            )
-    return clipped
-
-
-def _slab_coordinates(values: Sequence[float]) -> list[float]:
-    """Sorted distinct coordinates defining the degenerate slabs."""
-    return sorted(set(values))
+__all__ = ["LabeledRect", "SweepResult", "sweep_bursty_point"]
 
 
 def sweep_bursty_point(
@@ -91,6 +65,7 @@ def sweep_bursty_point(
     current_length: float,
     past_length: float,
     bounds: Rect | None = None,
+    backend: str | SweepBackend | None = None,
 ) -> SweepResult | None:
     """Find a point with the maximum burst score over a rectangle snapshot.
 
@@ -105,6 +80,10 @@ def sweep_bursty_point(
     bounds:
         Optional clipping rectangle; when given, only points inside it are
         considered (this is how Cell-CSPOT restricts the search to a cell).
+    backend:
+        Sweep kernel to use: a :class:`~repro.core.sweep_backends.SweepBackend`
+        instance, a backend name (``"auto"``, ``"python"``, ``"numpy"``), or
+        ``None`` for the environment-driven default.
 
     Returns
     -------
@@ -114,105 +93,8 @@ def sweep_bursty_point(
     """
     rect_list = list(rects)
     if bounds is not None:
-        rect_list = _clip(rect_list, bounds)
+        rect_list = clip_rects(rect_list, bounds)
     if not rect_list:
         return None
-
-    # ------------------------------------------------------------------
-    # X slabs: degenerate slabs at every distinct vertical-edge coordinate
-    # plus open slabs between consecutive coordinates.
-    # ------------------------------------------------------------------
-    xs = _slab_coordinates(
-        [r.min_x for r in rect_list] + [r.max_x for r in rect_list]
-    )
-    # slab j (0-based): even j -> degenerate slab at xs[j // 2];
-    #                   odd  j -> open slab (xs[j // 2], xs[j // 2 + 1]).
-    slab_count = 2 * len(xs) - 1
-    slab_repr_x = [0.0] * slab_count
-    for index, x in enumerate(xs):
-        slab_repr_x[2 * index] = x
-        if index + 1 < len(xs):
-            slab_repr_x[2 * index + 1] = (x + xs[index + 1]) / 2.0
-    x_position = {x: index for index, x in enumerate(xs)}
-
-    # Per-rect slab index range (inclusive).  A rectangle spans the degenerate
-    # slab at its min_x, the degenerate slab at its max_x, and everything in
-    # between, because its edges are members of the coordinate set.
-    slab_ranges = []
-    for rect in rect_list:
-        lo = 2 * x_position[rect.min_x]
-        hi = 2 * x_position[rect.max_x]
-        slab_ranges.append((lo, hi))
-
-    # ------------------------------------------------------------------
-    # Y sweep: visit distinct horizontal-edge coordinates top-down.  At each
-    # coordinate we first add the rectangles whose top edge is here, evaluate
-    # (covers the degenerate slab at this y), then remove the rectangles whose
-    # bottom edge is here and evaluate again (covers the open slab below).
-    # ------------------------------------------------------------------
-    ys = _slab_coordinates(
-        [r.min_y for r in rect_list] + [r.max_y for r in rect_list]
-    )
-    ys_desc = list(reversed(ys))
-    tops: dict[float, list[int]] = {}
-    bottoms: dict[float, list[int]] = {}
-    for index, rect in enumerate(rect_list):
-        tops.setdefault(rect.max_y, []).append(index)
-        bottoms.setdefault(rect.min_y, []).append(index)
-
-    fc = [0.0] * slab_count
-    fp = [0.0] * slab_count
-
-    best_score = float("-inf")
-    best_point: Point | None = None
-    best_fc = 0.0
-    best_fp = 0.0
-    one_minus_alpha = 1.0 - alpha
-
-    def evaluate(y_repr: float) -> None:
-        nonlocal best_score, best_point, best_fc, best_fp
-        for j in range(slab_count):
-            slab_fc = fc[j]
-            increase = slab_fc - fp[j]
-            if increase < 0.0:
-                increase = 0.0
-            score = alpha * increase + one_minus_alpha * slab_fc
-            if score > best_score:
-                best_score = score
-                best_point = Point(slab_repr_x[j], y_repr)
-                best_fc = slab_fc
-                best_fp = fp[j]
-
-    def apply(index: int, sign: float) -> None:
-        rect = rect_list[index]
-        lo, hi = slab_ranges[index]
-        if rect.in_current:
-            delta = sign * rect.weight / current_length
-            for j in range(lo, hi + 1):
-                fc[j] += delta
-        else:
-            delta = sign * rect.weight / past_length
-            for j in range(lo, hi + 1):
-                fp[j] += delta
-
-    for position, y in enumerate(ys_desc):
-        for index in tops.get(y, ()):
-            apply(index, +1.0)
-        # Degenerate slab exactly at this y coordinate.
-        evaluate(y)
-        for index in bottoms.get(y, ()):
-            apply(index, -1.0)
-        # Open slab strictly below this y coordinate (down to the next one).
-        if position + 1 < len(ys_desc):
-            next_y = ys_desc[position + 1]
-            evaluate((y + next_y) / 2.0)
-
-    if best_point is None:  # pragma: no cover - defensive; rect_list is non-empty
-        return None
-    return SweepResult(
-        point=best_point,
-        score=best_score,
-        fc=best_fc,
-        fp=best_fp,
-        rectangles_swept=len(rect_list),
-    )
+    engine = resolve_backend(backend)
+    return engine.sweep(rect_list, alpha, current_length, past_length)

@@ -16,19 +16,39 @@ from repro.datasets.profiles import (
     US_PROFILE,
     PROFILES,
 )
-from repro.datasets.synthetic import (
-    BurstSpec,
-    StreamConfig,
-    generate_stream,
-    generate_profile_stream,
-)
-from repro.datasets.keywords import KeywordEvent, attach_keywords, generate_keyword_stream
-from repro.datasets.workloads import (
-    default_query_for_profile,
-    scaled_stream,
-    window_sweep_values,
-    rect_size_multipliers,
-)
+
+#: Exports resolved lazily (PEP 562): the synthetic generators need the
+#: optional ``numpy`` dependency, and importing them eagerly would drag it
+#: into every consumer of the numpy-free parts of the package (``io``,
+#: ``profiles``) — including the CLI ``run`` path and the detectors.
+_LAZY_EXPORTS = {
+    "BurstSpec": "repro.datasets.synthetic",
+    "StreamConfig": "repro.datasets.synthetic",
+    "generate_stream": "repro.datasets.synthetic",
+    "generate_profile_stream": "repro.datasets.synthetic",
+    "KeywordEvent": "repro.datasets.keywords",
+    "attach_keywords": "repro.datasets.keywords",
+    "generate_keyword_stream": "repro.datasets.keywords",
+    "default_query_for_profile": "repro.datasets.workloads",
+    "scaled_stream": "repro.datasets.workloads",
+    "window_sweep_values": "repro.datasets.workloads",
+    "rect_size_multipliers": "repro.datasets.workloads",
+}
+
+
+def __getattr__(name):
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))
 
 __all__ = [
     "DatasetProfile",

@@ -47,8 +47,14 @@ class LazyMaxHeap(Generic[K]):
         self._maybe_compact()
 
     def remove(self, key: K) -> None:
-        """Remove ``key`` from the heap (no-op if absent)."""
-        self._priorities.pop(key, None)
+        """Remove ``key`` from the heap (no-op if absent).
+
+        The underlying heap entry becomes stale rather than being deleted, so
+        a remove-heavy workload must trigger the same compaction check as
+        ``push`` — otherwise stale entries accumulate without bound.
+        """
+        if self._priorities.pop(key, None) is not None:
+            self._maybe_compact()
 
     def pop(self) -> tuple[K, float]:
         """Remove and return the ``(key, priority)`` pair with maximum priority.

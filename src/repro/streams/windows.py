@@ -107,7 +107,10 @@ class SlidingWindowPair:
         self._time = time
         events: list[WindowEvent] = []
         current_cutoff = time - self.window_length
-        past_cutoff = time - self.window_length - self.past_window_length
+        # Summing the lengths before subtracting matches the paper's
+        # ``t - 2|W|`` boundary bit for bit (subtracting twice rounds
+        # differently and can mis-expire an object sitting exactly on it).
+        past_cutoff = time - (self.window_length + self.past_window_length)
 
         # Objects falling out of the past window expire first (they are the
         # oldest), then objects falling out of the current window grow into

@@ -136,3 +136,38 @@ class TestStressAndCompaction:
         assert heap.pop() == ("a", 1.0)
         with pytest.raises(IndexError):
             heap.pop()
+
+
+class TestRemoveCompaction:
+    def test_remove_heavy_churn_keeps_heap_bounded(self):
+        # Regression test: remove() used to delete only from the priority map
+        # and never trigger compaction, so a push/remove churn grew the
+        # internal heap list without bound.
+        heap = LazyMaxHeap()
+        live = 16
+        for key in range(live):
+            heap.push(("live", key), float(key))
+        for step in range(5000):
+            heap.push(("churn", step), 1.0)
+            heap.remove(("churn", step))
+            # At most: the compaction threshold plus the entries pushed since
+            # the last compaction could halve the list.
+            assert len(heap._heap) <= max(64, 2 * len(heap._priorities)) + 1
+        assert len(heap) == live
+
+    def test_remove_alone_compacts_stale_entries(self):
+        heap = LazyMaxHeap()
+        for key in range(200):
+            heap.push(key, float(key))
+        for key in range(199):
+            heap.remove(key)
+        assert len(heap) == 1
+        assert len(heap._heap) <= 64
+        assert heap.peek() == (199, 199.0)
+
+    def test_remove_missing_key_is_noop(self):
+        heap = LazyMaxHeap()
+        heap.push("a", 1.0)
+        heap.remove("missing")
+        assert len(heap) == 1
+        assert heap.peek() == ("a", 1.0)

@@ -1,0 +1,328 @@
+"""Backend parity and selection tests for the pluggable SL-CSPOT kernels.
+
+The centrepiece is a randomized property test over ≥200 seeded rectangle
+snapshots — including degenerate, edge-aligned and zero-area cases — that
+asserts the ``numpy`` and ``python`` backends return identical best scores
+and that every reported argmax point actually achieves its reported score,
+cross-checked against the brute-force arrangement scorer.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from tests.helpers import make_objects
+from repro.core.burst import burst_score
+from repro.core.sweep_backends import (
+    AdaptiveSweepBackend,
+    available_backends,
+    get_backend,
+    resolve_backend,
+)
+from repro.core.sweepline import LabeledRect, sweep_bursty_point
+from repro.geometry.primitives import Rect
+
+HAVE_NUMPY = "numpy" in available_backends()
+
+needs_numpy = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="numpy backend not available"
+)
+
+#: Score agreement tolerance between backends: the numpy kernel evaluates
+#: slabs through prefix sums whose summation order differs from the per-slab
+#: accumulation of the python kernel, so the last few ulps may differ.
+PARITY_RTOL = 1e-9
+
+#: Looser tolerance against the brute-force scorer (independent arithmetic).
+BRUTE_RTOL = 1e-6
+
+
+def random_snapshot(rng: random.Random) -> list[LabeledRect]:
+    """One random rectangle snapshot, biased towards degenerate structure.
+
+    Four flavours rotate through the seeds: continuous coordinates, lattice
+    coordinates (forcing shared/collinear edges), zero-area degenerate
+    rectangles mixed in, and duplicated rectangles.
+    """
+    flavour = rng.randrange(4)
+    count = rng.randint(1, 24)
+    rects: list[LabeledRect] = []
+    for _ in range(count):
+        if flavour == 1:
+            # Integer lattice: many rectangles share edge coordinates exactly.
+            x = float(rng.randint(0, 6))
+            y = float(rng.randint(0, 6))
+            w = float(rng.randint(0, 3))
+            h = float(rng.randint(0, 3))
+        elif flavour == 2 and rng.random() < 0.4:
+            # Degenerate: zero width and/or height (points and segments).
+            x = rng.uniform(0.0, 8.0)
+            y = rng.uniform(0.0, 8.0)
+            w = 0.0 if rng.random() < 0.7 else rng.uniform(0.0, 2.0)
+            h = 0.0
+        else:
+            x = rng.uniform(0.0, 8.0)
+            y = rng.uniform(0.0, 8.0)
+            w = rng.uniform(0.1, 3.0)
+            h = rng.uniform(0.1, 3.0)
+        weight = rng.uniform(0.1, 20.0)
+        rects.append(LabeledRect(x, y, x + w, y + h, weight, rng.random() < 0.7))
+    if flavour == 3 and len(rects) > 1:
+        rects.extend(rects[: len(rects) // 2])  # exact duplicates
+    return rects
+
+
+def brute_force_best_score(rects, alpha, wc, wp):
+    """Max burst score over every candidate point of the arrangement."""
+    xs = sorted({r.min_x for r in rects} | {r.max_x for r in rects})
+    ys = sorted({r.min_y for r in rects} | {r.max_y for r in rects})
+    candidates_x = list(xs) + [(a + b) / 2.0 for a, b in zip(xs, xs[1:])]
+    candidates_y = list(ys) + [(a + b) / 2.0 for a, b in zip(ys, ys[1:])]
+    best = 0.0
+    for x in candidates_x:
+        for y in candidates_y:
+            fc = sum(
+                r.weight / wc
+                for r in rects
+                if r.in_current and r.min_x <= x <= r.max_x and r.min_y <= y <= r.max_y
+            )
+            fp = sum(
+                r.weight / wp
+                for r in rects
+                if not r.in_current
+                and r.min_x <= x <= r.max_x
+                and r.min_y <= y <= r.max_y
+            )
+            best = max(best, burst_score(fc, fp, alpha))
+    return best
+
+
+def score_at_point(rects, point, alpha, wc, wp):
+    """Direct burst score of ``point`` by summation over covering rectangles."""
+    fc = sum(
+        r.weight / wc
+        for r in rects
+        if r.in_current
+        and r.min_x <= point.x <= r.max_x
+        and r.min_y <= point.y <= r.max_y
+    )
+    fp = sum(
+        r.weight / wp
+        for r in rects
+        if not r.in_current
+        and r.min_x <= point.x <= r.max_x
+        and r.min_y <= point.y <= r.max_y
+    )
+    return burst_score(fc, fp, alpha), fc, fp
+
+
+def close(a: float, b: float, rtol: float) -> bool:
+    return abs(a - b) <= rtol * max(1.0, abs(a), abs(b))
+
+
+@needs_numpy
+class TestBackendParity:
+    def test_randomized_parity_and_brute_force_crosscheck(self):
+        from repro.core.sweep_backends.numpy_backend import NumpySweepBackend
+
+        python = get_backend("python")
+        numpy_variants = {
+            "numpy": get_backend("numpy"),
+            "numpy-cumsum": NumpySweepBackend(strategy="cumsum"),
+        }
+        checked = 0
+        brute_checked = 0
+        for seed in range(220):
+            rng = random.Random(seed)
+            rects = random_snapshot(rng)
+            alpha = rng.choice([0.0, 0.3, 0.5, 0.9, 0.95])
+            wc = rng.choice([1.0, 2.0, 20.0])
+            wp = rng.choice([1.0, 2.0, 20.0])
+
+            py = python.sweep(rects, alpha, wc, wp)
+            results = {"python": py}
+            for label, backend in numpy_variants.items():
+                results[label] = backend.sweep(rects, alpha, wc, wp)
+
+            for label, nu in results.items():
+                # Identical best scores (up to prefix-sum rounding).
+                assert close(py.score, nu.score, PARITY_RTOL), (
+                    f"seed {seed}: python={py.score!r} {label}={nu.score!r}"
+                )
+                assert nu.rectangles_swept == len(rects)
+                # Each backend's argmax point must actually achieve its score.
+                direct, fc, fp = score_at_point(rects, nu.point, alpha, wc, wp)
+                assert close(nu.score, direct, BRUTE_RTOL)
+                assert close(nu.fc, fc, BRUTE_RTOL)
+                assert close(nu.fp, fp, BRUTE_RTOL)
+
+            # Cross-check the optimum against exhaustive candidate
+            # enumeration on the smaller snapshots (the scorer is cubic).
+            if len(rects) <= 12:
+                expected = brute_force_best_score(rects, alpha, wc, wp)
+                assert close(py.score, expected, BRUTE_RTOL)
+                brute_checked += 1
+            checked += 1
+        assert checked >= 200
+        assert brute_checked >= 50
+
+    def test_numpy_rejects_unknown_strategy(self):
+        from repro.core.sweep_backends.numpy_backend import NumpySweepBackend
+
+        with pytest.raises(ValueError, match="strategy"):
+            NumpySweepBackend(strategy="fft")
+
+    def test_parity_with_bounds_clipping(self):
+        bounds = Rect(2.0, 2.0, 6.0, 6.0)
+        for seed in range(60):
+            rng = random.Random(1000 + seed)
+            rects = random_snapshot(rng)
+            py = sweep_bursty_point(rects, 0.5, 1.0, 1.0, bounds=bounds, backend="python")
+            nu = sweep_bursty_point(rects, 0.5, 1.0, 1.0, bounds=bounds, backend="numpy")
+            assert (py is None) == (nu is None)
+            if py is not None:
+                assert close(py.score, nu.score, PARITY_RTOL)
+                assert bounds.contains_point(py.point)
+                assert bounds.contains_point(nu.point)
+
+    def test_detectors_agree_across_backends(self):
+        from tests.helpers import feed, scores_close
+        from repro.core.cell_cspot import CellCSPOT
+        from repro.core.query import SurgeQuery
+
+        query = SurgeQuery(rect_width=1.0, rect_height=1.0, window_length=20.0)
+        objects = make_objects(80, seed=31, extent=6.0)
+        results = {}
+        for backend in ("python", "numpy"):
+            detector = CellCSPOT(query, backend=backend)
+            feed(detector, objects, query.window_length)
+            results[backend] = detector.current_score()
+        assert scores_close(results["python"], results["numpy"])
+
+
+class TestBackendSelection:
+    def test_available_backends_always_include_python_and_auto(self):
+        names = available_backends()
+        assert "python" in names
+        assert "auto" in names
+
+    def test_get_backend_rejects_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown sweep backend"):
+            get_backend("fortran")
+
+    def test_resolve_backend_passes_instances_through(self):
+        instance = get_backend("python")
+        assert resolve_backend(instance) is instance
+
+    def test_resolve_backend_reads_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_BACKEND", "python")
+        assert resolve_backend(None).name == "python"
+        monkeypatch.setenv("REPRO_SWEEP_BACKEND", "")
+        assert resolve_backend(None).name == "auto"
+
+    @needs_numpy
+    def test_adaptive_backend_dispatches_by_size(self):
+        adaptive = AdaptiveSweepBackend(numpy_threshold=4)
+        small = [LabeledRect(0, 0, 1, 1, 1.0, True)]
+        large = [
+            LabeledRect(i * 0.1, 0, i * 0.1 + 1, 1, 1.0, True) for i in range(10)
+        ]
+        # Both paths must produce the same optimum on the same input.
+        for rects in (small, large):
+            auto = adaptive.sweep(rects, 0.5, 1.0, 1.0)
+            reference = get_backend("python").sweep(rects, 0.5, 1.0, 1.0)
+            assert close(auto.score, reference.score, PARITY_RTOL)
+
+    def test_facade_accepts_backend_names(self):
+        rects = [LabeledRect(0, 0, 1, 1, 2.0, True)]
+        for name in available_backends():
+            result = sweep_bursty_point(rects, 0.5, 1.0, 1.0, backend=name)
+            assert result is not None
+            assert result.score == pytest.approx(2.0)
+
+
+class TestMonitorBatching:
+    def test_push_many_matches_sequential_push(self):
+        from repro.core.monitor import SurgeMonitor
+        from repro.core.query import SurgeQuery
+
+        query = SurgeQuery(
+            rect_width=1.0, rect_height=1.0, window_length=20.0, k=3
+        )
+        objects = make_objects(90, seed=41, extent=6.0)
+        sequential = SurgeMonitor(query, algorithm="kccs")
+        batched = SurgeMonitor(query, algorithm="kccs")
+        last = None
+        for obj in objects:
+            last = sequential.push(obj)
+        batch_result = batched.push_many(objects)
+        assert sequential.objects_seen == batched.objects_seen == len(objects)
+        assert (last is None) == (batch_result is None)
+        if last is not None:
+            assert batch_result.score == pytest.approx(last.score)
+        top_sequential = [r.score for r in sequential.top_k()]
+        top_batched = [r.score for r in batched.top_k()]
+        assert top_batched == pytest.approx(top_sequential)
+
+    def test_make_detector_threads_backend(self):
+        from repro.core.monitor import make_detector
+        from repro.core.query import SurgeQuery
+
+        query = SurgeQuery(rect_width=1.0, rect_height=1.0, window_length=20.0)
+        detector = make_detector("ccs", query, backend="python")
+        assert detector.sweep_backend.name == "python"
+        # Grid approximations perform no sweep; the option is ignored.
+        gaps = make_detector("gaps", query, backend="python")
+        assert not hasattr(gaps, "sweep_backend")
+
+    def test_cli_backend_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        stream_path = tmp_path / "stream.csv"
+        code = main(
+            [
+                "generate",
+                "--profile",
+                "taxi",
+                "--objects",
+                "150",
+                "--out",
+                str(stream_path),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        outputs = {}
+        for backend in ("python",) + (("numpy",) if HAVE_NUMPY else ()):
+            code = main(
+                [
+                    "run",
+                    str(stream_path),
+                    "--algorithm",
+                    "ccs",
+                    "--backend",
+                    backend,
+                    "--rect",
+                    "0.01",
+                    "0.006",
+                    "--window",
+                    "300",
+                    "--report-every",
+                    "50",
+                ]
+            )
+            assert code == 0
+            outputs[backend] = capsys.readouterr().out
+        if HAVE_NUMPY:
+            # Same stream, same reported scores — regardless of kernel (the
+            # argmax point may legitimately differ between backends on ties).
+            import re
+
+            scores = {
+                backend: [float(s) for s in re.findall(r"score=([0-9.]+)", text)]
+                for backend, text in outputs.items()
+            }
+            assert scores["python"], "expected at least one reported region"
+            assert scores["numpy"] == pytest.approx(scores["python"])
