@@ -1,10 +1,13 @@
 # Developer entry points for the SURGE reproduction.
 #
-#   make test    tier-1 test suite (unit tests; pure stdlib fallback works)
-#   make bench   sweep-kernel microbenchmark -> BENCH_sweep.json
-#                (refuses to record a >20% regression; BENCH_FLAGS=--force
-#                 overrides, BENCH_FLAGS=--quick skips the largest size)
-#   make lint    byte-compile every source tree as a fast syntax/import gate
+#   make test          tier-1 test suite (unit tests; pure stdlib fallback works)
+#   make bench         both benchmarks below
+#   make bench-sweep   sweep-kernel microbenchmark -> BENCH_sweep.json
+#   make bench-ingest  end-to-end ingestion throughput -> BENCH_ingest.json
+#                      (each refuses to record a >20% regression;
+#                       BENCH_FLAGS=--force overrides, BENCH_FLAGS=--quick
+#                       runs a reduced smoke configuration)
+#   make lint          byte-compile every source tree as a fast syntax/import gate
 #
 # The numpy sweep backend is optional: `pip install .[fast]` enables it, and
 # everything degrades to the pure-Python kernel without it.
@@ -13,13 +16,18 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 BENCH_FLAGS ?=
 
-.PHONY: test bench lint
+.PHONY: test bench bench-sweep bench-ingest lint
 
 test:
 	$(PYTHON) -m pytest -x -q
 
-bench:
+bench: bench-sweep bench-ingest
+
+bench-sweep:
 	$(PYTHON) benchmarks/bench_sweep.py $(BENCH_FLAGS)
+
+bench-ingest:
+	$(PYTHON) benchmarks/bench_ingest.py $(BENCH_FLAGS)
 
 lint:
 	$(PYTHON) -m compileall -q src/repro tests benchmarks examples

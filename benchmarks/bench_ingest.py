@@ -1,0 +1,261 @@
+"""End-to-end ingestion throughput benchmark: objects/sec per detector.
+
+``bench_sweep.py`` tracks the inner SL-CSPOT kernel; this benchmark tracks
+what actually gates serving scale in the paper's continuous-query setting —
+sustained stream-to-answer throughput.  For every detector two ingestion
+paths are timed over the same synthetic stream (uniform arrivals, windows
+holding ``WINDOW_OBJECTS`` objects each, results read once per chunk):
+
+``push_loop_baseline``
+    The pre-batching event loop: ``SlidingWindowPair.observe`` per object,
+    ``detector.process`` per window event, one ``result()`` read per chunk.
+    This is exactly what ``SurgeMonitor.push_many`` did before the batched
+    event path existed, kept here as the fixed reference point.
+
+``push_many``
+    The batched path ``SurgeMonitor.push_many`` uses today:
+    ``SlidingWindowPair.observe_batch`` (bulk window maintenance) +
+    ``detector.apply_events`` (bulk cell/bound/heap maintenance, one result
+    settlement per chunk) + one ``result()`` read per chunk.
+
+Both paths run the pure-python sweep backend so the recorded numbers do not
+depend on whether numpy happens to be installed.  The slow baselines run a
+scaled-down stream (recorded per detector in the JSON) so the whole
+benchmark finishes in a few minutes; ``naive`` and ``ag2`` are excluded by
+default because their per-event cost makes even a scaled run dominate the
+suite (pass ``--detectors`` to include them).
+
+Regression guard
+----------------
+As with ``BENCH_sweep.json``: if a previous ``BENCH_ingest.json`` exists,
+the script refuses to overwrite it when any detector's ``push_many``
+objects/sec regressed by more than ``REGRESSION_TOLERANCE`` (20%); pass
+``--force`` to overwrite anyway.  The ``push_loop_baseline`` numbers are the
+yardstick and are exempt.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_ingest.py [--force] [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+from repro.core.monitor import make_detector
+from repro.core.query import SurgeQuery
+from repro.streams.objects import SpatialObject
+from repro.streams.windows import SlidingWindowPair
+
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_ingest.json"
+SCHEMA = "bench_ingest/v1"
+SEED = 20180416
+REGRESSION_TOLERANCE = 0.20
+
+#: Default workload: windows of ~2000 objects each, three windows of stream.
+WINDOW_OBJECTS = 2000
+TOTAL_OBJECTS = 6000
+CHUNK_SIZE = 1024
+EXTENT = 8.0
+RECT_SIZE = 1.0
+ALPHA = 0.5
+BACKEND = "python"
+
+#: Detectors benchmarked by default, with a per-detector stream scale factor
+#: (1.0 = the full default workload).  The unpruned baselines sweep every
+#: affected cell per event, so they get a smaller stream to keep the total
+#: benchmark runtime reasonable; the scale is recorded in the JSON.
+DEFAULT_DETECTORS: dict[str, float] = {
+    "ccs": 1.0,
+    "bccs": 1.0,
+    "base": 0.25,
+    "gaps": 1.0,
+    "mgaps": 1.0,
+    "kccs": 1.0,
+}
+
+
+def make_stream(total: int, seed: int = SEED, extent: float = EXTENT) -> list[SpatialObject]:
+    """Uniform synthetic stream: one object per second, weights in [0.5, 10]."""
+    rng = random.Random(seed)
+    return [
+        SpatialObject(
+            x=rng.uniform(0.0, extent),
+            y=rng.uniform(0.0, extent),
+            timestamp=float(index),
+            weight=rng.uniform(0.5, 10.0),
+            object_id=index,
+        )
+        for index in range(total)
+    ]
+
+
+def run_path(
+    name: str,
+    mode: str,
+    stream: list[SpatialObject],
+    window_length: float,
+    chunk_size: int,
+) -> tuple[float, float]:
+    """Time one full ingestion of ``stream``; returns (objects/sec, final score)."""
+    query = SurgeQuery(
+        rect_width=RECT_SIZE,
+        rect_height=RECT_SIZE,
+        window_length=window_length,
+        alpha=ALPHA,
+    )
+    detector = make_detector(name, query, backend=BACKEND)
+    windows = SlidingWindowPair(query.current_length, query.past_length)
+    total = len(stream)
+    result = None
+    started = time.perf_counter()
+    if mode == "loop":
+        for start in range(0, total, chunk_size):
+            for obj in stream[start : start + chunk_size]:
+                for event in windows.observe(obj):
+                    detector.process(event)
+            result = detector.result()
+    else:
+        for start in range(0, total, chunk_size):
+            batch = windows.observe_batch(stream[start : start + chunk_size])
+            detector.apply_events(batch)
+            result = detector.result()
+    elapsed = time.perf_counter() - started
+    return total / elapsed, (result.score if result is not None else 0.0)
+
+
+def run_benchmark(detectors: dict[str, float], total_objects: int, chunk_size: int) -> dict:
+    results: dict[str, dict] = {}
+    for name, scale in detectors.items():
+        total = max(chunk_size, int(total_objects * scale))
+        window_length = float(max(1, int(WINDOW_OBJECTS * scale)))
+        stream = make_stream(total)
+        loop_ops, loop_score = run_path(name, "loop", stream, window_length, chunk_size)
+        many_ops, many_score = run_path(name, "batch", stream, window_length, chunk_size)
+        # Both paths must agree on the final answer (up to FP associativity).
+        if abs(loop_score - many_score) > 1e-6 * max(1.0, abs(loop_score)):
+            raise AssertionError(
+                f"{name}: batched path disagrees with the event loop "
+                f"({many_score!r} vs {loop_score!r})"
+            )
+        speedup = many_ops / loop_ops if loop_ops > 0 else float("inf")
+        results[name] = {
+            "workload": {
+                "total_objects": total,
+                "window_objects": int(window_length),
+                "chunk_size": chunk_size,
+            },
+            "push_loop_baseline": {"objects_per_second": loop_ops},
+            "push_many": {"objects_per_second": many_ops},
+            "speedup": speedup,
+        }
+        print(
+            f"  {name:>6}  loop {loop_ops:10,.0f} obj/s   "
+            f"push_many {many_ops:10,.0f} obj/s   {speedup:5.1f}x "
+            f"(n={total}, |W|={int(window_length)})",
+            flush=True,
+        )
+    return {
+        "schema": SCHEMA,
+        "config": {
+            "seed": SEED,
+            "extent": EXTENT,
+            "rect_size": RECT_SIZE,
+            "alpha": ALPHA,
+            "backend": BACKEND,
+            "chunk_size": chunk_size,
+            "window_objects": WINDOW_OBJECTS,
+            "total_objects": total_objects,
+        },
+        "results": results,
+    }
+
+
+def check_regression(old: dict, new: dict, tolerance: float = REGRESSION_TOLERANCE):
+    """Detectors whose batched throughput slowed down beyond tolerance."""
+    regressions = []
+    for name, record in old.get("results", {}).items():
+        if name not in new["results"]:
+            regressions.append(
+                f"{name}: detector missing from the new run; refusing to "
+                "drop its recorded trajectory"
+            )
+            continue
+        before = record["push_many"]["objects_per_second"]
+        after = new["results"][name]["push_many"]["objects_per_second"]
+        if after < before * (1.0 - tolerance):
+            regressions.append(
+                f"{name}: {before:,.0f} -> {after:,.0f} obj/s "
+                f"({100.0 * (1.0 - after / before):.1f}% slower)"
+            )
+    return regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="overwrite BENCH_ingest.json even on regression",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small stream, fast detectors only (CI smoke mode; never "
+        "overwrites the tracked trajectory file)",
+    )
+    parser.add_argument(
+        "--detectors",
+        nargs="+",
+        metavar="NAME",
+        default=None,
+        help="detector names to benchmark (default: %s)"
+        % " ".join(DEFAULT_DETECTORS),
+    )
+    parser.add_argument("--out", default=str(OUTPUT_PATH), help="output JSON path")
+    args = parser.parse_args(argv)
+
+    if args.detectors is not None:
+        detectors = {name: DEFAULT_DETECTORS.get(name, 1.0) for name in args.detectors}
+    else:
+        detectors = dict(DEFAULT_DETECTORS)
+    total_objects = TOTAL_OBJECTS
+    chunk_size = CHUNK_SIZE
+    if args.quick:
+        detectors = {name: scale for name, scale in detectors.items() if name in ("ccs", "gaps")}
+        total_objects = TOTAL_OBJECTS // 4
+        chunk_size = CHUNK_SIZE // 4
+
+    print(
+        f"bench_ingest: detectors={list(detectors)} total={total_objects} "
+        f"chunk={chunk_size} backend={BACKEND}"
+    )
+    report = run_benchmark(detectors, total_objects, chunk_size)
+
+    out_path = Path(args.out)
+    if args.quick and args.out == str(OUTPUT_PATH):
+        print("quick mode: skipping BENCH_ingest.json update (pass --out to write)")
+        return 0
+    if out_path.exists() and not args.force:
+        old = json.loads(out_path.read_text())
+        regressions = check_regression(old, report)
+        if regressions:
+            print(
+                "refusing to overwrite {}: throughput regressed >{}%\n  {}".format(
+                    out_path, int(REGRESSION_TOLERANCE * 100), "\n  ".join(regressions)
+                ),
+                file=sys.stderr,
+            )
+            return 1
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,7 +26,13 @@ from repro.core.monitor import DETECTOR_NAMES, SurgeMonitor, make_detector
 from repro.core.sweep_backends import available_backends
 from repro.core.query import SurgeQuery
 from repro.geometry.primitives import Point, Rect
-from repro.streams.objects import EventKind, RectangleObject, SpatialObject, WindowEvent
+from repro.streams.objects import (
+    EventBatch,
+    EventKind,
+    RectangleObject,
+    SpatialObject,
+    WindowEvent,
+)
 from repro.streams.windows import SlidingWindowPair
 
 __version__ = "1.0.0"
@@ -43,6 +49,7 @@ __all__ = [
     "SurgeQuery",
     "Point",
     "Rect",
+    "EventBatch",
     "EventKind",
     "RectangleObject",
     "SpatialObject",

@@ -20,6 +20,7 @@ Cell-CSPOT in Figure 5 and exhausts memory for the largest windows.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.core.base import BurstyRegionDetector, RegionResult
 from repro.core.cells import CandidatePoint
@@ -29,7 +30,7 @@ from repro.core.sweepline import LabeledRect, sweep_bursty_point
 from repro.geometry.grids import CellIndex, GridSpec
 from repro.geometry.heaps import LazyMaxHeap
 from repro.geometry.primitives import Rect
-from repro.streams.objects import EventKind, RectangleObject, WindowEvent
+from repro.streams.objects import EventBatch, EventKind, RectangleObject, WindowEvent
 
 #: Default ratio between the aG2 grid cell and the query rectangle
 #: (the paper's experiments use cells of size ``10 q``).
@@ -107,15 +108,41 @@ class AG2Detector(BurstyRegionDetector):
         searches_before = self.stats.cells_searched
 
         for key in self.grid.cells_overlapping(rect.rect):
-            self._apply_to_cell(key, rect, event.kind)
+            cell = self._update_cell(key, rect, event.kind)
+            if cell is not None:
+                self._bound_heap.push(key, cell.static_bound)
 
         self._refresh_result()
         if self.stats.cells_searched > searches_before:
             self.stats.events_triggering_search += 1
 
-    def _apply_to_cell(
+    def apply_events(self, batch: "EventBatch | Iterable[WindowEvent]") -> None:
+        """Apply a whole event batch, re-running branch-and-bound once.
+
+        Overlap-graph maintenance stays per event (it is keyed by object
+        id), but every touched cell's bound enters the heap once and the
+        branch-and-bound result refresh runs a single time per batch.
+        """
+        searches_before = self.stats.cells_searched
+        cells = self.cells
+        dirty = self._apply_batch_records(
+            batch, cells, self._overlapping_cells, self._update_cell
+        )
+        self._bound_heap.push_all(
+            (key, cells[key].static_bound) for key in dirty if key in cells
+        )
+        self._refresh_result()
+        if self.stats.cells_searched > searches_before:
+            self.stats.events_triggering_search += 1
+
+    def _overlapping_cells(self, rect: RectangleObject) -> list[CellIndex]:
+        """aG2 uses its coarse grid, not a query-sized cell index."""
+        return list(self.grid.cells_overlapping(rect.rect))
+
+    def _update_cell(
         self, key: CellIndex, rect: RectangleObject, kind: EventKind
-    ) -> None:
+    ) -> _GraphCell | None:
+        """Update one cell's overlap graph; returns the surviving (dirty) cell."""
         cell = self.cells.get(key)
         if kind is EventKind.NEW:
             if cell is None:
@@ -124,22 +151,22 @@ class AG2Detector(BurstyRegionDetector):
             self._insert_rectangle(cell, rect)
         elif kind is EventKind.GROWN:
             if cell is None:
-                return
+                return None
             record = cell.records.get(rect.object_id)
             if record is None:
-                return
+                return None
             record.in_current = False
             cell.static_bound -= rect.weight / self.query.current_length
         else:  # EXPIRED
             if cell is None:
-                return
+                return None
             self._remove_rectangle(cell, rect.object_id)
             if cell.is_empty:
                 del self.cells[key]
                 self._bound_heap.remove(key)
-                return
+                return None
         cell.clean = False
-        self._bound_heap.push(key, cell.static_bound)
+        return cell
 
     def _insert_rectangle(self, cell: _GraphCell, rect: RectangleObject) -> None:
         """Add a node to the overlap graph, connecting it to overlapping rectangles."""

@@ -12,14 +12,17 @@ Table II / Figure 5 benchmarks measure.
 
 from __future__ import annotations
 
+from typing import Iterable
+
 from repro.core.base import BurstyRegionDetector, RegionResult
+from repro.core.cell_index import UniformGridIndex
 from repro.core.cells import CandidatePoint, CellState
 from repro.core.query import SurgeQuery
 from repro.core.sweep_backends import SweepBackend, resolve_backend
 from repro.core.sweepline import LabeledRect, sweep_bursty_point
 from repro.geometry.grids import CellIndex, GridSpec
 from repro.geometry.heaps import LazyMaxHeap
-from repro.streams.objects import EventKind, RectangleObject, WindowEvent
+from repro.streams.objects import EventBatch, EventKind, RectangleObject, WindowEvent
 
 #: Slack used when comparing a static bound against the incumbent score, so
 #: floating-point drift never prunes the true optimum.
@@ -40,6 +43,7 @@ class StaticBoundCellCSPOT(BurstyRegionDetector):
     ) -> None:
         super().__init__(query)
         self.grid = grid if grid is not None else query.base_grid()
+        self.cell_index = UniformGridIndex(self.grid)
         self.sweep_backend = resolve_backend(backend)
         self.cells: dict[CellIndex, CellState] = {}
         #: Cells ranked by their static upper bound.
@@ -59,16 +63,41 @@ class StaticBoundCellCSPOT(BurstyRegionDetector):
         rect = obj.to_rectangle(self.query.rect_width, self.query.rect_height)
         searches_before = self.stats.cells_searched
 
-        for key in self.grid.cells_overlapping(rect.rect):
-            self._apply_to_cell(key, rect, event.kind)
+        for key in self.cell_index.cells_overlapping(
+            rect.x, rect.y, rect.x + rect.width, rect.y + rect.height
+        ):
+            cell = self._update_cell(key, rect, event.kind)
+            if cell is not None:
+                self._bound_heap.push(key, cell.static_bound)
 
         self._settle()
         if self.stats.cells_searched > searches_before:
             self.stats.events_triggering_search += 1
 
-    def _apply_to_cell(
+    def apply_events(self, batch: "EventBatch | Iterable[WindowEvent]") -> None:
+        """Apply a whole event batch, settling the pruned search once at the end.
+
+        Touched cells are invalidated once per dirty cell (invalidation is
+        idempotent, so only the first touch matters), their static bounds go
+        into the heap in one ``push_all``, and the bound-ordered search loop
+        runs a single time after the last event.
+        """
+        searches_before = self.stats.cells_searched
+        cells = self.cells
+        dirty = self._apply_batch_records(
+            batch, cells, self._overlapping_cells, self._update_cell
+        )
+        self._bound_heap.push_all(
+            (key, cells[key].static_bound) for key in dirty if key in cells
+        )
+        self._settle()
+        if self.stats.cells_searched > searches_before:
+            self.stats.events_triggering_search += 1
+
+    def _update_cell(
         self, key: CellIndex, rect: RectangleObject, kind: EventKind
-    ) -> None:
+    ) -> CellState | None:
+        """Update one cell's records; returns the surviving (dirty) cell."""
         cell = self.cells.get(key)
         if kind is EventKind.NEW:
             if cell is None:
@@ -77,21 +106,21 @@ class StaticBoundCellCSPOT(BurstyRegionDetector):
             cell.add_new(rect, self.query.current_length)
         elif kind is EventKind.GROWN:
             if cell is None:
-                return
+                return None
             cell.mark_grown(rect, self.query.current_length)
         else:  # EXPIRED
             if cell is None:
-                return
+                return None
             cell.remove_expired(rect, self.query.past_length, self.query.alpha)
             if cell.is_empty:
                 del self.cells[key]
                 self._bound_heap.remove(key)
                 self._score_heap.remove(key)
-                return
+                return None
         # Without Lemma 4 bookkeeping any touched cell must be re-searched.
         cell.invalidate_candidate()
         self._score_heap.remove(key)
-        self._bound_heap.push(key, cell.static_bound)
+        return cell
 
     # ------------------------------------------------------------------
     # Pruned search loop

@@ -10,11 +10,13 @@ Cell-CSPOT on every snapshot).
 
 from __future__ import annotations
 
+from typing import Iterable
+
 from repro.core.base import BurstyRegionDetector, RegionResult
 from repro.core.query import SurgeQuery
 from repro.core.sweep_backends import SweepBackend, resolve_backend
 from repro.core.sweepline import LabeledRect, sweep_bursty_point
-from repro.streams.objects import EventKind, WindowEvent
+from repro.streams.objects import EventBatch, EventKind, WindowEvent
 
 
 class NaiveSweepDetector(BurstyRegionDetector):
@@ -42,6 +44,35 @@ class NaiveSweepDetector(BurstyRegionDetector):
             self.stats.events_skipped += 1
             return
 
+        self._apply_event(event)
+        self._recompute()
+        self.stats.events_triggering_search += 1
+
+    def apply_events(self, batch: "EventBatch | Iterable[WindowEvent]") -> None:
+        """Apply a whole event batch with a single full re-sweep at the end.
+
+        The naive baseline's answer depends only on the final rectangle set,
+        so a batch needs exactly one sweep-line invocation — the per-event
+        path pays one full sweep per event, which is what makes it the
+        paper's worst case.
+        """
+        stats = self.stats
+        accepts = self.query.accepts
+        touched = False
+        for event in batch:
+            stats.events_processed += 1
+            if not accepts(event.obj.x, event.obj.y):
+                stats.events_skipped += 1
+                continue
+            self._apply_event(event)
+            touched = True
+        if touched:
+            self._recompute()
+            stats.events_triggering_search += 1
+
+    def _apply_event(self, event: WindowEvent) -> None:
+        """Update the labelled rectangle set for one (accepted) event."""
+        obj = event.obj
         if event.kind is EventKind.NEW:
             self._rects[obj.object_id] = LabeledRect(
                 obj.x,
@@ -64,9 +95,6 @@ class NaiveSweepDetector(BurstyRegionDetector):
                 )
         else:  # EXPIRED
             self._rects.pop(obj.object_id, None)
-
-        self._recompute()
-        self.stats.events_triggering_search += 1
 
     def _recompute(self) -> None:
         if not self._rects:

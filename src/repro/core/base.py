@@ -18,9 +18,11 @@ from __future__ import annotations
 import abc
 from dataclasses import dataclass, field
 
+from typing import Iterable
+
 from repro.core.query import SurgeQuery
 from repro.geometry.primitives import Point, Rect, rect_from_top_right
-from repro.streams.objects import WindowEvent
+from repro.streams.objects import EventBatch, WindowEvent
 
 
 @dataclass(frozen=True, slots=True)
@@ -118,6 +120,77 @@ class BurstyRegionDetector(abc.ABC):
         """Apply a sequence of window events in order."""
         for event in events:
             self.process(event)
+
+    def apply_events(self, batch: "EventBatch | Iterable[WindowEvent]") -> None:
+        """Apply a whole event batch at once (the batched ingestion path).
+
+        The default implementation simply loops :meth:`process` over the
+        batch in its lifecycle-safe order, so every detector supports the
+        batch API out of the box.  Detectors for which batching pays —
+        the cell-based exact detectors and the naive full-sweep baseline —
+        override it to update their per-cell records for the whole batch
+        first and re-establish the reported result (bound invalidation, heap
+        maintenance, candidate searches) once per batch instead of once per
+        event.
+
+        The reported result after the batch matches the per-event path up to
+        floating-point associativity (scores may differ in the last bits
+        because bulk maintenance sums contributions in a different order).
+        """
+        for event in batch:
+            self.process(event)
+
+    def _apply_batch_records(
+        self,
+        batch: "EventBatch | Iterable[WindowEvent]",
+        cells,
+        overlapping,
+        update_cell,
+    ) -> set:
+        """Shared record-update loop of the cell-based batch appliers.
+
+        Applies every event's per-cell record update (in the batch's
+        lifecycle-safe order) and returns the set of *dirty* cell keys whose
+        heap priority the caller must refresh.  ``cells`` is the detector's
+        live-cell dict, ``overlapping(rect)`` lists the cell keys a rectangle
+        object touches, and ``update_cell(key, rect, kind)`` applies one
+        update, returning the surviving cell or ``None``.
+
+        ``None`` from ``update_cell`` means either "the event emptied and
+        removed the cell" or "the event was a no-op" (e.g. a GROWN/EXPIRED
+        transition for an object this detector never saw); only the former
+        may cancel dirtiness accumulated earlier in the batch, so the cell
+        dict decides.
+        """
+        stats = self.stats
+        accepts = self.query.accepts
+        rect_width = self.query.rect_width
+        rect_height = self.query.rect_height
+        dirty: set = set()
+        for event in batch:
+            stats.events_processed += 1
+            obj = event.obj
+            if not accepts(obj.x, obj.y):
+                stats.events_skipped += 1
+                continue
+            rect = obj.to_rectangle(rect_width, rect_height)
+            for key in overlapping(rect):
+                if update_cell(key, rect, event.kind) is not None:
+                    dirty.add(key)
+                elif key not in cells:
+                    dirty.discard(key)
+        return dirty
+
+    def _overlapping_cells(self, rect):
+        """Cell keys a rectangle object touches (cell-index-based detectors).
+
+        Default implementation for detectors carrying a
+        :class:`~repro.core.cell_index.UniformGridIndex` as ``cell_index``;
+        coarse-grid detectors (aG2) override it.
+        """
+        return self.cell_index.cells_overlapping(
+            rect.x, rect.y, rect.x + rect.width, rect.y + rect.height
+        )
 
     # ------------------------------------------------------------------
     # Result interface

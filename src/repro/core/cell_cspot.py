@@ -23,14 +23,17 @@ implies no other cell can contain a better point.
 
 from __future__ import annotations
 
+from typing import Iterable
+
 from repro.core.base import BurstyRegionDetector, RegionResult
+from repro.core.cell_index import UniformGridIndex
 from repro.core.cells import CandidatePoint, CellState
 from repro.core.query import SurgeQuery
 from repro.core.sweep_backends import SweepBackend, resolve_backend
 from repro.core.sweepline import LabeledRect, sweep_bursty_point
 from repro.geometry.grids import CellIndex, GridSpec
 from repro.geometry.heaps import LazyMaxHeap
-from repro.streams.objects import EventKind, RectangleObject, WindowEvent
+from repro.streams.objects import EventBatch, EventKind, RectangleObject, WindowEvent
 
 
 class CellCSPOT(BurstyRegionDetector):
@@ -57,6 +60,7 @@ class CellCSPOT(BurstyRegionDetector):
         """
         super().__init__(query)
         self.grid = grid if grid is not None else query.base_grid()
+        self.cell_index = UniformGridIndex(self.grid)
         self.sweep_backend = resolve_backend(backend)
         self.candidate_reuse = candidate_reuse
         self.cells: dict[CellIndex, CellState] = {}
@@ -76,17 +80,48 @@ class CellCSPOT(BurstyRegionDetector):
         rect = obj.to_rectangle(self.query.rect_width, self.query.rect_height)
         searches_before = self.stats.cells_searched
 
-        for key in self.grid.cells_overlapping(rect.rect):
-            self._apply_to_cell(key, rect, event.kind)
+        for key in self.cell_index.cells_overlapping(
+            rect.x, rect.y, rect.x + rect.width, rect.y + rect.height
+        ):
+            cell = self._update_cell(key, rect, event.kind)
+            if cell is not None:
+                self._bound_heap.push(key, cell.upper_bound)
 
         self._refresh_result()
         if self.stats.cells_searched > searches_before:
             self.stats.events_triggering_search += 1
 
-    def _apply_to_cell(
+    def apply_events(self, batch: "EventBatch | Iterable[WindowEvent]") -> None:
+        """Apply a whole event batch, settling the result once at the end.
+
+        Cell records and candidates are updated per event (in the batch's
+        lifecycle-safe order, so the Lemma 4 adjustments see exactly the
+        per-event sequence), but the expensive maintenance is amortised over
+        the batch: every touched cell's upper bound goes into the heap once
+        via :meth:`LazyMaxHeap.push_all` instead of once per event, and the
+        lazy search loop (Algorithm 2, lines 4-9) runs a single time after
+        the last event instead of after each one.
+        """
+        searches_before = self.stats.cells_searched
+        cells = self.cells
+        dirty = self._apply_batch_records(
+            batch, cells, self._overlapping_cells, self._update_cell
+        )
+        self._bound_heap.push_all(
+            (key, cells[key].upper_bound) for key in dirty if key in cells
+        )
+        self._refresh_result()
+        if self.stats.cells_searched > searches_before:
+            self.stats.events_triggering_search += 1
+
+    def _update_cell(
         self, key: CellIndex, rect: RectangleObject, kind: EventKind
-    ) -> None:
-        """Update one affected cell's records, bounds and candidate."""
+    ) -> CellState | None:
+        """Update one affected cell's records, bounds and candidate.
+
+        Returns the surviving cell (whose heap priority the caller must
+        refresh) or ``None`` when the event emptied and removed the cell.
+        """
         cell = self.cells.get(key)
         if kind is EventKind.NEW:
             if cell is None:
@@ -101,7 +136,7 @@ class CellCSPOT(BurstyRegionDetector):
                 cell.invalidate_candidate()
         elif kind is EventKind.GROWN:
             if cell is None:
-                return
+                return None
             cell.mark_grown(rect, self.query.current_length)
             if self.candidate_reuse:
                 cell.update_candidate_for_grown(rect)
@@ -109,7 +144,7 @@ class CellCSPOT(BurstyRegionDetector):
                 cell.invalidate_candidate()
         else:  # EXPIRED
             if cell is None:
-                return
+                return None
             cell.remove_expired(rect, self.query.past_length, self.query.alpha)
             if self.candidate_reuse:
                 cell.update_candidate_for_expired(
@@ -120,8 +155,8 @@ class CellCSPOT(BurstyRegionDetector):
             if cell.is_empty:
                 del self.cells[key]
                 self._bound_heap.remove(key)
-                return
-        self._bound_heap.push(key, cell.upper_bound)
+                return None
+        return cell
 
     # ------------------------------------------------------------------
     # Lazy search loop (Algorithm 2, lines 4-9)

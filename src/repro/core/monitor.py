@@ -11,6 +11,14 @@ caller only has to push objects::
         if result is not None:
             print(result.region, result.score)
 
+High-rate streams should prefer :meth:`SurgeMonitor.push_many`, which feeds
+whole timestamp-ordered chunks through the batched event path
+(:meth:`SlidingWindowPair.observe_batch` →
+:meth:`BurstyRegionDetector.apply_events`): window maintenance, cell-bound
+invalidation and result recomputation are then amortised over each chunk
+instead of paid per window event (see ``benchmarks/bench_ingest.py`` for the
+measured objects/sec difference).
+
 :func:`make_detector` is the name-based factory used by the monitor, the
 evaluation harness and the benchmarks; it covers the exact detector, the two
 approximations, all baselines and the top-k extensions.
@@ -127,22 +135,32 @@ class SurgeMonitor:
     # Stream interface
     # ------------------------------------------------------------------
     def push(self, obj: SpatialObject) -> RegionResult | None:
-        """Ingest one spatial object and return the current bursty region."""
-        return self.push_many((obj,))
+        """Ingest one spatial object and return the current bursty region.
+
+        This is the per-event path: every window event is processed
+        individually and the result is re-established after each one.
+        """
+        for event in self.windows.observe(obj):
+            self.detector.process(event)
+        self._objects_seen += 1
+        return self.detector.result()
 
     def push_many(self, objs: Iterable[SpatialObject]) -> RegionResult | None:
         """Ingest a batch of spatial objects and return the final bursty region.
 
-        Unlike calling :meth:`push` per object, the detector's result is read
-        only once, after the whole batch: detectors with lazy result
-        maintenance (notably the top-k ``kccs``) then amortise one
-        recomputation over the entire batch instead of paying for one per
-        event.
+        This is the batched ingestion path: the window pair converts the
+        whole chunk into one grouped
+        :class:`~repro.streams.objects.EventBatch`
+        (:meth:`SlidingWindowPair.observe_batch`), the detector applies it
+        through :meth:`BurstyRegionDetector.apply_events` (bulk cell/bound
+        maintenance where the detector supports it), and the result is read
+        once at the end — so result maintenance is amortised over the chunk
+        instead of paid per event.  The returned result matches pushing the
+        objects one at a time, up to floating-point associativity.
         """
-        for obj in objs:
-            for event in self.windows.observe(obj):
-                self.detector.process(event)
-            self._objects_seen += 1
+        batch = self.windows.observe_batch(objs)
+        self.detector.apply_events(batch)
+        self._objects_seen += batch.arrivals
         return self.detector.result()
 
     def push_events(self, events: Iterable[WindowEvent]) -> RegionResult | None:

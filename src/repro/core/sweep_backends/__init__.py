@@ -24,7 +24,9 @@ Selection
 :func:`resolve_backend` accepts a backend instance, a name, or ``None``.
 ``None`` consults the ``REPRO_SWEEP_BACKEND`` environment variable and falls
 back to ``auto``.  Detector constructors resolve their backend once and reuse
-it for every sweep.
+it for every sweep.  The ``auto`` crossover size can be overridden with the
+``REPRO_SWEEP_CROSSOVER`` environment variable (read when the ``auto``
+backend instance is created; shared instances are cached per process).
 """
 
 from __future__ import annotations
@@ -39,10 +41,43 @@ from repro.core.sweep_backends.types import LabeledRect, SweepResult, clip_rects
 #: backend is requested.
 BACKEND_ENV_VAR = "REPRO_SWEEP_BACKEND"
 
-#: Snapshot size at which ``auto`` switches from the Python kernel to NumPy.
-#: Below this the fixed cost of array construction outweighs vectorization;
-#: the measured crossover (benchmarks/bench_sweep.py snapshots) is ~190.
+#: Environment variable overriding the ``auto`` backend's python→numpy
+#: crossover size (a positive integer; see :func:`resolve_crossover`).
+CROSSOVER_ENV_VAR = "REPRO_SWEEP_CROSSOVER"
+
+#: Default snapshot size at which ``auto`` switches from the Python kernel to
+#: NumPy.  Below this the fixed cost of array construction outweighs
+#: vectorization; the measured crossover (benchmarks/bench_sweep.py
+#: snapshots) is ~190.  Override per environment with ``REPRO_SWEEP_CROSSOVER``
+#: when the measured crossover differs on your hardware.
 AUTO_NUMPY_THRESHOLD = 192
+
+
+def resolve_crossover(value: "int | None" = None) -> int:
+    """The ``auto`` backend's python→numpy crossover snapshot size.
+
+    An explicit ``value`` wins; otherwise the :data:`CROSSOVER_ENV_VAR`
+    environment variable is consulted, falling back to
+    :data:`AUTO_NUMPY_THRESHOLD`.  The result must be a positive integer —
+    anything else raises :class:`ValueError` (a silently-ignored typo in the
+    env var would quietly change which kernel serves every sweep).
+    """
+    if value is None:
+        raw = os.environ.get(CROSSOVER_ENV_VAR, "").strip()
+        if not raw:
+            return AUTO_NUMPY_THRESHOLD
+        try:
+            value = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"invalid {CROSSOVER_ENV_VAR}={raw!r}: expected a positive "
+                f"integer snapshot size"
+            ) from None
+    if value < 1:
+        raise ValueError(
+            f"sweep crossover must be a positive integer, got {value}"
+        )
+    return value
 
 try:  # pragma: no cover - exercised indirectly through available_backends()
     from repro.core.sweep_backends.numpy_backend import NumpySweepBackend
@@ -78,8 +113,10 @@ class AdaptiveSweepBackend:
 
     name = "auto"
 
-    def __init__(self, numpy_threshold: int = AUTO_NUMPY_THRESHOLD) -> None:
-        self.numpy_threshold = numpy_threshold
+    def __init__(self, numpy_threshold: "int | None" = None) -> None:
+        """``numpy_threshold=None`` reads ``REPRO_SWEEP_CROSSOVER`` (else the
+        measured default); an explicit value overrides both."""
+        self.numpy_threshold = resolve_crossover(numpy_threshold)
         self._python = PythonSweepBackend()
         self._numpy = NumpySweepBackend() if _HAVE_NUMPY else None
 
@@ -148,6 +185,8 @@ def resolve_backend(spec: "str | SweepBackend | None" = None) -> SweepBackend:
 __all__ = [
     "AUTO_NUMPY_THRESHOLD",
     "BACKEND_ENV_VAR",
+    "CROSSOVER_ENV_VAR",
+    "resolve_crossover",
     "AdaptiveSweepBackend",
     "LabeledRect",
     "PythonSweepBackend",

@@ -1,11 +1,14 @@
-"""Summary statistics over per-object timing measurements."""
+"""Summary statistics over per-object timing measurements.
+
+Implemented with the standard library only (the percentile uses the same
+linear interpolation as ``numpy.percentile``'s default method), so the
+evaluation harness works in the numpy-free install.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Sequence
-
-import numpy as np
 
 
 @dataclass(frozen=True)
@@ -32,18 +35,30 @@ class TimingSummary:
         return 1.0 / self.mean
 
 
+def _percentile(ordered: Sequence[float], fraction: float) -> float:
+    """Linear-interpolation percentile of an already-sorted sequence."""
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = fraction * (len(ordered) - 1)
+    lower = int(rank)
+    upper = min(lower + 1, len(ordered) - 1)
+    weight = rank - lower
+    return ordered[lower] * (1.0 - weight) + ordered[upper] * weight
+
+
 def summarize_times(times: Sequence[float]) -> TimingSummary:
     """Summarise a list of per-object processing times (seconds)."""
     if not times:
         return TimingSummary(count=0, mean=0.0, median=0.0, p95=0.0, maximum=0.0, total=0.0)
-    array = np.asarray(times, dtype=float)
+    ordered = sorted(float(value) for value in times)
+    total = sum(ordered)
     return TimingSummary(
-        count=int(array.size),
-        mean=float(array.mean()),
-        median=float(np.median(array)),
-        p95=float(np.percentile(array, 95)),
-        maximum=float(array.max()),
-        total=float(array.sum()),
+        count=len(ordered),
+        mean=total / len(ordered),
+        median=_percentile(ordered, 0.5),
+        p95=_percentile(ordered, 0.95),
+        maximum=ordered[-1],
+        total=total,
     )
 
 

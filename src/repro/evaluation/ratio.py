@@ -9,9 +9,8 @@ the ratio periodically once the stream is stable.
 
 from __future__ import annotations
 
+import statistics
 from dataclasses import dataclass
-
-import numpy as np
 
 from repro.core.base import BurstyRegionDetector
 from repro.core.monitor import make_detector
@@ -85,12 +84,11 @@ def measure_approximation_ratio(
             min_ratio=float("nan"),
             median_ratio=float("nan"),
         )
-    array = np.asarray(ratios)
     return RatioResult(
         approximate_name=approximate.name,
         exact_name=exact.name,
-        samples=int(array.size),
-        mean_ratio=float(array.mean()),
-        min_ratio=float(array.min()),
-        median_ratio=float(np.median(array)),
+        samples=len(ratios),
+        mean_ratio=statistics.fmean(ratios),
+        min_ratio=min(ratios),
+        median_ratio=statistics.median(ratios),
     )

@@ -10,6 +10,7 @@ skips them when they surface — the standard "lazy deletion" technique.
 The structure supports:
 
 * ``push(key, priority)`` — insert or update a key,
+* ``push_all(pairs)`` — bulk insert/update with one compaction pass,
 * ``remove(key)`` — delete a key,
 * ``peek()`` / ``pop()`` — the key with the maximum priority,
 * ``priority_of(key)`` and iteration over live ``(key, priority)`` pairs,
@@ -23,7 +24,7 @@ more than half of its entries are stale.
 from __future__ import annotations
 
 import heapq
-from typing import Generic, Hashable, Iterator, TypeVar
+from typing import Generic, Hashable, Iterable, Iterator, TypeVar
 
 K = TypeVar("K", bound=Hashable)
 
@@ -44,6 +45,34 @@ class LazyMaxHeap(Generic[K]):
         self._priorities[key] = priority
         self._counter += 1
         heapq.heappush(self._heap, (-priority, self._counter, key))
+        self._maybe_compact()
+
+    def push_all(self, items: "Iterable[tuple[K, float]]") -> None:
+        """Insert or update many ``(key, priority)`` pairs in one pass.
+
+        Equivalent to calling :meth:`push` per pair but with a single
+        compaction check at the end, and — when the batch is large relative
+        to the heap — one O(m) ``heapify`` instead of m ``heappush`` sifts.
+        The batched detectors use this to refresh every dirty cell's bound
+        with one call per event batch.
+        """
+        added = list(items)
+        if not added:
+            return
+        priorities = self._priorities
+        heap = self._heap
+        if len(added) * 8 >= len(heap) + len(added):
+            # Large batch: append everything and re-heapify once.
+            for key, priority in added:
+                priorities[key] = priority
+                self._counter += 1
+                heap.append((-priority, self._counter, key))
+            heapq.heapify(heap)
+        else:
+            for key, priority in added:
+                priorities[key] = priority
+                self._counter += 1
+                heapq.heappush(heap, (-priority, self._counter, key))
         self._maybe_compact()
 
     def remove(self, key: K) -> None:

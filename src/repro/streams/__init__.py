@@ -15,6 +15,7 @@ arrival-rate stretching used by the scalability experiment (Figure 8).
 """
 
 from repro.streams.objects import (
+    EventBatch,
     EventKind,
     RectangleObject,
     SpatialObject,
@@ -29,6 +30,7 @@ from repro.streams.sources import (
 )
 
 __all__ = [
+    "EventBatch",
     "EventKind",
     "RectangleObject",
     "SpatialObject",

@@ -128,7 +128,10 @@ class WindowEvent:
     ``time`` is the stream time at which the transition is observed (the
     arrival time of the object that triggered the window advance), which is
     at least ``obj.timestamp`` for ``NEW`` and strictly later for ``GROWN``
-    and ``EXPIRED`` events.
+    and ``EXPIRED`` events.  Events coming from a batched ingestion step
+    (:meth:`repro.streams.windows.SlidingWindowPair.observe_batch`) stamp
+    ``GROWN`` / ``EXPIRED`` transitions with the batch end time instead of
+    the individual triggering arrival.
     """
 
     kind: EventKind
@@ -146,3 +149,65 @@ class WindowEvent:
     @property
     def is_expired(self) -> bool:
         return self.kind is EventKind.EXPIRED
+
+
+@dataclass(frozen=True, slots=True)
+class EventBatch:
+    """All window events produced by one batched ingestion step.
+
+    ``events`` is the authoritative, lifecycle-safe ordering: each object's
+    transitions appear in ``NEW`` → ``GROWN`` → ``EXPIRED`` order, so
+    applying the events one by one is always equivalent to the per-object
+    ingestion path.  ``new`` / ``grown`` / ``expired`` are grouped views of
+    the same events (each in timestamp order within its kind) for appliers
+    that can process a whole kind in bulk.
+
+    Consumers of the grouped views must be aware of *intra-batch lifecycles*:
+    when the batch spans more than a window length, an object can appear in
+    ``new`` **and** ``grown`` / ``expired`` at once, so applying the grouped
+    lists in a fixed kind order (e.g. all expirations first) would process
+    that object's expiry before its arrival.  Detectors that consume the
+    grouped views therefore either iterate ``events`` for per-record updates
+    or otherwise handle such objects explicitly.
+
+    ``time`` is the stream time at the end of the batch.
+    """
+
+    time: float
+    events: tuple["WindowEvent", ...]
+    new: tuple["WindowEvent", ...]
+    grown: tuple["WindowEvent", ...]
+    expired: tuple["WindowEvent", ...]
+
+    @staticmethod
+    def from_events(time: float, events: list["WindowEvent"]) -> "EventBatch":
+        """Build a batch from a lifecycle-safe event list, grouping by kind."""
+        new: list[WindowEvent] = []
+        grown: list[WindowEvent] = []
+        expired: list[WindowEvent] = []
+        buckets = {
+            EventKind.NEW: new,
+            EventKind.GROWN: grown,
+            EventKind.EXPIRED: expired,
+        }
+        for event in events:
+            buckets[event.kind].append(event)
+        return EventBatch(
+            time=time,
+            events=tuple(events),
+            new=tuple(new),
+            grown=tuple(grown),
+            expired=tuple(expired),
+        )
+
+    @property
+    def arrivals(self) -> int:
+        """Number of spatial objects that arrived in this batch."""
+        return len(self.new)
+
+    def __iter__(self):
+        """Iterate over the events in lifecycle-safe order."""
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)

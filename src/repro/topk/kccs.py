@@ -37,8 +37,10 @@ than the paper's most aggressive bookkeeping, which only affects constants.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.core.base import BurstyRegionDetector, RegionResult
+from repro.core.cell_index import UniformGridIndex
 from repro.core.cells import CandidatePoint
 from repro.core.query import SurgeQuery
 from repro.core.sweep_backends import SweepBackend, resolve_backend
@@ -46,7 +48,7 @@ from repro.core.sweepline import LabeledRect, sweep_bursty_point
 from repro.geometry.grids import CellIndex, GridSpec
 from repro.geometry.heaps import LazyMaxHeap
 from repro.geometry.primitives import Rect
-from repro.streams.objects import EventKind, RectangleObject, WindowEvent
+from repro.streams.objects import EventBatch, EventKind, RectangleObject, WindowEvent
 
 #: Slack protecting the bound-vs-incumbent pruning from floating-point drift.
 _BOUND_TOLERANCE = 1e-9
@@ -100,6 +102,7 @@ class CellCSPOTTopK(BurstyRegionDetector):
     ) -> None:
         super().__init__(query)
         self.grid = grid if grid is not None else query.base_grid()
+        self.cell_index = UniformGridIndex(self.grid)
         self.sweep_backend = resolve_backend(backend)
         self.cells: dict[CellIndex, _TopKCell] = {}
         self._bound_heap: LazyMaxHeap[CellIndex] = LazyMaxHeap()
@@ -118,16 +121,45 @@ class CellCSPOTTopK(BurstyRegionDetector):
             return
         rect = obj.to_rectangle(self.query.rect_width, self.query.rect_height)
 
-        for key in self.grid.cells_overlapping(rect.rect):
-            self._apply_to_cell(key, rect, event.kind)
+        for key in self.cell_index.cells_overlapping(
+            rect.x, rect.y, rect.x + rect.width, rect.y + rect.height
+        ):
+            cell = self._update_cell(key, rect, event.kind)
+            if cell is not None:
+                self._bound_heap.push(key, cell.static_bound)
 
         # The greedy top-k recomputation is deferred to the next result read
         # (amortization: a batch of events pays for one recomputation).
         self._dirty = True
 
-    def _apply_to_cell(
+    def apply_events(self, batch: "EventBatch | Iterable[WindowEvent]") -> None:
+        """Apply a whole event batch with one bulk bound-heap refresh.
+
+        The greedy recomputation is already lazy (it runs on the next result
+        read), so batching here only has to make the state updates cheap:
+        per-cell records are updated in the batch's lifecycle-safe order and
+        every dirty cell's static bound enters the heap once via
+        :meth:`LazyMaxHeap.push_all` instead of once per event.
+        """
+        processed_before = self.stats.events_processed
+        skipped_before = self.stats.events_skipped
+        cells = self.cells
+        dirty = self._apply_batch_records(
+            batch, cells, self._overlapping_cells, self._update_cell
+        )
+        self._bound_heap.push_all(
+            (key, cells[key].static_bound) for key in dirty if key in cells
+        )
+        accepted = (self.stats.events_processed - processed_before) - (
+            self.stats.events_skipped - skipped_before
+        )
+        if accepted > 0:
+            self._dirty = True
+
+    def _update_cell(
         self, key: CellIndex, rect: RectangleObject, kind: EventKind
-    ) -> None:
+    ) -> _TopKCell | None:
+        """Update one cell's records; returns the surviving (dirty) cell."""
         cell = self.cells.get(key)
         if kind is EventKind.NEW:
             if cell is None:
@@ -137,23 +169,23 @@ class CellCSPOTTopK(BurstyRegionDetector):
             cell.static_bound += rect.weight / self.query.current_length
         elif kind is EventKind.GROWN:
             if cell is None:
-                return
+                return None
             record = cell.records.get(rect.object_id)
             if record is None:
-                return
+                return None
             record.in_current = False
             cell.static_bound -= rect.weight / self.query.current_length
         else:  # EXPIRED
             if cell is None:
-                return
+                return None
             if cell.records.pop(rect.object_id, None) is None:
-                return
+                return None
             if cell.is_empty:
                 del self.cells[key]
                 self._bound_heap.remove(key)
-                return
+                return None
         cell.version += 1
-        self._bound_heap.push(key, cell.static_bound)
+        return cell
 
     # ------------------------------------------------------------------
     # Greedy top-k computation (the k chained CSPOT problems)

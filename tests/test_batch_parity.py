@@ -1,0 +1,246 @@
+"""Parity suite: batched ingestion must match one-at-a-time ingestion.
+
+For every detector name the same stream is pushed through two monitors —
+one object at a time (``push``, the per-event path) and in chunks
+(``push_many`` → ``observe_batch`` + ``apply_events``, the batched path) —
+and the reported results are compared at every chunk boundary.
+
+Notes on the contract being asserted:
+
+* the reported *score* must agree to within a tight floating-point tolerance
+  (bulk maintenance may sum the same contributions in a different order);
+* the reported *point* may be a different representative of the same optimal
+  region (the bursty point of a snapshot is not unique — any point of the
+  maximal arrangement face is exact), so for the exact detectors each
+  reported point is additionally verified to achieve the reported score
+  against the actual window contents.  The verification runs in CSPOT space
+  (summing the rectangle objects covering the point) rather than through
+  ``rect_from_top_right``: when the optimal point lies exactly on a
+  rectangle edge, the inverse mapping ``point - extent`` rounds to a
+  different float than ``object + extent`` and the derived region can
+  spuriously exclude a boundary object (a pre-existing reporting caveat of
+  all point-based detectors, not a batching artefact);
+* the window contents themselves must match exactly.
+
+Chunkings are chosen so that chunk boundaries split window expiries (a chunk
+starts mid-expiry-run) and so that at least one chunk contains a time jump
+larger than both windows (objects whose whole NEW → GROWN → EXPIRED
+lifecycle is contained in a single batch).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.burst import burst_score
+from repro.core.monitor import DETECTOR_NAMES, SurgeMonitor, make_detector
+from repro.core.query import SurgeQuery
+from repro.streams.objects import SpatialObject
+
+#: Relative tolerance on scores: the two paths apply identical per-object
+#: updates, only the maintenance order differs.
+SCORE_RTOL = 1e-9
+
+#: Detectors whose reported region must be exactly optimal on every snapshot.
+EXACT_NAMES = ("ccs", "bccs", "base", "ag2", "naive", "kccs")
+
+
+def make_stream(count: int, seed: int, extent: float = 6.0, jump_at: int | None = None):
+    """A deterministic stream; ``jump_at`` inserts a > 2|W| time jump."""
+    rng = random.Random(seed)
+    objects = []
+    t = 0.0
+    for index in range(count):
+        t += rng.uniform(0.1, 0.6)
+        if jump_at is not None and index == jump_at:
+            t += 100.0  # far larger than both 20 s windows
+        objects.append(
+            SpatialObject(
+                x=rng.uniform(0.0, extent),
+                y=rng.uniform(0.0, extent),
+                timestamp=t,
+                weight=rng.uniform(0.5, 10.0),
+                object_id=index,
+            )
+        )
+    return objects
+
+
+def scores_equal(a: float, b: float) -> bool:
+    return abs(a - b) <= SCORE_RTOL * max(1.0, abs(a), abs(b))
+
+
+def score_at_point(point, state, query) -> float:
+    """Burst score at a bursty point, via closed rectangle-object coverage."""
+    a, b = query.rect_width, query.rect_height
+    fc = sum(
+        o.weight
+        for o in state.current
+        if o.x <= point.x <= o.x + a and o.y <= point.y <= o.y + b
+    )
+    fp = sum(
+        o.weight
+        for o in state.past
+        if o.x <= point.x <= o.x + a and o.y <= point.y <= o.y + b
+    )
+    return burst_score(fc / query.current_length, fp / query.past_length, query.alpha)
+
+
+def assert_results_equivalent(name, index, per_event, batched, state, query):
+    __tracebackhide__ = True
+    if per_event is None or batched is None:
+        assert per_event is None and batched is None, (
+            f"{name} @ object {index}: one path reported a region, the other None "
+            f"({per_event} vs {batched})"
+        )
+        return
+    assert scores_equal(per_event.score, batched.score), (
+        f"{name} @ object {index}: scores diverged "
+        f"({per_event.score!r} vs {batched.score!r})"
+    )
+    # Same region geometry class: identical width/height.
+    for attr in ("width", "height"):
+        assert getattr(per_event.region, attr) == pytest.approx(
+            getattr(batched.region, attr)
+        )
+    if name in EXACT_NAMES:
+        # Both reported points must achieve the (same) optimal score on the
+        # actual window snapshot — different representatives are fine, a
+        # suboptimal point is not.
+        for label, result in (("per-event", per_event), ("batched", batched)):
+            achieved = score_at_point(result.point, state, query)
+            assert scores_equal(achieved, result.score), (
+                f"{name} @ object {index}: {label} point does not achieve its "
+                f"reported score ({achieved!r} vs {result.score!r})"
+            )
+
+
+@pytest.mark.parametrize("name", DETECTOR_NAMES)
+@pytest.mark.parametrize("chunk_size", [1, 7, 32])
+def test_push_and_push_many_parity(name, chunk_size):
+    """push(obj) one at a time vs push_many(chunk) must agree for every detector."""
+    # The slow baselines get a shorter stream to keep the suite fast; the
+    # window length still forces plenty of GROWN / EXPIRED traffic.
+    count = 90 if name in ("naive", "ag2", "base") else 180
+    stream = make_stream(count, seed=sum(map(ord, name)))
+    query = SurgeQuery(rect_width=1.0, rect_height=1.0, window_length=20.0, alpha=0.5, k=3)
+
+    per_event = SurgeMonitor(query, algorithm=make_detector(name, query))
+    batched = SurgeMonitor(query, algorithm=make_detector(name, query))
+
+    for start in range(0, len(stream), chunk_size):
+        chunk = stream[start : start + chunk_size]
+        result_a = None
+        for obj in chunk:
+            result_a = per_event.push(obj)
+        result_b = batched.push_many(chunk)
+        index = start + len(chunk) - 1
+
+        assert per_event.windows.state().current == batched.windows.state().current
+        assert per_event.windows.state().past == batched.windows.state().past
+        assert_results_equivalent(
+            name, index, result_a, result_b, batched.windows.state(), query
+        )
+
+    # Top-k parity (best-first score sequences).
+    top_a = per_event.top_k(query.k)
+    top_b = batched.top_k(query.k)
+    assert len(top_a) == len(top_b)
+    for result_a, result_b in zip(top_a, top_b):
+        assert scores_equal(result_a.score, result_b.score)
+
+
+@pytest.mark.parametrize("name", DETECTOR_NAMES)
+def test_parity_across_chunk_splitting_an_expiry_run(name):
+    """A chunk boundary placed mid-expiry and a full-lifecycle-in-one-chunk jump."""
+    count = 80
+    # The jump lands inside the third chunk, so that chunk contains objects
+    # whose NEW, GROWN and EXPIRED events all occur within the same batch.
+    stream = make_stream(count, seed=11, jump_at=41)
+    query = SurgeQuery(rect_width=1.0, rect_height=1.0, window_length=20.0, alpha=0.5, k=3)
+
+    per_event = SurgeMonitor(query, algorithm=make_detector(name, query))
+    batched = SurgeMonitor(query, algorithm=make_detector(name, query))
+
+    # Chunk size 16: the jump at index 41 happens mid-chunk (chunk 2 covers
+    # 32..47), and expiry runs regularly straddle boundaries.
+    for start in range(0, count, 16):
+        chunk = stream[start : start + 16]
+        result_a = None
+        for obj in chunk:
+            result_a = per_event.push(obj)
+        result_b = batched.push_many(chunk)
+
+        assert len(per_event.windows) == len(batched.windows)
+        assert per_event.windows.state().current == batched.windows.state().current
+        assert per_event.windows.state().past == batched.windows.state().past
+        assert_results_equivalent(
+            name, start, result_a, result_b, batched.windows.state(), query
+        )
+
+
+def test_event_kind_multiset_matches_per_object_path():
+    """observe_batch emits exactly the per-object events, grouped by kind."""
+    from repro.streams.windows import SlidingWindowPair
+
+    stream = make_stream(120, seed=5, jump_at=60)
+    for chunk_size in (1, 5, 17, 40):
+        sequential = SlidingWindowPair(20.0)
+        batched = SlidingWindowPair(20.0)
+        for start in range(0, len(stream), chunk_size):
+            chunk = stream[start : start + chunk_size]
+            expected = []
+            for obj in chunk:
+                expected.extend(sequential.observe(obj))
+            batch = batched.observe_batch(chunk)
+            # Same events per kind, in the same relative order.
+            for kind_name in ("new", "grown", "expired"):
+                want = [
+                    e.obj.object_id
+                    for e in expected
+                    if e.kind.value == kind_name
+                ]
+                got = [e.obj.object_id for e in getattr(batch, kind_name)]
+                assert got == want, (chunk_size, start, kind_name)
+            assert len(batch) == len(expected)
+            assert batch.arrivals == len(chunk)
+            # The grouped views partition the lifecycle-safe event tuple.
+            assert sorted(
+                (e.kind.value, e.obj.object_id) for e in batch.events
+            ) == sorted((e.kind.value, e.obj.object_id) for e in expected)
+            assert sequential.state().current == batched.state().current
+            assert sequential.state().past == batched.state().past
+            assert sequential.time == batched.time
+            assert sequential.is_stable() == batched.is_stable()
+
+
+def test_noop_event_does_not_cancel_dirty_cell_in_batch():
+    """A GROWN/EXPIRED for an object the detector never saw is a no-op and
+    must not cancel the pending bound refresh of a cell dirtied earlier in
+    the same batch (apply_events accepts arbitrary event iterables, e.g.
+    from a detector attached mid-stream)."""
+    from repro.streams.objects import EventKind, WindowEvent
+
+    query = SurgeQuery(rect_width=1.0, rect_height=1.0, window_length=20.0, alpha=0.5, k=3)
+    seen = SpatialObject(x=0.5, y=0.5, timestamp=0.0, weight=5.0, object_id=1)
+    unseen = SpatialObject(x=0.6, y=0.6, timestamp=0.0, weight=3.0, object_id=2)
+    events = [
+        WindowEvent(kind=EventKind.NEW, obj=seen, time=0.0),
+        WindowEvent(kind=EventKind.GROWN, obj=unseen, time=0.0),
+        WindowEvent(kind=EventKind.EXPIRED, obj=unseen, time=0.0),
+    ]
+    # Only the record-keyed detectors define unseen-object transitions as
+    # no-ops (the gaps-family count accumulators treat them as real counts,
+    # identically on both paths — a separate, pre-existing behaviour).
+    for name in EXACT_NAMES:
+        per_event = make_detector(name, query)
+        batched = make_detector(name, query)
+        for event in events:
+            per_event.process(event)
+        batched.apply_events(list(events))
+        reference = per_event.result()
+        result = batched.result()
+        assert result is not None, f"{name}: batched path lost the only object"
+        assert result.score == pytest.approx(reference.score, rel=1e-9), name

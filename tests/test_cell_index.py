@@ -1,0 +1,86 @@
+"""Unit tests for the uniform-grid bucket index used on the event path."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.cell_index import UniformGridIndex
+from repro.geometry.grids import GridSpec
+from repro.geometry.primitives import Rect
+
+
+@pytest.fixture
+def grid() -> GridSpec:
+    return GridSpec(cell_width=1.0, cell_height=0.5, origin_x=-0.25, origin_y=0.125)
+
+
+class TestAddressingParityWithGridSpec:
+    def test_cell_of_matches_gridspec_on_random_points(self, grid):
+        index = UniformGridIndex(grid)
+        rng = random.Random(42)
+        for _ in range(500):
+            x = rng.uniform(-20.0, 20.0)
+            y = rng.uniform(-20.0, 20.0)
+            assert index.cell_of(x, y) == grid.cell_of(x, y)
+
+    def test_cells_overlapping_matches_gridspec_on_random_rects(self, grid):
+        index = UniformGridIndex(grid)
+        rng = random.Random(7)
+        for _ in range(500):
+            x = rng.uniform(-10.0, 10.0)
+            y = rng.uniform(-10.0, 10.0)
+            w = rng.uniform(0.0, 3.0)
+            h = rng.uniform(0.0, 3.0)
+            rect = Rect(x, y, x + w, y + h)
+            assert index.cells_overlapping(x, y, x + w, y + h) == list(
+                grid.cells_overlapping(rect)
+            )
+
+    def test_cells_overlapping_matches_gridspec_on_aligned_rects(self, grid):
+        """Edge-aligned rectangles hit the up-to-nine-cell closed case."""
+        index = UniformGridIndex(grid)
+        for ix in (-2, 0, 3):
+            for iy in (-1, 0, 2):
+                rect = grid.cell_rect((ix, iy))
+                assert index.cells_overlapping_rect(rect) == list(
+                    grid.cells_overlapping(rect)
+                )
+
+    def test_cell_rect_delegates_to_grid(self, grid):
+        index = UniformGridIndex(grid)
+        assert index.cell_rect((3, -2)) == grid.cell_rect((3, -2))
+
+
+class TestFastPaths:
+    def test_single_cell(self, grid):
+        index = UniformGridIndex(grid)
+        assert index.cells_overlapping(0.1, 0.2, 0.2, 0.3) == [(0, 0)]
+
+    def test_two_cells_vertical_and_horizontal(self, grid):
+        index = UniformGridIndex(grid)
+        # Crosses one horizontal grid line only.
+        tall = index.cells_overlapping(0.1, 0.5, 0.2, 0.8)
+        assert tall == [(0, 0), (0, 1)]
+        # Crosses one vertical grid line only.
+        wide = index.cells_overlapping(0.5, 0.2, 0.9, 0.3)
+        assert wide == [(0, 0), (1, 0)]
+
+    def test_four_cells_general_position(self, grid):
+        index = UniformGridIndex(grid)
+        cells = index.cells_overlapping(0.5, 0.5, 0.9, 0.8)
+        assert cells == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_cell_sized_rect_in_general_position_touches_four_cells(self):
+        grid = GridSpec(cell_width=1.0, cell_height=1.0)
+        index = UniformGridIndex(grid)
+        cells = index.cells_overlapping(0.3, 0.7, 1.3, 1.7)
+        assert len(cells) == 4
+
+    def test_large_rect_falls_back_to_full_enumeration(self, grid):
+        index = UniformGridIndex(grid)
+        cells = index.cells_overlapping(0.0, 0.2, 3.0, 1.4)
+        rect = Rect(0.0, 0.2, 3.0, 1.4)
+        assert cells == list(grid.cells_overlapping(rect))
+        assert len(cells) > 4

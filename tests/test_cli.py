@@ -1,12 +1,31 @@
 """Unit tests for the command-line interface."""
 
+import random
+
 import pytest
 
 from repro.cli import main
-from repro.datasets.io import load_stream
+from repro.datasets.io import load_stream, write_csv_stream
+from repro.streams.objects import SpatialObject
+
+
+def _numpy_importable() -> bool:
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+#: ``generate`` needs the optional numpy dependency; ``run`` must not.
+needs_numpy = pytest.mark.skipif(
+    not _numpy_importable(),
+    reason="the generate command needs numpy (pip install .[fast])",
+)
 
 
 class TestGenerateCommand:
+    @needs_numpy
     def test_generate_csv(self, tmp_path, capsys):
         out = tmp_path / "taxi.csv"
         code = main(
@@ -19,6 +38,7 @@ class TestGenerateCommand:
         captured = capsys.readouterr()
         assert "wrote" in captured.out
 
+    @needs_numpy
     def test_generate_jsonl_without_bursts(self, tmp_path):
         out = tmp_path / "uk.jsonl"
         code = main(
@@ -49,21 +69,22 @@ class TestGenerateCommand:
 
 class TestRunCommand:
     def _make_stream(self, tmp_path):
+        # Built directly (not via the generate command) so the run-command
+        # tests also cover the numpy-free install.
         out = tmp_path / "stream.csv"
-        assert (
-            main(
-                [
-                    "generate",
-                    "--profile",
-                    "taxi",
-                    "--objects",
-                    "300",
-                    "--no-bursts",
-                    "--out",
-                    str(out),
-                ]
-            )
-            == 0
+        rng = random.Random(20180416)
+        write_csv_stream(
+            out,
+            [
+                SpatialObject(
+                    x=rng.uniform(0.0, 0.1),
+                    y=rng.uniform(0.0, 0.1),
+                    timestamp=float(index * 10),
+                    weight=rng.uniform(0.5, 5.0),
+                    object_id=index,
+                )
+                for index in range(300)
+            ],
         )
         return out
 
@@ -128,3 +149,92 @@ class TestRunCommand:
         stream_path = self._make_stream(tmp_path)
         with pytest.raises(SystemExit):
             main(["run", str(stream_path)])
+
+
+class TestChunkSizeFlag:
+    def _make_stream(self, tmp_path):
+        return TestRunCommand._make_stream(self, tmp_path)
+
+    def test_run_with_explicit_chunk_size(self, tmp_path, capsys):
+        stream_path = self._make_stream(tmp_path)
+        code = main(
+            [
+                "run",
+                str(stream_path),
+                "--algorithm",
+                "ccs",
+                "--rect",
+                "0.01",
+                "0.01",
+                "--window",
+                "300",
+                "--report-every",
+                "100",
+                "--chunk-size",
+                "30",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "score=" in out
+        # Reports still come once per reporting interval, not per chunk.
+        assert out.count("objects,") == 3
+
+    def test_chunk_size_must_be_positive(self, tmp_path, capsys):
+        stream_path = self._make_stream(tmp_path)
+        code = main(
+            [
+                "run",
+                str(stream_path),
+                "--rect",
+                "0.01",
+                "0.01",
+                "--window",
+                "300",
+                "--chunk-size",
+                "0",
+            ]
+        )
+        assert code == 2
+        assert "chunk-size" in capsys.readouterr().err
+
+    def test_default_chunking_matches_explicit_reporting_interval(self, tmp_path, capsys):
+        stream_path = self._make_stream(tmp_path)
+        args = [
+            "run",
+            str(stream_path),
+            "--algorithm",
+            "gaps",
+            "--rect",
+            "0.01",
+            "0.01",
+            "--window",
+            "300",
+            "--report-every",
+            "100",
+        ]
+        assert main(args) == 0
+        default_out = capsys.readouterr().out
+        assert main(args + ["--chunk-size", "100"]) == 0
+        explicit_out = capsys.readouterr().out
+        assert default_out == explicit_out
+
+    def test_chunk_size_exceeding_report_interval_rejected(self, tmp_path, capsys):
+        stream_path = self._make_stream(tmp_path)
+        code = main(
+            [
+                "run",
+                str(stream_path),
+                "--rect",
+                "0.01",
+                "0.01",
+                "--window",
+                "300",
+                "--report-every",
+                "100",
+                "--chunk-size",
+                "500",
+            ]
+        )
+        assert code == 2
+        assert "must not exceed" in capsys.readouterr().err

@@ -2,6 +2,8 @@
 
 import pytest
 
+pytest.importorskip("numpy", reason="the synthetic dataset generators need numpy (pip install .[fast])")
+
 from repro.datasets.keywords import (
     DEFAULT_VOCABULARY,
     KeywordEvent,

@@ -2,6 +2,8 @@
 
 import pytest
 
+pytest.importorskip("numpy", reason="the synthetic dataset generators need numpy (pip install .[fast])")
+
 from repro.datasets.profiles import TAXI_PROFILE, UK_PROFILE, US_PROFILE
 from repro.datasets.workloads import (
     ALPHA_SWEEP,

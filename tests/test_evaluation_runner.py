@@ -79,3 +79,40 @@ class TestRunDetectors:
         approx_score = outcomes["gaps"].final_result.score
         assert approx_score <= exact_score + 1e-9
         assert approx_score >= (1 - query.alpha) / 4.0 * exact_score - 1e-9
+
+
+class TestChunkedIngestion:
+    def test_chunked_run_matches_per_event_final_answer(self, query, stream):
+        per_event = run_detector("ccs", query, stream, warmup="none")
+        chunked = run_detector("ccs", query, stream, warmup="none", chunk_size=16)
+        assert chunked.objects_total == per_event.objects_total
+        assert chunked.objects_measured == len(stream)
+        assert chunked.timing.count == len(stream)
+        assert (chunked.final_result is None) == (per_event.final_result is None)
+        assert chunked.final_result.score == pytest.approx(
+            per_event.final_result.score, rel=1e-9
+        )
+
+    def test_chunked_run_with_stable_warmup_skips_early_chunks(self, query, stream):
+        chunked = run_detector("gaps", query, stream, chunk_size=16)
+        assert 0 < chunked.objects_measured < len(stream)
+        # Whole chunks are measured: the count is a multiple of the chunk size
+        # (the final chunk of a stream that is a multiple of 16 included).
+        assert chunked.objects_measured % 16 == 0
+
+    def test_invalid_chunk_size_rejected(self, query, stream):
+        with pytest.raises(ValueError, match="chunk_size"):
+            run_detector("gaps", query, stream, chunk_size=0)
+
+    def test_run_detectors_passes_chunk_size_through(self, query, stream):
+        results = run_detectors(["gaps", "mgaps"], query, stream, chunk_size=20)
+        for outcome in results.values():
+            assert outcome.objects_total == len(stream)
+
+    def test_chunked_run_honours_max_measured_objects(self, query, stream):
+        outcome = run_detector(
+            "gaps", query, stream, warmup="none", chunk_size=16, max_measured_objects=10
+        )
+        assert outcome.objects_measured == 10
+        assert outcome.timing.count == 10
+        assert outcome.objects_total == len(stream)

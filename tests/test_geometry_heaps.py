@@ -171,3 +171,61 @@ class TestRemoveCompaction:
         heap.remove("missing")
         assert len(heap) == 1
         assert heap.peek() == ("a", 1.0)
+
+
+class TestPushAll:
+    def test_push_all_matches_individual_pushes(self):
+        import random
+
+        rng = random.Random(3)
+        reference = LazyMaxHeap()
+        bulk = LazyMaxHeap()
+        for round_number in range(20):
+            items = [
+                (rng.randrange(50), rng.uniform(0.0, 100.0))
+                for _ in range(rng.randrange(0, 30))
+            ]
+            for key, priority in items:
+                reference.push(key, priority)
+            bulk.push_all(items)
+            if rng.random() < 0.5 and len(reference):
+                key = rng.randrange(50)
+                reference.remove(key)
+                bulk.remove(key)
+            assert len(reference) == len(bulk)
+            assert reference.peek() == bulk.peek()
+            assert sorted(reference) == sorted(bulk)
+
+    def test_push_all_empty_iterable_is_noop(self):
+        heap = LazyMaxHeap()
+        heap.push("a", 1.0)
+        heap.push_all([])
+        heap.push_all(iter(()))
+        assert len(heap) == 1
+        assert heap.peek() == ("a", 1.0)
+
+    def test_push_all_large_batch_heapifies_and_stays_consistent(self):
+        heap = LazyMaxHeap()
+        heap.push_all((key, float(key % 97)) for key in range(1000))
+        assert len(heap) == 1000
+        drained = []
+        while len(heap):
+            drained.append(heap.pop()[1])
+        assert drained == sorted(drained, reverse=True)
+
+    def test_push_all_updates_existing_keys(self):
+        heap = LazyMaxHeap()
+        heap.push("a", 1.0)
+        heap.push("b", 5.0)
+        heap.push_all([("a", 10.0), ("b", 0.5)])
+        assert heap.peek() == ("a", 10.0)
+        assert heap.priority_of("b") == 0.5
+
+    def test_push_all_triggers_single_compaction(self):
+        heap = LazyMaxHeap()
+        # Many updates of the same small key set: stale entries pile up and
+        # the single trailing compaction check must still bound the heap.
+        for _ in range(50):
+            heap.push_all([(key, float(key)) for key in range(10)])
+        assert len(heap) == 10
+        assert len(heap._heap) <= max(64, 2 * len(heap._priorities)) + 20

@@ -9,6 +9,8 @@ planted case-study events.
 
 import pytest
 
+pytest.importorskip("numpy", reason="the synthetic dataset generators need numpy (pip install .[fast])")
+
 from repro.core.monitor import SurgeMonitor
 from repro.core.query import SurgeQuery
 from repro.datasets.keywords import KeywordEvent, filter_by_keyword, generate_keyword_stream

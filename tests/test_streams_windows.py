@@ -151,3 +151,109 @@ class TestStateAndStability:
         assert any(
             e.kind is EventKind.EXPIRED and e.obj.object_id == 1 for e in events
         )
+
+
+class TestOutOfOrderDiagnostics:
+    def test_observe_reports_both_timestamps(self):
+        windows = SlidingWindowPair(10.0)
+        windows.observe(obj(7.0, 1))
+        with pytest.raises(ValueError, match=r"out-of-order") as excinfo:
+            windows.observe(obj(3.0, 2))
+        message = str(excinfo.value)
+        assert "t=3.0" in message  # the offending timestamp
+        assert "t=7.0" in message  # the last-accepted stream time
+        assert "id=2" in message
+
+    def test_observe_batch_reports_position_and_both_timestamps(self):
+        windows = SlidingWindowPair(10.0)
+        windows.observe(obj(5.0, 1))
+        with pytest.raises(ValueError, match=r"out-of-order") as excinfo:
+            windows.observe_batch([obj(6.0, 2), obj(2.0, 3)])
+        message = str(excinfo.value)
+        assert "t=2.0" in message
+        assert "t=6.0" in message
+        assert "position 1" in message
+        assert "id=3" in message
+
+    def test_rejecting_a_batch_leaves_the_windows_untouched(self):
+        windows = SlidingWindowPair(10.0)
+        windows.observe(obj(5.0, 1))
+        with pytest.raises(ValueError):
+            windows.observe_batch([obj(6.0, 2), obj(2.0, 3)])
+        assert windows.time == 5.0
+        assert [o.object_id for o in windows.current_window] == [1]
+
+
+class TestObserveBatch:
+    def test_empty_batch_is_a_noop(self):
+        windows = SlidingWindowPair(10.0)
+        windows.observe(obj(1.0, 1))
+        batch = windows.observe_batch([])
+        assert len(batch) == 0
+        assert batch.arrivals == 0
+        assert windows.time == 1.0
+
+    def test_batch_groups_events_by_kind(self):
+        windows = SlidingWindowPair(5.0)
+        batch = windows.observe_batch([obj(0.0, 1), obj(1.0, 2), obj(7.0, 3)])
+        assert [e.obj.object_id for e in batch.new] == [1, 2, 3]
+        assert [e.obj.object_id for e in batch.grown] == [1, 2]
+        assert [e.obj.object_id for e in batch.expired] == []
+        # Lifecycle-safe order: object 1's NEW precedes its GROWN.
+        kinds = [(e.kind, e.obj.object_id) for e in batch.events]
+        assert kinds.index((EventKind.NEW, 1)) < kinds.index((EventKind.GROWN, 1))
+
+    def test_batch_spanning_both_windows_emits_full_lifecycles(self):
+        windows = SlidingWindowPair(5.0)
+        batch = windows.observe_batch([obj(0.0, 1), obj(100.0, 2)])
+        assert [e.obj.object_id for e in batch.new] == [1, 2]
+        assert [e.obj.object_id for e in batch.grown] == [1]
+        assert [e.obj.object_id for e in batch.expired] == [1]
+        assert windows.is_stable()
+        assert [o.object_id for o in windows.current_window] == [2]
+        assert len(windows.past_window) == 0
+
+
+class TestLazyStateSnapshots:
+    def test_repeated_reads_share_the_cached_snapshot(self):
+        windows = SlidingWindowPair(10.0)
+        windows.observe(obj(0.0, 1))
+        first = windows.state()
+        assert windows.state() is first
+        assert windows.current_window is first.current
+
+    def test_observe_invalidates_the_cache(self):
+        windows = SlidingWindowPair(10.0)
+        windows.observe(obj(0.0, 1))
+        before = windows.state()
+        windows.observe(obj(1.0, 2))
+        after = windows.state()
+        assert after is not before
+        assert len(before.current) == 1
+        assert len(after.current) == 2
+
+    def test_advance_time_invalidates_the_cache(self):
+        windows = SlidingWindowPair(10.0)
+        windows.observe(obj(0.0, 1))
+        before = windows.state()
+        windows.advance_time(2.0)  # no expiry, but the snapshot time changed
+        after = windows.state()
+        assert after is not before
+        assert after.time == 2.0
+
+    def test_observe_batch_invalidates_the_cache(self):
+        windows = SlidingWindowPair(10.0)
+        windows.observe(obj(0.0, 1))
+        before = windows.state()
+        windows.observe_batch([obj(1.0, 2), obj(2.0, 3)])
+        after = windows.state()
+        assert after is not before
+        assert len(after.current) == 3
+
+    def test_event_batch_from_events_rebuilds_grouped_views(self):
+        from repro.streams.objects import EventBatch
+
+        windows = SlidingWindowPair(5.0)
+        batch = windows.observe_batch([obj(0.0, 1), obj(1.0, 2), obj(7.0, 3)])
+        rebuilt = EventBatch.from_events(batch.time, list(batch.events))
+        assert rebuilt == batch

@@ -279,20 +279,25 @@ class TestMonitorBatching:
 
     def test_cli_backend_flag(self, tmp_path, capsys):
         from repro.cli import main
+        from repro.datasets.io import write_csv_stream
+        from repro.streams.objects import SpatialObject
 
+        # Stream written directly (not via the generate command) so this
+        # also runs on the numpy-free install.
         stream_path = tmp_path / "stream.csv"
-        code = main(
+        write_csv_stream(
+            stream_path,
             [
-                "generate",
-                "--profile",
-                "taxi",
-                "--objects",
-                "150",
-                "--out",
-                str(stream_path),
-            ]
+                SpatialObject(
+                    x=obj.x / 100.0,
+                    y=obj.y / 100.0,
+                    timestamp=obj.timestamp * 20.0,
+                    weight=obj.weight,
+                    object_id=obj.object_id,
+                )
+                for obj in make_objects(150, seed=13)
+            ],
         )
-        assert code == 0
         capsys.readouterr()
         outputs = {}
         for backend in ("python",) + (("numpy",) if HAVE_NUMPY else ()):
@@ -326,3 +331,65 @@ class TestMonitorBatching:
             }
             assert scores["python"], "expected at least one reported region"
             assert scores["numpy"] == pytest.approx(scores["python"])
+
+
+class TestCrossoverOverride:
+    """The auto backend's python→numpy crossover (REPRO_SWEEP_CROSSOVER)."""
+
+    def test_default_threshold(self, monkeypatch):
+        from repro.core.sweep_backends import (
+            AUTO_NUMPY_THRESHOLD,
+            AdaptiveSweepBackend,
+            CROSSOVER_ENV_VAR,
+        )
+
+        monkeypatch.delenv(CROSSOVER_ENV_VAR, raising=False)
+        assert AdaptiveSweepBackend().numpy_threshold == AUTO_NUMPY_THRESHOLD
+
+    def test_env_var_overrides_default(self, monkeypatch):
+        from repro.core.sweep_backends import AdaptiveSweepBackend, CROSSOVER_ENV_VAR
+
+        monkeypatch.setenv(CROSSOVER_ENV_VAR, "64")
+        assert AdaptiveSweepBackend().numpy_threshold == 64
+
+    def test_explicit_argument_wins_over_env_var(self, monkeypatch):
+        from repro.core.sweep_backends import AdaptiveSweepBackend, CROSSOVER_ENV_VAR
+
+        monkeypatch.setenv(CROSSOVER_ENV_VAR, "64")
+        assert AdaptiveSweepBackend(numpy_threshold=300).numpy_threshold == 300
+
+    @pytest.mark.parametrize("bogus", ["abc", "19.5", "0", "-3", "1e3"])
+    def test_invalid_values_rejected(self, monkeypatch, bogus):
+        from repro.core.sweep_backends import AdaptiveSweepBackend, CROSSOVER_ENV_VAR
+
+        monkeypatch.setenv(CROSSOVER_ENV_VAR, bogus)
+        with pytest.raises(ValueError):
+            AdaptiveSweepBackend()
+
+    def test_resolve_crossover_whitespace_falls_back(self, monkeypatch):
+        from repro.core.sweep_backends import (
+            AUTO_NUMPY_THRESHOLD,
+            CROSSOVER_ENV_VAR,
+            resolve_crossover,
+        )
+
+        monkeypatch.setenv(CROSSOVER_ENV_VAR, "   ")
+        assert resolve_crossover() == AUTO_NUMPY_THRESHOLD
+
+    @needs_numpy
+    def test_crossover_controls_kernel_selection(self, monkeypatch):
+        from repro.core.sweep_backends import AdaptiveSweepBackend, CROSSOVER_ENV_VAR
+
+        monkeypatch.setenv(CROSSOVER_ENV_VAR, "3")
+        backend = AdaptiveSweepBackend()
+        rects = [
+            LabeledRect(float(i), 0.0, float(i) + 1.5, 1.0, 1.0, True)
+            for i in range(4)
+        ]
+        # 4 rects >= crossover 3: the numpy kernel serves the sweep; its
+        # answer must match the pure-python kernel's bit for bit.
+        from repro.core.sweep_backends import PythonSweepBackend
+
+        auto_result = backend.sweep(rects, 0.5, 10.0, 10.0)
+        python_result = PythonSweepBackend().sweep(rects, 0.5, 10.0, 10.0)
+        assert auto_result.score == pytest.approx(python_result.score, rel=1e-12)
