@@ -8,7 +8,10 @@ windows — over a high-rate stream of spatial objects.  This package provides
   MGAP-SURGE, plus their top-k extensions,
 * the baselines the paper compares against (Base, B-CCS, adapted aG2, naive
   full recomputation),
-* the stream / window / dataset substrates they run on, and
+* the stream / window / dataset substrates they run on,
+* a multi-query monitoring service multiplexing one shared stream across N
+  registered queries with sharded execution
+  (:class:`~repro.service.SurgeService`), and
 * an evaluation harness reproducing every table and figure of the paper.
 
 Quickstart
@@ -26,6 +29,7 @@ from repro.core.monitor import DETECTOR_NAMES, SurgeMonitor, make_detector
 from repro.core.sweep_backends import available_backends
 from repro.core.query import SurgeQuery
 from repro.geometry.primitives import Point, Rect
+from repro.service import QuerySpec, SurgeService
 from repro.streams.objects import (
     EventBatch,
     EventKind,
@@ -47,6 +51,8 @@ __all__ = [
     "available_backends",
     "DETECTOR_NAMES",
     "SurgeQuery",
+    "QuerySpec",
+    "SurgeService",
     "Point",
     "Rect",
     "EventBatch",

@@ -1,11 +1,17 @@
 """Command-line interface for the SURGE reproduction.
 
-Two subcommands cover the most common standalone uses of the library:
+Three subcommands cover the most common standalone uses of the library:
 
 ``run``
     Replay a recorded stream (CSV or JSON Lines, see
     :mod:`repro.datasets.io`) through any detector and print the bursty
     region(s) at a configurable reporting interval.
+
+``serve``
+    Replay a stream through the multi-query service
+    (:class:`repro.service.SurgeService`): N registered queries from a
+    ``queries.json`` file, keyword routing, sharded execution with a
+    selectable backend, per-query results at a reporting interval.
 
 ``generate``
     Produce a synthetic stream that mimics one of the paper's datasets
@@ -19,6 +25,8 @@ Examples
     python -m repro.cli generate --profile taxi --objects 5000 --out /tmp/taxi.csv
     python -m repro.cli run /tmp/taxi.csv --algorithm ccs --rect 0.001 0.0006 \
         --window 300 --alpha 0.5 --report-every 500
+    python -m repro.cli serve /tmp/taxi.csv --queries queries.json \
+        --shards 4 --executor process --chunk-size 1024
 """
 
 from __future__ import annotations
@@ -31,6 +39,8 @@ from repro.core.monitor import DETECTOR_NAMES, SurgeMonitor
 from repro.core.query import SurgeQuery
 from repro.datasets.io import load_stream, write_csv_stream, write_jsonl_stream
 from repro.datasets.profiles import PROFILES
+from repro.service import SurgeService, load_query_specs
+from repro.service.shards import EXECUTOR_NAMES
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -83,6 +93,46 @@ def _build_parser() -> argparse.ArgumentParser:
         "invalidation and result recomputation over each chunk; must not "
         "exceed --report-every (the default is one chunk per reporting "
         "interval)",
+    )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="replay a stream through the multi-query service (N queries, sharded)",
+    )
+    serve.add_argument("stream", help="path to a .csv or .jsonl stream file")
+    serve.add_argument(
+        "--queries",
+        required=True,
+        help="path to a queries.json file (list of query records, see "
+        "repro.service.spec)",
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="number of shards the queries are spread over (default 1)",
+    )
+    serve.add_argument(
+        "--executor",
+        default="serial",
+        choices=EXECUTOR_NAMES,
+        help="shard execution backend (default: serial; results are "
+        "bit-identical across backends)",
+    )
+    serve.add_argument(
+        "--chunk-size",
+        type=int,
+        default=512,
+        help="shared-chunker batch size: every chunk is broadcast to each "
+        "shard once and each query's monitor ingests its keyword-filtered "
+        "slice through the batched push_many path (default 512)",
+    )
+    serve.add_argument(
+        "--report-every",
+        type=int,
+        default=4096,
+        help="print per-query results every N objects (default 4096; "
+        "rounded up to whole chunks)",
     )
 
     generate = subparsers.add_parser(
@@ -165,6 +215,69 @@ def _command_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_result(result) -> str:
+    if result is None:
+        return "no bursty region yet"
+    region = result.region
+    return (
+        f"score={result.score:.4f} region=({region.min_x:.4f},{region.min_y:.4f})"
+        f"..({region.max_x:.4f},{region.max_y:.4f})"
+    )
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    if args.shards < 1:
+        print("--shards must be a positive number of shards", file=sys.stderr)
+        return 2
+    if args.chunk_size < 1:
+        print("--chunk-size must be a positive number of objects", file=sys.stderr)
+        return 2
+    if args.report_every < 1:
+        print("--report-every must be a positive number of objects", file=sys.stderr)
+        return 2
+    try:
+        specs = load_query_specs(args.queries)
+    except (OSError, ValueError) as exc:
+        print(f"failed to load {args.queries}: {exc}", file=sys.stderr)
+        return 2
+    stream = load_stream(args.stream)
+    if not stream:
+        print("stream is empty", file=sys.stderr)
+        return 1
+    try:
+        service = SurgeService(specs, shards=args.shards, executor=args.executor)
+    except (ValueError, RuntimeError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    report_chunks = max(1, -(-args.report_every // args.chunk_size))
+    with service:
+        pushed = 0
+        for index, updates in enumerate(service.run(stream, args.chunk_size), start=1):
+            pushed = min(index * args.chunk_size, len(stream))
+            if index % report_chunks == 0 or pushed >= len(stream):
+                print(f"[{pushed:>8} objects, t={stream[pushed - 1].timestamp:.0f}]")
+                for update in updates:
+                    print(f"  {update.query_id:>12}: {_format_result(update.result)}")
+        stats = service.stats()
+        print(
+            f"done: {stats.objects_pushed} objects x {len(service.query_ids)} "
+            f"queries = {stats.object_query_pairs} object-query pairs in "
+            f"{stats.wall_seconds:.2f}s "
+            f"({stats.pairs_per_second:,.0f} pairs/s, executor={args.executor}, "
+            f"shards={args.shards})",
+            file=sys.stderr,
+        )
+        for query_id in service.query_ids:
+            query_stats = stats.per_query[query_id]
+            print(
+                f"  {query_id:>12}: {query_stats.objects_routed} routed, "
+                f"{query_stats.objects_per_second:,.0f} obj/s busy, "
+                f"last lag {1000.0 * query_stats.last_lag_seconds:.1f} ms",
+                file=sys.stderr,
+            )
+    return 0
+
+
 def _command_generate(args: argparse.Namespace) -> int:
     # Validate the output path before touching the generator, so usage errors
     # are reported even when the optional numpy dependency is missing.
@@ -202,6 +315,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "run":
         return _command_run(args)
+    if args.command == "serve":
+        return _command_serve(args)
     if args.command == "generate":
         return _command_generate(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover

@@ -175,10 +175,27 @@ class SurgeMonitor:
             self.detector.process(event)
         return self.detector.result()
 
-    def run(self, stream: Iterable[SpatialObject]) -> Iterator[RegionResult | None]:
-        """Push a whole stream, yielding the result after every object."""
-        for obj in stream:
-            yield self.push(obj)
+    def run(
+        self, stream: Iterable[SpatialObject], chunk_size: int | None = None
+    ) -> Iterator[RegionResult | None]:
+        """Push a whole stream, yielding the current result as it goes.
+
+        With ``chunk_size=None`` (default) every object takes the per-event
+        path and one result is yielded per object.  With a positive
+        ``chunk_size`` the stream rides the batched :meth:`push_many` path in
+        chunks of that many objects and one result is yielded per chunk —
+        the fast way to replay a recorded stream when per-object results are
+        not needed (see ``benchmarks/bench_ingest.py`` for the throughput
+        difference).
+        """
+        if chunk_size is None:
+            for obj in stream:
+                yield self.push(obj)
+            return
+        from repro.streams.sources import iter_chunks
+
+        for chunk in iter_chunks(stream, chunk_size):
+            yield self.push_many(chunk)
 
     # ------------------------------------------------------------------
     # Results

@@ -5,13 +5,18 @@ from a dispatch system, geo-tagged messages collected from an API — so the
 library ships simple, dependency-free readers and writers for the two common
 interchange formats:
 
-* **CSV** with the columns ``timestamp, x, y, weight[, object_id]`` (extra
-  columns are preserved as string attributes), and
+* **CSV** with the columns ``timestamp, x, y, weight[, object_id][, keywords]``
+  (extra columns are preserved as string attributes), and
 * **JSON Lines**, one object per line with the same required keys and an
   optional ``attributes`` object.
 
 Both readers stream lazily, validate each record, and either skip or raise on
 malformed rows depending on ``on_error``.
+
+The ``keywords`` attribute — the routing key of the multi-query service and
+the case-study filter — survives the round-trip in both formats: it is
+written as a ``|``-joined CSV column / a JSON list, and normalised back to
+the in-memory tuple-of-strings form on read.
 """
 
 from __future__ import annotations
@@ -65,6 +70,21 @@ def _build_object(
             if key not in {"timestamp", "x", "y", "weight", "object_id", "attributes"}
             and value not in (None, "")
         }
+    keywords = attributes.get("keywords")
+    if keywords is not None and not isinstance(keywords, tuple):
+        # Normalise the serialised forms (CSV "a|b" column, JSON list) back
+        # to the tuple-of-strings the keyword predicates expect.
+        attributes = dict(attributes)
+        if isinstance(keywords, str):
+            attributes["keywords"] = tuple(k for k in keywords.split("|") if k)
+        else:
+            try:
+                attributes["keywords"] = tuple(str(k) for k in keywords)
+            except TypeError as exc:
+                raise StreamFormatError(
+                    f"{source}: bad keywords at index {index}: {keywords!r} "
+                    f"(expected a string or a list of strings)"
+                ) from exc
     if weight < 0:
         raise StreamFormatError(f"{source}: negative weight at index {index}")
     return SpatialObject(
@@ -112,14 +132,30 @@ def read_csv_stream(path: str | Path, on_error: OnError = "raise") -> Iterator[S
 
 
 def write_csv_stream(path: str | Path, objects: Iterable[SpatialObject]) -> int:
-    """Write spatial objects to a CSV file; returns the number of rows written."""
+    """Write spatial objects to a CSV file; returns the number of rows written.
+
+    The ``keywords`` attribute tuple, when present, is written as a
+    ``|``-joined column so keyword-routed queries work on replayed files.
+    ``|`` inside a keyword would make the round-trip lossy, so it is
+    rejected rather than silently corrupted.
+    """
     path = Path(path)
     count = 0
     with path.open("w", newline="") as handle:
         writer = csv.writer(handle)
-        writer.writerow(["timestamp", "x", "y", "weight", "object_id"])
+        writer.writerow(["timestamp", "x", "y", "weight", "object_id", "keywords"])
         for obj in objects:
-            writer.writerow([obj.timestamp, obj.x, obj.y, obj.weight, obj.object_id])
+            parts = [str(k) for k in obj.attributes.get("keywords", ())]
+            for part in parts:
+                if "|" in part:
+                    raise ValueError(
+                        f"object id={obj.object_id}: keyword {part!r} contains "
+                        f"the CSV keyword delimiter '|' and would not survive "
+                        f"the round-trip; use the JSONL format for such streams"
+                    )
+            writer.writerow(
+                [obj.timestamp, obj.x, obj.y, obj.weight, obj.object_id, "|".join(parts)]
+            )
             count += 1
     return count
 

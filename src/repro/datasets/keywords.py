@@ -11,12 +11,15 @@ localized, time-bounded surges of objects tagged with a specific keyword.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
-import numpy as np
-
-from repro.datasets.synthetic import BurstSpec, StreamConfig, generate_stream
 from repro.geometry.primitives import Rect
 from repro.streams.objects import SpatialObject
+
+# The synthetic generators (and numpy, which they need) are imported lazily
+# inside the functions that use them: the keyword *predicates* below are part
+# of the multi-query routing path (repro.service) and must work on the
+# zero-dependency install.
 
 #: Background vocabulary assigned to non-event objects.
 DEFAULT_VOCABULARY = (
@@ -44,8 +47,10 @@ class KeywordEvent:
     radius_y: float
     rate_multiplier: float = 5.0
 
-    def to_burst(self) -> BurstSpec:
+    def to_burst(self):
         """The burst specification that realises this event spatially."""
+        from repro.datasets.synthetic import BurstSpec
+
         return BurstSpec(
             center_x=self.center_x,
             center_y=self.center_y,
@@ -73,6 +78,8 @@ def attach_keywords(
     seed: int = 11,
 ) -> list[SpatialObject]:
     """Return a copy of the stream with a random keyword attached to each object."""
+    import numpy as np
+
     rng = np.random.default_rng(seed)
     choices = rng.choice(len(vocabulary), size=len(objects))
     tagged = []
@@ -105,6 +112,10 @@ def generate_keyword_stream(
     Background objects carry a random keyword from ``vocabulary``; event
     objects carry the event's keyword.  The result is timestamp-ordered.
     """
+    import numpy as np
+
+    from repro.datasets.synthetic import StreamConfig, generate_stream
+
     background_config = StreamConfig(
         extent=extent,
         n_objects=n_background,
@@ -143,6 +154,34 @@ def generate_keyword_stream(
     return merged
 
 
+def matches_keyword(obj: SpatialObject, keyword: str | None) -> bool:
+    """Whether an object passes the case-study keyword filter.
+
+    ``None`` matches every object (an unfiltered query); otherwise the
+    object's ``keywords`` attribute tuple must contain ``keyword``.
+    """
+    if keyword is None:
+        return True
+    return keyword in obj.attributes.get("keywords", ())
+
+
+def keyword_predicate(keyword: str | None) -> Callable[[SpatialObject], bool]:
+    """The routing predicate for one keyword (``None`` accepts everything).
+
+    This is the per-query filter the multi-query service
+    (:class:`repro.service.SurgeService`) applies when multiplexing a shared
+    stream across registered queries.
+    """
+    if keyword is None:
+        return lambda obj: True
+
+    def predicate(obj: SpatialObject) -> bool:
+        return keyword in obj.attributes.get("keywords", ())
+
+    return predicate
+
+
 def filter_by_keyword(objects: list[SpatialObject], keyword: str) -> list[SpatialObject]:
     """Objects whose keyword set contains ``keyword`` (the case-study filter)."""
-    return [obj for obj in objects if keyword in obj.attributes.get("keywords", ())]
+    predicate = keyword_predicate(keyword)
+    return [obj for obj in objects if predicate(obj)]

@@ -11,12 +11,22 @@ Both accept ``chunk_size`` to run the batched ingestion path instead
 (``observe_batch`` + ``apply_events``), reporting the amortised per-object
 cost at that chunking; ``benchmarks/bench_ingest.py`` uses the same
 primitives to track end-to-end objects/sec per detector.
+
+The multi-query half of the harness mirrors the same protocol one level up:
+:func:`run_service` replays a shared stream through a
+:class:`~repro.service.SurgeService` and reports aggregate
+object·query-pair throughput plus per-query lag/throughput, and
+:func:`service_scenario_grid` sweeps a (query count × shard count ×
+executor) grid over the same stream — the scenario matrix
+``benchmarks/bench_service.py`` tracks.
 """
 
 from __future__ import annotations
 
+import itertools
 import time
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.core.base import BurstyRegionDetector, DetectorStats, RegionResult
 from repro.core.monitor import make_detector
@@ -147,6 +157,121 @@ def run_detector(
         final_result=detector.result(),
         final_top_k=detector.top_k(query.k),
     )
+
+
+@dataclass
+class ServiceRunResult:
+    """Outcome of replaying one stream through one service configuration."""
+
+    executor: str
+    shards: int
+    chunk_size: int
+    n_queries: int
+    objects_total: int
+    wall_seconds: float
+    object_query_pairs: int
+    per_query: dict[str, dict]
+    final_results: dict[str, RegionResult | None]
+
+    @property
+    def pairs_per_second(self) -> float:
+        """Aggregate objects·queries/sec — the multi-tenant throughput unit."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.object_query_pairs / self.wall_seconds
+
+
+def run_service(
+    specs,
+    stream: list[SpatialObject],
+    *,
+    shards: int = 1,
+    executor: str = "serial",
+    chunk_size: int = 512,
+) -> ServiceRunResult:
+    """Replay a shared stream through a multi-query service and measure it.
+
+    ``specs`` is a sequence of :class:`~repro.service.QuerySpec`.  The wall
+    time covers ingestion only (service construction and worker start-up are
+    excluded, matching the steady-state serving cost; the per-event
+    protocol's warm-up condition does not apply because each query has its
+    own window clock).
+    """
+    from repro.service import SurgeService
+
+    with SurgeService(specs, shards=shards, executor=executor) as service:
+        # Touch every shard once before timing so process workers are
+        # started (and their specs unpickled) outside the measured window.
+        # results() broadcasts without publishing to the bus, so the warm-up
+        # round-trip never pollutes the per-query lag/throughput stats.
+        service.results()
+        started = time.perf_counter()
+        for _ in service.run(stream, chunk_size):
+            pass
+        wall = time.perf_counter() - started
+        stats = service.stats()
+        per_query = {
+            query_id: {
+                "keyword": spec.keyword,
+                "algorithm": spec.algorithm,
+                "objects_routed": stats.per_query[query_id].objects_routed,
+                "objects_per_second": stats.per_query[query_id].objects_per_second,
+                "busy_seconds": stats.per_query[query_id].busy_seconds,
+                "last_lag_seconds": stats.per_query[query_id].last_lag_seconds,
+                "max_lag_seconds": stats.per_query[query_id].max_lag_seconds,
+            }
+            for query_id, spec in ((s.query_id, s) for s in specs)
+        }
+        final_results = service.results()
+    return ServiceRunResult(
+        executor=executor,
+        shards=shards,
+        chunk_size=chunk_size,
+        n_queries=len(specs),
+        objects_total=len(stream),
+        wall_seconds=wall,
+        object_query_pairs=len(stream) * len(specs),
+        per_query=per_query,
+        final_results=final_results,
+    )
+
+
+def service_scenario_grid(
+    stream: list[SpatialObject],
+    *,
+    query_counts: Sequence[int] = (1, 8),
+    shard_counts: Sequence[int] = (1, 2),
+    executors: Sequence[str] = ("serial",),
+    chunk_size: int = 512,
+    **grid_options,
+) -> list[ServiceRunResult]:
+    """Sweep the multi-query scenario grid over one shared stream.
+
+    The experiment-grid idiom: the cartesian product of (query count, shard
+    count, executor) is materialised up front and every cell replays the
+    same stream through :func:`run_service`, so cells are comparable.
+    ``grid_options`` is forwarded to
+    :func:`repro.service.make_query_grid` (base query size, keywords,
+    algorithm, ...).  Returns one :class:`ServiceRunResult` per cell, in
+    grid order.
+    """
+    from repro.service import make_query_grid
+
+    results = []
+    for n_queries, shards, executor in itertools.product(
+        query_counts, shard_counts, executors
+    ):
+        specs = make_query_grid(n_queries, **grid_options)
+        results.append(
+            run_service(
+                specs,
+                stream,
+                shards=shards,
+                executor=executor,
+                chunk_size=chunk_size,
+            )
+        )
+    return results
 
 
 def run_detectors(

@@ -1,0 +1,34 @@
+"""Multi-query monitoring service: shared stream, N queries, sharded execution.
+
+Public surface:
+
+* :class:`~repro.service.spec.QuerySpec` — one query registration (routing
+  keyword + SURGE query + detector choice), with the ``queries.json``
+  round-trip and :func:`~repro.service.spec.load_query_specs` /
+  :func:`~repro.service.spec.make_query_grid` helpers;
+* :class:`~repro.service.service.SurgeService` — the service facade
+  (``push_many`` / ``run`` / ``add_query`` / ``remove_query`` / ``results``);
+* :mod:`~repro.service.shards` — the pluggable ``serial`` / ``thread`` /
+  ``process`` shard executors (:data:`~repro.service.shards.EXECUTOR_NAMES`);
+* :mod:`~repro.service.bus` — :class:`~repro.service.bus.QueryUpdate`,
+  :class:`~repro.service.bus.QueryStats`,
+  :class:`~repro.service.bus.ServiceStats` and the subscriber bus.
+"""
+
+from repro.service.bus import QueryStats, QueryUpdate, ResultBus, ServiceStats
+from repro.service.service import SurgeService
+from repro.service.shards import EXECUTOR_NAMES, make_executor
+from repro.service.spec import QuerySpec, load_query_specs, make_query_grid
+
+__all__ = [
+    "EXECUTOR_NAMES",
+    "QuerySpec",
+    "QueryStats",
+    "QueryUpdate",
+    "ResultBus",
+    "ServiceStats",
+    "SurgeService",
+    "load_query_specs",
+    "make_executor",
+    "make_query_grid",
+]

@@ -1,0 +1,128 @@
+"""Result bus: the service-side surface for per-query updates and stats.
+
+Every chunk broadcast produces one :class:`QueryUpdate` per live query.  The
+:class:`ResultBus` keeps the latest update per query, fans updates out to
+subscribers (dashboards, alert hooks, tests), and accumulates the per-query
+:class:`QueryStats` — objects routed, shard busy time, and the chunk *lag*
+(how long a query's answer trailed the service receiving the chunk, i.e.
+wall time of the whole broadcast minus nothing: the query's result is only
+available once its shard's reply is gathered).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.core.base import RegionResult
+
+
+@dataclass(frozen=True, slots=True)
+class QueryUpdate:
+    """One query's answer after one ingestion step.
+
+    ``busy_seconds`` is the time the query's pipeline spent routing and
+    detecting inside its shard; ``lag_seconds`` (stamped by the service, not
+    the shard) is the wall time from chunk submission until this update was
+    surfaced — the queueing/transport overhead a tenant actually observes.
+    """
+
+    query_id: str
+    chunk_index: int
+    result: RegionResult | None
+    objects_routed: int
+    busy_seconds: float
+    lag_seconds: float = 0.0
+
+    def with_lag(self, lag_seconds: float) -> "QueryUpdate":
+        return QueryUpdate(
+            query_id=self.query_id,
+            chunk_index=self.chunk_index,
+            result=self.result,
+            objects_routed=self.objects_routed,
+            busy_seconds=self.busy_seconds,
+            lag_seconds=lag_seconds,
+        )
+
+
+@dataclass
+class QueryStats:
+    """Cumulative per-query counters maintained by the bus."""
+
+    objects_routed: int = 0
+    chunks_processed: int = 0
+    busy_seconds: float = 0.0
+    last_lag_seconds: float = 0.0
+    max_lag_seconds: float = 0.0
+
+    @property
+    def objects_per_second(self) -> float:
+        """Routed-object throughput against this query's own busy time."""
+        if self.busy_seconds <= 0.0:
+            return 0.0
+        return self.objects_routed / self.busy_seconds
+
+    def observe(self, update: QueryUpdate) -> None:
+        self.objects_routed += update.objects_routed
+        self.chunks_processed += 1
+        self.busy_seconds += update.busy_seconds
+        self.last_lag_seconds = update.lag_seconds
+        if update.lag_seconds > self.max_lag_seconds:
+            self.max_lag_seconds = update.lag_seconds
+
+
+@dataclass
+class ServiceStats:
+    """Aggregate counters for one service instance.
+
+    ``object_query_pairs`` is the multi-tenant work unit: every pushed
+    object is examined by every live query, so a chunk of ``n`` objects
+    against ``m`` queries contributes ``n·m`` pairs.  The aggregate
+    ``pairs_per_second`` over the ingestion wall time is the benchmark
+    headline (``benchmarks/bench_service.py``).
+    """
+
+    objects_pushed: int = 0
+    chunks_pushed: int = 0
+    object_query_pairs: int = 0
+    wall_seconds: float = 0.0
+    per_query: dict[str, QueryStats] = field(default_factory=dict)
+
+    @property
+    def pairs_per_second(self) -> float:
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.object_query_pairs / self.wall_seconds
+
+
+class ResultBus:
+    """Latest-result cache plus subscriber fan-out for query updates."""
+
+    def __init__(self) -> None:
+        self._latest: dict[str, QueryUpdate] = {}
+        self._stats: dict[str, QueryStats] = {}
+        self._subscribers: list[Callable[[QueryUpdate], None]] = []
+
+    def subscribe(self, callback: Callable[[QueryUpdate], None]) -> None:
+        """Register a callback invoked once per update, in publish order."""
+        self._subscribers.append(callback)
+
+    def publish(self, updates: Iterable[QueryUpdate]) -> None:
+        for update in updates:
+            self._latest[update.query_id] = update
+            self._stats.setdefault(update.query_id, QueryStats()).observe(update)
+            for callback in self._subscribers:
+                callback(update)
+
+    def latest(self, query_id: str) -> QueryUpdate | None:
+        """The most recent update for a query (``None`` before the first)."""
+        return self._latest.get(query_id)
+
+    def stats(self, query_id: str) -> QueryStats:
+        """Cumulative stats for a query (zeros before its first update)."""
+        return self._stats.setdefault(query_id, QueryStats())
+
+    def forget(self, query_id: str) -> None:
+        """Drop the cached state of a removed query."""
+        self._latest.pop(query_id, None)
+        self._stats.pop(query_id, None)

@@ -1,0 +1,249 @@
+"""The multi-query monitoring service: one shared stream, N continuous queries.
+
+:class:`SurgeService` multiplexes a timestamp-ordered object stream across
+every registered :class:`~repro.service.spec.QuerySpec`:
+
+* **routing** — each query sees only the objects its keyword predicate
+  accepts (``None`` = the whole stream), exactly as if it ran a private
+  :class:`~repro.core.monitor.SurgeMonitor` over the filtered substream;
+* **shared chunking** — the stream is cut into chunks once; every chunk is
+  broadcast to each shard exactly once, and inside the shard each query's
+  monitor ingests its filtered slice through the batched ``push_many`` path;
+* **sharded execution** — queries are assigned round-robin to ``shards``
+  shards, driven by a pluggable executor backend (``serial`` / ``thread`` /
+  ``process``, see :mod:`repro.service.shards`).  Results are bit-identical
+  across backends: the backend only decides *where* the identical per-shard
+  code runs;
+* **result bus** — every chunk yields one
+  :class:`~repro.service.bus.QueryUpdate` per query (latest results,
+  subscriber callbacks, per-query lag/throughput stats).
+
+Example::
+
+    specs = [
+        QuerySpec("concerts", SurgeQuery(0.01, 0.01, 3600), keyword="concert"),
+        QuerySpec("city-wide", SurgeQuery(0.05, 0.05, 1800)),
+    ]
+    with SurgeService(specs, shards=4, executor="process") as service:
+        for updates in service.run(stream, chunk_size=1024):
+            for update in updates:
+                ...  # (query_id, RegionResult) pairs, freshest first
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Iterator, Sequence
+
+from repro.core.base import RegionResult
+from repro.service.bus import QueryUpdate, ResultBus, ServiceStats
+from repro.service.shards import EXECUTOR_NAMES, make_executor
+from repro.service.spec import QuerySpec
+from repro.streams.objects import SpatialObject
+from repro.streams.sources import iter_chunks
+
+
+class SurgeService:
+    """Continuous multi-query monitor over one shared spatial stream.
+
+    Parameters
+    ----------
+    specs:
+        Initial query registrations (more can be added later with
+        :meth:`add_query`); ids must be unique.
+    shards:
+        Number of shards the queries are spread over (round-robin in
+        registration order).
+    executor:
+        Shard execution backend: ``"serial"``, ``"thread"`` or ``"process"``.
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[QuerySpec] = (),
+        *,
+        shards: int = 1,
+        executor: str = "serial",
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be positive, got {shards}")
+        if executor.lower() not in EXECUTOR_NAMES:
+            raise ValueError(
+                f"unknown executor {executor!r}; expected one of "
+                f"{', '.join(EXECUTOR_NAMES)}"
+            )
+        self.executor_name = executor.lower()
+        self.n_shards = shards
+        # Round-robin assignment keyed to a monotone registration counter:
+        # removals never reshuffle surviving queries, so a given sequence of
+        # add/remove operations lands every query on the same shard under
+        # every backend and shard count stays load-balanced over time.
+        self._shard_of: dict[str, int] = {}
+        self._order: list[str] = []
+        self._registered = 0
+        shard_specs: list[list[QuerySpec]] = [[] for _ in range(shards)]
+        for spec in specs:
+            self._claim(spec)
+            shard_specs[self._shard_of[spec.query_id]].append(spec)
+        self._executor = make_executor(self.executor_name, shard_specs)
+        self.bus = ResultBus()
+        self._time = float("-inf")
+        self._chunk_index = 0
+        self._stats = ServiceStats()
+        self._closed = False
+
+    def _claim(self, spec: QuerySpec) -> None:
+        if spec.query_id in self._shard_of:
+            raise ValueError(f"query {spec.query_id!r} is already registered")
+        self._shard_of[spec.query_id] = self._registered % self.n_shards
+        self._order.append(spec.query_id)
+        self._registered += 1
+
+    # ------------------------------------------------------------------
+    # Query registry
+    # ------------------------------------------------------------------
+    @property
+    def query_ids(self) -> list[str]:
+        """Live query ids in registration order."""
+        return list(self._order)
+
+    def add_query(self, spec: QuerySpec) -> str:
+        """Register a query mid-stream; it sees only objects pushed later."""
+        self._claim(spec)
+        try:
+            self._executor.send(self._shard_of[spec.query_id], ("add", spec))
+        except Exception:
+            self._order.remove(spec.query_id)
+            del self._shard_of[spec.query_id]
+            raise
+        return spec.query_id
+
+    def remove_query(self, query_id: str) -> None:
+        """Drop a query; its shard slot is not reused (see ``_claim``)."""
+        if query_id not in self._shard_of:
+            raise KeyError(f"query {query_id!r} is not registered")
+        self._executor.send(self._shard_of[query_id], ("remove", query_id))
+        self._order.remove(query_id)
+        del self._shard_of[query_id]
+        self.bus.forget(query_id)
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def push_many(self, chunk: Iterable[SpatialObject]) -> list[QueryUpdate]:
+        """Broadcast one timestamp-ordered chunk to every shard.
+
+        Returns the per-query updates in query registration order (also
+        published on :attr:`bus`).  Timestamp order is validated against the
+        service clock here — per-query monitors only see their filtered
+        substreams, so an out-of-order object that no query matches would
+        otherwise corrupt the clock silently.
+        """
+        objs = chunk if isinstance(chunk, list) else list(chunk)
+        previous = self._time
+        for position, obj in enumerate(objs):
+            if obj.timestamp < previous:
+                raise ValueError(
+                    f"out-of-order arrival in service chunk: object "
+                    f"id={obj.object_id} (chunk position {position}) has "
+                    f"timestamp t={obj.timestamp}, earlier than the "
+                    f"last-accepted stream time t={previous}"
+                )
+            previous = obj.timestamp
+        if objs:
+            self._time = previous
+        return self._dispatch(("chunk", objs, self._chunk_index), len(objs))
+
+    def push(self, obj: SpatialObject) -> list[QueryUpdate]:
+        """Push a single object (a one-object chunk)."""
+        return self.push_many([obj])
+
+    def advance_time(self, stream_time: float) -> list[QueryUpdate]:
+        """Advance every query's clock without new arrivals."""
+        if stream_time < self._time:
+            raise ValueError(
+                f"cannot move stream time backwards: requested t={stream_time} "
+                f"is earlier than the last-accepted stream time t={self._time}"
+            )
+        self._time = stream_time
+        return self._dispatch(("advance", stream_time, self._chunk_index), 0)
+
+    def _dispatch(self, message: tuple, n_objects: int) -> list[QueryUpdate]:
+        started = time.perf_counter()
+        replies = self._executor.broadcast(message)
+        wall = time.perf_counter() - started
+        by_query = {
+            update.query_id: update for reply in replies for update in reply
+        }
+        # Registration order, with the broadcast wall time stamped as each
+        # query's lag: an update is only observable once the gather returns.
+        updates = [
+            by_query[query_id].with_lag(wall)
+            for query_id in self._order
+            if query_id in by_query
+        ]
+        self._chunk_index += 1
+        self._stats.objects_pushed += n_objects
+        self._stats.chunks_pushed += 1
+        self._stats.object_query_pairs += n_objects * len(updates)
+        self._stats.wall_seconds += wall
+        self.bus.publish(updates)
+        return updates
+
+    def run(
+        self,
+        stream: Iterable[SpatialObject],
+        chunk_size: int = 512,
+    ) -> Iterator[list[QueryUpdate]]:
+        """Chunk a whole stream through the service, yielding per-chunk updates."""
+        for chunk in iter_chunks(stream, chunk_size):
+            yield self.push_many(chunk)
+
+    # ------------------------------------------------------------------
+    # Results and stats
+    # ------------------------------------------------------------------
+    def results(self) -> dict[str, RegionResult | None]:
+        """Current result of every live query (queried from the shards)."""
+        merged: dict[str, RegionResult | None] = {}
+        for reply in self._executor.broadcast(("results",)):
+            merged.update(reply)
+        return {query_id: merged[query_id] for query_id in self._order}
+
+    def top_k(self, k: int | None = None) -> dict[str, list[RegionResult]]:
+        """Current top-k regions of every live query (best first)."""
+        merged: dict[str, list[RegionResult]] = {}
+        for reply in self._executor.broadcast(("top_k", k)):
+            merged.update(reply)
+        return {query_id: merged[query_id] for query_id in self._order}
+
+    def latest(self, query_id: str) -> QueryUpdate | None:
+        """Most recent bus update for a query — no shard round-trip."""
+        return self.bus.latest(query_id)
+
+    def stats(self) -> ServiceStats:
+        """Aggregate service stats with per-query lag/throughput attached."""
+        self._stats.per_query = {
+            query_id: self.bus.stats(query_id) for query_id in self._order
+        }
+        return self._stats
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down the shard executor (idempotent)."""
+        if not self._closed:
+            self._executor.close()
+            self._closed = True
+
+    def __enter__(self) -> "SurgeService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SurgeService(queries={len(self._order)}, shards={self.n_shards}, "
+            f"executor={self.executor_name!r})"
+        )

@@ -1,0 +1,327 @@
+"""Shard execution backends for the multi-query service.
+
+A *shard* owns a disjoint subset of the registered queries: one
+:class:`QueryPipeline` per query (routing predicate + per-query
+:class:`~repro.core.monitor.SurgeMonitor`).  The service broadcasts each
+stream chunk to every shard exactly once; inside the shard each pipeline
+filters the chunk through its keyword predicate and feeds the surviving
+objects to its monitor's batched ``push_many`` path.
+
+Three interchangeable executors drive the shards:
+
+``serial``
+    All shards run inline in the calling thread.  The reference backend —
+    every other backend must produce bit-identical results.
+
+``thread``
+    One :class:`concurrent.futures.ThreadPoolExecutor` worker per shard.
+    Shards of a chunk run concurrently; the GIL serialises the pure-Python
+    detector work, so this backend only pays off when a sweep backend
+    releases the GIL (numpy) or work is IO-bound.  It exists mainly to keep
+    the dispatch machinery honest under real concurrency.
+
+``process``
+    One persistent single-worker :class:`concurrent.futures.ProcessPoolExecutor`
+    per shard.  The shard's query specs are pickled to the worker once at
+    start-up (the worker builds its monitors locally and keeps them alive
+    across chunks); each chunk is pickled to every shard once.  This is the
+    backend that scales with cores.
+
+All three speak the same message protocol (:meth:`ShardState.handle`), so
+the executors contain no query logic — determinism across backends falls out
+of running the identical per-shard code.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Sequence
+
+from repro.service.bus import QueryUpdate
+from repro.service.spec import QuerySpec
+from repro.streams.objects import SpatialObject
+
+#: Executor backends accepted by :class:`repro.service.SurgeService`.
+EXECUTOR_NAMES = ("serial", "thread", "process")
+
+
+class QueryPipeline:
+    """Routing filter + monitor + counters for one registered query."""
+
+    __slots__ = ("spec", "monitor", "objects_routed", "chunks_processed", "busy_seconds")
+
+    def __init__(self, spec: QuerySpec) -> None:
+        self.spec = spec
+        self.monitor = spec.build_monitor()
+        self.objects_routed = 0
+        self.chunks_processed = 0
+        self.busy_seconds = 0.0
+
+    def push_chunk(self, chunk: Sequence[SpatialObject], chunk_index: int) -> QueryUpdate:
+        """Route one shared-stream chunk into the monitor; report the result.
+
+        Routing time counts as busy time — the filter scan is work this
+        query causes on every chunk, matched or not.
+        """
+        started = time.perf_counter()
+        matches = self.spec.matches
+        matched = [obj for obj in chunk if matches(obj)]
+        if matched:
+            result = self.monitor.push_many(matched)
+        else:
+            result = self.monitor.result()
+        busy = time.perf_counter() - started
+        self.objects_routed += len(matched)
+        self.chunks_processed += 1
+        self.busy_seconds += busy
+        return QueryUpdate(
+            query_id=self.spec.query_id,
+            chunk_index=chunk_index,
+            result=result,
+            objects_routed=len(matched),
+            busy_seconds=busy,
+        )
+
+    def advance(self, stream_time: float, chunk_index: int) -> QueryUpdate:
+        """Advance this query's clock without new arrivals."""
+        started = time.perf_counter()
+        result = self.monitor.advance_time(stream_time)
+        busy = time.perf_counter() - started
+        self.busy_seconds += busy
+        return QueryUpdate(
+            query_id=self.spec.query_id,
+            chunk_index=chunk_index,
+            result=result,
+            objects_routed=0,
+            busy_seconds=busy,
+        )
+
+
+class ShardState:
+    """The per-shard query pipelines plus the message protocol driving them.
+
+    Messages are ``(kind, *payload)`` tuples so they cross process
+    boundaries as plain pickles:
+
+    ``("chunk", objects, chunk_index)``
+        Route a shared-stream chunk through every pipeline; returns the
+        per-query :class:`~repro.service.bus.QueryUpdate` list in query
+        registration order.
+    ``("advance", stream_time, chunk_index)``
+        Advance every pipeline's clock; returns updates.
+    ``("add", spec)`` / ``("remove", query_id)``
+        Register / drop a pipeline; returns the shard's query ids.
+    ``("results",)``
+        ``[(query_id, RegionResult | None), ...]`` without ingesting.
+    ``("top_k", k)``
+        ``[(query_id, [RegionResult, ...]), ...]`` without ingesting.
+    ``("stats",)``
+        ``[(query_id, objects_routed, chunks_processed, busy_seconds), ...]``.
+    """
+
+    def __init__(self, specs: Sequence[QuerySpec] = ()) -> None:
+        self.pipelines: dict[str, QueryPipeline] = {}
+        for spec in specs:
+            self.add(spec)
+
+    def add(self, spec: QuerySpec) -> None:
+        if spec.query_id in self.pipelines:
+            raise ValueError(f"query {spec.query_id!r} is already registered")
+        self.pipelines[spec.query_id] = QueryPipeline(spec)
+
+    def remove(self, query_id: str) -> None:
+        if query_id not in self.pipelines:
+            raise KeyError(f"query {query_id!r} is not registered on this shard")
+        del self.pipelines[query_id]
+
+    def handle(self, message: tuple) -> Any:
+        kind = message[0]
+        if kind == "chunk":
+            _, chunk, chunk_index = message
+            return [
+                pipeline.push_chunk(chunk, chunk_index)
+                for pipeline in self.pipelines.values()
+            ]
+        if kind == "advance":
+            _, stream_time, chunk_index = message
+            return [
+                pipeline.advance(stream_time, chunk_index)
+                for pipeline in self.pipelines.values()
+            ]
+        if kind == "add":
+            self.add(message[1])
+            return list(self.pipelines)
+        if kind == "remove":
+            self.remove(message[1])
+            return list(self.pipelines)
+        if kind == "results":
+            return [
+                (query_id, pipeline.monitor.result())
+                for query_id, pipeline in self.pipelines.items()
+            ]
+        if kind == "top_k":
+            return [
+                (query_id, pipeline.monitor.top_k(message[1]))
+                for query_id, pipeline in self.pipelines.items()
+            ]
+        if kind == "stats":
+            return [
+                (
+                    query_id,
+                    pipeline.objects_routed,
+                    pipeline.chunks_processed,
+                    pipeline.busy_seconds,
+                )
+                for query_id, pipeline in self.pipelines.items()
+            ]
+        raise ValueError(f"unknown shard message kind {kind!r}")
+
+
+class ShardExecutor(abc.ABC):
+    """Common interface of the three shard execution backends."""
+
+    #: Name under which the backend is selectable.
+    name: str = "executor"
+
+    def __init__(self, shard_specs: Sequence[Sequence[QuerySpec]]) -> None:
+        if not shard_specs:
+            raise ValueError("an executor needs at least one shard")
+        self.n_shards = len(shard_specs)
+
+    @abc.abstractmethod
+    def send(self, shard_index: int, message: tuple) -> Any:
+        """Deliver one message to one shard and return its reply."""
+
+    @abc.abstractmethod
+    def broadcast(self, message: tuple) -> list[Any]:
+        """Deliver one message to every shard; replies in shard order."""
+
+    def close(self) -> None:
+        """Release worker threads / processes (idempotent)."""
+
+    def __enter__(self) -> "ShardExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SerialExecutor(ShardExecutor):
+    """All shards inline in the calling thread (the reference backend)."""
+
+    name = "serial"
+
+    def __init__(self, shard_specs: Sequence[Sequence[QuerySpec]]) -> None:
+        super().__init__(shard_specs)
+        self._shards = [ShardState(specs) for specs in shard_specs]
+
+    def send(self, shard_index: int, message: tuple) -> Any:
+        return self._shards[shard_index].handle(message)
+
+    def broadcast(self, message: tuple) -> list[Any]:
+        return [shard.handle(message) for shard in self._shards]
+
+
+class ThreadExecutor(ShardExecutor):
+    """One pool thread per shard; shards of a chunk run concurrently.
+
+    The service broadcasts chunks with a gather barrier between chunks, so a
+    given shard's state is only ever touched by one in-flight task at a time
+    — no locking is needed.
+    """
+
+    name = "thread"
+
+    def __init__(self, shard_specs: Sequence[Sequence[QuerySpec]]) -> None:
+        super().__init__(shard_specs)
+        self._shards = [ShardState(specs) for specs in shard_specs]
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.n_shards, thread_name_prefix="surge-shard"
+        )
+
+    def send(self, shard_index: int, message: tuple) -> Any:
+        return self._pool.submit(self._shards[shard_index].handle, message).result()
+
+    def broadcast(self, message: tuple) -> list[Any]:
+        futures = [
+            self._pool.submit(shard.handle, message) for shard in self._shards
+        ]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+# ---------------------------------------------------------------------------
+# Process backend: persistent single-worker pool per shard
+# ---------------------------------------------------------------------------
+#: Worker-process global holding that worker's shard state.  Each shard has
+#: its own single-worker pool, so each worker process sees exactly one shard.
+_WORKER_SHARD: ShardState | None = None
+
+
+def _init_worker_shard(specs: Sequence[QuerySpec]) -> None:
+    """Pool initializer: build the shard's pipelines inside the worker."""
+    global _WORKER_SHARD
+    _WORKER_SHARD = ShardState(specs)
+
+
+def _worker_handle(message: tuple) -> Any:
+    assert _WORKER_SHARD is not None, "shard worker used before initialisation"
+    return _WORKER_SHARD.handle(message)
+
+
+class ProcessExecutor(ShardExecutor):
+    """One persistent worker process per shard.
+
+    Each shard is a ``ProcessPoolExecutor(max_workers=1)``: the single
+    worker keeps the shard's monitors alive across chunks, and the pool's
+    FIFO task queue preserves message order per shard.  Specs are pickled
+    once at start-up via the pool initializer; chunks and
+    :class:`~repro.service.bus.QueryUpdate` replies are pickled per message.
+    """
+
+    name = "process"
+
+    def __init__(self, shard_specs: Sequence[Sequence[QuerySpec]]) -> None:
+        super().__init__(shard_specs)
+        self._pools = [
+            ProcessPoolExecutor(
+                max_workers=1,
+                initializer=_init_worker_shard,
+                initargs=(tuple(specs),),
+            )
+            for specs in shard_specs
+        ]
+
+    def send(self, shard_index: int, message: tuple) -> Any:
+        return self._pools[shard_index].submit(_worker_handle, message).result()
+
+    def broadcast(self, message: tuple) -> list[Any]:
+        futures = [pool.submit(_worker_handle, message) for pool in self._pools]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        for pool in self._pools:
+            pool.shutdown(wait=True)
+
+
+_EXECUTORS = {
+    "serial": SerialExecutor,
+    "thread": ThreadExecutor,
+    "process": ProcessExecutor,
+}
+
+
+def make_executor(
+    name: str, shard_specs: Sequence[Sequence[QuerySpec]]
+) -> ShardExecutor:
+    """Instantiate a shard executor by backend name."""
+    key = name.lower()
+    if key not in _EXECUTORS:
+        raise ValueError(
+            f"unknown executor {name!r}; expected one of {', '.join(EXECUTOR_NAMES)}"
+        )
+    return _EXECUTORS[key](shard_specs)

@@ -1,0 +1,217 @@
+"""Per-query registration records for the multi-query service.
+
+A stream platform runs *many* continuous SURGE queries over one shared
+object stream: different keywords, rectangle sizes, window lengths,
+algorithms.  :class:`QuerySpec` is the unit of registration — the
+:class:`~repro.core.query.SurgeQuery` itself plus the routing keyword, the
+detector choice and a stable ``query_id`` — and is what travels to shard
+worker processes (specs are small and picklable; the heavyweight monitor is
+built inside the shard).
+
+``queries.json`` files consumed by ``repro serve`` hold a list of the
+dictionary form::
+
+    [
+      {"id": "concerts", "keyword": "concert", "rect": [0.01, 0.01],
+       "window": 3600, "alpha": 0.5, "k": 1, "algorithm": "ccs"},
+      {"id": "all-traffic", "rect": [0.02, 0.01], "window": 1800}
+    ]
+
+``keyword`` omitted (or ``null``) means the query sees the whole stream.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from repro.core.monitor import DETECTOR_NAMES
+from repro.core.query import SurgeQuery
+from repro.datasets.keywords import DEFAULT_VOCABULARY, matches_keyword
+from repro.geometry.primitives import Rect
+from repro.streams.objects import SpatialObject
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One registered continuous query: routing filter + SURGE query + detector.
+
+    Parameters
+    ----------
+    query_id:
+        Stable identifier; unique within a service.
+    query:
+        The SURGE query the per-query monitor answers.
+    algorithm:
+        Detector name accepted by :func:`repro.core.monitor.make_detector`.
+    keyword:
+        Routing keyword; only objects whose ``keywords`` attribute contains
+        it reach this query's monitor.  ``None`` routes the whole stream.
+    backend:
+        Optional SL-CSPOT sweep backend override for this query.
+    options:
+        Extra keyword arguments for the detector constructor.
+    """
+
+    query_id: str
+    query: SurgeQuery
+    algorithm: str = "ccs"
+    keyword: str | None = None
+    backend: str | None = None
+    options: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.query_id:
+            raise ValueError("query_id must be a non-empty string")
+        if self.algorithm.lower() not in DETECTOR_NAMES:
+            raise ValueError(
+                f"unknown detector {self.algorithm!r} for query "
+                f"{self.query_id!r}; expected one of {', '.join(DETECTOR_NAMES)}"
+            )
+
+    def matches(self, obj: SpatialObject) -> bool:
+        """Whether the shared-stream object is routed to this query."""
+        return matches_keyword(obj, self.keyword)
+
+    def build_monitor(self):
+        """Instantiate this query's :class:`~repro.core.monitor.SurgeMonitor`.
+
+        Imported lazily so that pickling a spec to a shard worker never drags
+        the detector machinery through the pickle stream.
+        """
+        from repro.core.monitor import SurgeMonitor
+
+        return SurgeMonitor(
+            self.query,
+            algorithm=self.algorithm,
+            backend=self.backend,
+            **dict(self.options),
+        )
+
+    # ------------------------------------------------------------------
+    # JSON round-trip (the ``repro serve --queries`` file format)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """The JSON-serialisable form accepted by :meth:`from_dict`."""
+        record: dict[str, Any] = {
+            "id": self.query_id,
+            "rect": [self.query.rect_width, self.query.rect_height],
+            "window": self.query.window_length,
+            "alpha": self.query.alpha,
+            "k": self.query.k,
+            "algorithm": self.algorithm,
+        }
+        if self.keyword is not None:
+            record["keyword"] = self.keyword
+        if self.backend is not None:
+            record["backend"] = self.backend
+        if self.query.past_window_length is not None:
+            record["past_window"] = self.query.past_window_length
+        if self.query.area is not None:
+            area = self.query.area
+            record["area"] = [area.min_x, area.min_y, area.max_x, area.max_y]
+        if self.options:
+            record["options"] = dict(self.options)
+        return record
+
+    @staticmethod
+    def from_dict(record: Mapping[str, Any]) -> "QuerySpec":
+        """Build a spec from the ``queries.json`` dictionary form."""
+        try:
+            query_id = str(record["id"])
+            rect = record["rect"]
+            window = float(record["window"])
+        except KeyError as exc:
+            raise ValueError(
+                f"query record is missing the required field {exc.args[0]!r} "
+                f"(record: {dict(record)!r})"
+            ) from None
+        if not isinstance(rect, Sequence) or len(rect) != 2:
+            raise ValueError(
+                f"query {query_id!r}: 'rect' must be a [width, height] pair, "
+                f"got {rect!r}"
+            )
+        area = record.get("area")
+        query = SurgeQuery(
+            rect_width=float(rect[0]),
+            rect_height=float(rect[1]),
+            window_length=window,
+            alpha=float(record.get("alpha", 0.5)),
+            area=Rect(*map(float, area)) if area is not None else None,
+            past_window_length=(
+                float(record["past_window"]) if "past_window" in record else None
+            ),
+            k=int(record.get("k", 1)),
+        )
+        return QuerySpec(
+            query_id=query_id,
+            query=query,
+            algorithm=str(record.get("algorithm", "ccs")),
+            keyword=record.get("keyword"),
+            backend=record.get("backend"),
+            options=dict(record.get("options", {})),
+        )
+
+
+def load_query_specs(path: str | Path) -> list[QuerySpec]:
+    """Load and validate a ``queries.json`` file (a non-empty JSON list)."""
+    raw = json.loads(Path(path).read_text())
+    if not isinstance(raw, list) or not raw:
+        raise ValueError(
+            f"{path}: expected a non-empty JSON list of query records"
+        )
+    specs = [QuerySpec.from_dict(record) for record in raw]
+    seen: set[str] = set()
+    for spec in specs:
+        if spec.query_id in seen:
+            raise ValueError(f"{path}: duplicate query id {spec.query_id!r}")
+        seen.add(spec.query_id)
+    return specs
+
+
+def make_query_grid(
+    n_queries: int,
+    *,
+    base_rect: tuple[float, float] = (1.0, 1.0),
+    base_window: float = 20.0,
+    alpha: float = 0.5,
+    algorithm: str = "ccs",
+    backend: str | None = None,
+    keywords: Sequence[str | None] = DEFAULT_VOCABULARY,
+    rect_multipliers: Sequence[float] = (1.0, 1.5, 0.75),
+    window_multipliers: Sequence[float] = (1.0, 2.0, 0.5),
+) -> list[QuerySpec]:
+    """A deterministic grid of ``n_queries`` heterogeneous query specs.
+
+    The multi-tenant scenario of the paper's setting: queries cycle through
+    the routing keywords, rectangle sizes and window lengths (the experiment
+    grid a platform's users would register), so benchmark and scenario runs
+    exercise genuinely different per-query state.  Query ids are
+    ``q000, q001, ...`` and the grid is fully determined by its arguments.
+    """
+    if n_queries < 1:
+        raise ValueError(f"n_queries must be positive, got {n_queries}")
+    keyword_cycle = itertools.cycle(keywords)
+    rect_cycle = itertools.cycle(rect_multipliers)
+    window_cycle = itertools.cycle(window_multipliers)
+    specs = []
+    for index in range(n_queries):
+        rect_scale = next(rect_cycle)
+        specs.append(
+            QuerySpec(
+                query_id=f"q{index:03d}",
+                query=SurgeQuery(
+                    rect_width=base_rect[0] * rect_scale,
+                    rect_height=base_rect[1] * rect_scale,
+                    window_length=base_window * next(window_cycle),
+                    alpha=alpha,
+                ),
+                algorithm=algorithm,
+                keyword=next(keyword_cycle),
+                backend=backend,
+            )
+        )
+    return specs

@@ -122,3 +122,30 @@ def stretch_to_rate(
 def interleave_sorted(*streams: Iterable[SpatialObject]) -> Iterator[SpatialObject]:
     """Lazily merge already-sorted streams (k-way merge by timestamp)."""
     yield from heapq.merge(*streams, key=lambda o: (o.timestamp, o.object_id))
+
+
+def iter_chunks(
+    stream: Iterable[SpatialObject], chunk_size: int
+) -> Iterator[list[SpatialObject]]:
+    """Split a stream into consecutive chunks of at most ``chunk_size`` objects.
+
+    This is the shared chunker of the batched ingestion paths
+    (:meth:`repro.core.monitor.SurgeMonitor.run` with a chunk size,
+    :class:`repro.service.SurgeService`): one pass over the stream, no
+    materialisation of the whole input, last chunk possibly short.
+    """
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    if isinstance(stream, Sequence):
+        for start in range(0, len(stream), chunk_size):
+            chunk = stream[start : start + chunk_size]
+            yield chunk if isinstance(chunk, list) else list(chunk)
+        return
+    chunk: list[SpatialObject] = []
+    for obj in stream:
+        chunk.append(obj)
+        if len(chunk) >= chunk_size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk

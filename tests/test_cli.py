@@ -238,3 +238,125 @@ class TestChunkSizeFlag:
         )
         assert code == 2
         assert "must not exceed" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    def _make_stream(self, tmp_path):
+        out = tmp_path / "stream.csv"
+        rng = random.Random(7)
+        keywords = ("concert", "parade")
+        write_csv_stream(
+            out,
+            [
+                SpatialObject(
+                    x=rng.uniform(0.0, 5.0),
+                    y=rng.uniform(0.0, 5.0),
+                    timestamp=float(index),
+                    weight=rng.uniform(0.5, 5.0),
+                    object_id=index,
+                    attributes={"keywords": (keywords[index % 2],)},
+                )
+                for index in range(300)
+            ],
+        )
+        return out
+
+    def _make_queries(self, tmp_path):
+        import json
+
+        path = tmp_path / "queries.json"
+        path.write_text(
+            json.dumps(
+                [
+                    {
+                        "id": "concerts",
+                        "keyword": "concert",
+                        "rect": [1.0, 1.0],
+                        "window": 30,
+                        "algorithm": "ccs",
+                        "backend": "python",
+                    },
+                    {"id": "all", "rect": [1.5, 1.5], "window": 60, "algorithm": "gaps"},
+                ]
+            )
+        )
+        return path
+
+    def test_serve_prints_per_query_reports(self, tmp_path, capsys):
+        code = main(
+            [
+                "serve",
+                str(self._make_stream(tmp_path)),
+                "--queries",
+                str(self._make_queries(tmp_path)),
+                "--shards",
+                "2",
+                "--chunk-size",
+                "50",
+                "--report-every",
+                "100",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "concerts:" in captured.out
+        assert "all:" in captured.out
+        assert "object-query pairs" in captured.err
+        assert "routed" in captured.err
+
+    def test_serve_thread_executor_matches_serial(self, tmp_path, capsys):
+        stream_path = self._make_stream(tmp_path)
+        queries_path = self._make_queries(tmp_path)
+        outputs = []
+        for executor in ("serial", "thread"):
+            code = main(
+                [
+                    "serve",
+                    str(stream_path),
+                    "--queries",
+                    str(queries_path),
+                    "--executor",
+                    executor,
+                    "--shards",
+                    "2",
+                    "--chunk-size",
+                    "64",
+                ]
+            )
+            assert code == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
+
+    def test_serve_rejects_bad_usage(self, tmp_path, capsys):
+        stream_path = self._make_stream(tmp_path)
+        queries_path = self._make_queries(tmp_path)
+        base = ["serve", str(stream_path), "--queries", str(queries_path)]
+        assert main(base + ["--shards", "0"]) == 2
+        assert "--shards" in capsys.readouterr().err
+        assert main(base + ["--chunk-size", "0"]) == 2
+        assert "--chunk-size" in capsys.readouterr().err
+        assert main(base + ["--report-every", "0"]) == 2
+        assert "--report-every" in capsys.readouterr().err
+        with pytest.raises(SystemExit):
+            main(base + ["--executor", "gpu"])
+
+    def test_serve_missing_or_invalid_queries_file(self, tmp_path, capsys):
+        stream_path = self._make_stream(tmp_path)
+        code = main(
+            ["serve", str(stream_path), "--queries", str(tmp_path / "nope.json")]
+        )
+        assert code == 2
+        assert "failed to load" in capsys.readouterr().err
+        bad = tmp_path / "bad.json"
+        bad.write_text("[]")
+        assert main(["serve", str(stream_path), "--queries", str(bad)]) == 2
+        assert "non-empty" in capsys.readouterr().err
+
+    def test_serve_empty_stream_fails(self, tmp_path, capsys):
+        empty = tmp_path / "empty.csv"
+        write_csv_stream(empty, [])
+        code = main(
+            ["serve", str(empty), "--queries", str(self._make_queries(tmp_path))]
+        )
+        assert code == 1
+        assert "stream is empty" in capsys.readouterr().err

@@ -36,6 +36,31 @@ class TestCsvRoundTrip:
         assert loaded[1].weight == 1.0
         assert loaded[2].object_id == 2
 
+    def test_keywords_survive_the_round_trip(self, tmp_path):
+        # The multi-query service routes on the keywords tuple, so replayed
+        # files must carry it: written as a |-joined column, read back as
+        # the canonical tuple (absent for objects without keywords).
+        path = tmp_path / "stream.csv"
+        write_csv_stream(path, sample_objects())
+        loaded = list(read_csv_stream(path))
+        assert loaded[2].attributes["keywords"] == ("zika",)
+        assert "keywords" not in loaded[0].attributes
+
+    def test_multi_keyword_column_splits(self, tmp_path):
+        path = tmp_path / "multi.csv"
+        path.write_text("timestamp,x,y,keywords\n1.0,2.0,3.0,zika|virus\n")
+        (obj,) = list(read_csv_stream(path))
+        assert obj.attributes["keywords"] == ("zika", "virus")
+
+    def test_keyword_containing_delimiter_rejected_on_write(self, tmp_path):
+        # '|' inside a keyword would silently split on read-back, so the
+        # writer refuses it instead of corrupting the round-trip.
+        bad = SpatialObject(
+            x=0.0, y=0.0, timestamp=0.0, attributes={"keywords": ("rock|roll",)}
+        )
+        with pytest.raises(ValueError, match="delimiter"):
+            write_csv_stream(tmp_path / "bad.csv", [bad])
+
     def test_missing_required_columns(self, tmp_path):
         path = tmp_path / "bad.csv"
         path.write_text("a,b\n1,2\n")
@@ -77,12 +102,26 @@ class TestJsonlRoundTrip:
         assert written == 3
         loaded = list(read_jsonl_stream(path))
         assert len(loaded) == 3
-        assert loaded[2].attributes["keywords"] == ["zika"]
+        # Keywords are normalised to the canonical tuple form on read, so
+        # the routing predicates and stream equality behave identically for
+        # generated and replayed streams.
+        assert loaded[2].attributes["keywords"] == ("zika",)
 
     def test_blank_lines_are_ignored(self, tmp_path):
         path = tmp_path / "stream.jsonl"
         path.write_text('{"timestamp": 1, "x": 2, "y": 3}\n\n{"timestamp": 2, "x": 0, "y": 0}\n')
         assert len(list(read_jsonl_stream(path))) == 2
+
+    def test_non_iterable_keywords_respects_on_error(self, tmp_path):
+        path = tmp_path / "badkw.jsonl"
+        path.write_text(
+            '{"timestamp": 1, "x": 0, "y": 0, "attributes": {"keywords": 5}}\n'
+            '{"timestamp": 2, "x": 0, "y": 0}\n'
+        )
+        with pytest.raises(StreamFormatError, match="bad keywords"):
+            list(read_jsonl_stream(path, on_error="raise"))
+        kept = list(read_jsonl_stream(path, on_error="skip"))
+        assert len(kept) == 1
 
     def test_invalid_json_raises_or_skips(self, tmp_path):
         path = tmp_path / "broken.jsonl"

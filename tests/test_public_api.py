@@ -45,9 +45,14 @@ class TestTopLevelExports:
             "repro.baselines",
             "repro.topk",
             "repro.evaluation",
+            "repro.service",
             "repro.cli",
         ]:
             assert importlib.import_module(module) is not None
+
+    def test_service_types_exported(self):
+        assert repro.SurgeService is not None
+        assert repro.QuerySpec is not None
 
     def test_quickstart_snippet_from_readme(self):
         query = repro.SurgeQuery(rect_width=1.0, rect_height=1.0, window_length=60.0)

@@ -6,6 +6,7 @@ from repro.streams.objects import SpatialObject
 from repro.streams.sources import (
     ListSource,
     interleave_sorted,
+    iter_chunks,
     merge_streams,
     stretch_to_duration,
     stretch_to_rate,
@@ -96,3 +97,24 @@ class TestStretching:
         stretched = stretch_to_duration(stream, 7.0)
         times = [o.timestamp for o in stretched]
         assert times == sorted(times)
+
+
+class TestIterChunks:
+    def test_splits_lists_with_ragged_tail(self):
+        stream = [obj(float(i), i) for i in range(10)]
+        chunks = list(iter_chunks(stream, 4))
+        assert [len(c) for c in chunks] == [4, 4, 2]
+        assert [o.object_id for c in chunks for o in c] == list(range(10))
+
+    def test_consumes_lazy_iterables(self):
+        chunks = list(iter_chunks((obj(float(i), i) for i in range(5)), 2))
+        assert [len(c) for c in chunks] == [2, 2, 1]
+        assert all(isinstance(c, list) for c in chunks)
+
+    def test_empty_stream_yields_nothing(self):
+        assert list(iter_chunks([], 3)) == []
+        assert list(iter_chunks(iter([]), 3)) == []
+
+    def test_rejects_non_positive_chunk_size(self):
+        with pytest.raises(ValueError):
+            list(iter_chunks([obj(0.0)], 0))
