@@ -1,13 +1,17 @@
 # Developer entry points for the SURGE reproduction.
 #
 #   make test          tier-1 test suite (unit tests; pure stdlib fallback works)
-#   make bench         all three benchmarks below
+#   make bench         all four benchmarks below
 #   make bench-sweep   sweep-kernel microbenchmark -> BENCH_sweep.json
 #   make bench-ingest  end-to-end ingestion throughput -> BENCH_ingest.json
 #   make bench-service multi-query service throughput -> BENCH_service.json
+#   make bench-recovery checkpoint overhead + crash recovery -> BENCH_recovery.json
 #                      (each refuses to record a >20% regression;
 #                       BENCH_FLAGS=--force overrides, BENCH_FLAGS=--quick
 #                       runs a reduced smoke configuration)
+#   make smoke-recovery SIGKILL a checkpointing `repro serve` mid-stream and
+#                      assert the --resume run reproduces the uninterrupted
+#                      results (the CI crash/recovery smoke)
 #   make coverage      unit suite under pytest-cov with the pinned fail-under
 #                      (requires pytest-cov; the CI coverage leg runs this)
 #   make lint          byte-compile every source tree as a fast syntax/import gate
@@ -24,12 +28,13 @@ BENCH_FLAGS ?=
 # few points under so the floor only moves up deliberately.
 COVERAGE_MIN ?= 92
 
-.PHONY: test bench bench-sweep bench-ingest bench-service coverage lint
+.PHONY: test bench bench-sweep bench-ingest bench-service bench-recovery \
+	smoke-recovery coverage lint
 
 test:
 	$(PYTHON) -m pytest -x -q
 
-bench: bench-sweep bench-ingest bench-service
+bench: bench-sweep bench-ingest bench-service bench-recovery
 
 bench-sweep:
 	$(PYTHON) benchmarks/bench_sweep.py $(BENCH_FLAGS)
@@ -40,9 +45,15 @@ bench-ingest:
 bench-service:
 	$(PYTHON) benchmarks/bench_service.py $(BENCH_FLAGS)
 
+bench-recovery:
+	$(PYTHON) benchmarks/bench_recovery.py $(BENCH_FLAGS)
+
+smoke-recovery:
+	$(PYTHON) scripts/recovery_smoke.py
+
 coverage:
 	$(PYTHON) -m pytest tests -q --cov=repro --cov-report=term-missing:skip-covered \
 		--cov-fail-under=$(COVERAGE_MIN)
 
 lint:
-	$(PYTHON) -m compileall -q src/repro tests benchmarks examples
+	$(PYTHON) -m compileall -q src/repro tests benchmarks examples scripts

@@ -1,0 +1,297 @@
+"""Durability benchmark: checkpoint overhead and crash-recovery wall time.
+
+Two questions decide whether the checkpoint subsystem (:mod:`repro.state`)
+is deployable at serving scale:
+
+``checkpoint overhead``
+    How many objects/sec does the default checkpoint policy cost?  The same
+    keyword-tagged stream is replayed through the same
+    :class:`repro.service.SurgeService` twice — once plain, once with a
+    checkpoint directory attached (WAL append per chunk + full service
+    snapshot every ``CHECKPOINT_EVERY`` chunks) — and the throughput ratio
+    is recorded as ``overhead_fraction``.  The acceptance bar is **≤ 20%**
+    at the default policy: the run *fails* (and refuses to write) beyond it.
+
+``recovery speedup``
+    After a crash at 75% of the stream, how does restore-plus-tail-replay
+    compare to replaying everything from scratch?
+    :func:`repro.evaluation.runner.measure_recovery` stages the crash,
+    times both paths and asserts the recovered state is bit-identical to
+    the full replay at the crash point and at the end of the stream.
+
+Regression guard
+----------------
+As with the other BENCH files: if a previous ``BENCH_recovery.json``
+exists, the script refuses to overwrite it when the checkpointed
+objects/sec regressed by more than ``REGRESSION_TOLERANCE`` (20%);
+``--force`` overrides.  The recovery wall times are recorded for the
+ROADMAP table but not guarded (they measure disk + pickle latency, which is
+machine-noise-prone at this scale).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_recovery.py [--force] [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.evaluation.runner import measure_recovery, run_service
+from repro.service import make_query_grid
+from repro.state import CheckpointPolicy
+from repro.streams.objects import SpatialObject
+
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_recovery.json"
+SCHEMA = "bench_recovery/v1"
+SEED = 20180416
+REGRESSION_TOLERANCE = 0.20
+#: Acceptance bar: checkpointing at the default policy may cost at most
+#: this fraction of the no-checkpoint throughput.
+MAX_OVERHEAD_FRACTION = 0.20
+
+TOTAL_OBJECTS = 16384
+CHUNK_SIZE = 256
+#: The default service policy (repro.service.DEFAULT_CHECKPOINT_EVERY_CHUNKS).
+CHECKPOINT_EVERY = 64
+#: A deliberately aggressive cadence measured alongside the default: it
+#: snapshots 8x as often, so the per-snapshot cost is actually visible in
+#: the throughput delta instead of vanishing into one snapshot per run.
+TIGHT_CHECKPOINT_EVERY = 8
+#: Cadence of the staged crash — prime, so the crash chunk is never exactly
+#: a checkpoint and the timed resume always includes a real tail replay.
+RECOVERY_CHECKPOINT_EVERY = 7
+CRASH_FRACTION = 0.75
+N_QUERIES = 8
+EXTENT = 8.0
+BASE_RECT = (1.0, 1.0)
+BASE_WINDOW = 600.0
+ALPHA = 0.5
+ALGORITHM = "ccs"
+BACKEND = "python"
+VOCABULARY = ("traffic", "food", "weather", "sports", "news", "music", "work", "travel")
+
+
+def make_stream(total: int, seed: int = SEED) -> list[SpatialObject]:
+    """Uniform keyword-tagged stream, one object per second (stdlib only)."""
+    rng = random.Random(seed)
+    return [
+        SpatialObject(
+            x=rng.uniform(0.0, EXTENT),
+            y=rng.uniform(0.0, EXTENT),
+            timestamp=float(index),
+            weight=rng.uniform(0.5, 10.0),
+            object_id=index,
+            attributes={"keywords": (rng.choice(VOCABULARY),)},
+        )
+        for index in range(total)
+    ]
+
+
+def make_specs():
+    return make_query_grid(
+        N_QUERIES,
+        base_rect=BASE_RECT,
+        base_window=BASE_WINDOW,
+        alpha=ALPHA,
+        algorithm=ALGORITHM,
+        backend=BACKEND,
+        keywords=VOCABULARY,
+    )
+
+
+def run_benchmark(total_objects: int, checkpoint_every: int) -> dict:
+    stream = make_stream(total_objects)
+    specs = make_specs()
+
+    plain = run_service(specs, stream, chunk_size=CHUNK_SIZE)
+    plain_ops = plain.objects_total / plain.wall_seconds
+    print(f"  no checkpointing: {plain_ops:10,.0f} obj/s", flush=True)
+
+    workdir = Path(tempfile.mkdtemp(prefix="bench-recovery-"))
+    try:
+        cells = {}
+        for label, cadence in (
+            ("checkpointed", checkpoint_every),
+            ("checkpointed_tight", TIGHT_CHECKPOINT_EVERY),
+        ):
+            outcome = run_service(
+                specs,
+                stream,
+                chunk_size=CHUNK_SIZE,
+                checkpoint_dir=workdir / label,
+                checkpoint_policy=CheckpointPolicy(every_chunks=cadence),
+            )
+            ops = outcome.objects_total / outcome.wall_seconds
+            overhead = 1.0 - ops / plain_ops
+            snapshots = (total_objects // CHUNK_SIZE) // cadence
+            cells[label] = {
+                "every_chunks": cadence,
+                "objects_per_second": ops,
+                "overhead_fraction": overhead,
+                "snapshots_taken": snapshots,
+            }
+            print(
+                f"  checkpoint every {cadence:>2} chunks: {ops:10,.0f} obj/s  "
+                f"(overhead {100.0 * overhead:+.1f}%, {snapshots} snapshots)",
+                flush=True,
+            )
+            # Final-answer parity with the plain run (same stream and specs).
+            for query_id, result in plain.final_results.items():
+                other = outcome.final_results[query_id]
+                same = (result is None and other is None) or (
+                    result is not None
+                    and other is not None
+                    and result.score == other.score
+                )
+                if not same:
+                    raise AssertionError(
+                        f"{query_id}: checkpointed run diverged from the plain run"
+                    )
+
+        started = time.perf_counter()
+        recovery = measure_recovery(
+            make_specs(),
+            stream,
+            workdir / "crash",
+            chunk_size=CHUNK_SIZE,
+            checkpoint_every=RECOVERY_CHECKPOINT_EVERY,
+            crash_fraction=CRASH_FRACTION,
+        )
+        print(
+            f"  crash at chunk {recovery.crash_chunk_offset}/"
+            f"{recovery.chunks_total}: full replay "
+            f"{recovery.full_replay_seconds:.3f}s vs resume "
+            f"{recovery.resume_seconds:.3f}s (restore "
+            f"{recovery.restore_seconds * 1000.0:.1f} ms + tail "
+            f"{recovery.tail_replay_seconds:.3f}s) = "
+            f"{recovery.speedup_vs_full_replay:.1f}x  "
+            f"[staged in {time.perf_counter() - started:.1f}s]",
+            flush=True,
+        )
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    return {
+        "schema": SCHEMA,
+        "config": {
+            "seed": SEED,
+            "extent": EXTENT,
+            "base_rect": list(BASE_RECT),
+            "base_window": BASE_WINDOW,
+            "alpha": ALPHA,
+            "algorithm": ALGORITHM,
+            "backend": BACKEND,
+            "n_queries": N_QUERIES,
+            "total_objects": total_objects,
+            "chunk_size": CHUNK_SIZE,
+            "checkpoint_every_chunks": checkpoint_every,
+            "recovery_checkpoint_every_chunks": RECOVERY_CHECKPOINT_EVERY,
+            "crash_fraction": CRASH_FRACTION,
+        },
+        "results": {
+            "no_checkpoint": {"objects_per_second": plain_ops},
+            "checkpointed": cells["checkpointed"],
+            "checkpointed_tight": cells["checkpointed_tight"],
+            "recovery": {
+                "chunks_total": recovery.chunks_total,
+                "crash_chunk_offset": recovery.crash_chunk_offset,
+                "checkpoint_chunk_offset": recovery.checkpoint_chunk_offset,
+                "checkpoints_written": recovery.checkpoints_written,
+                "full_replay_seconds": recovery.full_replay_seconds,
+                "restore_seconds": recovery.restore_seconds,
+                "tail_replay_seconds": recovery.tail_replay_seconds,
+                "resume_seconds": recovery.resume_seconds,
+                "speedup_vs_full_replay": recovery.speedup_vs_full_replay,
+            },
+        },
+    }
+
+
+def check_regression(old: dict, new: dict, tolerance: float = REGRESSION_TOLERANCE):
+    """Regressions of the guarded metric (checkpointed objects/sec)."""
+    regressions = []
+    for cell in ("checkpointed", "checkpointed_tight"):
+        try:
+            before = old["results"][cell]["objects_per_second"]
+        except (KeyError, TypeError):
+            regressions.append(
+                f"{cell}: previous file is not a readable {SCHEMA} report"
+            )
+            continue
+        after = new["results"][cell]["objects_per_second"]
+        if after < before * (1.0 - tolerance):
+            regressions.append(
+                f"{cell} ingestion: {before:,.0f} -> {after:,.0f} obj/s "
+                f"({100.0 * (1.0 - after / before):.1f}% slower)"
+            )
+    return regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="overwrite BENCH_recovery.json even on regression or overhead "
+        "breach",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small stream (CI smoke mode; never overwrites the tracked "
+        "trajectory file)",
+    )
+    parser.add_argument("--out", default=str(OUTPUT_PATH), help="output JSON path")
+    args = parser.parse_args(argv)
+
+    total_objects = TOTAL_OBJECTS // 4 if args.quick else TOTAL_OBJECTS
+    checkpoint_every = (
+        RECOVERY_CHECKPOINT_EVERY if args.quick else CHECKPOINT_EVERY
+    )
+    print(
+        f"bench_recovery: queries={N_QUERIES} total={total_objects} "
+        f"chunk={CHUNK_SIZE} checkpoint_every={checkpoint_every} "
+        f"backend={BACKEND}"
+    )
+    report = run_benchmark(total_objects, checkpoint_every)
+
+    overhead = report["results"]["checkpointed"]["overhead_fraction"]
+    if overhead > MAX_OVERHEAD_FRACTION and not args.force:
+        print(
+            f"checkpoint overhead {100.0 * overhead:.1f}% exceeds the "
+            f"{100.0 * MAX_OVERHEAD_FRACTION:.0f}% acceptance bar at the "
+            f"default policy",
+            file=sys.stderr,
+        )
+        return 1
+
+    out_path = Path(args.out)
+    if args.quick and args.out == str(OUTPUT_PATH):
+        print("quick mode: skipping BENCH_recovery.json update (pass --out to write)")
+        return 0
+    if out_path.exists() and not args.force:
+        old = json.loads(out_path.read_text())
+        regressions = check_regression(old, report)
+        if regressions:
+            print(
+                "refusing to overwrite {}: throughput regressed >{}%\n  {}".format(
+                    out_path, int(REGRESSION_TOLERANCE * 100), "\n  ".join(regressions)
+                ),
+                file=sys.stderr,
+            )
+            return 1
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,211 @@
+"""Crash/recovery smoke: SIGKILL a checkpointing ``repro serve`` mid-stream,
+resume it with ``--resume``, and assert the final answers match an
+uninterrupted run.
+
+This is the piece of the durability contract no unit test exercises: a real
+process killed with an uncatchable signal (no ``atexit``, no flushing, no
+graceful executor shutdown) while worker processes may be mid-chunk, whose
+on-disk state must still restore and finish bit-identically.  CI runs it on
+both dependency legs (``make smoke-recovery``).
+
+Protocol
+--------
+1. generate a keyword-tagged stream (stdlib only — the pure leg has no
+   numpy) and a small ``queries.json``;
+2. run ``repro serve`` uninterrupted and capture its ``final results:``
+   block;
+3. run ``repro serve --checkpoint-dir ... --checkpoint-every 2``, poll for
+   the first manifest, then SIGKILL the process;
+4. run ``repro serve --resume`` to completion and compare its final-results
+   block with the uninterrupted run's, line for line.
+
+If the victim finishes before the kill lands (very fast machine), the
+resume is a no-op replay and the parity assertion still runs — the smoke
+degrades to a resume-after-completion check rather than failing spuriously.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import shutil
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = str(REPO_ROOT / "src")
+sys.path.insert(0, SRC)
+
+from repro.datasets.io import write_csv_stream  # noqa: E402
+from repro.state.recovery import manifest_path  # noqa: E402
+from repro.streams.objects import SpatialObject  # noqa: E402
+
+TOTAL_OBJECTS = 30_000
+CHUNK_SIZE = 200
+VOCABULARY = ("concert", "parade", "zika", "festival")
+SEED = 20180416
+TIMEOUT = 600.0
+
+
+def make_stream_file(path: Path) -> None:
+    rng = random.Random(SEED)
+    t = 0.0
+    objects = []
+    for index in range(TOTAL_OBJECTS):
+        t += rng.uniform(0.05, 0.35)
+        keywords = (rng.choice(VOCABULARY),) if rng.random() < 0.8 else ()
+        objects.append(
+            SpatialObject(
+                x=rng.uniform(0.0, 6.0),
+                y=rng.uniform(0.0, 6.0),
+                timestamp=t,
+                weight=rng.uniform(0.5, 8.0),
+                object_id=index,
+                attributes={"keywords": keywords} if keywords else {},
+            )
+        )
+    write_csv_stream(path, objects)
+
+
+def make_queries_file(path: Path) -> None:
+    path.write_text(
+        json.dumps(
+            [
+                {"id": "concerts", "keyword": "concert", "rect": [1.0, 1.0],
+                 "window": 30, "backend": "python"},
+                {"id": "parades", "keyword": "parade", "rect": [1.2, 0.8],
+                 "window": 20, "backend": "python"},
+                {"id": "city-wide", "rect": [1.5, 1.5], "window": 25,
+                 "algorithm": "gaps"},
+                {"id": "top3", "keyword": "festival", "rect": [1.0, 1.0],
+                 "window": 30, "k": 3, "algorithm": "kccs",
+                 "backend": "python"},
+            ]
+        )
+    )
+
+
+def serve_args(stream: Path, *extra: str) -> list[str]:
+    return [
+        sys.executable,
+        "-m",
+        "repro.cli",
+        "serve",
+        str(stream),
+        "--chunk-size",
+        str(CHUNK_SIZE),
+        "--shards",
+        "2",
+        *extra,
+    ]
+
+
+def final_results_block(stdout: str) -> list[str]:
+    lines = stdout.splitlines()
+    try:
+        start = lines.index("final results:")
+    except ValueError:
+        raise AssertionError(
+            f"no 'final results:' block in serve output:\n{stdout[-2000:]}"
+        ) from None
+    return lines[start:]
+
+
+def main() -> int:
+    workdir = Path(REPO_ROOT / ".recovery-smoke")
+    shutil.rmtree(workdir, ignore_errors=True)
+    workdir.mkdir(parents=True)
+    env = dict(os.environ, PYTHONPATH=SRC)
+    try:
+        stream = workdir / "stream.csv"
+        queries = workdir / "queries.json"
+        checkpoint_dir = workdir / "ckpt"
+        make_stream_file(stream)
+        make_queries_file(queries)
+
+        print("smoke: uninterrupted reference run ...", flush=True)
+        reference = subprocess.run(
+            serve_args(stream, "--queries", str(queries)),
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=TIMEOUT,
+        )
+        assert reference.returncode == 0, reference.stderr
+        expected = final_results_block(reference.stdout)
+
+        print("smoke: starting checkpointing victim ...", flush=True)
+        victim = subprocess.Popen(
+            serve_args(
+                stream,
+                "--queries",
+                str(queries),
+                "--checkpoint-dir",
+                str(checkpoint_dir),
+                "--checkpoint-every",
+                "2",
+            ),
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+            env=env,
+        )
+        deadline = time.monotonic() + TIMEOUT
+        while (
+            not manifest_path(checkpoint_dir).exists()
+            and victim.poll() is None
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.05)
+        if victim.poll() is None:
+            assert manifest_path(checkpoint_dir).exists(), (
+                "victim ran past the deadline without writing a checkpoint"
+            )
+            victim.send_signal(signal.SIGKILL)
+            victim.wait(timeout=60)
+            print(
+                f"smoke: SIGKILLed victim after its first checkpoint "
+                f"(returncode {victim.returncode})",
+                flush=True,
+            )
+            assert victim.returncode == -signal.SIGKILL
+        else:
+            # Very fast machine: the victim finished before the kill landed.
+            # Resume degenerates to a no-op replay; parity still holds.
+            print(
+                "smoke: victim finished before the kill; checking "
+                "resume-after-completion parity instead",
+                flush=True,
+            )
+            assert victim.returncode == 0
+
+        print("smoke: resuming from the checkpoint ...", flush=True)
+        resumed = subprocess.run(
+            serve_args(
+                stream, "--resume", "--checkpoint-dir", str(checkpoint_dir)
+            ),
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=TIMEOUT,
+        )
+        assert resumed.returncode == 0, resumed.stderr
+        got = final_results_block(resumed.stdout)
+        assert got == expected, (
+            "resumed final results diverge from the uninterrupted run\n"
+            + "--- uninterrupted ---\n"
+            + "\n".join(expected)
+            + "\n--- resumed ---\n"
+            + "\n".join(got)
+        )
+        print("smoke: resume reproduced the uninterrupted results — OK")
+        return 0
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

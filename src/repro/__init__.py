@@ -30,6 +30,7 @@ from repro.core.sweep_backends import available_backends
 from repro.core.query import SurgeQuery
 from repro.geometry.primitives import Point, Rect
 from repro.service import QuerySpec, SurgeService
+from repro.state import CheckpointPolicy, SnapshotError, SnapshotSchemaError
 from repro.streams.objects import (
     EventBatch,
     EventKind,
@@ -53,6 +54,9 @@ __all__ = [
     "SurgeQuery",
     "QuerySpec",
     "SurgeService",
+    "CheckpointPolicy",
+    "SnapshotError",
+    "SnapshotSchemaError",
     "Point",
     "Rect",
     "EventBatch",

@@ -102,22 +102,26 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("stream", help="path to a .csv or .jsonl stream file")
     serve.add_argument(
         "--queries",
-        required=True,
+        default=None,
         help="path to a queries.json file (list of query records, see "
-        "repro.service.spec)",
+        "repro.service.spec); required unless --resume restores the "
+        "registry from a checkpoint",
     )
     serve.add_argument(
         "--shards",
         type=int,
-        default=1,
-        help="number of shards the queries are spread over (default 1)",
+        default=None,
+        help="number of shards the queries are spread over (default 1; with "
+        "--resume the checkpoint's shard layout is restored and this flag "
+        "is ignored)",
     )
     serve.add_argument(
         "--executor",
-        default="serial",
+        default=None,
         choices=EXECUTOR_NAMES,
-        help="shard execution backend (default: serial; results are "
-        "bit-identical across backends)",
+        help="shard execution backend (default: serial, or — with --resume — "
+        "the backend recorded in the checkpoint; results are bit-identical "
+        "across backends)",
     )
     serve.add_argument(
         "--chunk-size",
@@ -133,6 +137,37 @@ def _build_parser() -> argparse.ArgumentParser:
         default=4096,
         help="print per-query results every N objects (default 4096; "
         "rounded up to whole chunks)",
+    )
+    serve.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="directory for durable state (per-shard snapshot files + "
+        "write-ahead log, see repro.state); the service checkpoints there "
+        "while serving and --resume restarts from the last checkpoint",
+    )
+    serve.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="CHUNKS",
+        help="take a checkpoint every N ingested chunks (requires "
+        "--checkpoint-dir; default 64 when a checkpoint dir is given)",
+    )
+    serve.add_argument(
+        "--checkpoint-every-seconds",
+        type=float,
+        default=None,
+        metavar="STREAM_SECONDS",
+        help="also checkpoint whenever the stream clock advanced this far "
+        "since the last checkpoint (requires --checkpoint-dir)",
+    )
+    serve.add_argument(
+        "--resume",
+        action="store_true",
+        help="restore the service from --checkpoint-dir and replay only the "
+        "chunks after the last checkpoint (the stream file and --chunk-size "
+        "must match the original run; --queries is ignored — the query "
+        "registry comes from the checkpoint)",
     )
 
     generate = subparsers.add_parser(
@@ -225,8 +260,92 @@ def _format_result(result) -> str:
     )
 
 
+def _build_serve_service(args: argparse.Namespace):
+    """Construct (service, start_offset) for ``serve`` — fresh or resumed."""
+    from repro.state import CheckpointPolicy, has_checkpoint, read_manifest
+
+    checkpoint_dir = args.checkpoint_dir
+    if args.resume and checkpoint_dir is None:
+        raise ValueError("--resume requires --checkpoint-dir")
+    if checkpoint_dir is None and (
+        args.checkpoint_every is not None or args.checkpoint_every_seconds is not None
+    ):
+        raise ValueError(
+            "--checkpoint-every/--checkpoint-every-seconds require --checkpoint-dir"
+        )
+    policy = None
+    if checkpoint_dir is not None and (
+        args.checkpoint_every is not None or args.checkpoint_every_seconds is not None
+    ):
+        from repro.service.service import DEFAULT_CHECKPOINT_EVERY_CHUNKS
+
+        # --checkpoint-every-seconds *adds* a trigger; the documented
+        # every-64-chunks default stays live unless --checkpoint-every
+        # explicitly overrides it.
+        policy = CheckpointPolicy(
+            every_chunks=(
+                args.checkpoint_every
+                if args.checkpoint_every is not None
+                else DEFAULT_CHECKPOINT_EVERY_CHUNKS
+            ),
+            every_stream_seconds=args.checkpoint_every_seconds,
+        )
+
+    if args.resume:
+        manifest = read_manifest(checkpoint_dir)
+        recorded_chunk_size = manifest.extra.get("chunk_size")
+        if recorded_chunk_size is not None and recorded_chunk_size != args.chunk_size:
+            raise ValueError(
+                f"--resume with --chunk-size {args.chunk_size}, but the "
+                f"checkpoint was taken at --chunk-size {recorded_chunk_size}: "
+                f"replay offsets only line up at the original chunking"
+            )
+        if args.queries is not None:
+            print(
+                "note: --resume restores the query registry from the "
+                "checkpoint; --queries is ignored",
+                file=sys.stderr,
+            )
+        if args.shards is not None:
+            print(
+                "note: --resume restores the shard layout from the "
+                "checkpoint (the per-shard snapshot files partition the "
+                "queries); --shards is ignored",
+                file=sys.stderr,
+            )
+        # An explicit --executor overrides; otherwise the recorded backend
+        # resumes (defaulting to "serial" here would silently downgrade a
+        # process-sharded service).
+        service = SurgeService.restore(
+            checkpoint_dir, executor=args.executor, checkpoint_policy=policy
+        )
+        return service, service.chunk_offset
+
+    if args.queries is None:
+        raise ValueError("--queries is required (unless resuming with --resume)")
+    if checkpoint_dir is not None and has_checkpoint(checkpoint_dir):
+        raise ValueError(
+            f"{checkpoint_dir} already holds a service checkpoint; pass "
+            f"--resume to continue it, or point --checkpoint-dir somewhere "
+            f"else to start fresh"
+        )
+    try:
+        specs = load_query_specs(args.queries)
+    except (OSError, ValueError) as exc:
+        raise ValueError(f"failed to load {args.queries}: {exc}") from exc
+    service = SurgeService(
+        specs,
+        shards=args.shards if args.shards is not None else 1,
+        executor=args.executor if args.executor is not None else "serial",
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_policy=policy,
+        checkpoint_extra={"chunk_size": args.chunk_size},
+    )
+    return service, 0
+
+
 def _command_serve(args: argparse.Namespace) -> int:
-    if args.shards < 1:
+    if args.shards is not None and args.shards < 1:
         print("--shards must be a positive number of shards", file=sys.stderr)
         return 2
     if args.chunk_size < 1:
@@ -235,36 +354,47 @@ def _command_serve(args: argparse.Namespace) -> int:
     if args.report_every < 1:
         print("--report-every must be a positive number of objects", file=sys.stderr)
         return 2
-    try:
-        specs = load_query_specs(args.queries)
-    except (OSError, ValueError) as exc:
-        print(f"failed to load {args.queries}: {exc}", file=sys.stderr)
-        return 2
     stream = load_stream(args.stream)
     if not stream:
         print("stream is empty", file=sys.stderr)
         return 1
     try:
-        service = SurgeService(specs, shards=args.shards, executor=args.executor)
-    except (ValueError, RuntimeError) as exc:
+        service, start_offset = _build_serve_service(args)
+    except (OSError, ValueError, RuntimeError) as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    if start_offset:
+        print(
+            f"resuming from checkpoint: {start_offset} chunks "
+            f"({min(start_offset * args.chunk_size, len(stream))} objects) "
+            f"already durable, replaying the rest",
+            file=sys.stderr,
+        )
     report_chunks = max(1, -(-args.report_every // args.chunk_size))
     with service:
-        pushed = 0
-        for index, updates in enumerate(service.run(stream, args.chunk_size), start=1):
+        for index, updates in enumerate(
+            service.run(stream, args.chunk_size, start_offset=start_offset),
+            start=start_offset + 1,
+        ):
             pushed = min(index * args.chunk_size, len(stream))
             if index % report_chunks == 0 or pushed >= len(stream):
                 print(f"[{pushed:>8} objects, t={stream[pushed - 1].timestamp:.0f}]")
                 for update in updates:
                     print(f"  {update.query_id:>12}: {_format_result(update.result)}")
+        if service.checkpoint_dir is not None:
+            # Final checkpoint: a subsequent --resume of the same stream is a
+            # no-op replay that just reprints the final results.
+            service.checkpoint()
+        print("final results:")
+        for query_id, result in service.results().items():
+            print(f"  {query_id:>12}: {_format_result(result)}")
         stats = service.stats()
         print(
             f"done: {stats.objects_pushed} objects x {len(service.query_ids)} "
             f"queries = {stats.object_query_pairs} object-query pairs in "
             f"{stats.wall_seconds:.2f}s "
-            f"({stats.pairs_per_second:,.0f} pairs/s, executor={args.executor}, "
-            f"shards={args.shards})",
+            f"({stats.pairs_per_second:,.0f} pairs/s, "
+            f"executor={service.executor_name}, shards={service.n_shards})",
             file=sys.stderr,
         )
         for query_id in service.query_ids:

@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from typing import Iterable
 
 from repro.core.query import SurgeQuery
-from repro.geometry.primitives import Point, Rect, rect_from_top_right
+from repro.geometry.primitives import Point, Rect, region_covering_point
 from repro.streams.objects import EventBatch, WindowEvent
 
 
@@ -45,8 +45,15 @@ class RegionResult:
     def from_point(
         point: Point, score: float, query: SurgeQuery, fc: float = 0.0, fp: float = 0.0
     ) -> "RegionResult":
-        """Build a result from a bursty point using the Theorem 1 mapping."""
-        region = rect_from_top_right(point, query.rect_width, query.rect_height)
+        """Build a result from a bursty point using the Theorem 1 mapping.
+
+        The region edges come from :func:`~repro.geometry.primitives.
+        region_covering_point`, so the closed region contains exactly the
+        objects whose rectangle objects cover ``point`` — including objects
+        sitting on an edge tie that the naive ``point - extent`` inverse
+        mapping would round out of the region.
+        """
+        region = region_covering_point(point, query.rect_width, query.rect_height)
         return RegionResult(region=region, score=score, point=point, fc=fc, fp=fp)
 
     @staticmethod

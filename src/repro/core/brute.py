@@ -18,7 +18,7 @@ from typing import Iterable, Sequence
 from repro.core.base import RegionResult
 from repro.core.burst import burst_score
 from repro.core.query import SurgeQuery
-from repro.geometry.primitives import Point, Rect, rect_from_top_right
+from repro.geometry.primitives import Point, Rect, region_covering_point
 from repro.streams.objects import SpatialObject
 
 
@@ -75,7 +75,7 @@ def best_region_brute_force(
     best: RegionResult | None = None
     for x in xs:
         for y in ys:
-            region = rect_from_top_right(Point(x, y), query.rect_width, query.rect_height)
+            region = region_covering_point(Point(x, y), query.rect_width, query.rect_height)
             score, fc, fp = score_of_region(region, current, past, query)
             if best is None or score > best.score:
                 best = RegionResult(

@@ -26,12 +26,16 @@ approximations, all baselines and the top-k extensions.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Iterator
+from pathlib import Path
+from typing import Any, Callable, Iterable, Iterator, Mapping
 
 from repro.core.base import BurstyRegionDetector, RegionResult
 from repro.core.query import SurgeQuery
 from repro.streams.objects import SpatialObject, WindowEvent
 from repro.streams.windows import SlidingWindowPair, WindowState
+
+#: ``kind`` tag of monitor snapshot files (see :mod:`repro.state.snapshot`).
+MONITOR_SNAPSHOT_KIND = "monitor"
 
 #: Names accepted by :func:`make_detector`, mapping to the paper's algorithm
 #: acronyms: exact Cell-CSPOT (``ccs``), static-bound-only variant (``bccs``),
@@ -216,6 +220,48 @@ class SurgeMonitor:
     def objects_seen(self) -> int:
         """Number of spatial objects pushed so far."""
         return self._objects_seen
+
+    # ------------------------------------------------------------------
+    # Durability (see repro.state)
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path, meta: Mapping[str, Any] | None = None) -> dict:
+        """Snapshot this monitor's complete live state to ``path``.
+
+        The snapshot (``snapshot/v1``, kind ``"monitor"``) covers the
+        sliding-window deques, the detector's full incremental state (cell
+        records, lazy bound heaps, memoised candidates, top-k dirty flags,
+        operation counters) and the objects counter; :meth:`load` restores a
+        monitor that continues the stream *bit-identically* to this one.
+        The write is atomic; ``meta`` adds caller metadata (e.g. a chunk
+        offset) to the snapshot header.  Returns the written header.
+        """
+        from repro.state.snapshot import write_snapshot
+
+        header_meta = {
+            "algorithm": self.detector.name,
+            "objects_seen": self._objects_seen,
+        }
+        if meta:
+            header_meta.update(meta)
+        return write_snapshot(path, MONITOR_SNAPSHOT_KIND, self, meta=header_meta)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SurgeMonitor":
+        """Restore a monitor saved with :meth:`save`.
+
+        Raises :class:`repro.state.SnapshotSchemaError` for snapshots written
+        by an incompatible codec version, and
+        :class:`repro.state.SnapshotError` for corrupt or non-monitor files.
+        """
+        from repro.state.snapshot import SnapshotError, read_snapshot
+
+        _, monitor = read_snapshot(path, expected_kind=MONITOR_SNAPSHOT_KIND)
+        if not isinstance(monitor, cls):
+            raise SnapshotError(
+                f"{path}: monitor snapshot payload is a "
+                f"{type(monitor).__name__}, not a {cls.__name__}"
+            )
+        return monitor
 
     @property
     def is_stable(self) -> bool:

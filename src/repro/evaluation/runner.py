@@ -19,6 +19,13 @@ object·query-pair throughput plus per-query lag/throughput, and
 :func:`service_scenario_grid` sweeps a (query count × shard count ×
 executor) grid over the same stream — the scenario matrix
 ``benchmarks/bench_service.py`` tracks.
+
+The durability axis is measured by the same primitives:
+:func:`run_service` accepts ``checkpoint_dir`` / ``checkpoint_policy`` so the
+checkpointed and checkpoint-free throughput come from identical replays, and
+:func:`measure_recovery` stages a mid-stream crash and times
+restore-plus-tail-replay against a full from-scratch replay (the numbers
+``benchmarks/bench_recovery.py`` tracks), asserting result parity as it goes.
 """
 
 from __future__ import annotations
@@ -188,6 +195,8 @@ def run_service(
     shards: int = 1,
     executor: str = "serial",
     chunk_size: int = 512,
+    checkpoint_dir=None,
+    checkpoint_policy=None,
 ) -> ServiceRunResult:
     """Replay a shared stream through a multi-query service and measure it.
 
@@ -196,10 +205,21 @@ def run_service(
     excluded, matching the steady-state serving cost; the per-event
     protocol's warm-up condition does not apply because each query has its
     own window clock).
+
+    ``checkpoint_dir`` / ``checkpoint_policy`` (see :mod:`repro.state`)
+    enable durable checkpoints *inside* the measured window, so comparing a
+    checkpointed run against a plain one over the same stream isolates the
+    durability overhead (``benchmarks/bench_recovery.py``).
     """
     from repro.service import SurgeService
 
-    with SurgeService(specs, shards=shards, executor=executor) as service:
+    with SurgeService(
+        specs,
+        shards=shards,
+        executor=executor,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_policy=checkpoint_policy,
+    ) as service:
         # Touch every shard once before timing so process workers are
         # started (and their specs unpickled) outside the measured window.
         # results() broadcasts without publishing to the bus, so the warm-up
@@ -233,6 +253,153 @@ def run_service(
         object_query_pairs=len(stream) * len(specs),
         per_query=per_query,
         final_results=final_results,
+    )
+
+
+@dataclass
+class RecoveryRunResult:
+    """Outcome of one staged crash-and-resume experiment.
+
+    ``full_replay_seconds`` is the cost of rebuilding the crash-point state
+    from scratch (fresh service, chunks ``0..crash``); the resume path costs
+    ``restore_seconds`` (load the last checkpoint) plus
+    ``tail_replay_seconds`` (replay chunks ``checkpoint..crash``).  Both
+    paths are asserted bit-identical at the crash point *and* after the
+    remaining stream is played out.
+    """
+
+    chunk_size: int
+    chunks_total: int
+    crash_chunk_offset: int
+    checkpoint_chunk_offset: int
+    checkpoints_written: int
+    full_replay_seconds: float
+    restore_seconds: float
+    tail_replay_seconds: float
+
+    @property
+    def resume_seconds(self) -> float:
+        """Total time from crash to a serving-again state."""
+        return self.restore_seconds + self.tail_replay_seconds
+
+    @property
+    def speedup_vs_full_replay(self) -> float:
+        """How much faster resume is than replaying everything."""
+        if self.resume_seconds <= 0.0:
+            return float("inf")
+        return self.full_replay_seconds / self.resume_seconds
+
+
+def measure_recovery(
+    specs,
+    stream: list[SpatialObject],
+    workdir,
+    *,
+    chunk_size: int = 512,
+    checkpoint_every: int = 16,
+    crash_fraction: float = 0.75,
+    shards: int = 1,
+    executor: str = "serial",
+) -> RecoveryRunResult:
+    """Stage a crash at ``crash_fraction`` of the stream and time recovery.
+
+    The protocol: (1) serve the stream with checkpoints every
+    ``checkpoint_every`` chunks into ``workdir`` and abandon the service at
+    the crash chunk — everything not checkpointed dies with it; (2) time a
+    full from-scratch replay to the crash point; (3) time
+    :meth:`~repro.service.SurgeService.restore` plus the tail replay from
+    the checkpoint offset.  Both recovered states must match bit for bit at
+    the crash point and (after playing out the rest of the stream) at the
+    end — recovery that answers fast but wrong does not count.
+    """
+    from repro.service import SurgeService
+    from repro.state import CheckpointPolicy, has_checkpoint, read_manifest
+    from repro.streams.sources import iter_chunks
+
+    chunks = list(iter_chunks(stream, chunk_size))
+    if len(chunks) < 2:
+        raise ValueError("stream too short to stage a mid-stream crash")
+    crash_offset = min(max(int(len(chunks) * crash_fraction), 1), len(chunks) - 1)
+
+    def result_key(result):
+        if result is None:
+            return None
+        return (
+            result.score,
+            result.region.as_tuple(),
+            result.point.as_tuple(),
+            result.fc,
+            result.fp,
+        )
+
+    def snapshot_results(service):
+        return {qid: result_key(res) for qid, res in service.results().items()}
+
+    # (1) The doomed service: checkpoints while serving, dies at the crash.
+    with SurgeService(
+        specs,
+        shards=shards,
+        executor=executor,
+        checkpoint_dir=workdir,
+        checkpoint_policy=CheckpointPolicy(every_chunks=checkpoint_every),
+    ) as doomed:
+        for chunk in chunks[:crash_offset]:
+            doomed.push_many(chunk)
+    if not has_checkpoint(workdir):
+        raise ValueError(
+            f"no checkpoint was taken before the crash (crash at chunk "
+            f"{crash_offset}, policy every {checkpoint_every} chunks); "
+            f"lower checkpoint_every or use a longer stream"
+        )
+    manifest = read_manifest(workdir)
+    checkpoint_offset = manifest.chunk_offset
+    checkpoints_written = manifest.generation
+
+    # (2) Full replay to the crash point (the no-durability alternative).
+    with SurgeService(specs, shards=shards, executor=executor) as replayed:
+        replayed.results()  # start workers outside the timed window
+        started = time.perf_counter()
+        for chunk in chunks[:crash_offset]:
+            replayed.push_many(chunk)
+        full_replay_seconds = time.perf_counter() - started
+        replay_at_crash = snapshot_results(replayed)
+        for chunk in chunks[crash_offset:]:
+            replayed.push_many(chunk)
+        replay_final = snapshot_results(replayed)
+
+    # (3) Restore + tail replay (the durable path).
+    started = time.perf_counter()
+    restored = SurgeService.restore(workdir, executor=executor, attach=False)
+    restore_seconds = time.perf_counter() - started
+    with restored:
+        started = time.perf_counter()
+        for chunk in chunks[restored.chunk_offset : crash_offset]:
+            restored.push_many(chunk)
+        tail_replay_seconds = time.perf_counter() - started
+        restored_at_crash = snapshot_results(restored)
+        for chunk in chunks[crash_offset:]:
+            restored.push_many(chunk)
+        restored_final = snapshot_results(restored)
+
+    if restored_at_crash != replay_at_crash:
+        raise AssertionError(
+            "restore + tail replay diverged from the full replay at the "
+            "crash point — recovery is not bit-identical"
+        )
+    if restored_final != replay_final:
+        raise AssertionError(
+            "restore + tail replay diverged from the full replay at the "
+            "end of the stream — recovery is not bit-identical"
+        )
+    return RecoveryRunResult(
+        chunk_size=chunk_size,
+        chunks_total=len(chunks),
+        crash_chunk_offset=crash_offset,
+        checkpoint_chunk_offset=checkpoint_offset,
+        checkpoints_written=checkpoints_written,
+        full_replay_seconds=full_replay_seconds,
+        restore_seconds=restore_seconds,
+        tail_replay_seconds=tail_replay_seconds,
     )
 
 

@@ -12,6 +12,7 @@ from repro.geometry.primitives import (
     Rect,
     rect_from_bottom_left,
     rect_from_top_right,
+    region_covering_point,
 )
 from repro.geometry.grids import GridSpec, CellIndex, cell_of_point, cells_overlapping_rect
 from repro.geometry.heaps import LazyMaxHeap
@@ -21,6 +22,7 @@ __all__ = [
     "Rect",
     "rect_from_bottom_left",
     "rect_from_top_right",
+    "region_covering_point",
     "GridSpec",
     "CellIndex",
     "cell_of_point",

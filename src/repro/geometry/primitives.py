@@ -204,7 +204,84 @@ def rect_from_top_right(corner: Point, width: float, height: float) -> Rect:
 
     This is the inverse mapping of Theorem 1: a bursty *point* is the
     top-right corner of the reported bursty *region*.
+
+    Note that the naive ``corner - extent`` subtraction used here can round
+    to a different float than the forward ``object + extent`` mapping; use
+    :func:`region_covering_point` when the region must faithfully contain
+    every object whose rectangle covers the corner (edge ties).
     """
     if width < 0 or height < 0:
         raise ValueError("width and height must be non-negative")
     return Rect(corner.x - width, corner.y - height, corner.x, corner.y)
+
+
+def _covering_min_edge(corner: float, extent: float) -> float:
+    """Smallest float ``m`` with ``m + extent >= corner`` under float addition.
+
+    ``fl(z + extent)`` is monotone non-decreasing in ``z``, so the floats
+    satisfying the predicate form an up-closed set ``[m, +inf)``; this finds
+    its minimum.  ``corner - extent`` is the obvious guess, but rounding can
+    push it one side or the other of the true threshold — which is exactly
+    the edge-tie reporting caveat this function exists to remove.
+    """
+    if extent == 0.0:
+        return corner
+    if not (math.isfinite(corner) and math.isfinite(extent)):
+        # Non-finite inputs have no meaningful ulp neighbourhood to search
+        # (and would make the bisection midpoints NaN); fall back to the
+        # naive subtraction instead of looping forever.
+        return corner - extent
+    guess = corner - extent
+    if guess + extent >= corner:
+        hi = guess
+        lo = math.nextafter(guess, -math.inf)
+        if lo + extent < corner:
+            return hi  # the common, tie-free case: settled by one ulp probe
+    else:
+        lo = guess
+        hi = math.nextafter(guess, math.inf)
+    # Bracket the threshold (the flip point is within a few rounding errors
+    # of the guess, but near cancellation those errors can span many ulps of
+    # the small result, so widen geometrically instead of ulp-stepping).
+    span = math.ulp(max(abs(corner), abs(extent), abs(guess)))
+    while lo + extent >= corner:
+        lo = guess - span
+        span *= 2.0
+    span = math.ulp(max(abs(corner), abs(extent), abs(guess)))
+    while hi + extent < corner:
+        hi = guess + span
+        span *= 2.0
+    # Binary search down to adjacent floats; ``hi`` always satisfies.
+    while True:
+        mid = lo + (hi - lo) / 2.0
+        if mid <= lo or mid >= hi:
+            return hi
+        if mid + extent >= corner:
+            hi = mid
+        else:
+            lo = mid
+
+
+def region_covering_point(point: Point, width: float, height: float) -> Rect:
+    """The faithful bursty region of size ``~width × ~height`` below ``point``.
+
+    Like :func:`rect_from_top_right`, but the bottom-left corner is chosen so
+    that closed-rectangle membership matches CSPOT coverage *exactly*: an
+    object at ``(x, y)`` lies inside the returned region **iff** its
+    rectangle object ``[x, x + width] × [y, y + height]`` covers ``point``
+    under the same floating-point arithmetic (``object + extent``, the side
+    the sweep kernels count).  When the optimal point lies exactly on a
+    rectangle edge, the naive ``point - extent`` subtraction can round to
+    just above the boundary object's coordinate and silently exclude weight
+    the reported score legitimately counts; the edges returned here are off
+    the naive ones by at most a few ulps, in whichever direction makes the
+    region lossless.
+    """
+    if width < 0 or height < 0:
+        raise ValueError("width and height must be non-negative")
+    return Rect(
+        _covering_min_edge(point.x, width),
+        _covering_min_edge(point.y, height),
+        point.x,
+        point.y,
+    )

@@ -13,6 +13,11 @@ Public surface:
 * :mod:`~repro.service.bus` — :class:`~repro.service.bus.QueryUpdate`,
   :class:`~repro.service.bus.QueryStats`,
   :class:`~repro.service.bus.ServiceStats` and the subscriber bus.
+
+Durability — :meth:`SurgeService.checkpoint` / :meth:`SurgeService.restore`,
+the ``checkpoint_dir`` / ``checkpoint_policy`` constructor options and the
+``repro serve --checkpoint-dir --resume`` CLI — is provided by
+:mod:`repro.state` (snapshot codec, write-ahead log, policies).
 """
 
 from repro.service.bus import QueryStats, QueryUpdate, ResultBus, ServiceStats

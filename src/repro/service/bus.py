@@ -70,6 +70,26 @@ class QueryStats:
         if update.lag_seconds > self.max_lag_seconds:
             self.max_lag_seconds = update.lag_seconds
 
+    def to_dict(self) -> dict:
+        """JSON form stored in service checkpoints (floats round-trip exactly)."""
+        return {
+            "objects_routed": self.objects_routed,
+            "chunks_processed": self.chunks_processed,
+            "busy_seconds": self.busy_seconds,
+            "last_lag_seconds": self.last_lag_seconds,
+            "max_lag_seconds": self.max_lag_seconds,
+        }
+
+    @staticmethod
+    def from_dict(record: dict) -> "QueryStats":
+        return QueryStats(
+            objects_routed=int(record.get("objects_routed", 0)),
+            chunks_processed=int(record.get("chunks_processed", 0)),
+            busy_seconds=float(record.get("busy_seconds", 0.0)),
+            last_lag_seconds=float(record.get("last_lag_seconds", 0.0)),
+            max_lag_seconds=float(record.get("max_lag_seconds", 0.0)),
+        )
+
 
 @dataclass
 class ServiceStats:
@@ -126,3 +146,17 @@ class ResultBus:
         """Drop the cached state of a removed query."""
         self._latest.pop(query_id, None)
         self._stats.pop(query_id, None)
+
+    # ------------------------------------------------------------------
+    # Durability (service checkpoints carry the cumulative stats along)
+    # ------------------------------------------------------------------
+    def export_stats(self) -> dict[str, dict]:
+        """Per-query stats in the JSON form of :meth:`QueryStats.to_dict`."""
+        return {query_id: stats.to_dict() for query_id, stats in self._stats.items()}
+
+    def load_stats(self, records: dict[str, dict]) -> None:
+        """Replace the cumulative per-query stats (checkpoint restore)."""
+        self._stats = {
+            query_id: QueryStats.from_dict(record)
+            for query_id, record in records.items()
+        }

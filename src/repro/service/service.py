@@ -33,14 +33,34 @@ Example::
 from __future__ import annotations
 
 import time
-from typing import Iterable, Iterator, Sequence
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 from repro.core.base import RegionResult
 from repro.service.bus import QueryUpdate, ResultBus, ServiceStats
 from repro.service.shards import EXECUTOR_NAMES, make_executor
 from repro.service.spec import QuerySpec
+from repro.state.policy import CheckpointPolicy
+from repro.state.recovery import (
+    ServiceManifest,
+    encode_stream_time,
+    has_checkpoint,
+    manifest_path,
+    next_generation,
+    prune_generations,
+    read_manifest,
+    shard_snapshot_name,
+    wal_path,
+    write_manifest,
+)
+from repro.state.snapshot import SnapshotError
+from repro.state.wal import ChunkWal, WalCheckpoint
 from repro.streams.objects import SpatialObject
 from repro.streams.sources import iter_chunks
+
+#: Chunk cadence of the default automatic checkpoint policy (used when a
+#: ``checkpoint_dir`` is given without an explicit policy).
+DEFAULT_CHECKPOINT_EVERY_CHUNKS = 64
 
 
 class SurgeService:
@@ -56,6 +76,20 @@ class SurgeService:
         registration order).
     executor:
         Shard execution backend: ``"serial"``, ``"thread"`` or ``"process"``.
+    checkpoint_dir:
+        Optional checkpoint directory (see :mod:`repro.state`).  When given,
+        every ingested chunk is recorded in the directory's write-ahead log
+        and the service snapshots itself there whenever ``checkpoint_policy``
+        says so; :meth:`restore` later resumes from the last checkpoint.
+    checkpoint_policy:
+        :class:`~repro.state.CheckpointPolicy` driving automatic checkpoints
+        (default when a directory is given: every
+        :data:`DEFAULT_CHECKPOINT_EVERY_CHUNKS` chunks).  Ignored without a
+        ``checkpoint_dir``.
+    checkpoint_extra:
+        Free-form JSON-serialisable metadata stored in every manifest this
+        service writes (e.g. the CLI records its ``--chunk-size`` so a
+        resume can refuse a mismatching re-chunking).
     """
 
     def __init__(
@@ -64,6 +98,9 @@ class SurgeService:
         *,
         shards: int = 1,
         executor: str = "serial",
+        checkpoint_dir: str | Path | None = None,
+        checkpoint_policy: CheckpointPolicy | None = None,
+        checkpoint_extra: Mapping[str, Any] | None = None,
     ) -> None:
         if shards < 1:
             raise ValueError(f"shards must be positive, got {shards}")
@@ -80,6 +117,7 @@ class SurgeService:
         # every backend and shard count stays load-balanced over time.
         self._shard_of: dict[str, int] = {}
         self._order: list[str] = []
+        self._specs: dict[str, QuerySpec] = {}
         self._registered = 0
         shard_specs: list[list[QuerySpec]] = [[] for _ in range(shards)]
         for spec in specs:
@@ -89,14 +127,30 @@ class SurgeService:
         self.bus = ResultBus()
         self._time = float("-inf")
         self._chunk_index = 0
+        self._chunk_offset = 0
         self._stats = ServiceStats()
         self._closed = False
+        # Durability (all disabled until a checkpoint directory is attached).
+        self._checkpoint_dir: Path | None = None
+        self._checkpoint_policy: CheckpointPolicy = CheckpointPolicy()
+        self.checkpoint_extra: dict[str, Any] = {}
+        self._wal: ChunkWal | None = None
+        self._generation = 0
+        self._last_checkpoint_offset = 0
+        self._last_checkpoint_time = float("-inf")
+        if checkpoint_dir is not None:
+            if checkpoint_policy is None:
+                checkpoint_policy = CheckpointPolicy(
+                    every_chunks=DEFAULT_CHECKPOINT_EVERY_CHUNKS
+                )
+            self._attach_durability(checkpoint_dir, checkpoint_policy, checkpoint_extra)
 
     def _claim(self, spec: QuerySpec) -> None:
         if spec.query_id in self._shard_of:
             raise ValueError(f"query {spec.query_id!r} is already registered")
         self._shard_of[spec.query_id] = self._registered % self.n_shards
         self._order.append(spec.query_id)
+        self._specs[spec.query_id] = spec
         self._registered += 1
 
     # ------------------------------------------------------------------
@@ -108,24 +162,40 @@ class SurgeService:
         return list(self._order)
 
     def add_query(self, spec: QuerySpec) -> str:
-        """Register a query mid-stream; it sees only objects pushed later."""
+        """Register a query mid-stream; it sees only objects pushed later.
+
+        With a checkpoint directory attached the new registry is snapshotted
+        immediately: registry changes are control-plane operations that the
+        chunk-replay recovery cannot reconstruct from the stream, so they
+        must be durable the moment they happen.
+        """
         self._claim(spec)
         try:
             self._executor.send(self._shard_of[spec.query_id], ("add", spec))
         except Exception:
             self._order.remove(spec.query_id)
             del self._shard_of[spec.query_id]
+            del self._specs[spec.query_id]
             raise
+        if self._checkpoint_dir is not None:
+            self.checkpoint()
         return spec.query_id
 
     def remove_query(self, query_id: str) -> None:
-        """Drop a query; its shard slot is not reused (see ``_claim``)."""
+        """Drop a query; its shard slot is not reused (see ``_claim``).
+
+        Checkpointed immediately when a directory is attached, for the same
+        reason as :meth:`add_query`.
+        """
         if query_id not in self._shard_of:
             raise KeyError(f"query {query_id!r} is not registered")
         self._executor.send(self._shard_of[query_id], ("remove", query_id))
         self._order.remove(query_id)
         del self._shard_of[query_id]
+        del self._specs[query_id]
         self.bus.forget(query_id)
+        if self._checkpoint_dir is not None:
+            self.checkpoint()
 
     # ------------------------------------------------------------------
     # Ingestion
@@ -152,14 +222,37 @@ class SurgeService:
             previous = obj.timestamp
         if objs:
             self._time = previous
-        return self._dispatch(("chunk", objs, self._chunk_index), len(objs))
+        updates = self._dispatch(("chunk", objs, self._chunk_index), len(objs))
+        if objs:
+            # Empty chunks are no-ops for every monitor and are never
+            # produced by iter_chunks, so they must not advance the replay
+            # offset — counting one would make a resume skip a real chunk.
+            offset = self._chunk_offset
+            self._chunk_offset = offset + 1
+            if self._wal is not None:
+                self._wal.append_chunk(offset, len(objs), objs[-1].timestamp)
+                if self._checkpoint_policy.due(
+                    self._chunk_offset - self._last_checkpoint_offset,
+                    self._time,
+                    self._last_checkpoint_time,
+                ):
+                    self.checkpoint()
+        return updates
 
     def push(self, obj: SpatialObject) -> list[QueryUpdate]:
         """Push a single object (a one-object chunk)."""
         return self.push_many([obj])
 
     def advance_time(self, stream_time: float) -> list[QueryUpdate]:
-        """Advance every query's clock without new arrivals."""
+        """Advance every query's clock without new arrivals.
+
+        Clock advances are *not* recorded in the write-ahead log — the
+        chunk-offset replay of recovery reconstructs the clock from the
+        stream's own timestamps, not from explicit advances.  A caller
+        relying on a standalone ``advance_time`` past the end of the
+        replayable stream should call :meth:`checkpoint` afterwards to make
+        its effects durable.
+        """
         if stream_time < self._time:
             raise ValueError(
                 f"cannot move stream time backwards: requested t={stream_time} "
@@ -194,9 +287,17 @@ class SurgeService:
         self,
         stream: Iterable[SpatialObject],
         chunk_size: int = 512,
+        start_offset: int = 0,
     ) -> Iterator[list[QueryUpdate]]:
-        """Chunk a whole stream through the service, yielding per-chunk updates."""
-        for chunk in iter_chunks(stream, chunk_size):
+        """Chunk a whole stream through the service, yielding per-chunk updates.
+
+        ``start_offset`` skips that many leading chunks — the resume idiom:
+        a service restored from a checkpoint replays the same stream with
+        ``start_offset=service.chunk_offset`` (and the *same* ``chunk_size``
+        as the original run, or the skipped prefix would not line up), so
+        every chunk lands in the service state exactly once.
+        """
+        for chunk in iter_chunks(stream, chunk_size, start_offset=start_offset):
             yield self.push_many(chunk)
 
     # ------------------------------------------------------------------
@@ -226,6 +327,245 @@ class SurgeService:
             query_id: self.bus.stats(query_id) for query_id in self._order
         }
         return self._stats
+
+    # ------------------------------------------------------------------
+    # Durability (see repro.state for the file formats)
+    # ------------------------------------------------------------------
+    @property
+    def chunk_offset(self) -> int:
+        """Number of stream chunks ingested so far (the replay offset)."""
+        return self._chunk_offset
+
+    @property
+    def checkpoint_dir(self) -> Path | None:
+        """The attached checkpoint directory (``None`` = durability off)."""
+        return self._checkpoint_dir
+
+    @property
+    def checkpoint_policy(self) -> CheckpointPolicy:
+        """The automatic checkpoint cadence (triggers disabled when detached)."""
+        return self._checkpoint_policy
+
+    def _attach_durability(
+        self,
+        directory: str | Path,
+        policy: CheckpointPolicy,
+        extra: Mapping[str, Any] | None = None,
+        *,
+        resume_from: WalCheckpoint | None = None,
+    ) -> None:
+        """Attach a checkpoint directory for WAL appends and auto snapshots.
+
+        ``resume_from`` is the checkpoint the service state was just
+        restored from (:meth:`restore` passes it); ``None`` means a fresh
+        service, which refuses a directory that already holds a checkpoint
+        — attaching would overwrite it on the first snapshot.  Either way
+        the WAL is atomically reset to match *this* service's durable state:
+        a stale log (from the crash being recovered, or from an unrelated
+        previous run) would double-count the replayed chunks otherwise.
+        """
+        directory = Path(directory)
+        if resume_from is None and has_checkpoint(directory):
+            raise ValueError(
+                f"{directory} already holds a service checkpoint; use "
+                f"SurgeService.restore({str(directory)!r}) to continue it, "
+                f"or point checkpoint_dir at a fresh directory"
+            )
+        self._checkpoint_dir = directory
+        self._checkpoint_dir.mkdir(parents=True, exist_ok=True)
+        self._checkpoint_policy = policy
+        if extra:
+            self.checkpoint_extra = dict(extra)
+        self._wal = ChunkWal(wal_path(self._checkpoint_dir))
+        self._wal.reset(resume_from)
+        self._generation = resume_from.generation if resume_from is not None else 0
+        self._last_checkpoint_offset = self._chunk_offset
+        self._last_checkpoint_time = self._time
+
+    def checkpoint(self, directory: str | Path | None = None) -> Path:
+        """Snapshot the whole service durably; returns the manifest path.
+
+        Every shard writes its own generation-tagged snapshot file (under
+        the process executor, inside its worker process), then the service
+        manifest — query registry, shard assignment, chunk offset, stream
+        clock, cumulative stats — is atomically replaced and the write-ahead
+        log restarted from the new checkpoint record.  A crash at any point
+        leaves the previous checkpoint fully usable.
+
+        With no argument the attached ``checkpoint_dir`` is used (this is
+        what the automatic policy calls); an explicit ``directory`` takes a
+        one-off checkpoint there without attaching it.
+        """
+        target = Path(directory) if directory is not None else self._checkpoint_dir
+        if target is None:
+            raise ValueError(
+                "no checkpoint directory: construct the service with "
+                "checkpoint_dir=... or pass an explicit directory"
+            )
+        target.mkdir(parents=True, exist_ok=True)
+        # Spelling-insensitive "is this the attached directory?" — a relative
+        # vs absolute path must not fork the bookkeeping.
+        attached = (
+            self._checkpoint_dir is not None
+            and target.resolve() == self._checkpoint_dir.resolve()
+        )
+        if attached:
+            # The service wrote (or restored) the attached directory's last
+            # manifest itself, so the generation counter lives in memory —
+            # no O(registry) manifest re-parse on the ingestion path.
+            generation = self._generation + 1
+        else:
+            generation = next_generation(target)
+        shard_files = [
+            shard_snapshot_name(index, generation) for index in range(self.n_shards)
+        ]
+        shard_meta = {
+            "generation": generation,
+            "chunk_offset": self._chunk_offset,
+            "chunk_index": self._chunk_index,
+        }
+        self._executor.scatter(
+            [
+                ("checkpoint", str(target / name), dict(shard_meta, shard=index))
+                for index, name in enumerate(shard_files)
+            ]
+        )
+        manifest = ServiceManifest(
+            generation=generation,
+            chunk_offset=self._chunk_offset,
+            chunk_index=self._chunk_index,
+            stream_time=self._time,
+            n_shards=self.n_shards,
+            executor=self.executor_name,
+            order=list(self._order),
+            shard_of=dict(self._shard_of),
+            registered=self._registered,
+            specs=[self._specs[query_id].to_dict() for query_id in self._order],
+            policy=self._checkpoint_policy.to_dict(),
+            stats={
+                "objects_pushed": self._stats.objects_pushed,
+                "chunks_pushed": self._stats.chunks_pushed,
+                "object_query_pairs": self._stats.object_query_pairs,
+                "wall_seconds": self._stats.wall_seconds,
+                "per_query": self.bus.export_stats(),
+            },
+            shard_files=shard_files,
+            extra=dict(self.checkpoint_extra),
+        )
+        path = write_manifest(target, manifest)
+        ChunkWal(wal_path(target)).mark_checkpoint(
+            WalCheckpoint(
+                chunk_offset=self._chunk_offset,
+                generation=generation,
+                stream_time=encode_stream_time(self._time),
+            )
+        )
+        prune_generations(target, generation)
+        if attached:
+            self._generation = generation
+            self._last_checkpoint_offset = self._chunk_offset
+            self._last_checkpoint_time = self._time
+        return path
+
+    @classmethod
+    def restore(
+        cls,
+        directory: str | Path,
+        *,
+        executor: str | None = None,
+        checkpoint_policy: CheckpointPolicy | None = None,
+        attach: bool = True,
+    ) -> "SurgeService":
+        """Rebuild a service from the last checkpoint in ``directory``.
+
+        The restored service is *bit-identical* to the checkpointed one:
+        every query's monitor resumes mid-stream exactly where the snapshot
+        left it, so replaying the original stream from
+        ``service.chunk_offset`` (``iter_chunks(start_offset=...)`` /
+        :meth:`run` with ``start_offset``) reproduces the uninterrupted run.
+        The recovery unit is the *chunk*: registry changes are made durable
+        at the moment they happen (see :meth:`add_query`), but a standalone
+        :meth:`advance_time` after the last checkpoint is not replayable
+        from the stream and needs an explicit :meth:`checkpoint` to survive
+        a crash.
+
+        ``executor`` optionally overrides the recorded backend (results are
+        identical across backends); the shard count always comes from the
+        manifest, because the per-shard snapshot files partition the queries.
+        With ``attach=True`` (default) the directory stays attached for
+        further WAL appends and automatic checkpoints under
+        ``checkpoint_policy`` (default: the recorded policy).
+        """
+        directory = Path(directory)
+        manifest = read_manifest(directory)
+        if len(manifest.shard_files) != manifest.n_shards:
+            raise SnapshotError(
+                f"{manifest_path(directory)}: manifest names "
+                f"{len(manifest.shard_files)} shard files for "
+                f"{manifest.n_shards} shards"
+            )
+        shard_paths = [directory / name for name in manifest.shard_files]
+        for path in shard_paths:
+            if not path.exists():
+                raise SnapshotError(
+                    f"{manifest_path(directory)} names a missing shard "
+                    f"snapshot {path.name} (incomplete checkpoint directory?)"
+                )
+        specs = [QuerySpec.from_dict(record) for record in manifest.specs]
+
+        service = cls(
+            (),
+            shards=manifest.n_shards,
+            executor=executor if executor is not None else manifest.executor,
+        )
+        # Registry bookkeeping comes from the manifest verbatim: replaying
+        # round-robin over the surviving specs would mis-assign after
+        # removals, and the shard snapshot files already partition by the
+        # recorded assignment.
+        service._order = list(manifest.order)
+        service._shard_of = dict(manifest.shard_of)
+        service._specs = {spec.query_id: spec for spec in specs}
+        service._registered = manifest.registered
+        service._time = manifest.stream_time
+        service._chunk_index = manifest.chunk_index
+        service._chunk_offset = manifest.chunk_offset
+        stats = manifest.stats
+        service._stats = ServiceStats(
+            objects_pushed=int(stats.get("objects_pushed", 0)),
+            chunks_pushed=int(stats.get("chunks_pushed", 0)),
+            object_query_pairs=int(stats.get("object_query_pairs", 0)),
+            wall_seconds=float(stats.get("wall_seconds", 0.0)),
+        )
+        service.bus.load_stats(stats.get("per_query", {}))
+
+        replies = service._executor.scatter(
+            [("restore", str(path)) for path in shard_paths]
+        )
+        for index, restored_ids in enumerate(replies):
+            expected = [
+                query_id
+                for query_id in manifest.order
+                if manifest.shard_of[query_id] == index
+            ]
+            if sorted(restored_ids) != sorted(expected):
+                raise SnapshotError(
+                    f"{shard_paths[index]}: shard snapshot holds queries "
+                    f"{sorted(restored_ids)}, manifest expects {sorted(expected)}"
+                )
+        if attach:
+            if checkpoint_policy is None:
+                checkpoint_policy = CheckpointPolicy.from_dict(manifest.policy)
+            service._attach_durability(
+                directory,
+                checkpoint_policy,
+                manifest.extra,
+                resume_from=WalCheckpoint(
+                    chunk_offset=manifest.chunk_offset,
+                    generation=manifest.generation,
+                    stream_time=encode_stream_time(manifest.stream_time),
+                ),
+            )
+        return service
 
     # ------------------------------------------------------------------
     # Lifecycle

@@ -119,6 +119,14 @@ class ShardState:
         ``[(query_id, [RegionResult, ...]), ...]`` without ingesting.
     ``("stats",)``
         ``[(query_id, objects_routed, chunks_processed, busy_seconds), ...]``.
+    ``("checkpoint", path, meta)``
+        Atomically snapshot the whole shard (every pipeline's monitor and
+        counters) to ``path`` — *inside* the shard, so under the process
+        executor each worker process persists its own state without it ever
+        crossing the pipe; returns the shard's query ids.
+    ``("restore", path)``
+        Replace the shard's pipelines with the snapshot at ``path``;
+        returns the restored query ids.
     """
 
     def __init__(self, specs: Sequence[QuerySpec] = ()) -> None:
@@ -135,6 +143,34 @@ class ShardState:
         if query_id not in self.pipelines:
             raise KeyError(f"query {query_id!r} is not registered on this shard")
         del self.pipelines[query_id]
+
+    # ------------------------------------------------------------------
+    # Durability (see repro.state)
+    # ------------------------------------------------------------------
+    def checkpoint(self, path: str, meta: dict | None = None) -> list[str]:
+        """Write this shard's complete state to ``path`` (atomic snapshot).
+
+        The payload is the :class:`ShardState` itself: every pipeline's spec,
+        monitor (window deques + full detector state) and routing counters.
+        Restoring it resumes the shard bit-identically.
+        """
+        from repro.state.recovery import SHARD_SNAPSHOT_KIND
+        from repro.state.snapshot import write_snapshot
+
+        header_meta = {"queries": list(self.pipelines)}
+        if meta:
+            header_meta.update(meta)
+        write_snapshot(path, SHARD_SNAPSHOT_KIND, self, meta=header_meta)
+        return list(self.pipelines)
+
+    def restore(self, path: str) -> list[str]:
+        """Replace this shard's pipelines with the snapshot at ``path``."""
+        from repro.state.recovery import SHARD_SNAPSHOT_KIND
+        from repro.state.snapshot import read_snapshot
+
+        _, state = read_snapshot(path, expected_kind=SHARD_SNAPSHOT_KIND)
+        self.pipelines = state.pipelines
+        return list(self.pipelines)
 
     def handle(self, message: tuple) -> Any:
         kind = message[0]
@@ -176,6 +212,10 @@ class ShardState:
                 )
                 for query_id, pipeline in self.pipelines.items()
             ]
+        if kind == "checkpoint":
+            return self.checkpoint(message[1], message[2])
+        if kind == "restore":
+            return self.restore(message[1])
         raise ValueError(f"unknown shard message kind {kind!r}")
 
 
@@ -197,6 +237,25 @@ class ShardExecutor(abc.ABC):
     @abc.abstractmethod
     def broadcast(self, message: tuple) -> list[Any]:
         """Deliver one message to every shard; replies in shard order."""
+
+    def scatter(self, messages: Sequence[tuple]) -> list[Any]:
+        """Deliver ``messages[i]`` to shard ``i``; replies in shard order.
+
+        The per-shard variant of :meth:`broadcast`, used by the checkpoint
+        path (every shard persists to its own file, so each shard gets its
+        own message).  Concurrent backends overlap the per-shard work just
+        like a broadcast.
+        """
+        if len(messages) != self.n_shards:
+            raise ValueError(
+                f"scatter needs one message per shard "
+                f"({self.n_shards}), got {len(messages)}"
+            )
+        return self._scatter(messages)
+
+    def _scatter(self, messages: Sequence[tuple]) -> list[Any]:
+        """Backend hook behind the validated :meth:`scatter`."""
+        return [self.send(index, message) for index, message in enumerate(messages)]
 
     def close(self) -> None:
         """Release worker threads / processes (idempotent)."""
@@ -247,6 +306,13 @@ class ThreadExecutor(ShardExecutor):
     def broadcast(self, message: tuple) -> list[Any]:
         futures = [
             self._pool.submit(shard.handle, message) for shard in self._shards
+        ]
+        return [future.result() for future in futures]
+
+    def _scatter(self, messages: Sequence[tuple]) -> list[Any]:
+        futures = [
+            self._pool.submit(shard.handle, message)
+            for shard, message in zip(self._shards, messages)
         ]
         return [future.result() for future in futures]
 
@@ -301,6 +367,13 @@ class ProcessExecutor(ShardExecutor):
 
     def broadcast(self, message: tuple) -> list[Any]:
         futures = [pool.submit(_worker_handle, message) for pool in self._pools]
+        return [future.result() for future in futures]
+
+    def _scatter(self, messages: Sequence[tuple]) -> list[Any]:
+        futures = [
+            pool.submit(_worker_handle, message)
+            for pool, message in zip(self._pools, messages)
+        ]
         return [future.result() for future in futures]
 
     def close(self) -> None:

@@ -1,0 +1,184 @@
+"""Checkpoint-directory layout and the service manifest.
+
+A service checkpoint directory looks like::
+
+    <dir>/
+      MANIFEST.json           the service-level manifest (written last)
+      wal.log                 chunk-offset write-ahead log (repro.state.wal)
+      shard-00.g000003.ckpt   one snapshot file per shard, per generation
+      shard-01.g000003.ckpt   (repro.state.snapshot, kind "service-shard")
+
+Checkpoint protocol (crash-safe by ordering):
+
+1. every shard writes its own generation-``g`` snapshot file (atomic; under
+   the process executor each worker process persists its shard
+   independently — the shard state never crosses the process boundary);
+2. the manifest — query registry, shard assignment, chunk offset, stats,
+   and the list of generation-``g`` shard files — is atomically replaced;
+3. the WAL is restarted from a ``checkpoint`` record for generation ``g``;
+4. older generations' shard files are deleted (best effort).
+
+A crash anywhere in 1–3 leaves the *previous* manifest pointing at the
+previous generation's files, all intact.  Recovery reads the manifest, loads
+the shard snapshots it names, and replays the stream from
+``manifest.chunk_offset`` — see :meth:`repro.service.SurgeService.restore`.
+
+Manifest floats are stored as JSON numbers (Python's ``json`` round-trips
+``float`` exactly via ``repr``), except the pre-ingestion stream clock
+``-inf``, which is stored as ``None``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.state.snapshot import SnapshotError, _atomic_write_bytes, check_schema
+
+#: The manifest format version this build reads and writes.
+MANIFEST_SCHEMA = "service-manifest/v1"
+MANIFEST_NAME = "MANIFEST.json"
+WAL_NAME = "wal.log"
+
+#: ``kind`` of the per-shard snapshot files in a checkpoint directory.
+SHARD_SNAPSHOT_KIND = "service-shard"
+
+
+def shard_snapshot_name(shard_index: int, generation: int) -> str:
+    """File name of one shard's snapshot at one checkpoint generation."""
+    return f"shard-{shard_index:02d}.g{generation:06d}.ckpt"
+
+
+def encode_stream_time(time: float) -> float | None:
+    """JSON form of a stream clock (``-inf`` — never ingested — as ``None``)."""
+    return None if math.isinf(time) and time < 0 else time
+
+
+def decode_stream_time(value: float | None) -> float:
+    return float("-inf") if value is None else float(value)
+
+
+@dataclass
+class ServiceManifest:
+    """Everything :meth:`SurgeService.restore` needs besides the shard files."""
+
+    generation: int
+    chunk_offset: int
+    chunk_index: int
+    stream_time: float
+    n_shards: int
+    executor: str
+    order: list[str]
+    shard_of: dict[str, int]
+    registered: int
+    specs: list[dict]
+    policy: dict
+    stats: dict
+    shard_files: list[str]
+    #: Free-form caller metadata (e.g. the CLI records its ``--chunk-size``
+    #: here so a resume can refuse a mismatching re-chunking).
+    extra: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": MANIFEST_SCHEMA,
+            "generation": self.generation,
+            "chunk_offset": self.chunk_offset,
+            "chunk_index": self.chunk_index,
+            "stream_time": encode_stream_time(self.stream_time),
+            "n_shards": self.n_shards,
+            "executor": self.executor,
+            "order": list(self.order),
+            "shard_of": dict(self.shard_of),
+            "registered": self.registered,
+            "specs": list(self.specs),
+            "policy": dict(self.policy),
+            "stats": dict(self.stats),
+            "shard_files": list(self.shard_files),
+            "extra": dict(self.extra),
+        }
+
+    @staticmethod
+    def from_dict(record: Mapping[str, Any], path: str | Path) -> "ServiceManifest":
+        check_schema(record.get("schema"), MANIFEST_SCHEMA, path, "service manifest")
+        try:
+            return ServiceManifest(
+                generation=int(record["generation"]),
+                chunk_offset=int(record["chunk_offset"]),
+                chunk_index=int(record["chunk_index"]),
+                stream_time=decode_stream_time(record["stream_time"]),
+                n_shards=int(record["n_shards"]),
+                executor=str(record["executor"]),
+                order=list(record["order"]),
+                shard_of={key: int(value) for key, value in record["shard_of"].items()},
+                registered=int(record["registered"]),
+                specs=list(record["specs"]),
+                policy=dict(record.get("policy", {})),
+                stats=dict(record.get("stats", {})),
+                shard_files=list(record["shard_files"]),
+                extra=dict(record.get("extra", {})),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SnapshotError(
+                f"{path}: corrupt service manifest (missing or malformed "
+                f"field: {exc})"
+            ) from exc
+
+
+def manifest_path(directory: str | Path) -> Path:
+    return Path(directory) / MANIFEST_NAME
+
+
+def wal_path(directory: str | Path) -> Path:
+    return Path(directory) / WAL_NAME
+
+
+def has_checkpoint(directory: str | Path) -> bool:
+    """Whether ``directory`` holds a completed service checkpoint."""
+    return manifest_path(directory).exists()
+
+
+def write_manifest(directory: str | Path, manifest: ServiceManifest) -> Path:
+    """Atomically write the manifest into the checkpoint directory."""
+    path = manifest_path(directory)
+    payload = json.dumps(manifest.to_dict(), indent=2, sort_keys=True) + "\n"
+    _atomic_write_bytes(path, payload.encode("utf-8"))
+    return path
+
+
+def read_manifest(directory: str | Path) -> ServiceManifest:
+    """Read and validate the manifest of a checkpoint directory."""
+    path = manifest_path(directory)
+    if not path.exists():
+        raise SnapshotError(
+            f"{Path(directory)} holds no service checkpoint "
+            f"(missing {MANIFEST_NAME})"
+        )
+    try:
+        record = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise SnapshotError(f"{path}: corrupt service manifest: {exc}") from exc
+    if not isinstance(record, dict):
+        raise SnapshotError(f"{path}: corrupt service manifest: not a JSON object")
+    return ServiceManifest.from_dict(record, path)
+
+
+def next_generation(directory: str | Path) -> int:
+    """The generation number the next checkpoint in ``directory`` should use."""
+    if not has_checkpoint(directory):
+        return 1
+    return read_manifest(directory).generation + 1
+
+
+def prune_generations(directory: str | Path, keep_generation: int) -> None:
+    """Best-effort removal of shard snapshots from older generations."""
+    keep_suffix = f".g{keep_generation:06d}.ckpt"
+    for path in Path(directory).glob("shard-*.ckpt"):
+        if not path.name.endswith(keep_suffix):
+            try:
+                path.unlink()
+            except OSError:
+                pass  # a stale file is harmless; the manifest never names it

@@ -125,7 +125,7 @@ def interleave_sorted(*streams: Iterable[SpatialObject]) -> Iterator[SpatialObje
 
 
 def iter_chunks(
-    stream: Iterable[SpatialObject], chunk_size: int
+    stream: Iterable[SpatialObject], chunk_size: int, start_offset: int = 0
 ) -> Iterator[list[SpatialObject]]:
     """Split a stream into consecutive chunks of at most ``chunk_size`` objects.
 
@@ -133,19 +133,34 @@ def iter_chunks(
     (:meth:`repro.core.monitor.SurgeMonitor.run` with a chunk size,
     :class:`repro.service.SurgeService`): one pass over the stream, no
     materialisation of the whole input, last chunk possibly short.
+
+    ``start_offset`` skips the first that-many *chunks*: the yielded chunks
+    are exactly those an uninterrupted ``iter_chunks(stream, chunk_size)``
+    would have produced from chunk ``start_offset`` on.  This is the replay
+    primitive of checkpoint recovery (:mod:`repro.state`): a consumer that
+    durably recorded having applied ``k`` chunks resumes with
+    ``start_offset=k`` and sees each remaining chunk exactly once.  Sequence
+    sources seek directly; plain iterators are drained and the skipped
+    prefix discarded.
     """
     if chunk_size < 1:
         raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    if start_offset < 0:
+        raise ValueError(f"start_offset must be non-negative, got {start_offset}")
     if isinstance(stream, Sequence):
-        for start in range(0, len(stream), chunk_size):
+        for start in range(start_offset * chunk_size, len(stream), chunk_size):
             chunk = stream[start : start + chunk_size]
             yield chunk if isinstance(chunk, list) else list(chunk)
         return
     chunk: list[SpatialObject] = []
+    skipped = 0
     for obj in stream:
         chunk.append(obj)
         if len(chunk) >= chunk_size:
-            yield chunk
+            if skipped < start_offset:
+                skipped += 1
+            else:
+                yield chunk
             chunk = []
-    if chunk:
+    if chunk and skipped >= start_offset:
         yield chunk

@@ -14,12 +14,11 @@ Notes on the contract being asserted:
   maximal arrangement face is exact), so for the exact detectors each
   reported point is additionally verified to achieve the reported score
   against the actual window contents.  The verification runs in CSPOT space
-  (summing the rectangle objects covering the point) rather than through
-  ``rect_from_top_right``: when the optimal point lies exactly on a
-  rectangle edge, the inverse mapping ``point - extent`` rounds to a
-  different float than ``object + extent`` and the derived region can
-  spuriously exclude a boundary object (a pre-existing reporting caveat of
-  all point-based detectors, not a batching artefact);
+  (summing the rectangle objects covering the point), which is also how the
+  reported region is now derived (``region_covering_point`` chooses region
+  edges so closed-region membership matches CSPOT coverage exactly; the
+  historical ``rect_from_top_right`` rounding caveat on edge ties is fixed
+  and pinned by ``tests/test_region_edge_tie.py``);
 * the window contents themselves must match exactly.
 
 Chunkings are chosen so that chunk boundaries split window expiries (a chunk

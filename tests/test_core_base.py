@@ -11,7 +11,22 @@ class TestRegionResult:
     def test_from_point_uses_theorem1_mapping(self):
         query = SurgeQuery(rect_width=2.0, rect_height=1.0, window_length=10.0)
         result = RegionResult.from_point(Point(5.0, 3.0), score=1.5, query=query)
-        assert result.region == Rect(3.0, 2.0, 5.0, 3.0)
+        # The bursty point is the region's top-right corner; the bottom-left
+        # corner sits within a float ulp of ``point - extent``, on whichever
+        # side makes closed-region membership match CSPOT coverage exactly
+        # (region_covering_point; see tests/test_region_edge_tie.py).
+        assert (result.region.max_x, result.region.max_y) == (5.0, 3.0)
+        assert result.region.min_x == pytest.approx(3.0)
+        assert result.region.min_y == pytest.approx(2.0)
+        for min_edge, point_coord, extent in (
+            (result.region.min_x, 5.0, 2.0),
+            (result.region.min_y, 3.0, 1.0),
+        ):
+            # Minimality: the edge coordinate is covered, one ulp below not.
+            import math
+
+            assert min_edge + extent >= point_coord
+            assert math.nextafter(min_edge, -math.inf) + extent < point_coord
         assert result.point == Point(5.0, 3.0)
         assert result.score == 1.5
 

@@ -9,6 +9,7 @@ from repro.geometry.primitives import (
     Rect,
     rect_from_bottom_left,
     rect_from_top_right,
+    region_covering_point,
 )
 
 
@@ -140,3 +141,47 @@ class TestRectOperations:
         both = a.intersection(b)
         assert a.contains_rect(both)
         assert b.contains_rect(both)
+
+
+class TestRegionCoveringPoint:
+    """The faithful point→region mapping (the edge-tie fix)."""
+
+    def test_membership_equals_coverage_exhaustively(self):
+        """min_x <= x  ⇔  x + width >= point.x, across many float shapes."""
+        cases = [
+            (5.0, 2.0),
+            (0.30000000000000004, 0.2),  # the classic edge-tie float
+            (0.2, 0.2),  # full cancellation: point == extent
+            (1e9 + 0.125, 3.0),
+            (1e-8, 1e-12),
+            (-7.25, 2.5),
+        ]
+        for corner, extent in cases:
+            region = region_covering_point(Point(corner, corner), extent, extent)
+            assert region.max_x == corner
+            # Probe a window of floats around the edge in both directions.
+            x = region.min_x
+            for _ in range(4):
+                x = math.nextafter(x, -math.inf)
+            for _ in range(9):
+                inside = region.min_x <= x <= region.max_x
+                covers = x + extent >= corner and x <= corner
+                assert inside == covers, (corner, extent, x)
+                x = math.nextafter(x, math.inf)
+
+    def test_zero_extent(self):
+        region = region_covering_point(Point(2.0, 3.0), 0.0, 0.0)
+        assert region == Rect(2.0, 3.0, 2.0, 3.0)
+
+    def test_non_finite_inputs_do_not_hang(self):
+        """inf/NaN extents fall back to naive subtraction (no ulp search)."""
+        region = region_covering_point(Point(1.0, 1.0), float("inf"), 1.0)
+        assert region.min_x == float("-inf")
+        region = region_covering_point(Point(float("inf"), 1.0), 2.0, 1.0)
+        assert region.min_x == float("inf")
+        region = region_covering_point(Point(1.0, 1.0), float("nan"), 1.0)
+        assert math.isnan(region.min_x)
+
+    def test_rejects_negative_extent(self):
+        with pytest.raises(ValueError):
+            region_covering_point(Point(0.0, 0.0), -1.0, 1.0)

@@ -1,0 +1,710 @@
+"""Differential suite for the durable-state subsystem (repro.state).
+
+The contract under test: **kill-and-restore mid-stream is observationally
+identical to never having crashed** —
+
+* a :class:`~repro.core.monitor.SurgeMonitor` saved and re-loaded mid-stream
+  must finish the stream bit-identically to the original instance, for all
+  10 detector names (window deques, cell records, lazy heaps, memoised
+  candidates, top-k state and counters all survive the snapshot);
+* a :class:`~repro.service.SurgeService` that checkpointed, "crashed" (its
+  in-memory state discarded), restored and replayed the lost tail via
+  ``run(start_offset=...)`` must produce the same per-chunk updates, final
+  results, top-k lists and cumulative :class:`~repro.service.QueryStats`
+  object counts as an uninterrupted run — under the ``serial``, ``thread``
+  and ``process`` shard executors (one query per detector name, so all 10
+  detectors cross the snapshot boundary under every backend);
+* the ``repro serve --checkpoint-dir / --resume`` CLI implements exactly
+  that protocol end to end, including refusing a resume at a different
+  ``--chunk-size`` and refusing to clobber an existing checkpoint.
+
+Restore must also *fail loudly* on broken inputs: unknown manifest schema
+versions, missing shard files, snapshots of the wrong kind.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.core.monitor import DETECTOR_NAMES, SurgeMonitor
+from repro.core.query import SurgeQuery
+from repro.service import QuerySpec, SurgeService
+from repro.state import CheckpointPolicy, SnapshotError, SnapshotSchemaError
+from repro.state.recovery import manifest_path, read_manifest, wal_path
+from repro.state.wal import ChunkWal
+from repro.streams.objects import SpatialObject
+from repro.streams.sources import iter_chunks
+
+VOCABULARY = ("concert", "parade", "zika", "festival")
+CHUNK_SIZE = 41  # ragged: does not divide the stream length
+
+#: (executor, shards) combinations the kill-and-restore replay runs under.
+EXECUTOR_GRID = (
+    ("serial", 3),
+    ("thread", 2),
+    ("process", 2),
+)
+
+
+def make_stream(count: int = 300, seed: int = 61) -> list[SpatialObject]:
+    """Keyword-tagged stream with irregular arrivals and one big time jump."""
+    rng = random.Random(seed)
+    stream = []
+    t = 0.0
+    for index in range(count):
+        t += rng.uniform(0.05, 0.5)
+        if index == count // 2:
+            t += 150.0  # larger than every query window pair: full lifecycles
+        keywords = (rng.choice(VOCABULARY),) if rng.random() < 0.85 else ()
+        stream.append(
+            SpatialObject(
+                x=rng.uniform(0.0, 6.0),
+                y=rng.uniform(0.0, 6.0),
+                timestamp=t,
+                weight=rng.uniform(0.5, 10.0),
+                object_id=index,
+                attributes={"keywords": keywords} if keywords else {},
+            )
+        )
+    return stream
+
+
+def make_specs() -> list[QuerySpec]:
+    """One query per detector name, heterogeneous in every dimension."""
+    specs = []
+    for index, name in enumerate(DETECTOR_NAMES):
+        size = (0.8, 1.0, 1.4)[index % 3]
+        specs.append(
+            QuerySpec(
+                query_id=f"{name}-q",
+                query=SurgeQuery(
+                    rect_width=size,
+                    rect_height=size,
+                    window_length=(15.0, 20.0, 30.0)[index % 3],
+                    alpha=0.5,
+                    k=3 if name.startswith("k") else 1,
+                ),
+                algorithm=name,
+                keyword=VOCABULARY[index % len(VOCABULARY)] if index % 3 else None,
+                backend="python"
+                if name in ("ccs", "bccs", "base", "ag2", "naive", "kccs")
+                else None,
+            )
+        )
+    return specs
+
+
+def result_key(result):
+    """Exact identity of a reported result (bitwise, no tolerance)."""
+    if result is None:
+        return None
+    return (
+        result.score,
+        result.region.as_tuple(),
+        result.point.as_tuple(),
+        result.fc,
+        result.fp,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Monitor save / load
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def stream():
+    return make_stream()
+
+
+class TestMonitorSaveLoad:
+    @pytest.mark.parametrize("name", DETECTOR_NAMES)
+    def test_restored_monitor_finishes_bit_identically(self, tmp_path, stream, name):
+        query = SurgeQuery(
+            rect_width=1.0,
+            rect_height=1.0,
+            window_length=20.0,
+            k=3 if name.startswith("k") else 1,
+        )
+        backend = (
+            "python" if name in ("ccs", "bccs", "base", "ag2", "naive", "kccs") else None
+        )
+        original = SurgeMonitor(query, algorithm=name, backend=backend)
+        original.push_many(stream[:150])
+        path = tmp_path / f"{name}.snap"
+        header = original.save(path, meta={"chunk_offset": 9})
+        assert header["meta"]["algorithm"] == name
+        assert header["meta"]["objects_seen"] == 150
+        assert header["meta"]["chunk_offset"] == 9
+
+        restored = SurgeMonitor.load(path)
+        # The snapshot boundary must be invisible: finish the stream on both.
+        for chunk in iter_chunks(stream[150:], 37):
+            a = original.push_many(chunk)
+            b = restored.push_many(chunk)
+            assert result_key(a) == result_key(b)
+        assert [result_key(r) for r in original.top_k()] == [
+            result_key(r) for r in restored.top_k()
+        ]
+        assert original.objects_seen == restored.objects_seen
+        assert original.window_state() == restored.window_state()
+        assert original.is_stable == restored.is_stable
+
+    def test_load_rejects_other_kinds(self, tmp_path):
+        from repro.state import write_snapshot
+
+        path = tmp_path / "other.snap"
+        write_snapshot(path, "service-shard", {"not": "a monitor"})
+        with pytest.raises(SnapshotError, match="not the expected"):
+            SurgeMonitor.load(path)
+
+    def test_load_rejects_unknown_schema(self, tmp_path):
+        query = SurgeQuery(rect_width=1.0, rect_height=1.0, window_length=10.0)
+        monitor = SurgeMonitor(query, algorithm="gaps")
+        path = tmp_path / "monitor.snap"
+        monitor.save(path)
+        raw = path.read_bytes()
+        path.write_bytes(raw.replace(b"snapshot/v1", b"snapshot/v7", 1))
+        with pytest.raises(SnapshotSchemaError, match="snapshot/v7"):
+            SurgeMonitor.load(path)
+
+
+# ---------------------------------------------------------------------------
+# Service kill-and-restore across executors
+# ---------------------------------------------------------------------------
+def uninterrupted_run(stream, executor="serial", shards=1):
+    """Per-chunk trace + finals of a run that never crashes."""
+    trace = []
+    with SurgeService(make_specs(), shards=shards, executor=executor) as service:
+        for updates in service.run(stream, CHUNK_SIZE):
+            trace.append({u.query_id: result_key(u.result) for u in updates})
+        finals = {qid: result_key(r) for qid, r in service.results().items()}
+        top_k = {
+            qid: tuple(result_key(r) for r in results)
+            for qid, results in service.top_k().items()
+        }
+        counts = {
+            qid: (stats.objects_routed, stats.chunks_processed)
+            for qid, stats in service.stats().per_query.items()
+        }
+    return trace, finals, top_k, counts
+
+
+@pytest.fixture(scope="module")
+def reference(stream):
+    return uninterrupted_run(stream)
+
+
+@pytest.mark.parametrize(
+    "executor,shards", EXECUTOR_GRID, ids=[f"{e}-{s}shard" for e, s in EXECUTOR_GRID]
+)
+def test_kill_and_restore_equals_uninterrupted(
+    tmp_path, stream, reference, executor, shards
+):
+    """All 10 detectors crossing a crash under every executor backend."""
+    ref_trace, ref_finals, ref_top_k, ref_counts = reference
+    checkpoint_dir = tmp_path / "ckpt"
+
+    # The doomed service: checkpoint every 3 chunks, die after chunk 7 (the
+    # checkpoint at chunk 6 is durable; chunk 7's effects are lost).
+    doomed = SurgeService(
+        make_specs(),
+        shards=shards,
+        executor=executor,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_policy=CheckpointPolicy(every_chunks=3),
+    )
+    chunks = iter(iter_chunks(stream, CHUNK_SIZE))
+    with doomed:
+        for _ in range(7):
+            doomed.push_many(next(chunks))
+    del doomed  # in-memory state gone: this is the crash
+
+    restored = SurgeService.restore(checkpoint_dir, executor=executor)
+    assert restored.n_shards == shards
+    assert restored.chunk_offset == 6  # the last every-3-chunks checkpoint
+    with restored:
+        tail_trace = [
+            {u.query_id: result_key(u.result) for u in updates}
+            for updates in restored.run(
+                stream, CHUNK_SIZE, start_offset=restored.chunk_offset
+            )
+        ]
+        # The replayed tail reproduces the uninterrupted per-chunk updates,
+        # including re-living chunk 7, whose first run died with the process.
+        assert tail_trace == ref_trace[6:]
+        assert {qid: result_key(r) for qid, r in restored.results().items()} == (
+            ref_finals
+        )
+        assert {
+            qid: tuple(result_key(r) for r in results)
+            for qid, results in restored.top_k().items()
+        } == ref_top_k
+        assert {
+            qid: (stats.objects_routed, stats.chunks_processed)
+            for qid, stats in restored.stats().per_query.items()
+        } == ref_counts
+
+
+def test_restore_can_switch_executor(tmp_path, stream, reference):
+    """A checkpoint taken under one backend restores under another."""
+    _, ref_finals, _, _ = reference
+    checkpoint_dir = tmp_path / "ckpt"
+    with SurgeService(make_specs(), shards=2, executor="thread") as service:
+        for chunk in iter_chunks(stream[: 4 * CHUNK_SIZE], CHUNK_SIZE):
+            service.push_many(chunk)
+        service.checkpoint(checkpoint_dir)
+    restored = SurgeService.restore(checkpoint_dir, executor="serial")
+    assert restored.executor_name == "serial"
+    with restored:
+        for _ in restored.run(stream, CHUNK_SIZE, start_offset=restored.chunk_offset):
+            pass
+        assert {qid: result_key(r) for qid, r in restored.results().items()} == (
+            ref_finals
+        )
+
+
+def test_registry_mutations_survive_restore(tmp_path, stream):
+    """add/remove before the checkpoint keep their shard assignment after."""
+    specs = make_specs()[:4]
+    late = QuerySpec(
+        query_id="late",
+        query=SurgeQuery(rect_width=1.0, rect_height=1.0, window_length=20.0),
+        algorithm="ccs",
+        keyword="concert",
+        backend="python",
+    )
+    checkpoint_dir = tmp_path / "ckpt"
+
+    def play(service, mutate):
+        it = iter_chunks(stream, CHUNK_SIZE)
+        with service:
+            for _ in range(3):
+                service.push_many(next(it))
+            mutate(service)
+            for chunk in it:
+                service.push_many(chunk)
+            return {qid: result_key(r) for qid, r in service.results().items()}
+
+    def mutate(service):
+        service.remove_query(specs[1].query_id)
+        service.add_query(late)
+
+    expected = play(SurgeService(specs, shards=3), mutate)
+
+    def mutate_then_checkpoint(service):
+        mutate(service)
+        service.checkpoint()
+
+    doomed = SurgeService(
+        specs, shards=3, checkpoint_dir=checkpoint_dir
+    )
+    it = iter_chunks(stream, CHUNK_SIZE)
+    with doomed:
+        for _ in range(3):
+            doomed.push_many(next(it))
+        mutate_then_checkpoint(doomed)
+    restored = SurgeService.restore(checkpoint_dir)
+    with restored:
+        for chunk in iter_chunks(stream, CHUNK_SIZE, start_offset=3):
+            restored.push_many(chunk)
+        got = {qid: result_key(r) for qid, r in restored.results().items()}
+    assert got == expected
+
+
+# ---------------------------------------------------------------------------
+# Failure modes and plumbing
+# ---------------------------------------------------------------------------
+class TestRestoreValidation:
+    def test_restore_without_checkpoint(self, tmp_path):
+        with pytest.raises(SnapshotError, match="no service checkpoint"):
+            SurgeService.restore(tmp_path)
+
+    def test_unknown_manifest_schema(self, tmp_path, stream):
+        with SurgeService(make_specs()[:2], checkpoint_dir=tmp_path) as service:
+            service.push_many(stream[:50])
+            service.checkpoint()
+        path = manifest_path(tmp_path)
+        record = json.loads(path.read_text())
+        record["schema"] = "service-manifest/v42"
+        path.write_text(json.dumps(record))
+        with pytest.raises(SnapshotSchemaError) as excinfo:
+            SurgeService.restore(tmp_path)
+        assert "service-manifest/v42" in str(excinfo.value)
+        assert "service-manifest/v1" in str(excinfo.value)
+
+    def test_missing_shard_file(self, tmp_path, stream):
+        with SurgeService(make_specs()[:2], shards=2, checkpoint_dir=tmp_path) as s:
+            s.push_many(stream[:50])
+            s.checkpoint()
+        victim = next(tmp_path.glob("shard-01*.ckpt"))
+        victim.unlink()
+        with pytest.raises(SnapshotError, match="missing shard snapshot"):
+            SurgeService.restore(tmp_path)
+
+    def test_checkpoint_without_directory(self, stream):
+        with SurgeService(make_specs()[:1]) as service:
+            service.push_many(stream[:50])
+            with pytest.raises(ValueError, match="no checkpoint directory"):
+                service.checkpoint()
+
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    def test_scatter_requires_one_message_per_shard(self, executor):
+        from repro.service.shards import make_executor
+
+        backend = make_executor(executor, [[], []])
+        try:
+            with pytest.raises(ValueError, match="one message per shard"):
+                backend.scatter([("results",)])
+        finally:
+            backend.close()
+
+
+class TestDurabilityPlumbing:
+    def test_wal_records_every_chunk_and_checkpoint(self, tmp_path, stream):
+        with SurgeService(
+            make_specs()[:2],
+            checkpoint_dir=tmp_path,
+            checkpoint_policy=CheckpointPolicy(every_chunks=2),
+        ) as service:
+            for _ in service.run(stream[: 5 * CHUNK_SIZE], CHUNK_SIZE):
+                pass
+        state = ChunkWal.read(wal_path(tmp_path))
+        # 5 chunks, checkpoints after chunks 2 and 4: the WAL holds the
+        # generation-2 checkpoint plus the single chunk after it.
+        assert state.checkpoint is not None
+        assert state.checkpoint.chunk_offset == 4
+        assert state.checkpoint.generation == 2
+        assert state.lost_chunks == 1
+        assert state.next_chunk_offset == 5
+        manifest = read_manifest(tmp_path)
+        assert manifest.chunk_offset == 4
+        # Only the newest generation's shard files remain on disk.
+        assert sorted(p.name for p in tmp_path.glob("shard-*.ckpt")) == [
+            "shard-00.g000002.ckpt"
+        ]
+
+    def test_fresh_attach_refuses_an_existing_checkpoint(self, tmp_path, stream):
+        """Constructing over someone else's checkpoint must not clobber it."""
+        with SurgeService(make_specs()[:1], checkpoint_dir=tmp_path) as service:
+            service.push_many(stream[:50])
+            service.checkpoint()
+        with pytest.raises(ValueError, match="restore"):
+            SurgeService(make_specs()[:1], checkpoint_dir=tmp_path)
+        # The original checkpoint is untouched and still restores.
+        with SurgeService.restore(tmp_path, attach=False) as restored:
+            assert restored.chunk_offset == 1
+
+    def test_restore_resets_the_stale_wal(self, tmp_path, stream):
+        """Replayed chunks must not be double-counted by the crash-era log."""
+        doomed = SurgeService(
+            make_specs()[:2],
+            checkpoint_dir=tmp_path,
+            checkpoint_policy=CheckpointPolicy(every_chunks=3),
+        )
+        chunks = iter(iter_chunks(stream, CHUNK_SIZE))
+        with doomed:
+            for _ in range(5):  # checkpoint at 3; chunks 3 and 4 die with us
+                doomed.push_many(next(chunks))
+        assert ChunkWal.read(wal_path(tmp_path)).lost_chunks == 2
+        restored = SurgeService.restore(tmp_path)
+        with restored:
+            for chunk in iter_chunks(stream, CHUNK_SIZE, start_offset=3):
+                restored.push_many(chunk)
+        state = ChunkWal.read(wal_path(tmp_path))
+        offsets = [record["chunk"] for record in state.chunks_after_checkpoint]
+        # Exactly-once ledger: every offset after the last checkpoint appears
+        # once — the crash-era records for chunks 3 and 4 were reset away.
+        assert offsets == sorted(set(offsets))
+        assert state.next_chunk_offset == restored.chunk_offset
+
+    def test_empty_chunks_do_not_advance_the_replay_offset(self, tmp_path, stream):
+        with SurgeService(make_specs()[:1], checkpoint_dir=tmp_path) as service:
+            service.push_many(stream[:30])
+            service.push_many([])  # a no-op for every monitor
+            service.push_many(stream[30:60])
+            assert service.chunk_offset == 2  # only the real chunks count
+        state = ChunkWal.read(wal_path(tmp_path))
+        assert [record["chunk"] for record in state.chunks_after_checkpoint] == [0, 1]
+
+    def test_registry_changes_are_immediately_durable(self, tmp_path, stream):
+        """A crash right after add/remove must not lose the registry change."""
+        late = QuerySpec(
+            query_id="late",
+            query=SurgeQuery(rect_width=1.0, rect_height=1.0, window_length=20.0),
+            algorithm="ccs",
+            keyword="concert",
+            backend="python",
+        )
+        doomed = SurgeService(make_specs()[:2], shards=2, checkpoint_dir=tmp_path)
+        with doomed:
+            doomed.push_many(stream[:50])
+            doomed.add_query(late)
+            removed = make_specs()[0].query_id
+            doomed.remove_query(removed)
+            # Crash immediately: no explicit checkpoint after the mutations.
+        restored = SurgeService.restore(tmp_path, attach=False)
+        with restored:
+            assert "late" in restored.query_ids
+            assert removed not in restored.query_ids
+
+    def test_stream_time_policy_triggers(self, tmp_path, stream):
+        # Arrivals are ~0.3s apart with a 150s jump mid-stream; a 40s policy
+        # must checkpoint at least at the jump.
+        with SurgeService(
+            make_specs()[:2],
+            checkpoint_dir=tmp_path,
+            checkpoint_policy=CheckpointPolicy(every_stream_seconds=40.0),
+        ) as service:
+            for _ in service.run(stream, CHUNK_SIZE):
+                pass
+        assert read_manifest(tmp_path).generation >= 2
+
+    def test_resume_after_completion_is_a_noop(self, tmp_path, stream):
+        with SurgeService(make_specs()[:3], checkpoint_dir=tmp_path) as service:
+            for _ in service.run(stream, CHUNK_SIZE):
+                pass
+            service.checkpoint()
+            finals = {qid: result_key(r) for qid, r in service.results().items()}
+        restored = SurgeService.restore(tmp_path)
+        with restored:
+            replayed = list(
+                restored.run(stream, CHUNK_SIZE, start_offset=restored.chunk_offset)
+            )
+            assert replayed == []
+            assert {
+                qid: result_key(r) for qid, r in restored.results().items()
+            } == finals
+
+    def test_manual_checkpoint_to_explicit_directory(self, tmp_path, stream):
+        target = tmp_path / "one-off"
+        with SurgeService(make_specs()[:2]) as service:
+            service.push_many(stream[:100])
+            path = service.checkpoint(target)
+            assert path == manifest_path(target)
+            # One-off checkpoints do not attach the directory.
+            assert service.checkpoint_dir is None
+        restored = SurgeService.restore(target, attach=False)
+        with restored:
+            assert restored.chunk_offset == 1
+
+
+class TestMeasureRecovery:
+    """The staged-crash harness behind ``benchmarks/bench_recovery.py``."""
+
+    def test_times_both_paths_and_asserts_parity(self, tmp_path, stream):
+        from repro.evaluation.runner import measure_recovery
+
+        outcome = measure_recovery(
+            make_specs()[:3],
+            stream,
+            tmp_path / "crash",
+            chunk_size=CHUNK_SIZE,
+            checkpoint_every=2,
+            crash_fraction=0.75,
+        )
+        assert outcome.chunks_total == -(-len(stream) // CHUNK_SIZE)
+        assert 0 < outcome.crash_chunk_offset < outcome.chunks_total
+        assert 0 < outcome.checkpoint_chunk_offset <= outcome.crash_chunk_offset
+        assert outcome.checkpoints_written >= 1
+        assert outcome.full_replay_seconds > 0.0
+        assert outcome.restore_seconds > 0.0
+        assert outcome.resume_seconds == (
+            outcome.restore_seconds + outcome.tail_replay_seconds
+        )
+        assert outcome.speedup_vs_full_replay > 0.0
+
+    def test_refuses_a_crash_before_any_checkpoint(self, tmp_path, stream):
+        from repro.evaluation.runner import measure_recovery
+
+        with pytest.raises(ValueError, match="no checkpoint was taken"):
+            measure_recovery(
+                make_specs()[:1],
+                stream,
+                tmp_path / "crash",
+                chunk_size=CHUNK_SIZE,
+                checkpoint_every=10_000,
+            )
+
+    def test_refuses_a_stream_too_short_to_crash(self, tmp_path, stream):
+        from repro.evaluation.runner import measure_recovery
+
+        with pytest.raises(ValueError, match="too short"):
+            measure_recovery(
+                make_specs()[:1],
+                stream[:10],
+                tmp_path / "crash",
+                chunk_size=1_000,
+            )
+
+
+# ---------------------------------------------------------------------------
+# CLI: repro serve --checkpoint-dir / --resume
+# ---------------------------------------------------------------------------
+class TestCliResume:
+    @pytest.fixture()
+    def cli_env(self, tmp_path, stream):
+        from repro.cli import main
+        from repro.datasets.io import write_csv_stream
+
+        cut = 5 * CHUNK_SIZE  # a chunk boundary, so prefix chunks line up
+        full = tmp_path / "stream.csv"
+        partial = tmp_path / "partial.csv"
+        write_csv_stream(full, stream)
+        write_csv_stream(partial, stream[:cut])
+        queries = tmp_path / "queries.json"
+        queries.write_text(
+            json.dumps(
+                [
+                    {"id": "concerts", "keyword": "concert", "rect": [1.0, 1.0],
+                     "window": 20, "backend": "python"},
+                    {"id": "all", "rect": [1.2, 1.2], "window": 15,
+                     "algorithm": "gaps"},
+                ]
+            )
+        )
+        return main, tmp_path, full, partial, queries
+
+    @staticmethod
+    def serve(main, stream_file, *extra):
+        return main(
+            ["serve", str(stream_file), "--chunk-size", str(CHUNK_SIZE), *extra]
+        )
+
+    @staticmethod
+    def finals(capsys):
+        out = capsys.readouterr().out.splitlines()
+        return out[out.index("final results:") :]
+
+    def test_crash_and_resume_matches_uninterrupted(self, cli_env, capsys):
+        main, tmp_path, full, partial, queries = cli_env
+        ckpt = tmp_path / "ckpt"
+
+        assert self.serve(main, full, "--queries", str(queries)) == 0
+        expected = self.finals(capsys)
+
+        # The "crash": the victim only ever saw the stream prefix (cut at a
+        # chunk boundary), checkpointing as it went.
+        assert (
+            self.serve(
+                main,
+                partial,
+                "--queries",
+                str(queries),
+                "--checkpoint-dir",
+                str(ckpt),
+                "--checkpoint-every",
+                "2",
+            )
+            == 0
+        )
+        capsys.readouterr()
+        # Resume over the full stream replays only the unseen chunks.
+        assert self.serve(main, full, "--resume", "--checkpoint-dir", str(ckpt)) == 0
+        assert self.finals(capsys) == expected
+
+    def test_resume_defaults_to_the_recorded_executor(self, cli_env, capsys):
+        """--resume without --executor must not downgrade the backend."""
+        main, tmp_path, full, partial, queries = cli_env
+        ckpt = tmp_path / "ckpt"
+        assert (
+            self.serve(
+                main, partial, "--queries", str(queries),
+                "--executor", "thread", "--shards", "2",
+                "--checkpoint-dir", str(ckpt),
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert self.serve(main, full, "--resume", "--checkpoint-dir", str(ckpt)) == 0
+        err = capsys.readouterr().err
+        assert "executor=thread" in err
+        assert "shards=2" in err
+
+    def test_resume_requires_checkpoint_dir(self, cli_env, capsys):
+        main, _, full, _, _ = cli_env
+        assert self.serve(main, full, "--resume") == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_resume_refuses_other_chunk_size(self, cli_env, capsys):
+        main, tmp_path, full, partial, queries = cli_env
+        ckpt = tmp_path / "ckpt"
+        assert (
+            self.serve(
+                main, partial, "--queries", str(queries),
+                "--checkpoint-dir", str(ckpt),
+            )
+            == 0
+        )
+        capsys.readouterr()
+        code = main(
+            ["serve", str(full), "--chunk-size", str(CHUNK_SIZE + 1),
+             "--resume", "--checkpoint-dir", str(ckpt)]
+        )
+        assert code == 2
+        assert "chunk-size" in capsys.readouterr().err
+
+    def test_fresh_start_refuses_existing_checkpoint(self, cli_env, capsys):
+        main, tmp_path, full, partial, queries = cli_env
+        ckpt = tmp_path / "ckpt"
+        assert (
+            self.serve(
+                main, partial, "--queries", str(queries),
+                "--checkpoint-dir", str(ckpt),
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert (
+            self.serve(
+                main, full, "--queries", str(queries), "--checkpoint-dir", str(ckpt)
+            )
+            == 2
+        )
+        assert "--resume" in capsys.readouterr().err
+
+    def test_seconds_only_policy_keeps_the_chunk_default(self, tmp_path):
+        """--checkpoint-every-seconds adds a trigger, it does not drop one."""
+        from repro.cli import _build_parser, _build_serve_service
+        from repro.service.service import DEFAULT_CHECKPOINT_EVERY_CHUNKS
+
+        args = _build_parser().parse_args(
+            ["serve", "ignored.csv", "--queries", "also-ignored.json",
+             "--checkpoint-dir", str(tmp_path / "d"),
+             "--checkpoint-every-seconds", "3600"]
+        )
+        # Build only the policy path: the queries file does not exist, so
+        # stop at the load error after the policy was already constructed.
+        with pytest.raises(ValueError, match="failed to load"):
+            _build_serve_service(args)
+        from repro.state import CheckpointPolicy
+
+        policy = CheckpointPolicy(
+            every_chunks=DEFAULT_CHECKPOINT_EVERY_CHUNKS,
+            every_stream_seconds=3600.0,
+        )
+        # Re-parse with an existing queries file to observe the policy.
+        queries = tmp_path / "q.json"
+        queries.write_text(
+            json.dumps([{"id": "q", "rect": [1.0, 1.0], "window": 20}])
+        )
+        args = _build_parser().parse_args(
+            ["serve", "ignored.csv", "--queries", str(queries),
+             "--checkpoint-dir", str(tmp_path / "d"),
+             "--checkpoint-every-seconds", "3600"]
+        )
+        service, offset = _build_serve_service(args)
+        with service:
+            assert offset == 0
+            assert service.checkpoint_policy == policy
+
+    def test_checkpoint_flags_require_directory(self, cli_env, capsys):
+        main, _, full, _, queries = cli_env
+        assert (
+            self.serve(
+                main, full, "--queries", str(queries), "--checkpoint-every", "4"
+            )
+            == 2
+        )
+        assert "--checkpoint-dir" in capsys.readouterr().err

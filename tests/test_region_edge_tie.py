@@ -1,25 +1,24 @@
-"""Regression pin for the ROADMAP "Open items" edge-tie reporting caveat.
+"""Regression pin for the (now fixed) edge-tie region-reporting caveat.
 
-All point-based detectors report the CSPOT bursty *point* exactly, but the
-*region* handed to callers is derived via
+All point-based detectors report the CSPOT bursty *point* exactly.  The
+*region* handed to callers used to be derived via
 :func:`repro.geometry.primitives.rect_from_top_right`, i.e. ``point -
-extent``.  When the optimal point lies exactly on a rectangle object's
-closed edge, that inverse mapping can round to a different float than the
-forward ``object + extent`` mapping, and the derived region then excludes a
-boundary object whose weight the point legitimately counts: the score is
-exact, the region representation is lossy.
+extent``; when the optimal point lay exactly on a rectangle object's closed
+edge, that inverse mapping could round to a different float than the forward
+``object + extent`` mapping, and the derived region then excluded a boundary
+object whose weight the point legitimately counts.  Regions are now mapped
+back through :func:`repro.geometry.primitives.region_covering_point`, whose
+edges are chosen so closed-region membership matches CSPOT coverage exactly,
+so the region is faithful even on edge ties.
 
 The construction below forces the tie deterministically: object B's
 coverage interval starts at exactly ``A.x + width`` (a float that ``- width``
 does not round back to ``A.x``), so the unique optimal point sits on A's
-closed right/top edge.  The reported score counts both objects; the
-reported region contains only B.
+closed right/top edge.  The reported score counts both objects — and so must
+the reported region.
 
-The test is ``xfail(strict=True)``: it documents today's behaviour and will
-*fail the suite the day the caveat is fixed*, so the fix flips the marker
-deliberately (and updates the ROADMAP note and the
-``tests/test_batch_parity.py`` module docstring, which verify reported
-points in CSPOT space to sidestep exactly this).
+``test_edge_tie_region_is_faithful`` was ``xfail(strict=True)`` while the
+caveat stood; it now passes and pins the fix.
 """
 
 from __future__ import annotations
@@ -78,21 +77,13 @@ def test_edge_tie_point_is_exact():
     )
 
 
-@pytest.mark.xfail(
-    strict=True,
-    reason="ROADMAP Open items: rect_from_top_right(point) rounds differently "
-    "than object + extent on edge ties, so the derived region drops a "
-    "boundary object the point legitimately counts (region representation "
-    "is lossy; scores and points are exact)",
-)
 def test_edge_tie_region_is_faithful():
-    """The derived region should cover the same weight as the bursty point.
+    """The derived region covers the same weight as the bursty point.
 
-    This is the caveat pin: today ``region_weight < point_weight`` because
-    the region's ``min_x`` rounds to just above object A's x.  When a future
-    PR makes the region mapping faithful on edge ties, this starts passing
-    and ``strict=True`` forces that PR to remove the marker (and retire the
-    ROADMAP note).
+    This was the caveat pin (``xfail(strict=True)`` until the fix):
+    ``region_weight`` came up short because the region's ``min_x`` rounded to
+    just above object A's x.  ``region_covering_point`` picks the edge so the
+    boundary object is inside the closed region, making the two weights equal.
     """
     monitor, _ = edge_tie_monitor()
     result = monitor.result()

@@ -4,7 +4,10 @@ A Hypothesis :class:`RuleBasedStateMachine` drives three live
 :class:`~repro.service.SurgeService` instances (serial×1-shard — the
 reference — serial×3-shard and thread×2-shard) through random interleavings
 of ``push`` / ``push_many`` / ``advance_time`` / ``add_query`` /
-``remove_query``, mirroring every operation onto two oracles:
+``remove_query`` / ``checkpoint_restore`` (kill one service and resurrect
+it from a durable checkpoint mid-interleaving — the restored instance must
+be indistinguishable from the others from then on), mirroring every
+operation onto two oracles:
 
 * a **batch oracle** — one private :class:`~repro.core.monitor.SurgeMonitor`
   per query fed the keyword-filtered slice of exactly the same chunks.  The
@@ -27,6 +30,10 @@ dependency; the library itself stays dependency-free).
 """
 
 from __future__ import annotations
+
+import shutil
+import tempfile
+from pathlib import Path
 
 import pytest
 
@@ -78,6 +85,8 @@ class ServiceEquivalenceMachine(RuleBasedStateMachine):
         self.time = 0.0
         self.next_object_id = 0
         self.next_query_index = 0
+        self.workdir = Path(tempfile.mkdtemp(prefix="service-stateful-"))
+        self.next_checkpoint_index = 0
 
     @initialize()
     def start_services(self) -> None:
@@ -176,6 +185,24 @@ class ServiceEquivalenceMachine(RuleBasedStateMachine):
             service.push(chunk[0])
         self._mirror_chunk(chunk)
 
+    @rule(service_index=st.integers(min_value=0, max_value=2))
+    def checkpoint_restore(self, service_index) -> None:
+        """Kill one service and resurrect it from a durable checkpoint.
+
+        The restored instance replaces the original in the fleet, so every
+        subsequent rule and invariant exercises it against the survivors and
+        the oracles — a checkpoint/restore cycle at an arbitrary point of an
+        arbitrary operation interleaving must be unobservable.
+        """
+        victim = self.services[service_index]
+        checkpoint_dir = self.workdir / f"ckpt-{self.next_checkpoint_index}"
+        self.next_checkpoint_index += 1
+        victim.checkpoint(checkpoint_dir)
+        victim.close()  # the "crash": all in-memory state is gone
+        self.services[service_index] = SurgeService.restore(
+            checkpoint_dir, attach=False
+        )
+
     @rule(dt=st.floats(min_value=0.0, max_value=40.0, allow_nan=False))
     def advance_time(self, dt) -> None:
         self.time += dt
@@ -243,6 +270,7 @@ class ServiceEquivalenceMachine(RuleBasedStateMachine):
     def teardown(self) -> None:
         for service in self.services:
             service.close()
+        shutil.rmtree(self.workdir, ignore_errors=True)
 
 
 ServiceEquivalenceMachine.TestCase.settings = settings(

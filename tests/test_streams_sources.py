@@ -118,3 +118,44 @@ class TestIterChunks:
     def test_rejects_non_positive_chunk_size(self):
         with pytest.raises(ValueError):
             list(iter_chunks([obj(0.0)], 0))
+
+
+class TestIterChunksStartOffset:
+    """The replay primitive of checkpoint recovery (repro.state).
+
+    The contract: ``iter_chunks(stream, size, start_offset=k)`` yields
+    exactly the chunks an uninterrupted ``iter_chunks(stream, size)`` would
+    have produced from chunk ``k`` on — same boundaries, same objects, same
+    ragged tail — for both sequence and lazy-iterator sources.
+    """
+
+    def test_offset_resume_matches_uninterrupted_tail(self):
+        stream = [obj(float(i), i) for i in range(23)]
+        for chunk_size in (1, 4, 7, 23, 50):
+            full = list(iter_chunks(stream, chunk_size))
+            for k in range(len(full) + 2):
+                resumed = list(iter_chunks(stream, chunk_size, start_offset=k))
+                assert resumed == full[k:], (chunk_size, k)
+
+    def test_offset_resume_on_lazy_iterators(self):
+        full = list(iter_chunks((obj(float(i), i) for i in range(23)), 4))
+        for k in range(len(full) + 2):
+            resumed = list(
+                iter_chunks((obj(float(i), i) for i in range(23)), 4, start_offset=k)
+            )
+            assert resumed == full[k:], k
+
+    def test_offset_zero_is_the_default(self):
+        stream = [obj(float(i), i) for i in range(9)]
+        assert list(iter_chunks(stream, 2, start_offset=0)) == list(
+            iter_chunks(stream, 2)
+        )
+
+    def test_offset_past_the_end_yields_nothing(self):
+        stream = [obj(float(i), i) for i in range(5)]
+        assert list(iter_chunks(stream, 2, start_offset=3)) == []
+        assert list(iter_chunks(iter(stream), 2, start_offset=3)) == []
+
+    def test_rejects_negative_offset(self):
+        with pytest.raises(ValueError):
+            list(iter_chunks([obj(0.0)], 1, start_offset=-1))
