@@ -12,6 +12,10 @@
 #   make smoke-recovery SIGKILL a checkpointing `repro serve` mid-stream and
 #                      assert the --resume run reproduces the uninterrupted
 #                      results (the CI crash/recovery smoke)
+#   make smoke-shared  replay a q64 grid under the shared-work execution plan
+#                      (serial + 2-shard process + a cross-plan checkpoint
+#                      resume) and assert bit-identity with the unshared
+#                      plan (the CI shared-plan smoke)
 #   make coverage      unit suite under pytest-cov with the pinned fail-under
 #                      (requires pytest-cov; the CI coverage leg runs this)
 #   make lint          byte-compile every source tree as a fast syntax/import gate
@@ -29,7 +33,7 @@ BENCH_FLAGS ?=
 COVERAGE_MIN ?= 92
 
 .PHONY: test bench bench-sweep bench-ingest bench-service bench-recovery \
-	smoke-recovery coverage lint
+	smoke-recovery smoke-shared coverage lint
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -50,6 +54,9 @@ bench-recovery:
 
 smoke-recovery:
 	$(PYTHON) scripts/recovery_smoke.py
+
+smoke-shared:
+	$(PYTHON) scripts/shared_plan_smoke.py
 
 coverage:
 	$(PYTHON) -m pytest tests -q --cov=repro --cov-report=term-missing:skip-covered \

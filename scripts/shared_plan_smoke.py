@@ -1,0 +1,177 @@
+"""CI smoke: the q64 shared-work execution plan changes no answer.
+
+Replays one keyword-tagged stream through a 64-query grid (the
+``group_aligned`` variant of :func:`repro.service.make_query_grid`, so the
+grid contains both window-sharing and exact-duplicate detector-sharing
+groups) four ways:
+
+* ``serial`` / 1 shard with the shared plan **off** — the per-query
+  predicate-scan reference;
+* ``serial`` / 1 shard with the shared plan **on**;
+* ``process`` / 2 shards with the shared plan on (worker processes build
+  and run the plan on their side of the pickle boundary);
+* ``serial`` shared with a mid-stream checkpoint, a simulated crash, and a
+  cross-plan restore (``shared_plan=False``) that replays the tail — the
+  plan must also be invisible across the durability boundary.
+
+Every variant must report bit-identical final results, top-k lists and
+routed-object counts.  Exercised as a standalone script (``make
+smoke-shared``) because the process-executor leg depends on worker process
+spawning, which only breaks outside the unit-test process.
+
+Usage::
+
+    PYTHONPATH=src python scripts/shared_plan_smoke.py [--objects N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.service import SurgeService, make_query_grid
+from repro.streams.objects import SpatialObject
+from repro.streams.sources import iter_chunks
+
+VOCABULARY = ("traffic", "food", "weather", "sports", "news", "music", "work", "travel")
+CHUNK_SIZE = 256
+N_QUERIES = 64
+
+
+def make_stream(n_objects: int, seed: int = 20180416) -> list[SpatialObject]:
+    rng = random.Random(seed)
+    return [
+        SpatialObject(
+            x=rng.uniform(0.0, 8.0),
+            y=rng.uniform(0.0, 8.0),
+            timestamp=float(index),
+            weight=rng.uniform(0.5, 10.0),
+            object_id=index,
+            attributes={"keywords": (rng.choice(VOCABULARY),)},
+        )
+        for index in range(n_objects)
+    ]
+
+
+def make_specs() -> list:
+    return make_query_grid(
+        N_QUERIES,
+        base_window=120.0,
+        algorithm="ccs",
+        backend="python",
+        keywords=VOCABULARY,
+        group_aligned=True,
+    )
+
+
+def fingerprint(service: SurgeService) -> dict:
+    """Bitwise observable state: finals, top-k and routed counts per query."""
+
+    def key(result):
+        if result is None:
+            return None
+        return (
+            result.score,
+            result.region.as_tuple(),
+            result.point.as_tuple(),
+            result.fc,
+            result.fp,
+        )
+
+    return {
+        "finals": {qid: key(r) for qid, r in service.results().items()},
+        "top_k": {
+            qid: tuple(key(r) for r in results)
+            for qid, results in service.top_k().items()
+        },
+        "routed": {
+            qid: stats.objects_routed
+            for qid, stats in service.stats().per_query.items()
+        },
+    }
+
+
+def replay(stream, *, executor: str, shards: int, shared_plan: bool):
+    started = time.perf_counter()
+    with SurgeService(
+        make_specs(), shards=shards, executor=executor, shared_plan=shared_plan
+    ) as service:
+        for _ in service.run(stream, CHUNK_SIZE):
+            pass
+        wall = time.perf_counter() - started
+        return fingerprint(service), wall
+
+
+def replay_with_crash(stream, workdir: Path):
+    """Shared-plan service, checkpoint mid-stream, cross-plan resume."""
+    checkpoint_dir = workdir / "ckpt"
+    doomed = SurgeService(make_specs(), shared_plan=True, checkpoint_dir=checkpoint_dir)
+    chunks = iter(iter_chunks(stream, CHUNK_SIZE))
+    crash_after = max(1, len(stream) // (2 * CHUNK_SIZE))
+    with doomed:
+        for _ in range(crash_after):
+            doomed.push_many(next(chunks))
+        doomed.checkpoint()
+    del doomed  # the crash: all in-memory state gone
+
+    restored = SurgeService.restore(checkpoint_dir, shared_plan=False)
+    assert restored.shared_plan is False
+    with restored:
+        for chunk in iter_chunks(stream, CHUNK_SIZE, start_offset=restored.chunk_offset):
+            restored.push_many(chunk)
+        return fingerprint(restored)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--objects", type=int, default=2048)
+    args = parser.parse_args()
+
+    stream = make_stream(args.objects)
+    print(
+        f"shared-plan smoke: q{N_QUERIES} group-aligned grid, "
+        f"{len(stream)} objects, chunk {CHUNK_SIZE}",
+        flush=True,
+    )
+
+    reference, wall_unshared = replay(
+        stream, executor="serial", shards=1, shared_plan=False
+    )
+    print(f"  serial/unshared reference: {wall_unshared:6.2f}s", flush=True)
+
+    failures = []
+    variants = [
+        ("serial/1-shard/shared", dict(executor="serial", shards=1, shared_plan=True)),
+        ("process/2-shard/shared", dict(executor="process", shards=2, shared_plan=True)),
+    ]
+    for label, kwargs in variants:
+        got, wall = replay(stream, **kwargs)
+        status = "ok" if got == reference else "DIVERGED"
+        print(f"  {label}: {wall:6.2f}s  {status}", flush=True)
+        if got != reference:
+            failures.append(label)
+
+    workdir = Path(tempfile.mkdtemp(prefix="shared-plan-smoke-"))
+    try:
+        got = replay_with_crash(stream, workdir)
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    status = "ok" if got == reference else "DIVERGED"
+    print(f"  shared checkpoint -> unshared resume: {status}", flush=True)
+    if got != reference:
+        failures.append("cross-plan resume")
+
+    if failures:
+        print(f"FAILED: {', '.join(failures)} diverged from the unshared reference")
+        return 1
+    print("shared-plan smoke passed: all variants bit-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

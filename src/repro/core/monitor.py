@@ -31,7 +31,7 @@ from typing import Any, Callable, Iterable, Iterator, Mapping
 
 from repro.core.base import BurstyRegionDetector, RegionResult
 from repro.core.query import SurgeQuery
-from repro.streams.objects import SpatialObject, WindowEvent
+from repro.streams.objects import EventBatch, SpatialObject, WindowEvent
 from repro.streams.windows import SlidingWindowPair, WindowState
 
 #: ``kind`` tag of monitor snapshot files (see :mod:`repro.state.snapshot`).
@@ -161,11 +161,50 @@ class SurgeMonitor:
         once at the end — so result maintenance is amortised over the chunk
         instead of paid per event.  The returned result matches pushing the
         objects one at a time, up to floating-point associativity.
+
+        The two halves are exposed separately as :meth:`ingest_batch` (the
+        window half) and :meth:`apply_batch` (the detector half) so that the
+        multi-query service's shared execution plan can run the window half
+        once per *group* of queries and fan the resulting batch out to each
+        member detector.
         """
-        batch = self.windows.observe_batch(objs)
+        return self.apply_batch(self.ingest_batch(objs))
+
+    def ingest_batch(self, objs: Iterable[SpatialObject]) -> "EventBatch":
+        """The window half of :meth:`push_many`: objects → one event batch.
+
+        Advances the sliding-window pair over the whole timestamp-ordered
+        chunk and returns the grouped
+        :class:`~repro.streams.objects.EventBatch` without touching the
+        detector.  Callers that share one window pair across several
+        detectors (see :mod:`repro.service.shards`) call this once and then
+        :meth:`apply_batch` per detector.
+        """
+        return self.windows.observe_batch(objs)
+
+    def apply_batch(self, batch: "EventBatch") -> RegionResult | None:
+        """The detector half of :meth:`push_many`: event batch → result.
+
+        Applies an :class:`~repro.streams.objects.EventBatch` (produced by
+        :meth:`ingest_batch` — possibly of a *shared* window pair) to this
+        monitor's detector, accounts the arrivals, and settles the result
+        once.
+        """
         self.detector.apply_events(batch)
         self._objects_seen += batch.arrivals
         return self.detector.result()
+
+    def drain_time(self, time: float) -> list[WindowEvent]:
+        """The window half of :meth:`advance_time`: clock advance → events.
+
+        Moves the stream clock forward and returns the ``GROWN`` /
+        ``EXPIRED`` events it triggered, without feeding the detector;
+        combined with :meth:`push_events` this is exactly
+        :meth:`advance_time`, split so shared-window consumers can advance
+        a group-owned pair once and fan the events out — and skip the
+        result settle entirely when the advance crossed no deadline.
+        """
+        return self.windows.advance_time(time)
 
     def push_events(self, events: Iterable[WindowEvent]) -> RegionResult | None:
         """Feed pre-computed window events directly (advanced use)."""

@@ -174,6 +174,7 @@ class ServiceRunResult:
     shards: int
     chunk_size: int
     n_queries: int
+    shared_plan: bool
     objects_total: int
     wall_seconds: float
     object_query_pairs: int
@@ -194,6 +195,7 @@ def run_service(
     *,
     shards: int = 1,
     executor: str = "serial",
+    shared_plan: bool = True,
     chunk_size: int = 512,
     checkpoint_dir=None,
     checkpoint_policy=None,
@@ -206,6 +208,11 @@ def run_service(
     protocol's warm-up condition does not apply because each query has its
     own window clock).
 
+    ``shared_plan`` selects the shard execution plan (see
+    :mod:`repro.service.shards`); results are bit-identical either way, so
+    benchmarking the same workload under both isolates the shared-work
+    speedup (``benchmarks/bench_service.py``).
+
     ``checkpoint_dir`` / ``checkpoint_policy`` (see :mod:`repro.state`)
     enable durable checkpoints *inside* the measured window, so comparing a
     checkpointed run against a plain one over the same stream isolates the
@@ -217,6 +224,7 @@ def run_service(
         specs,
         shards=shards,
         executor=executor,
+        shared_plan=shared_plan,
         checkpoint_dir=checkpoint_dir,
         checkpoint_policy=checkpoint_policy,
     ) as service:
@@ -248,6 +256,7 @@ def run_service(
         shards=shards,
         chunk_size=chunk_size,
         n_queries=len(specs),
+        shared_plan=shared_plan,
         objects_total=len(stream),
         wall_seconds=wall,
         object_query_pairs=len(stream) * len(specs),
@@ -409,6 +418,7 @@ def service_scenario_grid(
     query_counts: Sequence[int] = (1, 8),
     shard_counts: Sequence[int] = (1, 2),
     executors: Sequence[str] = ("serial",),
+    shared_plan: bool = True,
     chunk_size: int = 512,
     **grid_options,
 ) -> list[ServiceRunResult]:
@@ -435,6 +445,7 @@ def service_scenario_grid(
                 stream,
                 shards=shards,
                 executor=executor,
+                shared_plan=shared_plan,
                 chunk_size=chunk_size,
             )
         )

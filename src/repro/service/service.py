@@ -5,7 +5,14 @@ every registered :class:`~repro.service.spec.QuerySpec`:
 
 * **routing** — each query sees only the objects its keyword predicate
   accepts (``None`` = the whole stream), exactly as if it ran a private
-  :class:`~repro.core.monitor.SurgeMonitor` over the filtered substream;
+  :class:`~repro.core.monitor.SurgeMonitor` over the filtered substream.
+  By default shards run the *shared-work execution plan*: the chunk is
+  bucketed by keyword once (O(chunk + matches) instead of
+  O(queries × chunk)), same-keyword/same-window queries share one sliding
+  window pair and one event batch, and fully identical specs share the
+  detector itself — bit-identical to the unshared plan, just without the
+  redundant work (see :mod:`repro.service.shards`; ``shared_plan=False``
+  is the escape hatch);
 * **shared chunking** — the stream is cut into chunks once; every chunk is
   broadcast to each shard exactly once, and inside the shard each query's
   monitor ingests its filtered slice through the batched ``push_many`` path;
@@ -76,6 +83,13 @@ class SurgeService:
         registration order).
     executor:
         Shard execution backend: ``"serial"``, ``"thread"`` or ``"process"``.
+    shared_plan:
+        Whether shards run the shared-work execution plan (inverted keyword
+        routing, shared window groups and shared detector units — see
+        :mod:`repro.service.shards`).  Default on; results are bit-identical
+        either way, the plan only removes redundant work, so ``False`` is an
+        escape hatch (``repro serve --no-shared-plan``) and the baseline the
+        plan's speedup is benchmarked against.
     checkpoint_dir:
         Optional checkpoint directory (see :mod:`repro.state`).  When given,
         every ingested chunk is recorded in the directory's write-ahead log
@@ -98,6 +112,7 @@ class SurgeService:
         *,
         shards: int = 1,
         executor: str = "serial",
+        shared_plan: bool = True,
         checkpoint_dir: str | Path | None = None,
         checkpoint_policy: CheckpointPolicy | None = None,
         checkpoint_extra: Mapping[str, Any] | None = None,
@@ -111,6 +126,7 @@ class SurgeService:
             )
         self.executor_name = executor.lower()
         self.n_shards = shards
+        self.shared_plan = bool(shared_plan)
         # Round-robin assignment keyed to a monotone registration counter:
         # removals never reshuffle surviving queries, so a given sequence of
         # add/remove operations lands every query on the same shard under
@@ -123,7 +139,9 @@ class SurgeService:
         for spec in specs:
             self._claim(spec)
             shard_specs[self._shard_of[spec.query_id]].append(spec)
-        self._executor = make_executor(self.executor_name, shard_specs)
+        self._executor = make_executor(
+            self.executor_name, shard_specs, shared_plan=self.shared_plan
+        )
         self.bus = ResultBus()
         self._time = float("-inf")
         self._chunk_index = 0
@@ -451,6 +469,7 @@ class SurgeService:
             },
             shard_files=shard_files,
             extra=dict(self.checkpoint_extra),
+            shared_plan=self.shared_plan,
         )
         path = write_manifest(target, manifest)
         ChunkWal(wal_path(target)).mark_checkpoint(
@@ -473,6 +492,7 @@ class SurgeService:
         directory: str | Path,
         *,
         executor: str | None = None,
+        shared_plan: bool | None = None,
         checkpoint_policy: CheckpointPolicy | None = None,
         attach: bool = True,
     ) -> "SurgeService":
@@ -492,6 +512,10 @@ class SurgeService:
         ``executor`` optionally overrides the recorded backend (results are
         identical across backends); the shard count always comes from the
         manifest, because the per-shard snapshot files partition the queries.
+        ``shared_plan`` likewise overrides the recorded execution plan —
+        shard restore re-normalises the snapshot's sharing structure to the
+        requested plan, so a checkpoint taken under either plan restores
+        under either plan, bit-identically.
         With ``attach=True`` (default) the directory stays attached for
         further WAL appends and automatic checkpoints under
         ``checkpoint_policy`` (default: the recorded policy).
@@ -517,6 +541,9 @@ class SurgeService:
             (),
             shards=manifest.n_shards,
             executor=executor if executor is not None else manifest.executor,
+            shared_plan=(
+                manifest.shared_plan if shared_plan is None else shared_plan
+            ),
         )
         # Registry bookkeeping comes from the manifest verbatim: replaying
         # round-robin over the surviving specs would mis-assign after

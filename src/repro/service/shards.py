@@ -3,9 +3,49 @@
 A *shard* owns a disjoint subset of the registered queries: one
 :class:`QueryPipeline` per query (routing predicate + per-query
 :class:`~repro.core.monitor.SurgeMonitor`).  The service broadcasts each
-stream chunk to every shard exactly once; inside the shard each pipeline
-filters the chunk through its keyword predicate and feeds the surviving
-objects to its monitor's batched ``push_many`` path.
+stream chunk to every shard exactly once; inside the shard the chunk is
+routed to the per-query monitors' batched ``push_many`` path.
+
+Shared-work execution plan
+--------------------------
+With ``shared_plan=True`` (the default) each shard runs a three-tier plan
+that eliminates the work N queries would redundantly repeat on one shared
+chunk, while staying **bit-identical** to running every query in isolation:
+
+1. **Inverted keyword routing** — instead of every query scanning the whole
+   chunk through its own predicate (O(queries × chunk)), the shard buckets
+   the chunk *once* by keyword (``keyword → sub-chunk``, plus the chunk
+   itself for match-all queries), so routing costs O(chunk + matches).
+2. **Shared window groups** — queries with identical (routing keyword,
+   window lengths) registered at the same point of the stream see the exact
+   same substream, so their sliding-window pairs are provably identical.
+   Each :class:`WindowGroup` owns one
+   :class:`~repro.streams.windows.SlidingWindowPair` and runs one
+   ``observe_batch()`` per chunk; the resulting
+   :class:`~repro.streams.objects.EventBatch` is fanned out to each member
+   detector's ``apply_events()``.
+3. **Shared detector units** — queries whose *entire* spec (query rectangle,
+   window, α, k, algorithm, backend, options, keyword) is identical — the
+   multi-tenant case of many users registering the same popular query —
+   share one monitor: the unit leader applies the batch and settles once,
+   the followers mirror its result.
+
+Empty routes take a settle-free fast path: a query whose sub-chunk is empty
+never moved its window clock, so no deadline can have crossed and the
+previous settled result is returned as-is (counted in ``chunks_skipped``
+and, honestly, in ``busy_seconds`` — the fast path costs what it costs,
+essentially nothing).
+
+Sharing never crosses a registration boundary: pipelines record the shard's
+ingestion *epoch* at registration, and only same-epoch queries may share
+state (a query added mid-stream starts with empty windows, so it must not
+adopt a group's history).  Checkpoints pickle the whole shard in one
+snapshot, so group-owned windows and unit-owned monitors are stored exactly
+once (pickle memoisation) and restored with the sharing intact; restoring a
+shared-plan snapshot with the plan disabled (or vice versa) re-normalises
+the pipelines — cloning shared state apart, or re-aliasing provably
+identical state together — so the plan is a pure execution strategy, never
+an observable property of a checkpoint.
 
 Three interchangeable executors drive the shards:
 
@@ -42,36 +82,82 @@ from typing import Any, Sequence
 from repro.service.bus import QueryUpdate
 from repro.service.spec import QuerySpec
 from repro.streams.objects import SpatialObject
+from repro.streams.windows import SlidingWindowPair
 
 #: Executor backends accepted by :class:`repro.service.SurgeService`.
 EXECUTOR_NAMES = ("serial", "thread", "process")
 
 
 class QueryPipeline:
-    """Routing filter + monitor + counters for one registered query."""
+    """Routing filter + monitor + counters for one registered query.
 
-    __slots__ = ("spec", "monitor", "objects_routed", "chunks_processed", "busy_seconds")
+    ``epoch`` is the owning shard's ingestion counter at registration time —
+    the shared plan only groups pipelines with equal epochs, because only
+    they have seen the same message history.  ``None`` means the epoch is
+    *unknown* (the pipeline was unpickled from a snapshot written before
+    epochs existed): such a pipeline never shares — a defaulted epoch
+    could wrongly group a mid-stream registration with stream-start
+    queries and alias history it never saw.  ``last_result`` caches the
+    most recent settled result so chunks that route nothing to this query
+    (``chunks_skipped`` counts them) can answer without re-settling the
+    detector.
+    """
 
-    def __init__(self, spec: QuerySpec) -> None:
+    __slots__ = (
+        "spec",
+        "monitor",
+        "objects_routed",
+        "chunks_processed",
+        "chunks_skipped",
+        "busy_seconds",
+        "epoch",
+        "last_result",
+    )
+
+    def __init__(self, spec: QuerySpec, epoch: int | None = 0) -> None:
         self.spec = spec
         self.monitor = spec.build_monitor()
         self.objects_routed = 0
         self.chunks_processed = 0
+        self.chunks_skipped = 0
         self.busy_seconds = 0.0
+        self.epoch = epoch
+        self.last_result = self.monitor.result()
+
+    def __setstate__(self, state) -> None:
+        _, slots = state
+        for key, value in slots.items():
+            setattr(self, key, value)
+        if not hasattr(self, "epoch"):
+            # Snapshot written before the shared-plan fields existed: the
+            # registration epoch is unrecorded, so it is *unknown* — not 0.
+            # None keeps this pipeline out of every sharing group (it may
+            # have registered mid-stream, and grouping it with stream-start
+            # queries would alias window history it never saw).  The cached
+            # result is re-read from the (settled) detector.
+            self.epoch = None
+            self.chunks_skipped = 0
+            self.last_result = self.monitor.result()
 
     def push_chunk(self, chunk: Sequence[SpatialObject], chunk_index: int) -> QueryUpdate:
         """Route one shared-stream chunk into the monitor; report the result.
 
-        Routing time counts as busy time — the filter scan is work this
-        query causes on every chunk, matched or not.
+        The unshared plan: this pipeline scans the whole chunk through its
+        own predicate.  Routing time counts as busy time — the filter scan
+        is work this query causes on every chunk, matched or not.
         """
         started = time.perf_counter()
         matches = self.spec.matches
         matched = [obj for obj in chunk if matches(obj)]
         if matched:
             result = self.monitor.push_many(matched)
+            self.last_result = result
         else:
-            result = self.monitor.result()
+            # Nothing routed and nothing ingested: the window clock did not
+            # move, so no deadline can have crossed — the previous settled
+            # result is still exact and the settle is skipped outright.
+            result = self.last_result
+            self.chunks_skipped += 1
         busy = time.perf_counter() - started
         self.objects_routed += len(matched)
         self.chunks_processed += 1
@@ -84,10 +170,78 @@ class QueryPipeline:
             busy_seconds=busy,
         )
 
-    def advance(self, stream_time: float, chunk_index: int) -> QueryUpdate:
-        """Advance this query's clock without new arrivals."""
+    def apply_batch(self, batch, chunk_index: int, n_routed: int, shared_seconds: float) -> QueryUpdate:
+        """Apply a group-ingested event batch to this pipeline's detector.
+
+        The shared-plan counterpart of :meth:`push_chunk` for a non-empty
+        route: the owning :class:`WindowGroup` already ran ``observe_batch``
+        on the shared window pair; this pipeline only pays the detector
+        half.  ``shared_seconds`` is this pipeline's slice of the shard-wide
+        routing/windowing work, folded into ``busy_seconds`` so the counter
+        keeps meaning "time this query's presence cost the shard".
+        """
         started = time.perf_counter()
-        result = self.monitor.advance_time(stream_time)
+        result = self.monitor.apply_batch(batch)
+        self.last_result = result
+        busy = time.perf_counter() - started + shared_seconds
+        self.objects_routed += n_routed
+        self.chunks_processed += 1
+        self.busy_seconds += busy
+        return QueryUpdate(
+            query_id=self.spec.query_id,
+            chunk_index=chunk_index,
+            result=result,
+            objects_routed=n_routed,
+            busy_seconds=busy,
+        )
+
+    def mirror_result(self, result, chunk_index: int, n_routed: int, shared_seconds: float) -> QueryUpdate:
+        """Adopt a shared detector unit leader's already-settled result.
+
+        Used for follower pipelines whose spec is identical to the unit
+        leader's: the shared monitor has already ingested the batch, so the
+        follower's answer *is* the leader's answer.
+        """
+        self.last_result = result
+        self.objects_routed += n_routed
+        self.chunks_processed += 1
+        self.busy_seconds += shared_seconds
+        return QueryUpdate(
+            query_id=self.spec.query_id,
+            chunk_index=chunk_index,
+            result=result,
+            objects_routed=n_routed,
+            busy_seconds=shared_seconds,
+        )
+
+    def skip_chunk(self, chunk_index: int, shared_seconds: float = 0.0) -> QueryUpdate:
+        """The settle-free fast path: nothing routed, clock unmoved."""
+        started = time.perf_counter()
+        result = self.last_result
+        self.chunks_skipped += 1
+        busy = time.perf_counter() - started + shared_seconds
+        self.chunks_processed += 1
+        self.busy_seconds += busy
+        return QueryUpdate(
+            query_id=self.spec.query_id,
+            chunk_index=chunk_index,
+            result=result,
+            objects_routed=0,
+            busy_seconds=busy,
+        )
+
+    def apply_window_events(self, events, chunk_index: int) -> QueryUpdate:
+        """Apply clock-advance events (possibly of a shared pair) and settle.
+
+        With no events the advance crossed no deadline, so the previous
+        settled result is reused without touching the detector.
+        """
+        started = time.perf_counter()
+        if events:
+            result = self.monitor.push_events(events)
+            self.last_result = result
+        else:
+            result = self.last_result
         busy = time.perf_counter() - started
         self.busy_seconds += busy
         return QueryUpdate(
@@ -97,6 +251,45 @@ class QueryPipeline:
             objects_routed=0,
             busy_seconds=busy,
         )
+
+    def advance(self, stream_time: float, chunk_index: int) -> QueryUpdate:
+        """Advance this query's clock without new arrivals (unshared plan)."""
+        events = self.monitor.drain_time(stream_time)
+        return self.apply_window_events(events, chunk_index)
+
+
+class WindowGroup:
+    """One shared sliding-window pair plus the pipelines riding it.
+
+    ``units`` partitions the member pipelines by full spec identity: each
+    unit is a list whose head (the *leader*) owns the shared monitor and
+    whose tail (the *followers*) mirror the leader's result.  Window-only
+    sharing is the single-pipeline-per-unit case.
+    """
+
+    __slots__ = ("keyword", "windows", "units")
+
+    def __init__(self, keyword: str | None, windows: SlidingWindowPair, units) -> None:
+        self.keyword = keyword
+        self.windows = windows
+        self.units = units
+
+
+def _detector_unit_key(spec: QuerySpec):
+    """Hashable identity of everything that shapes a monitor's evolution.
+
+    Two pipelines whose specs agree on this key (and on the registration
+    epoch) run monitors through byte-for-byte identical state trajectories,
+    so the shard keeps only one.  ``None`` (unhashable options) opts the
+    spec out of detector sharing; it still shares windows.
+    """
+    try:
+        options = tuple(sorted(spec.options.items()))
+        key = (spec.query, spec.algorithm, spec.keyword, spec.backend, options)
+        hash(key)  # equality-compared dict key; collisions are impossible
+        return key
+    except TypeError:
+        return None
 
 
 class ShardState:
@@ -129,20 +322,208 @@ class ShardState:
         returns the restored query ids.
     """
 
-    def __init__(self, specs: Sequence[QuerySpec] = ()) -> None:
+    def __init__(self, specs: Sequence[QuerySpec] = (), shared_plan: bool = True) -> None:
         self.pipelines: dict[str, QueryPipeline] = {}
+        self.shared_plan = bool(shared_plan)
+        self._epoch = 0
+        self._groups: list[WindowGroup] = []
+        self._routed_keywords: frozenset[str] = frozenset()
         for spec in specs:
-            self.add(spec)
+            self._register(spec)
+        self._rebuild_plan()
 
-    def add(self, spec: QuerySpec) -> None:
+    def _register(self, spec: QuerySpec) -> None:
         if spec.query_id in self.pipelines:
             raise ValueError(f"query {spec.query_id!r} is already registered")
-        self.pipelines[spec.query_id] = QueryPipeline(spec)
+        self.pipelines[spec.query_id] = QueryPipeline(spec, epoch=self._epoch)
+
+    def add(self, spec: QuerySpec) -> None:
+        self._register(spec)
+        self._rebuild_plan()
 
     def remove(self, query_id: str) -> None:
         if query_id not in self.pipelines:
             raise KeyError(f"query {query_id!r} is not registered on this shard")
         del self.pipelines[query_id]
+        self._rebuild_plan()
+
+    # ------------------------------------------------------------------
+    # Shared-work execution plan
+    # ------------------------------------------------------------------
+    def _rebuild_plan(self) -> None:
+        """Re-derive the sharing structure from the live pipelines.
+
+        The plan is a *pure function* of the pipelines: group by
+        (keyword, window lengths, epoch), alias member window pairs to one
+        shared :class:`~repro.streams.windows.SlidingWindowPair`, then
+        sub-group by full spec identity and alias those monitors outright.
+        Aliasing is sound because same-key pipelines provably hold
+        bit-identical state (same substream, same message history since the
+        same epoch), so rebuilding is safe at any time — including over
+        pipelines restored from an *unshared* checkpoint.
+
+        With the plan disabled the same function runs in reverse: any state
+        still shared (a shared-plan checkpoint restored plan-off) is cloned
+        apart so every pipeline owns its monitor and windows privately.
+        """
+        if not self.shared_plan:
+            self._groups = []
+            self._routed_keywords = frozenset()
+            self._unshare()
+            return
+        window_groups: dict[tuple, list[QueryPipeline]] = {}
+        for pipeline in self.pipelines.values():
+            windows = pipeline.monitor.windows
+            # An unknown (legacy-snapshot) epoch gets a key unique to this
+            # pipeline: it still gets a group — the chunk/advance paths run
+            # through groups — but never a groupmate.
+            epoch = pipeline.epoch if pipeline.epoch is not None else (
+                "unknown-epoch", id(pipeline),
+            )
+            key = (
+                pipeline.spec.keyword,
+                windows.window_length,
+                windows.past_window_length,
+                epoch,
+            )
+            window_groups.setdefault(key, []).append(pipeline)
+        groups: list[WindowGroup] = []
+        for key, members in window_groups.items():
+            units: dict[object, list[QueryPipeline]] = {}
+            unshared_units: list[list[QueryPipeline]] = []
+            for pipeline in members:
+                unit_key = _detector_unit_key(pipeline.spec)
+                if unit_key is None:
+                    unshared_units.append([pipeline])
+                else:
+                    units.setdefault(unit_key, []).append(pipeline)
+            all_units = list(units.values()) + unshared_units
+            # The group's pair is the first leader's; every other monitor in
+            # the group aliases it (followers alias the leader's monitor
+            # wholesale, which carries the windows along).
+            shared_windows = all_units[0][0].monitor.windows
+            for unit in all_units:
+                leader = unit[0]
+                leader.monitor.windows = shared_windows
+                for follower in unit[1:]:
+                    follower.monitor = leader.monitor
+            groups.append(WindowGroup(key[0], shared_windows, all_units))
+        self._groups = groups
+        self._routed_keywords = frozenset(
+            group.keyword for group in groups if group.keyword is not None
+        )
+
+    def _unshare(self) -> None:
+        """Give every pipeline private state (clone shared objects apart)."""
+        import pickle
+
+        seen_monitors: set[int] = set()
+        seen_windows: set[int] = set()
+        for pipeline in self.pipelines.values():
+            monitor = pipeline.monitor
+            if id(monitor) in seen_monitors:
+                # The same pickle machinery the snapshot codec uses, so the
+                # clone is bit-identical the same way a restore is.
+                pipeline.monitor = pickle.loads(pickle.dumps(monitor))
+                seen_windows.add(id(pipeline.monitor.windows))
+                continue
+            seen_monitors.add(id(monitor))
+            if id(monitor.windows) in seen_windows:
+                monitor.windows = monitor.windows.clone()
+            seen_windows.add(id(monitor.windows))
+
+    def _route_chunk(self, chunk: Sequence[SpatialObject]) -> dict[str, list[SpatialObject]]:
+        """Bucket the chunk by routed keyword in one pass (inverted index).
+
+        Only keywords some live query routes on get a bucket; objects
+        carrying several routed keywords land in each matching bucket once
+        (duplicate keywords on one object are collapsed, matching the
+        membership semantics of the per-query predicate).  Buckets preserve
+        chunk order, so they are valid ``observe_batch`` inputs.
+        """
+        wanted = self._routed_keywords
+        buckets: dict[str, list[SpatialObject]] = {}
+        if not wanted:
+            return buckets
+        for obj in chunk:
+            keywords = obj.attributes.get("keywords", ())
+            if not keywords:
+                continue
+            if isinstance(keywords, str):
+                # A bare string predates the tuple normalisation the file
+                # loaders apply.  The per-query predicate evaluates
+                # ``keyword in <str>`` — substring membership — so the
+                # router must replicate exactly that, or the two plans
+                # would route (and answer) differently.
+                for keyword in wanted:
+                    if keyword in keywords:
+                        bucket = buckets.get(keyword)
+                        if bucket is None:
+                            bucket = buckets[keyword] = []
+                        bucket.append(obj)
+                continue
+            if len(keywords) != 1:
+                keywords = dict.fromkeys(keywords)
+            for keyword in keywords:
+                if keyword in wanted:
+                    bucket = buckets.get(keyword)
+                    if bucket is None:
+                        bucket = buckets[keyword] = []
+                    bucket.append(obj)
+        return buckets
+
+    def _push_chunk_shared(self, chunk: Sequence[SpatialObject], chunk_index: int) -> list[QueryUpdate]:
+        started = time.perf_counter()
+        buckets = self._route_chunk(chunk)
+        # The one-pass routing scan is shard-level work; spread it evenly so
+        # per-query busy_seconds still sums to the shard's true cost.
+        shared_seconds = (
+            (time.perf_counter() - started) / len(self.pipelines)
+            if self.pipelines
+            else 0.0
+        )
+        updates: dict[str, QueryUpdate] = {}
+        for group in self._groups:
+            sub = chunk if group.keyword is None else buckets.get(group.keyword, ())
+            if sub:
+                batch = group.windows.observe_batch(sub)
+                n_routed = len(sub)
+                for unit in group.units:
+                    leader = unit[0]
+                    update = leader.apply_batch(batch, chunk_index, n_routed, shared_seconds)
+                    updates[leader.spec.query_id] = update
+                    for follower in unit[1:]:
+                        updates[follower.spec.query_id] = follower.mirror_result(
+                            update.result, chunk_index, n_routed, shared_seconds
+                        )
+            else:
+                for unit in group.units:
+                    for pipeline in unit:
+                        updates[pipeline.spec.query_id] = pipeline.skip_chunk(
+                            chunk_index, shared_seconds
+                        )
+        self._epoch += 1
+        return [updates[query_id] for query_id in self.pipelines]
+
+    def _advance_shared(self, stream_time: float, chunk_index: int) -> list[QueryUpdate]:
+        updates: dict[str, QueryUpdate] = {}
+        for group in self._groups:
+            events = group.windows.advance_time(stream_time)
+            for unit in group.units:
+                leader = unit[0]
+                update = leader.apply_window_events(events, chunk_index)
+                updates[leader.spec.query_id] = update
+                for follower in unit[1:]:
+                    follower.last_result = update.result
+                    updates[follower.spec.query_id] = QueryUpdate(
+                        query_id=follower.spec.query_id,
+                        chunk_index=chunk_index,
+                        result=update.result,
+                        objects_routed=0,
+                        busy_seconds=0.0,
+                    )
+        self._epoch += 1
+        return [updates[query_id] for query_id in self.pipelines]
 
     # ------------------------------------------------------------------
     # Durability (see repro.state)
@@ -152,7 +533,9 @@ class ShardState:
 
         The payload is the :class:`ShardState` itself: every pipeline's spec,
         monitor (window deques + full detector state) and routing counters.
-        Restoring it resumes the shard bit-identically.
+        Group-owned windows and unit-owned monitors are referenced by many
+        pipelines but stored exactly once — pickle memoisation preserves the
+        sharing graph.  Restoring it resumes the shard bit-identically.
         """
         from repro.state.recovery import SHARD_SNAPSHOT_KIND
         from repro.state.snapshot import write_snapshot
@@ -164,24 +547,38 @@ class ShardState:
         return list(self.pipelines)
 
     def restore(self, path: str) -> list[str]:
-        """Replace this shard's pipelines with the snapshot at ``path``."""
+        """Replace this shard's pipelines with the snapshot at ``path``.
+
+        The snapshot's *plan* is not adopted — the restored pipelines are
+        re-normalised to this shard's own ``shared_plan`` setting, so a
+        checkpoint taken under either plan restores under either plan with
+        bit-identical behaviour.
+        """
         from repro.state.recovery import SHARD_SNAPSHOT_KIND
         from repro.state.snapshot import read_snapshot
 
         _, state = read_snapshot(path, expected_kind=SHARD_SNAPSHOT_KIND)
         self.pipelines = state.pipelines
+        self._epoch = getattr(state, "_epoch", 0)
+        self._rebuild_plan()
         return list(self.pipelines)
 
     def handle(self, message: tuple) -> Any:
         kind = message[0]
         if kind == "chunk":
             _, chunk, chunk_index = message
+            if self.shared_plan:
+                return self._push_chunk_shared(chunk, chunk_index)
+            self._epoch += 1
             return [
                 pipeline.push_chunk(chunk, chunk_index)
                 for pipeline in self.pipelines.values()
             ]
         if kind == "advance":
             _, stream_time, chunk_index = message
+            if self.shared_plan:
+                return self._advance_shared(stream_time, chunk_index)
+            self._epoch += 1
             return [
                 pipeline.advance(stream_time, chunk_index)
                 for pipeline in self.pipelines.values()
@@ -225,10 +622,13 @@ class ShardExecutor(abc.ABC):
     #: Name under which the backend is selectable.
     name: str = "executor"
 
-    def __init__(self, shard_specs: Sequence[Sequence[QuerySpec]]) -> None:
+    def __init__(
+        self, shard_specs: Sequence[Sequence[QuerySpec]], shared_plan: bool = True
+    ) -> None:
         if not shard_specs:
             raise ValueError("an executor needs at least one shard")
         self.n_shards = len(shard_specs)
+        self.shared_plan = bool(shared_plan)
 
     @abc.abstractmethod
     def send(self, shard_index: int, message: tuple) -> Any:
@@ -272,9 +672,11 @@ class SerialExecutor(ShardExecutor):
 
     name = "serial"
 
-    def __init__(self, shard_specs: Sequence[Sequence[QuerySpec]]) -> None:
-        super().__init__(shard_specs)
-        self._shards = [ShardState(specs) for specs in shard_specs]
+    def __init__(
+        self, shard_specs: Sequence[Sequence[QuerySpec]], shared_plan: bool = True
+    ) -> None:
+        super().__init__(shard_specs, shared_plan)
+        self._shards = [ShardState(specs, shared_plan) for specs in shard_specs]
 
     def send(self, shard_index: int, message: tuple) -> Any:
         return self._shards[shard_index].handle(message)
@@ -293,9 +695,11 @@ class ThreadExecutor(ShardExecutor):
 
     name = "thread"
 
-    def __init__(self, shard_specs: Sequence[Sequence[QuerySpec]]) -> None:
-        super().__init__(shard_specs)
-        self._shards = [ShardState(specs) for specs in shard_specs]
+    def __init__(
+        self, shard_specs: Sequence[Sequence[QuerySpec]], shared_plan: bool = True
+    ) -> None:
+        super().__init__(shard_specs, shared_plan)
+        self._shards = [ShardState(specs, shared_plan) for specs in shard_specs]
         self._pool = ThreadPoolExecutor(
             max_workers=self.n_shards, thread_name_prefix="surge-shard"
         )
@@ -328,10 +732,10 @@ class ThreadExecutor(ShardExecutor):
 _WORKER_SHARD: ShardState | None = None
 
 
-def _init_worker_shard(specs: Sequence[QuerySpec]) -> None:
+def _init_worker_shard(specs: Sequence[QuerySpec], shared_plan: bool = True) -> None:
     """Pool initializer: build the shard's pipelines inside the worker."""
     global _WORKER_SHARD
-    _WORKER_SHARD = ShardState(specs)
+    _WORKER_SHARD = ShardState(specs, shared_plan)
 
 
 def _worker_handle(message: tuple) -> Any:
@@ -351,13 +755,15 @@ class ProcessExecutor(ShardExecutor):
 
     name = "process"
 
-    def __init__(self, shard_specs: Sequence[Sequence[QuerySpec]]) -> None:
-        super().__init__(shard_specs)
+    def __init__(
+        self, shard_specs: Sequence[Sequence[QuerySpec]], shared_plan: bool = True
+    ) -> None:
+        super().__init__(shard_specs, shared_plan)
         self._pools = [
             ProcessPoolExecutor(
                 max_workers=1,
                 initializer=_init_worker_shard,
-                initargs=(tuple(specs),),
+                initargs=(tuple(specs), shared_plan),
             )
             for specs in shard_specs
         ]
@@ -389,7 +795,9 @@ _EXECUTORS = {
 
 
 def make_executor(
-    name: str, shard_specs: Sequence[Sequence[QuerySpec]]
+    name: str,
+    shard_specs: Sequence[Sequence[QuerySpec]],
+    shared_plan: bool = True,
 ) -> ShardExecutor:
     """Instantiate a shard executor by backend name."""
     key = name.lower()
@@ -397,4 +805,4 @@ def make_executor(
         raise ValueError(
             f"unknown executor {name!r}; expected one of {', '.join(EXECUTOR_NAMES)}"
         )
-    return _EXECUTORS[key](shard_specs)
+    return _EXECUTORS[key](shard_specs, shared_plan)

@@ -183,6 +183,7 @@ def make_query_grid(
     keywords: Sequence[str | None] = DEFAULT_VOCABULARY,
     rect_multipliers: Sequence[float] = (1.0, 1.5, 0.75),
     window_multipliers: Sequence[float] = (1.0, 2.0, 0.5),
+    group_aligned: bool = False,
 ) -> list[QuerySpec]:
     """A deterministic grid of ``n_queries`` heterogeneous query specs.
 
@@ -191,13 +192,52 @@ def make_query_grid(
     grid a platform's users would register), so benchmark and scenario runs
     exercise genuinely different per-query state.  Query ids are
     ``q000, q001, ...`` and the grid is fully determined by its arguments.
+
+    With ``group_aligned=False`` (default, the historical behaviour) the
+    three dimensions cycle *independently*, so which (keyword, window)
+    pairs co-occur — the sharing the service's shared execution plan can
+    exploit — is an accident of the cycle periods: co-prime periods spray
+    the pairs around, equal periods lock dimensions together so most
+    combinations never co-occur.  ``group_aligned=True`` instead enumerates
+    the full product with rectangles varying fastest, then keywords, then
+    windows: every (keyword, window) pair appears before any repeats, and
+    once ``n_queries`` exceeds ``len(keywords) × len(window_multipliers) ×
+    len(rect_multipliers)`` the grid wraps onto exact duplicates — so a
+    benchmark can dial the window-sharing and detector-sharing factors
+    explicitly (``n_queries / distinct pairs`` and ``n_queries / distinct
+    triples``) instead of inheriting whatever the independent cycles
+    happen to produce.
     """
     if n_queries < 1:
         raise ValueError(f"n_queries must be positive, got {n_queries}")
+    specs = []
+    if group_aligned:
+        n_rects = len(rect_multipliers)
+        n_keywords = len(keywords)
+        for index in range(n_queries):
+            rect_scale = rect_multipliers[index % n_rects]
+            keyword = keywords[(index // n_rects) % n_keywords]
+            window_scale = window_multipliers[
+                (index // (n_rects * n_keywords)) % len(window_multipliers)
+            ]
+            specs.append(
+                QuerySpec(
+                    query_id=f"q{index:03d}",
+                    query=SurgeQuery(
+                        rect_width=base_rect[0] * rect_scale,
+                        rect_height=base_rect[1] * rect_scale,
+                        window_length=base_window * window_scale,
+                        alpha=alpha,
+                    ),
+                    algorithm=algorithm,
+                    keyword=keyword,
+                    backend=backend,
+                )
+            )
+        return specs
     keyword_cycle = itertools.cycle(keywords)
     rect_cycle = itertools.cycle(rect_multipliers)
     window_cycle = itertools.cycle(window_multipliers)
-    specs = []
     for index in range(n_queries):
         rect_scale = next(rect_cycle)
         specs.append(

@@ -81,6 +81,15 @@ class ServiceManifest:
     #: Free-form caller metadata (e.g. the CLI records its ``--chunk-size``
     #: here so a resume can refuse a mismatching re-chunking).
     extra: dict = field(default_factory=dict)
+    #: Whether the service ran the shared-work execution plan (inverted
+    #: keyword routing + shared window groups/detector units, see
+    #: :mod:`repro.service.shards`).  Informational: restore re-normalises
+    #: the shard state to whichever plan the restored service is given, so
+    #: this only selects the *default* when no override is passed.  Absent
+    #: in pre-shared-plan manifests, which defaults to the plan those
+    #: services effectively ran bit-identically to (either value restores
+    #: them correctly).
+    shared_plan: bool = True
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -99,6 +108,7 @@ class ServiceManifest:
             "stats": dict(self.stats),
             "shard_files": list(self.shard_files),
             "extra": dict(self.extra),
+            "shared_plan": self.shared_plan,
         }
 
     @staticmethod
@@ -120,6 +130,7 @@ class ServiceManifest:
                 stats=dict(record.get("stats", {})),
                 shard_files=list(record["shard_files"]),
                 extra=dict(record.get("extra", {})),
+                shared_plan=bool(record.get("shared_plan", True)),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise SnapshotError(

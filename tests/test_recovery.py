@@ -12,8 +12,14 @@ identical to never having crashed** —
   ``run(start_offset=...)`` must produce the same per-chunk updates, final
   results, top-k lists and cumulative :class:`~repro.service.QueryStats`
   object counts as an uninterrupted run — under the ``serial``, ``thread``
-  and ``process`` shard executors (one query per detector name, so all 10
-  detectors cross the snapshot boundary under every backend);
+  and ``process`` shard executors and under both shard execution plans
+  (one query per detector name, so all 10 detectors cross the snapshot
+  boundary under every backend).  The uninterrupted reference runs with
+  the shared-work plan *disabled*, so every shared-plan crash cycle is
+  simultaneously a cross-plan bit-identity proof; dedicated tests also
+  restore a shared-plan checkpoint with the plan off (and vice versa),
+  because group-owned windows / unit-owned monitors are snapshotted once
+  and must clone apart (or re-alias together) on restore;
 * the ``repro serve --checkpoint-dir / --resume`` CLI implements exactly
   that protocol end to end, including refusing a resume at a different
   ``--chunk-size`` and refusing to clobber an existing checkpoint.
@@ -41,11 +47,15 @@ from repro.streams.sources import iter_chunks
 VOCABULARY = ("concert", "parade", "zika", "festival")
 CHUNK_SIZE = 41  # ragged: does not divide the stream length
 
-#: (executor, shards) combinations the kill-and-restore replay runs under.
+#: (executor, shards, shared_plan) combinations the kill-and-restore replay
+#: runs under.  All of them are compared against the *unshared* serial
+#: uninterrupted reference, so the shared rows prove crash recovery and the
+#: shared-work execution plan are jointly unobservable.
 EXECUTOR_GRID = (
-    ("serial", 3),
-    ("thread", 2),
-    ("process", 2),
+    ("serial", 3, True),
+    ("serial", 3, False),
+    ("thread", 2, True),
+    ("process", 2, True),
 )
 
 
@@ -174,9 +184,15 @@ class TestMonitorSaveLoad:
 # Service kill-and-restore across executors
 # ---------------------------------------------------------------------------
 def uninterrupted_run(stream, executor="serial", shards=1):
-    """Per-chunk trace + finals of a run that never crashes."""
+    """Per-chunk trace + finals of a run that never crashes.
+
+    Runs with the shared-work plan disabled: the per-query baseline every
+    crash-and-restore cycle (shared or not) must reproduce bit for bit.
+    """
     trace = []
-    with SurgeService(make_specs(), shards=shards, executor=executor) as service:
+    with SurgeService(
+        make_specs(), shards=shards, executor=executor, shared_plan=False
+    ) as service:
         for updates in service.run(stream, CHUNK_SIZE):
             trace.append({u.query_id: result_key(u.result) for u in updates})
         finals = {qid: result_key(r) for qid, r in service.results().items()}
@@ -197,12 +213,16 @@ def reference(stream):
 
 
 @pytest.mark.parametrize(
-    "executor,shards", EXECUTOR_GRID, ids=[f"{e}-{s}shard" for e, s in EXECUTOR_GRID]
+    "executor,shards,shared_plan",
+    EXECUTOR_GRID,
+    ids=[
+        f"{e}-{s}shard-{'shared' if p else 'unshared'}" for e, s, p in EXECUTOR_GRID
+    ],
 )
 def test_kill_and_restore_equals_uninterrupted(
-    tmp_path, stream, reference, executor, shards
+    tmp_path, stream, reference, executor, shards, shared_plan
 ):
-    """All 10 detectors crossing a crash under every executor backend."""
+    """All 10 detectors crossing a crash under every executor and plan."""
     ref_trace, ref_finals, ref_top_k, ref_counts = reference
     checkpoint_dir = tmp_path / "ckpt"
 
@@ -212,6 +232,7 @@ def test_kill_and_restore_equals_uninterrupted(
         make_specs(),
         shards=shards,
         executor=executor,
+        shared_plan=shared_plan,
         checkpoint_dir=checkpoint_dir,
         checkpoint_policy=CheckpointPolicy(every_chunks=3),
     )
@@ -263,6 +284,64 @@ def test_restore_can_switch_executor(tmp_path, stream, reference):
         assert {qid: result_key(r) for qid, r in restored.results().items()} == (
             ref_finals
         )
+
+
+@pytest.mark.parametrize(
+    "checkpoint_plan,restore_plan",
+    [(True, False), (False, True)],
+    ids=["shared-to-unshared", "unshared-to-shared"],
+)
+def test_restore_can_switch_execution_plan(
+    tmp_path, stream, reference, checkpoint_plan, restore_plan
+):
+    """A checkpoint taken under one execution plan restores under the other.
+
+    The hard direction is shared→unshared: the snapshot stores each
+    group-owned window pair and unit-owned monitor exactly once (pickle
+    memoisation preserves the aliasing), and the plan-off restore must
+    clone that shared state apart so every pipeline evolves privately —
+    and still finish the stream bit-identically.  The reverse direction
+    must re-alias provably identical state back together.
+    """
+    _, ref_finals, ref_top_k, _ = reference
+    checkpoint_dir = tmp_path / "ckpt"
+    with SurgeService(
+        make_specs(), shards=2, shared_plan=checkpoint_plan
+    ) as service:
+        for chunk in iter_chunks(stream[: 4 * CHUNK_SIZE], CHUNK_SIZE):
+            service.push_many(chunk)
+        service.checkpoint(checkpoint_dir)
+    restored = SurgeService.restore(
+        checkpoint_dir, shared_plan=restore_plan, attach=False
+    )
+    assert restored.shared_plan is restore_plan
+    with restored:
+        for _ in restored.run(stream, CHUNK_SIZE, start_offset=restored.chunk_offset):
+            pass
+        assert {qid: result_key(r) for qid, r in restored.results().items()} == (
+            ref_finals
+        )
+        assert {
+            qid: tuple(result_key(r) for r in results)
+            for qid, results in restored.top_k().items()
+        } == ref_top_k
+
+
+def test_restore_defaults_to_the_recorded_plan(tmp_path, stream):
+    """Without an override, restore resumes the plan the manifest records."""
+    checkpoint_dir = tmp_path / "ckpt"
+    with SurgeService(
+        make_specs()[:2], shared_plan=False, checkpoint_dir=checkpoint_dir
+    ) as service:
+        service.push_many(stream[:50])
+        service.checkpoint()
+    assert read_manifest(checkpoint_dir).shared_plan is False
+    with SurgeService.restore(checkpoint_dir, attach=False) as restored:
+        assert restored.shared_plan is False
+    with SurgeService.restore(
+        checkpoint_dir, attach=False, shared_plan=True
+    ) as restored:
+        assert restored.shared_plan is True
 
 
 def test_registry_mutations_survive_restore(tmp_path, stream):

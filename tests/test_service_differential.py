@@ -11,9 +11,11 @@ the keyword-filtered substream, with the same chunk boundaries:
   after **every** chunk each query's update must match its oracle monitor
   bit for bit — score, region, point, and top-k lists;
 * the whole replay is repeated under every executor backend (``serial``,
-  ``thread``, ``process``) and several shard counts; the per-chunk traces
-  must be identical across all of them — sharding and the execution
-  backend must never change an answer;
+  ``thread``, ``process``), several shard counts, and both execution plans
+  (the shared-work plan — inverted keyword routing + shared window groups
+  and detector units — and the per-query predicate-scan plan); the
+  per-chunk traces must be identical across all of them — sharding, the
+  execution backend, and the shared plan must never change an answer;
 * routing statistics (objects routed per query) must equal the oracle
   filter counts.
 
@@ -36,13 +38,17 @@ from repro.streams.sources import iter_chunks
 
 VOCABULARY = ("concert", "parade", "zika", "festival")
 
-#: (executor, shards) combinations replayed against the oracle.  The serial
-#: single-shard run is the reference everything else must reproduce exactly.
+#: (executor, shards, shared_plan) combinations replayed against the oracle.
+#: The serial single-shard unshared run is literally the oracle's own
+#: protocol; everything else — other backends, other shard counts, and the
+#: shared-work execution plan — must reproduce it exactly.
 EXECUTOR_GRID = (
-    ("serial", 1),
-    ("serial", 3),
-    ("thread", 2),
-    ("process", 2),
+    ("serial", 1, False),
+    ("serial", 1, True),
+    ("serial", 3, True),
+    ("thread", 2, True),
+    ("process", 2, False),
+    ("process", 2, True),
 )
 
 CHUNK_SIZE = 57  # ragged: does not divide the stream length
@@ -112,10 +118,14 @@ def result_key(result):
     )
 
 
-def replay_service(stream, specs, executor, shards, chunk_size=CHUNK_SIZE):
+def replay_service(
+    stream, specs, executor, shards, shared_plan=True, chunk_size=CHUNK_SIZE
+):
     """Per-chunk (query_id -> result key) trace plus final top-k trace."""
     trace = []
-    with SurgeService(specs, shards=shards, executor=executor) as service:
+    with SurgeService(
+        specs, shards=shards, executor=executor, shared_plan=shared_plan
+    ) as service:
         for updates in service.run(stream, chunk_size):
             trace.append(
                 {u.query_id: (result_key(u.result), u.objects_routed) for u in updates}
@@ -168,17 +178,26 @@ def oracle(stream):
 
 
 @pytest.mark.parametrize(
-    "executor,shards", EXECUTOR_GRID, ids=[f"{e}-{s}shard" for e, s in EXECUTOR_GRID]
+    "executor,shards,shared_plan",
+    EXECUTOR_GRID,
+    ids=[
+        f"{e}-{s}shard-{'shared' if p else 'unshared'}" for e, s, p in EXECUTOR_GRID
+    ],
 )
-def test_service_equals_independent_monitors(stream, oracle, executor, shards):
+def test_service_equals_independent_monitors(
+    stream, oracle, executor, shards, shared_plan
+):
     """Every chunk, every detector: service result == oracle monitor result."""
     oracle_trace, oracle_top_k, oracle_routed = oracle
-    trace, top_k, routed = replay_service(stream, make_specs(), executor, shards)
+    trace, top_k, routed = replay_service(
+        stream, make_specs(), executor, shards, shared_plan
+    )
     assert len(trace) == len(oracle_trace)
     for chunk_index, (got, want) in enumerate(zip(trace, oracle_trace)):
         assert got == want, (
-            f"{executor}/{shards} shards diverged from the single-monitor "
-            f"oracle at chunk {chunk_index}"
+            f"{executor}/{shards} shards "
+            f"({'shared' if shared_plan else 'unshared'} plan) diverged from "
+            f"the single-monitor oracle at chunk {chunk_index}"
         )
     assert top_k == oracle_top_k
     assert routed == oracle_routed
@@ -220,8 +239,12 @@ def test_chunk_boundaries_do_not_change_final_answers(stream):
                     )
 
 
-def test_mid_stream_registration_equals_late_monitor(stream):
-    """A query added mid-stream behaves like a monitor started at that point."""
+@pytest.mark.parametrize("shared_plan", [True, False], ids=["shared", "unshared"])
+def test_mid_stream_registration_equals_late_monitor(stream, shared_plan):
+    """A query added mid-stream behaves like a monitor started at that point
+    (under both execution plans; the shared plan's registration-epoch rule
+    gets a dedicated same-keyword test in ``test_service_shared_plan.py``).
+    """
     specs = make_specs()[:2]
     late_spec = QuerySpec(
         query_id="late",
@@ -231,7 +254,9 @@ def test_mid_stream_registration_equals_late_monitor(stream):
         backend="python",
     )
     split = 170
-    with SurgeService(specs, shards=2, executor="serial") as service:
+    with SurgeService(
+        specs, shards=2, executor="serial", shared_plan=shared_plan
+    ) as service:
         for chunk in iter_chunks(stream[:split], CHUNK_SIZE):
             service.push_many(chunk)
         service.add_query(late_spec)

@@ -1,0 +1,526 @@
+"""Unit and structural tests for the shared-work execution plan.
+
+``tests/test_service_differential.py`` proves the shared plan changes no
+answer; this module pins the *mechanics* that make that safe:
+
+* the inverted routing index routes exactly the objects the per-query
+  keyword predicate accepts — multi-keyword objects land in every matching
+  bucket once, duplicated keywords on one object do not double-route, and
+  unrouted keywords get no bucket at all;
+* window groups and detector units share the objects they are supposed to
+  share (``is``-level aliasing), and *only* those: different window
+  lengths split groups, different rectangles split units within a group,
+  and a query registered mid-stream never adopts a group's history (the
+  registration-epoch rule);
+* group/unit membership survives ``remove_query`` (including removing a
+  unit leader) and a checkpoint/restore cycle under either plan —
+  restoring re-aliases or clones apart as the restoring shard's plan
+  demands;
+* the settle-free fast path for empty routes is taken (``chunks_skipped``)
+  and still reports the correct result;
+* ``make_query_grid(group_aligned=True)`` produces the documented explicit
+  sharing factors, and the default grid is unchanged.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.query import SurgeQuery
+from repro.datasets.keywords import keyword_predicate
+from repro.service import QuerySpec, SurgeService, make_query_grid
+from repro.service.shards import ShardState
+from repro.streams.objects import SpatialObject
+
+KEYWORDS = ("concert", "parade", "zika")
+
+
+def make_spec(query_id, keyword=None, window=20.0, rect=1.0, algorithm="ccs", **options):
+    return QuerySpec(
+        query_id=query_id,
+        query=SurgeQuery(rect_width=rect, rect_height=rect, window_length=window),
+        algorithm=algorithm,
+        keyword=keyword,
+        backend="python" if algorithm in ("ccs", "kccs") else None,
+        options=options,
+    )
+
+
+def make_object(index, t, keywords=()):
+    return SpatialObject(
+        x=0.5 + (index % 7) * 0.3,
+        y=0.5 + (index % 5) * 0.4,
+        timestamp=t,
+        weight=1.0 + index % 3,
+        object_id=index,
+        attributes={"keywords": tuple(keywords)} if keywords else {},
+    )
+
+
+def make_keyword_stream(count=120, seed=13):
+    rng = random.Random(seed)
+    stream, t = [], 0.0
+    for index in range(count):
+        t += rng.uniform(0.1, 0.6)
+        roll = rng.random()
+        if roll < 0.15:
+            keywords = ()
+        elif roll < 0.25:
+            # Multi-keyword objects, sometimes with duplicates, sometimes
+            # with keywords no query routes on.
+            keywords = (
+                rng.choice(KEYWORDS),
+                rng.choice(KEYWORDS),
+                "unrouted-topic",
+            )
+        else:
+            keywords = (rng.choice(KEYWORDS),)
+        stream.append(make_object(index, t, keywords))
+    return stream
+
+
+# ---------------------------------------------------------------------------
+# Inverted routing index
+# ---------------------------------------------------------------------------
+class TestInvertedRouting:
+    def test_buckets_equal_predicate_filters(self):
+        shard = ShardState(
+            [make_spec("a", "concert"), make_spec("b", "parade"), make_spec("c", None)],
+            shared_plan=True,
+        )
+        chunk = make_keyword_stream()
+        buckets = shard._route_chunk(chunk)
+        for keyword in ("concert", "parade"):
+            predicate = keyword_predicate(keyword)
+            assert buckets.get(keyword, []) == [o for o in chunk if predicate(o)]
+        # Match-all queries take the chunk itself; no bucket is built for
+        # them, nor for keywords nobody routes on.
+        assert "unrouted-topic" not in buckets
+        assert set(buckets) <= {"concert", "parade"}
+
+    def test_duplicate_keywords_route_once(self):
+        shard = ShardState([make_spec("a", "concert")], shared_plan=True)
+        obj = make_object(0, 1.0, ("concert", "concert", "parade"))
+        buckets = shard._route_chunk([obj])
+        assert buckets["concert"] == [obj]
+
+    def test_bare_string_keywords_route_like_the_predicate(self):
+        """A str 'keywords' attribute must route identically under both plans.
+
+        The file loaders normalise keywords to tuples, but the public API
+        accepts any SpatialObject; the per-query predicate then evaluates
+        ``keyword in <str>`` — *substring* membership — and the inverted
+        router must replicate exactly that, or the plans would answer
+        differently for the same input.
+        """
+        shard = ShardState(
+            [make_spec("a", "concert"), make_spec("b", "parade")],
+            shared_plan=True,
+        )
+        objs = [
+            SpatialObject(
+                x=1.0, y=1.0, timestamp=float(i), weight=1.0, object_id=i,
+                attributes={"keywords": raw},
+            )
+            for i, raw in enumerate(
+                ["concert-night", "parade", "concerto", "unrelated", ""]
+            )
+        ]
+        buckets = shard._route_chunk(objs)
+        for keyword in ("concert", "parade"):
+            predicate = keyword_predicate(keyword)
+            assert buckets.get(keyword, []) == [o for o in objs if predicate(o)]
+        # Substring semantics really did fire: "concerto" contains "concert".
+        assert [o.object_id for o in buckets["concert"]] == [0, 2]
+        # And end to end: both plans produce identical updates.
+        results = {}
+        for shared in (False, True):
+            with SurgeService(
+                [make_spec("a", "concert"), make_spec("b", "parade")],
+                shared_plan=shared,
+            ) as service:
+                (update_a, update_b) = service.push_many(objs)
+                results[shared] = (
+                    update_a.objects_routed,
+                    update_b.objects_routed,
+                    update_a.result and update_a.result.score,
+                    update_b.result and update_b.result.score,
+                )
+        assert results[True] == results[False]
+        assert results[True][0] == 2
+
+    def test_no_routed_keywords_builds_nothing(self):
+        shard = ShardState([make_spec("all", None)], shared_plan=True)
+        assert shard._route_chunk(make_keyword_stream(20)) == {}
+
+    def test_routed_counts_match_unshared_plan(self):
+        stream = make_keyword_stream()
+        specs = [
+            make_spec("a", "concert"),
+            make_spec("b", "concert", window=35.0),
+            make_spec("c", "parade"),
+            make_spec("d", None),
+        ]
+        counts = {}
+        for shared in (False, True):
+            with SurgeService(specs, shared_plan=shared) as service:
+                for start in range(0, len(stream), 17):
+                    service.push_many(stream[start : start + 17])
+                counts[shared] = {
+                    qid: service.bus.stats(qid).objects_routed
+                    for qid in service.query_ids
+                }
+        assert counts[True] == counts[False]
+        predicate = keyword_predicate("concert")
+        assert counts[True]["a"] == sum(1 for o in stream if predicate(o))
+        assert counts[True]["d"] == len(stream)
+
+
+# ---------------------------------------------------------------------------
+# Plan structure: who shares what
+# ---------------------------------------------------------------------------
+class TestPlanStructure:
+    def test_same_keyword_and_window_share_one_pair(self):
+        shard = ShardState(
+            [
+                make_spec("a", "concert", rect=1.0),
+                make_spec("b", "concert", rect=1.5),  # same group, own unit
+                make_spec("c", "concert", window=40.0),  # different window
+                make_spec("d", "parade"),  # different keyword
+            ],
+            shared_plan=True,
+        )
+        windows = {qid: p.monitor.windows for qid, p in shard.pipelines.items()}
+        assert windows["a"] is windows["b"]
+        assert windows["a"] is not windows["c"]
+        assert windows["a"] is not windows["d"]
+        # Different rectangles: shared windows but private monitors.
+        assert shard.pipelines["a"].monitor is not shard.pipelines["b"].monitor
+
+    def test_identical_specs_share_the_monitor(self):
+        shard = ShardState(
+            [
+                make_spec("a", "concert"),
+                make_spec("b", "concert"),  # byte-identical spec, new id
+                make_spec("c", "concert", algorithm="gaps"),  # same windows only
+            ],
+            shared_plan=True,
+        )
+        assert shard.pipelines["a"].monitor is shard.pipelines["b"].monitor
+        assert shard.pipelines["a"].monitor is not shard.pipelines["c"].monitor
+        assert (
+            shard.pipelines["a"].monitor.windows
+            is shard.pipelines["c"].monitor.windows
+        )
+
+    def test_detector_unit_key_identity_and_opt_out(self):
+        from repro.service.shards import _detector_unit_key
+
+        a, b = make_spec("a", "concert"), make_spec("b", "concert")
+        # Equal specs (ids aside) collapse to the same equality-compared
+        # key; any difference that shapes the monitor splits it.
+        assert _detector_unit_key(a) == _detector_unit_key(b)
+        assert _detector_unit_key(a) != _detector_unit_key(
+            make_spec("c", "concert", rect=1.5)
+        )
+        assert _detector_unit_key(a) != _detector_unit_key(
+            make_spec("d", "concert", algorithm="gaps")
+        )
+        # Unhashable option values decline detector sharing outright
+        # (returning None) rather than guessing at equality.
+        object.__setattr__(a, "options", {"probe": [1, 2]})
+        assert _detector_unit_key(a) is None
+
+    def test_unshared_plan_shares_nothing(self):
+        shard = ShardState(
+            [make_spec("a", "concert"), make_spec("b", "concert")],
+            shared_plan=False,
+        )
+        assert shard.pipelines["a"].monitor is not shard.pipelines["b"].monitor
+        assert (
+            shard.pipelines["a"].monitor.windows
+            is not shard.pipelines["b"].monitor.windows
+        )
+
+    def test_mid_stream_add_starts_its_own_group(self):
+        shard = ShardState([make_spec("old", "concert")], shared_plan=True)
+        stream = make_keyword_stream(40)
+        shard.handle(("chunk", stream[:20], 0))
+        shard.add(make_spec("late", "concert"))
+        old, late = shard.pipelines["old"], shard.pipelines["late"]
+        # The late query must not adopt the old group's window history...
+        assert late.monitor.windows is not old.monitor.windows
+        assert late.monitor is not old.monitor
+        assert len(late.monitor.windows) == 0
+        # ...but two queries registered back to back (same epoch) share.
+        shard.add(make_spec("late2", "concert"))
+        assert (
+            shard.pipelines["late2"].monitor is shard.pipelines["late"].monitor
+        )
+
+    def test_unknown_epoch_pipelines_never_share(self):
+        """Pipelines whose registration epoch is unknown must not alias.
+
+        A pre-epoch (legacy) snapshot cannot distinguish a stream-start
+        query from a mid-stream registration, so defaulting its epoch and
+        grouping it would alias window history the late query never saw.
+        """
+        stream = make_keyword_stream(50)
+        shard = ShardState([make_spec("old", "concert")], shared_plan=True)
+        shard.handle(("chunk", stream[:30], 0))
+        shard.add(make_spec("late", "concert"))
+        # Simulate the legacy round-trip: epochs were never recorded.
+        for pipeline in shard.pipelines.values():
+            pipeline.epoch = None
+        shard._rebuild_plan()
+        old, late = shard.pipelines["old"], shard.pipelines["late"]
+        assert late.monitor is not old.monitor
+        assert late.monitor.windows is not old.monitor.windows
+        assert len(late.monitor.windows) == 0
+        # Both still process chunks (every pipeline sits in some group).
+        updates = shard.handle(("chunk", stream[30:], 1))
+        assert {u.query_id for u in updates} == {"old", "late"}
+
+    def test_setstate_marks_missing_epoch_unknown(self):
+        from repro.service.shards import QueryPipeline
+
+        pipeline = QueryPipeline(make_spec("q", "concert"), epoch=7)
+        _, slots = pipeline.__reduce_ex__(2)[2]
+        legacy = {
+            key: value
+            for key, value in slots.items()
+            if key not in ("epoch", "chunks_skipped", "last_result")
+        }
+        resurrected = QueryPipeline.__new__(QueryPipeline)
+        resurrected.__setstate__((None, legacy))
+        assert resurrected.epoch is None
+        assert resurrected.chunks_skipped == 0
+        # A recorded epoch round-trips untouched.
+        intact = QueryPipeline.__new__(QueryPipeline)
+        intact.__setstate__((None, dict(slots)))
+        assert intact.epoch == 7
+
+    def test_remove_unit_leader_keeps_followers_running(self):
+        specs = [make_spec(q, "concert") for q in ("a", "b", "c")]
+        stream = make_keyword_stream(60)
+        with SurgeService(specs, shared_plan=True) as service:
+            service.push_many(stream[:30])
+            service.remove_query("a")  # the unit leader
+            service.push_many(stream[30:])
+            shared_results = {
+                qid: (r.score, r.region) if r else None
+                for qid, r in service.results().items()
+            }
+        with SurgeService(specs, shared_plan=False) as service:
+            service.push_many(stream[:30])
+            service.remove_query("a")
+            service.push_many(stream[30:])
+            unshared_results = {
+                qid: (r.score, r.region) if r else None
+                for qid, r in service.results().items()
+            }
+        assert shared_results == unshared_results
+        assert set(shared_results) == {"b", "c"}
+
+
+# ---------------------------------------------------------------------------
+# Restore re-normalisation (shard level)
+# ---------------------------------------------------------------------------
+class TestRestoreNormalisation:
+    STREAM = None  # one stream, split into a head and a replayable tail
+
+    def checkpoint_roundtrip(self, tmp_path, from_plan, to_plan):
+        if TestRestoreNormalisation.STREAM is None:
+            TestRestoreNormalisation.STREAM = make_keyword_stream(130)
+        source = ShardState(
+            [
+                make_spec("a", "concert"),
+                make_spec("b", "concert"),
+                make_spec("c", "concert", rect=1.5),
+            ],
+            shared_plan=from_plan,
+        )
+        source.handle(("chunk", self.STREAM[:50], 0))
+        path = tmp_path / "shard.ckpt"
+        source.checkpoint(str(path))
+        target = ShardState([], shared_plan=to_plan)
+        assert target.restore(str(path)) == ["a", "b", "c"]
+        return source, target
+
+    def test_shared_snapshot_unshares_on_plan_off_restore(self, tmp_path):
+        _, target = self.checkpoint_roundtrip(tmp_path, True, False)
+        a, b, c = (target.pipelines[q] for q in "abc")
+        assert a.monitor is not b.monitor
+        assert a.monitor.windows is not b.monitor.windows
+        assert a.monitor.windows is not c.monitor.windows
+        # The clones are bit-identical: same window contents and clocks.
+        assert a.monitor.window_state() == b.monitor.window_state()
+        assert a.monitor.window_state() == c.monitor.window_state()
+        assert [r and r.score for r in (a.last_result, b.last_result)][0] == (
+            b.last_result and b.last_result.score
+        )
+
+    def test_unshared_snapshot_realiases_on_plan_on_restore(self, tmp_path):
+        _, target = self.checkpoint_roundtrip(tmp_path, False, True)
+        a, b, c = (target.pipelines[q] for q in "abc")
+        assert a.monitor is b.monitor
+        assert a.monitor.windows is c.monitor.windows
+        assert c.monitor is not a.monitor
+
+    @pytest.mark.parametrize(
+        "from_plan,to_plan",
+        [(True, True), (True, False), (False, True), (False, False)],
+        ids=["s-s", "s-u", "u-s", "u-u"],
+    )
+    def test_roundtrip_continues_identically(self, tmp_path, from_plan, to_plan):
+        source, target = self.checkpoint_roundtrip(tmp_path, from_plan, to_plan)
+        tail = self.STREAM[50:]
+        got = target.handle(("chunk", tail, 1))
+        want = source.handle(("chunk", tail, 1))
+        assert [
+            (u.query_id, u.objects_routed, u.result and u.result.score) for u in got
+        ] == [
+            (u.query_id, u.objects_routed, u.result and u.result.score) for u in want
+        ]
+
+
+# ---------------------------------------------------------------------------
+# Settle-free fast path for empty routes
+# ---------------------------------------------------------------------------
+class TestSkipFastPath:
+    @pytest.mark.parametrize("shared_plan", [True, False], ids=["shared", "unshared"])
+    def test_unmatched_chunks_skip_the_settle(self, shared_plan):
+        shard = ShardState(
+            [make_spec("hit", "concert"), make_spec("miss", "never-tagged")],
+            shared_plan=shared_plan,
+        )
+        stream = make_keyword_stream(60)
+        n_chunks = 0
+        for start in range(0, len(stream), 15):
+            shard.handle(("chunk", stream[start : start + 15], n_chunks))
+            n_chunks += 1
+        miss = shard.pipelines["miss"]
+        assert miss.chunks_skipped == n_chunks
+        assert miss.chunks_processed == n_chunks
+        assert miss.objects_routed == 0
+        assert miss.last_result is None
+        # The fast path is still accounted: busy time was measured, not
+        # fabricated — it only has to be non-negative and tiny.
+        assert 0.0 <= miss.busy_seconds < 1.0
+        hit = shard.pipelines["hit"]
+        assert hit.chunks_skipped < n_chunks
+        assert hit.objects_routed > 0
+
+    def test_skipped_chunk_reports_the_previous_result(self):
+        spec = make_spec("q", "concert")
+        stream = [
+            make_object(i, float(i + 1), ("concert",) if i < 10 else ("parade",))
+            for i in range(20)
+        ]
+        with SurgeService([spec], shared_plan=True) as service:
+            (matched_update,) = service.push_many(stream[:10])
+            (skipped_update,) = service.push_many(stream[10:])
+        assert matched_update.objects_routed == 10
+        assert skipped_update.objects_routed == 0
+        # Nothing routed, clock unmoved: the previous settled result object
+        # is reported as-is.
+        assert skipped_update.result is matched_update.result
+
+
+# ---------------------------------------------------------------------------
+# make_query_grid(group_aligned=...)
+# ---------------------------------------------------------------------------
+class TestGroupAlignedGrid:
+    KEYWORDS = ("k0", "k1", "k2", "k3")
+
+    def sharing_factors(self, specs):
+        pairs = {(s.keyword, s.query.window_length) for s in specs}
+        triples = {(s.keyword, s.query.window_length, s.query.rect_width) for s in specs}
+        return len(specs) / len(pairs), len(specs) / len(triples)
+
+    def test_aligned_grid_enumerates_the_product(self):
+        # 4 keywords × 3 rects × 2 windows = 24 distinct triples; at 48
+        # queries every spec has exactly one duplicate.
+        specs = make_query_grid(
+            48,
+            keywords=self.KEYWORDS,
+            window_multipliers=(1.0, 2.0),
+            group_aligned=True,
+        )
+        window_factor, unit_factor = self.sharing_factors(specs)
+        assert window_factor == 48 / 8  # 4 keywords × 2 windows co-occur fully
+        assert unit_factor == 2.0
+        # Rectangles vary fastest: the first three specs differ only in rect.
+        assert {s.keyword for s in specs[:3]} == {"k0"}
+        assert len({s.query.rect_width for s in specs[:3]}) == 3
+
+    def test_aligned_prefix_covers_every_pair_before_repeating(self):
+        specs = make_query_grid(
+            24, keywords=self.KEYWORDS, window_multipliers=(1.0, 2.0),
+            group_aligned=True,
+        )
+        # 24 = 4 × 3 × 2: all triples distinct, no detector sharing yet.
+        _, unit_factor = self.sharing_factors(specs)
+        assert unit_factor == 1.0
+
+    def test_default_grid_is_unchanged(self):
+        aligned = make_query_grid(12, keywords=self.KEYWORDS, group_aligned=True)
+        default = make_query_grid(12, keywords=self.KEYWORDS)
+        legacy = make_query_grid(12, keywords=self.KEYWORDS)
+        assert default == legacy
+        assert aligned != default
+        # Independent cycles: keyword advances every query.
+        assert [s.keyword for s in default[:5]] == ["k0", "k1", "k2", "k3", "k0"]
+
+    def test_grid_ids_and_validation(self):
+        specs = make_query_grid(3, keywords=self.KEYWORDS, group_aligned=True)
+        assert [s.query_id for s in specs] == ["q000", "q001", "q002"]
+        with pytest.raises(ValueError, match="positive"):
+            make_query_grid(0, group_aligned=True)
+
+
+# ---------------------------------------------------------------------------
+# Shared plan under advance_time (service level)
+# ---------------------------------------------------------------------------
+def test_advance_time_matches_unshared_plan():
+    specs = [
+        make_spec("a", "concert"),
+        make_spec("b", "concert"),
+        make_spec("c", "concert", rect=1.5),
+        make_spec("d", None, window=10.0),
+    ]
+    # Chunks of ~10s of arrivals separated by 50s quiet gaps, so the
+    # between-chunk advance_time (to 22s past the chunk's end) both expires
+    # window-10/20 objects *and* stays earlier than the next chunk's first
+    # arrival — every advance crosses real deadlines without breaking
+    # timestamp order.
+    rng = random.Random(31)
+    chunks = []
+    for chunk_index in range(4):
+        base = chunk_index * 60.0
+        times = sorted(rng.uniform(0.0, 10.0) for _ in range(18))
+        chunks.append(
+            [
+                make_object(
+                    chunk_index * 18 + i, base + t, (rng.choice(KEYWORDS),)
+                )
+                for i, t in enumerate(times)
+            ]
+        )
+    traces = {}
+    for shared in (False, True):
+        trace = []
+        with SurgeService(specs, shared_plan=shared) as service:
+            for chunk in chunks:
+                service.push_many(chunk)
+                service.advance_time(chunk[-1].timestamp + 22.0)
+                trace.append(
+                    {
+                        qid: (r.score, r.region) if r is not None else None
+                        for qid, r in service.results().items()
+                    }
+                )
+        traces[shared] = trace
+    assert traces[True] == traces[False]
