@@ -1,17 +1,23 @@
 # Developer entry points for the SURGE reproduction.
 #
 #   make test          tier-1 test suite (unit tests; pure stdlib fallback works)
-#   make bench         all four benchmarks below
+#   make bench         all five benchmarks below
 #   make bench-sweep   sweep-kernel microbenchmark -> BENCH_sweep.json
 #   make bench-ingest  end-to-end ingestion throughput -> BENCH_ingest.json
 #   make bench-service multi-query service throughput -> BENCH_service.json
 #   make bench-recovery checkpoint overhead + crash recovery -> BENCH_recovery.json
+#   make bench-robustness reorder-buffer overhead under disorder + adversarial
+#                      (skew/churn) workloads -> BENCH_robustness.json
 #                      (each refuses to record a >20% regression;
 #                       BENCH_FLAGS=--force overrides, BENCH_FLAGS=--quick
 #                       runs a reduced smoke configuration)
 #   make smoke-recovery SIGKILL a checkpointing `repro serve` mid-stream and
 #                      assert the --resume run reproduces the uninterrupted
 #                      results (the CI crash/recovery smoke)
+#   make smoke-chaos   SIGKILL a checkpointing `repro serve` running under 10%
+#                      disorder + poison records and assert the --resume run
+#                      reproduces the uninterrupted results and IngestStats
+#                      counters (the CI chaos smoke)
 #   make smoke-shared  replay a q64 grid under the shared-work execution plan
 #                      (serial + 2-shard process + a cross-plan checkpoint
 #                      resume) and assert bit-identity with the unshared
@@ -33,12 +39,12 @@ BENCH_FLAGS ?=
 COVERAGE_MIN ?= 92
 
 .PHONY: test bench bench-sweep bench-ingest bench-service bench-recovery \
-	smoke-recovery smoke-shared coverage lint
+	bench-robustness smoke-recovery smoke-shared smoke-chaos coverage lint
 
 test:
 	$(PYTHON) -m pytest -x -q
 
-bench: bench-sweep bench-ingest bench-service bench-recovery
+bench: bench-sweep bench-ingest bench-service bench-recovery bench-robustness
 
 bench-sweep:
 	$(PYTHON) benchmarks/bench_sweep.py $(BENCH_FLAGS)
@@ -52,11 +58,17 @@ bench-service:
 bench-recovery:
 	$(PYTHON) benchmarks/bench_recovery.py $(BENCH_FLAGS)
 
+bench-robustness:
+	$(PYTHON) benchmarks/bench_robustness.py $(BENCH_FLAGS)
+
 smoke-recovery:
 	$(PYTHON) scripts/recovery_smoke.py
 
 smoke-shared:
 	$(PYTHON) scripts/shared_plan_smoke.py
+
+smoke-chaos:
+	$(PYTHON) scripts/chaos_smoke.py
 
 coverage:
 	$(PYTHON) -m pytest tests -q --cov=repro --cov-report=term-missing:skip-covered \

@@ -1,0 +1,413 @@
+"""Robustness benchmark: reorder-buffer overhead, disorder sweeps, and
+shared-vs-unshared execution under churn + keyword skew.
+
+Four questions decide whether the disorder-tolerant ingestion tier
+(:mod:`repro.streams.watermark` wired through ``SurgeService.run``) is
+deployable, and whether the shared execution plan survives adversarial
+workloads:
+
+``reorder overhead``
+    What does routing a *fully ordered* stream through the watermark
+    reorder buffer cost versus the historical strict chunker?  The
+    acceptance bar is **≤ 20%** overhead: the run *fails* (and refuses to
+    write) beyond it — tolerance must be cheap enough to leave on.
+
+``disorder sweep``
+    Throughput at {0%, 1%, 10%} bounded disorder (displacement within
+    ``max_lateness``), produced by the shared
+    :class:`~repro.streams.faults.FaultInjector`.  Every cell must answer
+    every query *identically* to the strict run over the pre-sorted clean
+    stream — that is the tier's whole contract — and must drop nothing.
+
+``drop accounting``
+    With displacement beyond the bound (plus poison and duplicates), the
+    stragglers must be counted-and-dropped, not silently lost: raw arrivals
+    = processed + late_dropped + quarantined, exactly.
+
+``churn + skew``
+    Shared vs unshared execution plan on a Zipf-skewed keyword stream with
+    a query churn storm applied between chunks — the adversarial case for
+    the shared plan's inverted keyword routing (one hot bucket, constant
+    re-bucketing).  Both plans must answer identically; the ratio is
+    recorded so sharing that *loses* under churn is visible in trajectory.
+
+Regression guard
+----------------
+As with the other BENCH files: if a previous ``BENCH_robustness.json``
+exists, the script refuses to overwrite it when a guarded throughput
+regressed by more than ``REGRESSION_TOLERANCE`` (20%); ``--force``
+overrides.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_robustness.py [--force] [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+from repro.core.query import SurgeQuery
+from repro.datasets.workloads import churn_storm_schedule, zipf_keyword_stream
+from repro.service import QuerySpec, SurgeService, make_query_grid
+from repro.streams.faults import FaultInjector
+from repro.streams.objects import SpatialObject
+
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_robustness.json"
+SCHEMA = "bench_robustness/v1"
+SEED = 20180416
+REGRESSION_TOLERANCE = 0.20
+#: Acceptance bar: the reorder buffer may cost at most this fraction of the
+#: strict path's throughput on a fully ordered stream.
+MAX_OVERHEAD_FRACTION = 0.20
+#: Guarded cells (objects/sec) for the regression check.
+GUARDED_CELLS = (
+    ("ordered_tolerant", ("results", "ordered", "tolerant")),
+    ("disorder_10pct", ("results", "disorder_sweep", "10pct")),
+    ("churn_shared", ("results", "churn_skew", "shared")),
+)
+
+TOTAL_OBJECTS = 8192
+CHURN_OBJECTS = 6144
+CHUNK_SIZE = 256
+MAX_LATENESS = 6.0
+N_QUERIES = 8
+EXTENT = 6.0
+BASE_RECT = (1.0, 1.0)
+BASE_WINDOW = 120.0
+ALPHA = 0.5
+ALGORITHM = "ccs"
+BACKEND = "python"
+VOCABULARY = ("concert", "parade", "festival", "derby",
+              "marathon", "protest", "storm", "expo")
+DISORDER_SWEEP = (("0pct", 0.0), ("1pct", 0.01), ("10pct", 0.10))
+CHURN_EVENTS = 48
+CHURN_EVERY_CHUNKS = 1
+
+
+def make_stream(total: int, seed: int = SEED) -> list[SpatialObject]:
+    """Uniform keyword-tagged stream at ~4 objects/stream-second."""
+    rng = random.Random(seed)
+    t = 0.0
+    objects = []
+    for index in range(total):
+        t += rng.uniform(0.05, 0.45)
+        objects.append(
+            SpatialObject(
+                x=rng.uniform(0.0, EXTENT),
+                y=rng.uniform(0.0, EXTENT),
+                timestamp=t,
+                weight=rng.uniform(0.5, 10.0),
+                object_id=index,
+                attributes={"keywords": (rng.choice(VOCABULARY),)},
+            )
+        )
+    return objects
+
+
+def make_specs() -> list[QuerySpec]:
+    return make_query_grid(
+        N_QUERIES,
+        base_rect=BASE_RECT,
+        base_window=BASE_WINDOW,
+        alpha=ALPHA,
+        algorithm=ALGORITHM,
+        backend=BACKEND,
+        keywords=VOCABULARY,
+    )
+
+
+def drive(arrivals, *, max_lateness: float = 0.0, shared_plan: bool = True,
+          churn=None) -> tuple[float, dict, dict]:
+    """Replay ``arrivals`` through a fresh service; return (wall, results, ingest).
+
+    ``churn`` is an iterable of ``(op, payload)`` registry operations
+    applied between chunks (one per ``CHURN_EVERY_CHUNKS`` dispatched
+    chunks), timed as part of the run — registry churn *is* the workload.
+    """
+    service = SurgeService(
+        make_specs(), shared_plan=shared_plan, max_lateness=max_lateness
+    )
+    schedule = iter(churn) if churn is not None else None
+    try:
+        started = time.perf_counter()
+        for index, _updates in enumerate(
+            service.run(iter(arrivals), chunk_size=CHUNK_SIZE)
+        ):
+            if schedule is not None and index % CHURN_EVERY_CHUNKS == 0:
+                op, payload = next(schedule, (None, None))
+                if op == "add":
+                    service.add_query(
+                        QuerySpec(
+                            query_id=payload["query_id"],
+                            query=SurgeQuery(
+                                rect_width=payload["rect"][0],
+                                rect_height=payload["rect"][1],
+                                window_length=payload["window_length"],
+                                alpha=ALPHA,
+                            ),
+                            algorithm=ALGORITHM,
+                            keyword=payload["keyword"],
+                            backend=BACKEND,
+                        )
+                    )
+                elif op == "remove":
+                    service.remove_query(payload["query_id"])
+        wall = time.perf_counter() - started
+        return wall, service.results(), service.ingest_stats().to_dict()
+    finally:
+        service.close()
+
+
+def assert_parity(reference: dict, candidate: dict, label: str) -> None:
+    """Every query must answer bit-identically to the reference run."""
+    if reference.keys() != candidate.keys():
+        raise AssertionError(
+            f"{label}: query sets differ from the reference run"
+        )
+    for query_id, expected in reference.items():
+        if candidate[query_id] != expected:
+            raise AssertionError(
+                f"{label}: query {query_id!r} diverged from the strict "
+                f"reference\n  expected: {expected}\n  got:      "
+                f"{candidate[query_id]}"
+            )
+
+
+def run_benchmark(total_objects: int, churn_objects: int) -> dict:
+    clean = make_stream(total_objects)
+
+    # --- reorder overhead on a fully ordered stream -------------------
+    print("ordered stream (strict vs tolerant path):", flush=True)
+    strict_wall, strict_results, _ = drive(clean)
+    strict_ops = total_objects / strict_wall
+    print(f"  strict   path: {strict_ops:10,.0f} obj/s", flush=True)
+    tolerant_wall, tolerant_results, tolerant_ingest = drive(
+        clean, max_lateness=MAX_LATENESS
+    )
+    tolerant_ops = total_objects / tolerant_wall
+    overhead = 1.0 - tolerant_ops / strict_ops
+    print(
+        f"  tolerant path: {tolerant_ops:10,.0f} obj/s  "
+        f"(overhead {100.0 * overhead:+.1f}%)",
+        flush=True,
+    )
+    assert_parity(strict_results, tolerant_results, "ordered/tolerant")
+    if tolerant_ingest["late_dropped"] or tolerant_ingest["reordered"]:
+        raise AssertionError(
+            f"ordered stream produced nonzero disorder counters: "
+            f"{tolerant_ingest}"
+        )
+
+    # --- disorder sweep -----------------------------------------------
+    print("disorder sweep (bounded; must match the strict reference):", flush=True)
+    sweep_cells = {}
+    for label, fraction in DISORDER_SWEEP:
+        injector = FaultInjector(
+            clean,
+            seed=SEED,
+            disorder_fraction=fraction,
+            max_disorder=MAX_LATENESS,
+        )
+        arrivals = injector.materialize()
+        wall, results, ingest = drive(arrivals, max_lateness=MAX_LATENESS)
+        ops = len(arrivals) / wall
+        assert_parity(strict_results, results, f"disorder/{label}")
+        if ingest["late_dropped"]:
+            raise AssertionError(
+                f"disorder/{label}: dropped {ingest['late_dropped']} records "
+                f"despite displacement within max_lateness"
+            )
+        sweep_cells[label] = {
+            "disorder_fraction": fraction,
+            "objects_per_second": ops,
+            "reordered": ingest["reordered"],
+            "late_dropped": ingest["late_dropped"],
+        }
+        print(
+            f"  {label:>5} disorder: {ops:10,.0f} obj/s  "
+            f"(reordered {ingest['reordered']}, dropped 0)",
+            flush=True,
+        )
+
+    # --- drop accounting beyond the bound -----------------------------
+    injector = FaultInjector(
+        clean,
+        seed=SEED + 1,
+        disorder_fraction=0.10,
+        max_disorder=3.0 * MAX_LATENESS,
+        duplicate_fraction=0.01,
+        poison_fraction=0.005,
+    )
+    arrivals = injector.materialize()
+    _, _, ingest = drive(arrivals, max_lateness=MAX_LATENESS)
+    processed = len(arrivals) - ingest["late_dropped"] - ingest["quarantined"]
+    if ingest["late_dropped"] == 0:
+        raise AssertionError(
+            "displacement 3x beyond max_lateness dropped nothing — the "
+            "watermark is not advancing"
+        )
+    if ingest["quarantined"] != injector.poisoned:
+        raise AssertionError(
+            f"quarantined {ingest['quarantined']} != injected poison "
+            f"{injector.poisoned}"
+        )
+    print(
+        f"drop accounting (3x over-bound disorder): {len(arrivals)} arrivals "
+        f"= {processed} processed + {ingest['late_dropped']} dropped + "
+        f"{ingest['quarantined']} quarantined",
+        flush=True,
+    )
+    accounting = {
+        "arrivals": len(arrivals),
+        "processed": processed,
+        "late_dropped": ingest["late_dropped"],
+        "quarantined": ingest["quarantined"],
+        "duplicates_seen": ingest["duplicates_seen"],
+    }
+
+    # --- shared vs unshared under churn + skew ------------------------
+    print("churn storm + Zipf skew (shared vs unshared plan):", flush=True)
+    skewed = zipf_keyword_stream(churn_objects, seed=SEED, extent=EXTENT)
+    churn = churn_storm_schedule(
+        CHURN_EVENTS, seed=SEED, window_length=BASE_WINDOW, rect=BASE_RECT
+    )
+    churn_cells = {}
+    reference_results = None
+    for label, shared in (("shared", True), ("unshared", False)):
+        wall, results, _ = drive(skewed, shared_plan=shared, churn=list(churn))
+        ops = churn_objects / wall
+        churn_cells[label] = {"objects_per_second": ops}
+        if reference_results is None:
+            reference_results = results
+        else:
+            assert_parity(reference_results, results, f"churn/{label}")
+        print(f"  {label:>8} plan: {ops:10,.0f} obj/s", flush=True)
+    speedup = (
+        churn_cells["shared"]["objects_per_second"]
+        / churn_cells["unshared"]["objects_per_second"]
+    )
+    churn_cells["shared_over_unshared"] = speedup
+    print(f"  shared/unshared: {speedup:.2f}x", flush=True)
+
+    return {
+        "schema": SCHEMA,
+        "config": {
+            "seed": SEED,
+            "extent": EXTENT,
+            "base_rect": list(BASE_RECT),
+            "base_window": BASE_WINDOW,
+            "alpha": ALPHA,
+            "algorithm": ALGORITHM,
+            "backend": BACKEND,
+            "n_queries": N_QUERIES,
+            "total_objects": total_objects,
+            "churn_objects": churn_objects,
+            "chunk_size": CHUNK_SIZE,
+            "max_lateness": MAX_LATENESS,
+            "churn_events": CHURN_EVENTS,
+        },
+        "results": {
+            "ordered": {
+                "strict": {"objects_per_second": strict_ops},
+                "tolerant": {
+                    "objects_per_second": tolerant_ops,
+                    "overhead_fraction": overhead,
+                },
+            },
+            "disorder_sweep": sweep_cells,
+            "drop_accounting": accounting,
+            "churn_skew": churn_cells,
+        },
+    }
+
+
+def _cell_ops(report: dict, path: tuple) -> float:
+    node = report
+    for key in path:
+        node = node[key]
+    return node["objects_per_second"]
+
+
+def check_regression(old: dict, new: dict, tolerance: float = REGRESSION_TOLERANCE):
+    regressions = []
+    for name, path in GUARDED_CELLS:
+        try:
+            before = _cell_ops(old, path)
+        except (KeyError, TypeError):
+            regressions.append(
+                f"{name}: previous file is not a readable {SCHEMA} report"
+            )
+            continue
+        after = _cell_ops(new, path)
+        if after < before * (1.0 - tolerance):
+            regressions.append(
+                f"{name}: {before:,.0f} -> {after:,.0f} obj/s "
+                f"({100.0 * (1.0 - after / before):.1f}% slower)"
+            )
+    return regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="overwrite BENCH_robustness.json even on regression or "
+        "overhead breach",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small streams (CI smoke mode; never overwrites the tracked "
+        "trajectory file)",
+    )
+    parser.add_argument("--out", default=str(OUTPUT_PATH), help="output JSON path")
+    args = parser.parse_args(argv)
+
+    total_objects = TOTAL_OBJECTS // 4 if args.quick else TOTAL_OBJECTS
+    churn_objects = CHURN_OBJECTS // 4 if args.quick else CHURN_OBJECTS
+    print(
+        f"bench_robustness: queries={N_QUERIES} total={total_objects} "
+        f"churn_total={churn_objects} chunk={CHUNK_SIZE} "
+        f"max_lateness={MAX_LATENESS} backend={BACKEND}"
+    )
+    report = run_benchmark(total_objects, churn_objects)
+
+    overhead = report["results"]["ordered"]["tolerant"]["overhead_fraction"]
+    if overhead > MAX_OVERHEAD_FRACTION and not args.force:
+        print(
+            f"reorder overhead {100.0 * overhead:.1f}% on a fully ordered "
+            f"stream exceeds the {100.0 * MAX_OVERHEAD_FRACTION:.0f}% "
+            f"acceptance bar",
+            file=sys.stderr,
+        )
+        return 1
+
+    out_path = Path(args.out)
+    if args.quick and args.out == str(OUTPUT_PATH):
+        print("quick mode: skipping BENCH_robustness.json update (pass --out to write)")
+        return 0
+    if out_path.exists() and not args.force:
+        old = json.loads(out_path.read_text())
+        regressions = check_regression(old, report)
+        if regressions:
+            print(
+                "refusing to overwrite {}: throughput regressed >{}%\n  {}".format(
+                    out_path, int(REGRESSION_TOLERANCE * 100), "\n  ".join(regressions)
+                ),
+                file=sys.stderr,
+            )
+            return 1
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

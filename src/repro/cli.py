@@ -194,6 +194,29 @@ def _build_parser() -> argparse.ArgumentParser:
         "must match the original run; --queries is ignored — the query "
         "registry comes from the checkpoint)",
     )
+    serve.add_argument(
+        "--max-lateness",
+        type=float,
+        default=None,
+        metavar="STREAM_SECONDS",
+        help="absorb out-of-order arrivals displaced by up to this many "
+        "stream seconds (watermark reorder buffer ahead of the chunker); "
+        "stragglers past the bound are counted and dropped, and results "
+        "for within-bound disorder are bit-identical to the pre-sorted "
+        "stream.  Default/0: strict mode — any out-of-order arrival "
+        "aborts with OutOfOrderError.  With --resume the checkpoint's "
+        "recorded lateness is restored and a differing value is refused "
+        "(it shapes the replayed chunking)",
+    )
+    serve.add_argument(
+        "--quarantine-dir",
+        default=None,
+        help="screen malformed records (NaN timestamps/coordinates, "
+        "non-finite weights, broken keyword payloads) out of the stream "
+        "instead of crashing, and append them as JSON lines to "
+        "quarantine.jsonl in this directory; quarantined records are "
+        "counted in the ingest stats",
+    )
 
     generate = subparsers.add_parser(
         "generate", help="generate a synthetic stream mimicking a paper dataset"
@@ -325,6 +348,18 @@ def _build_serve_service(args: argparse.Namespace):
                 f"checkpoint was taken at --chunk-size {recorded_chunk_size}: "
                 f"replay offsets only line up at the original chunking"
             )
+        recorded_lateness = (
+            float(manifest.ingest.get("max_lateness", 0.0))
+            if manifest.ingest is not None
+            else 0.0
+        )
+        if args.max_lateness is not None and args.max_lateness != recorded_lateness:
+            raise ValueError(
+                f"--resume with --max-lateness {args.max_lateness}, but the "
+                f"checkpoint was taken at --max-lateness {recorded_lateness}: "
+                f"the lateness bound shapes the replayed chunking, so it "
+                f"cannot change mid-stream"
+            )
         if args.queries is not None:
             print(
                 "note: --resume restores the query registry from the "
@@ -346,6 +381,7 @@ def _build_serve_service(args: argparse.Namespace):
             executor=args.executor,
             shared_plan=args.shared_plan,
             checkpoint_policy=policy,
+            quarantine_dir=args.quarantine_dir,
         )
         return service, service.chunk_offset
 
@@ -369,6 +405,8 @@ def _build_serve_service(args: argparse.Namespace):
         checkpoint_dir=checkpoint_dir,
         checkpoint_policy=policy,
         checkpoint_extra={"chunk_size": args.chunk_size},
+        max_lateness=args.max_lateness if args.max_lateness is not None else 0.0,
+        quarantine_dir=args.quarantine_dir,
     )
     return service, 0
 
@@ -383,15 +421,23 @@ def _command_serve(args: argparse.Namespace) -> int:
     if args.report_every < 1:
         print("--report-every must be a positive number of objects", file=sys.stderr)
         return 2
-    stream = load_stream(args.stream)
-    if not stream:
-        print("stream is empty", file=sys.stderr)
-        return 1
+    if args.max_lateness is not None and args.max_lateness < 0:
+        print("--max-lateness must be >= 0 stream seconds", file=sys.stderr)
+        return 2
     try:
         service, start_offset = _build_serve_service(args)
     except (OSError, ValueError, RuntimeError) as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    # With the disorder-tolerant tier on, the file records an *arrival
+    # order* for the tier to absorb — loading it pre-sorted would silently
+    # repair the disorder (and poison NaN timestamps break sorting).
+    tolerant = service.max_lateness > 0 or service.quarantine_dir is not None
+    stream = load_stream(args.stream, sort=not tolerant)
+    if not stream:
+        service.close()
+        print("stream is empty", file=sys.stderr)
+        return 1
     if start_offset:
         print(
             f"resuming from checkpoint: {start_offset} chunks "
@@ -417,6 +463,17 @@ def _command_serve(args: argparse.Namespace) -> int:
         print("final results:")
         for query_id, result in service.results().items():
             print(f"  {query_id:>12}: {_format_result(result)}")
+        if tolerant:
+            # Part of the compared stdout block on purpose: the chaos smoke
+            # asserts these counters are consistent across a crash+resume.
+            ingest = service.ingest_stats()
+            print(
+                f"ingest: reordered={ingest.reordered} "
+                f"late_dropped={ingest.late_dropped} "
+                f"duplicates_seen={ingest.duplicates_seen} "
+                f"quarantined={ingest.quarantined} "
+                f"subscriber_errors={ingest.subscriber_errors}"
+            )
         stats = service.stats()
         print(
             f"done: {stats.objects_pushed} objects x {len(service.query_ids)} "

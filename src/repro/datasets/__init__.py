@@ -33,6 +33,9 @@ _LAZY_EXPORTS = {
     "scaled_stream": "repro.datasets.workloads",
     "window_sweep_values": "repro.datasets.workloads",
     "rect_size_multipliers": "repro.datasets.workloads",
+    "zipf_keyword_stream": "repro.datasets.workloads",
+    "hot_cell_burst_stream": "repro.datasets.workloads",
+    "churn_storm_schedule": "repro.datasets.workloads",
 }
 
 

@@ -206,8 +206,17 @@ def write_jsonl_stream(path: str | Path, objects: Iterable[SpatialObject]) -> in
     return count
 
 
-def load_stream(path: str | Path, on_error: OnError = "raise") -> list[SpatialObject]:
-    """Load a whole stream from a ``.csv`` / ``.jsonl`` / ``.json`` file, sorted by time."""
+def load_stream(
+    path: str | Path, on_error: OnError = "raise", *, sort: bool = True
+) -> list[SpatialObject]:
+    """Load a whole stream from a ``.csv`` / ``.jsonl`` / ``.json`` file, sorted by time.
+
+    ``sort=False`` preserves the file's *arrival order* instead — required
+    when the file records a disordered feed for the disorder-tolerant
+    ingestion tier to absorb (sorting would silently repair the disorder
+    being measured, and a poison record's NaN timestamp makes the sort
+    comparison itself undefined).
+    """
     path = Path(path)
     if path.suffix.lower() == ".csv":
         objects = list(read_csv_stream(path, on_error=on_error))
@@ -215,5 +224,6 @@ def load_stream(path: str | Path, on_error: OnError = "raise") -> list[SpatialOb
         objects = list(read_jsonl_stream(path, on_error=on_error))
     else:
         raise StreamFormatError(f"unsupported stream file extension: {path.suffix!r}")
-    objects.sort(key=lambda o: (o.timestamp, o.object_id))
+    if sort:
+        objects.sort(key=lambda o: (o.timestamp, o.object_id))
     return objects

@@ -10,13 +10,24 @@ paper's setting" means:
 * rectangle sweeps of {0.5 q, q, 2 q, 3 q},
 * α sweep of {0.1, 0.3, 0.5, 0.7, 0.9},
 * arrival-rate sweep of {2, 4, 6, 8, 10} million objects per day.
+
+Beyond the paper's grid, the module provides the *adversarial* workload
+generators of the robustness benchmark (``benchmarks/bench_robustness.py``):
+Zipf-skewed keyword streams (a handful of keywords dominate, stressing the
+inverted routing of the shared plan), hot-cell spatial bursts (a single
+query-rectangle-sized cell receives a large share of all arrivals,
+stressing per-cell detector state), and query churn storms (a schedule of
+add/remove operations against a running service).  These are stdlib-only:
+they must run on the numpy-free CI leg.
 """
 
 from __future__ import annotations
 
+import random
+from typing import Sequence
+
 from repro.core.query import SurgeQuery
 from repro.datasets.profiles import DatasetProfile
-from repro.datasets.synthetic import generate_profile_stream
 from repro.streams.objects import SpatialObject
 from repro.streams.sources import stretch_to_rate
 
@@ -83,9 +94,154 @@ def scaled_stream(
     are kept but their arrival times are rescaled so the stream runs at the
     requested daily rate.
     """
+    # Imported lazily: the synthetic profile generator needs the optional
+    # numpy dependency, but the adversarial generators below are stdlib-only
+    # and must import on the numpy-free leg.
+    from repro.datasets.synthetic import generate_profile_stream
+
     stream = generate_profile_stream(
         profile, n_objects=n_objects, seed=seed, with_bursts=with_bursts
     )
     if arrivals_per_day is not None:
         stream = stretch_to_rate(stream, arrivals_per_day)
     return stream
+
+
+# ----------------------------------------------------------------------
+# Adversarial workloads (robustness benchmark; stdlib-only by design)
+# ----------------------------------------------------------------------
+def zipf_keyword_stream(
+    n_objects: int,
+    *,
+    seed: int,
+    vocabulary: Sequence[str] = ("concert", "parade", "festival", "derby",
+                                 "marathon", "protest", "storm", "expo"),
+    exponent: float = 1.2,
+    extent: float = 6.0,
+    mean_gap: float = 0.25,
+) -> list[SpatialObject]:
+    """A keyword-tagged stream with Zipf-skewed keyword popularity.
+
+    Keyword ``vocabulary[i]`` is drawn with probability proportional to
+    ``1 / (i + 1) ** exponent`` — the head keyword dominates, the tail is
+    sparse.  This is the adversarial case for the shared plan's inverted
+    keyword routing: the hot keyword's bucket carries almost every object,
+    so sharing wins little there, while the tail queries ride on nearly
+    empty buckets.
+    """
+    if n_objects < 0:
+        raise ValueError(f"n_objects must be >= 0, got {n_objects}")
+    if exponent <= 0:
+        raise ValueError(f"exponent must be positive, got {exponent}")
+    rng = random.Random(seed)
+    weights = [1.0 / (rank + 1) ** exponent for rank in range(len(vocabulary))]
+    t = 0.0
+    objects: list[SpatialObject] = []
+    for index in range(n_objects):
+        t += rng.expovariate(1.0 / mean_gap)
+        keyword = rng.choices(vocabulary, weights=weights)[0]
+        objects.append(
+            SpatialObject(
+                x=rng.uniform(0.0, extent),
+                y=rng.uniform(0.0, extent),
+                timestamp=t,
+                weight=rng.uniform(0.5, 8.0),
+                object_id=index,
+                attributes={"keywords": (keyword,)},
+            )
+        )
+    return objects
+
+
+def hot_cell_burst_stream(
+    n_objects: int,
+    *,
+    seed: int,
+    extent: float = 6.0,
+    cell_size: float = 1.0,
+    hot_fraction: float = 0.4,
+    burst_span: tuple[float, float] = (0.45, 0.7),
+    mean_gap: float = 0.25,
+) -> list[SpatialObject]:
+    """Uniform background traffic plus one spatially-hot burst cell.
+
+    During the ``burst_span`` fraction of the stream, ``hot_fraction`` of
+    arrivals land inside one ``cell_size``-sized cell — the worst case for
+    per-cell detector state (one cell's record absorbs a large share of all
+    updates) and the textbook flash-crowd shape the paper's detectors are
+    meant to flag.
+    """
+    if not 0.0 <= hot_fraction <= 1.0:
+        raise ValueError(f"hot_fraction must be in [0, 1], got {hot_fraction}")
+    rng = random.Random(seed)
+    # A fixed hot cell well inside the extent, chosen from the seed so
+    # different seeds stress different cells.
+    hot_x = rng.uniform(cell_size, max(cell_size, extent - 2 * cell_size))
+    hot_y = rng.uniform(cell_size, max(cell_size, extent - 2 * cell_size))
+    lo = int(n_objects * burst_span[0])
+    hi = int(n_objects * burst_span[1])
+    t = 0.0
+    objects: list[SpatialObject] = []
+    for index in range(n_objects):
+        t += rng.expovariate(1.0 / mean_gap)
+        if lo <= index < hi and rng.random() < hot_fraction:
+            x = hot_x + rng.uniform(0.0, cell_size)
+            y = hot_y + rng.uniform(0.0, cell_size)
+        else:
+            x = rng.uniform(0.0, extent)
+            y = rng.uniform(0.0, extent)
+        objects.append(
+            SpatialObject(
+                x=x,
+                y=y,
+                timestamp=t,
+                weight=rng.uniform(0.5, 8.0),
+                object_id=index,
+            )
+        )
+    return objects
+
+
+def churn_storm_schedule(
+    n_events: int,
+    *,
+    seed: int,
+    vocabulary: Sequence[str] = ("concert", "parade", "festival", "derby"),
+    window_length: float = 30.0,
+    rect: tuple[float, float] = (1.0, 1.0),
+) -> list[tuple[str, dict]]:
+    """A query churn storm: interleaved add/remove operations.
+
+    Returns ``(op, payload)`` pairs: ``("add", spec_kwargs)`` registers a
+    fresh query (unique id, keyword drawn from the vocabulary, ``None`` for
+    a city-wide query) and ``("remove", {"query_id": ...})`` drops a
+    previously added one.  Roughly 60% adds / 40% removes, never removing
+    more than was added — a driver applies them between chunks to stress
+    registry churn under load (the shared plan re-buckets its inverted
+    routing on every change).
+    """
+    rng = random.Random(seed)
+    live: list[str] = []
+    counter = 0
+    schedule: list[tuple[str, dict]] = []
+    for _ in range(n_events):
+        if live and rng.random() < 0.4:
+            victim = live.pop(rng.randrange(len(live)))
+            schedule.append(("remove", {"query_id": victim}))
+        else:
+            keyword = rng.choice([*vocabulary, None])
+            query_id = f"churn-{counter}"
+            counter += 1
+            live.append(query_id)
+            schedule.append(
+                (
+                    "add",
+                    {
+                        "query_id": query_id,
+                        "keyword": keyword,
+                        "rect": rect,
+                        "window_length": window_length,
+                    },
+                )
+            )
+    return schedule

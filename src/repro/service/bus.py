@@ -11,10 +11,14 @@ available once its shard's reply is gathered).
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
 from repro.core.base import RegionResult
+from repro.streams.watermark import IngestStats
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True, slots=True)
@@ -100,6 +104,10 @@ class ServiceStats:
     against ``m`` queries contributes ``n·m`` pairs.  The aggregate
     ``pairs_per_second`` over the ingestion wall time is the benchmark
     headline (``benchmarks/bench_service.py``).
+
+    ``ingest`` surfaces the disorder-tolerant ingestion tier's counters
+    (reordered, late_dropped, duplicates_seen, quarantined,
+    subscriber_errors) — all zero when the service runs in strict mode.
     """
 
     objects_pushed: int = 0
@@ -107,6 +115,7 @@ class ServiceStats:
     object_query_pairs: int = 0
     wall_seconds: float = 0.0
     per_query: dict[str, QueryStats] = field(default_factory=dict)
+    ingest: IngestStats = field(default_factory=IngestStats)
 
     @property
     def pairs_per_second(self) -> float:
@@ -116,12 +125,20 @@ class ServiceStats:
 
 
 class ResultBus:
-    """Latest-result cache plus subscriber fan-out for query updates."""
+    """Latest-result cache plus subscriber fan-out for query updates.
+
+    Subscriber callbacks are *isolated*: a raising callback must not kill
+    ingestion (it runs on the service's push path), so :meth:`publish`
+    catches the exception, counts it in :attr:`subscriber_errors`, logs it,
+    and keeps delivering the update to the remaining subscribers.
+    """
 
     def __init__(self) -> None:
         self._latest: dict[str, QueryUpdate] = {}
         self._stats: dict[str, QueryStats] = {}
         self._subscribers: list[Callable[[QueryUpdate], None]] = []
+        #: Exceptions raised (and swallowed) by subscriber callbacks.
+        self.subscriber_errors = 0
 
     def subscribe(self, callback: Callable[[QueryUpdate], None]) -> None:
         """Register a callback invoked once per update, in publish order."""
@@ -132,7 +149,16 @@ class ResultBus:
             self._latest[update.query_id] = update
             self._stats.setdefault(update.query_id, QueryStats()).observe(update)
             for callback in self._subscribers:
-                callback(update)
+                try:
+                    callback(update)
+                except Exception:
+                    self.subscriber_errors += 1
+                    logger.exception(
+                        "result-bus subscriber %r failed on update for query %s "
+                        "(isolated; delivery continues)",
+                        callback,
+                        update.query_id,
+                    )
 
     def latest(self, query_id: str) -> QueryUpdate | None:
         """The most recent update for a query (``None`` before the first)."""

@@ -39,9 +39,10 @@ Example::
 
 from __future__ import annotations
 
+import json
 import time
 from pathlib import Path
-from typing import Any, Iterable, Iterator, Mapping, Sequence
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.core.base import RegionResult
 from repro.service.bus import QueryUpdate, ResultBus, ServiceStats
@@ -49,9 +50,11 @@ from repro.service.shards import EXECUTOR_NAMES, make_executor
 from repro.service.spec import QuerySpec
 from repro.state.policy import CheckpointPolicy
 from repro.state.recovery import (
+    INGEST_SNAPSHOT_KIND,
     ServiceManifest,
     encode_stream_time,
     has_checkpoint,
+    ingest_snapshot_name,
     manifest_path,
     next_generation,
     prune_generations,
@@ -60,10 +63,16 @@ from repro.state.recovery import (
     wal_path,
     write_manifest,
 )
-from repro.state.snapshot import SnapshotError
+from repro.state.snapshot import SnapshotError, read_snapshot, write_snapshot
 from repro.state.wal import ChunkWal, WalCheckpoint
 from repro.streams.objects import SpatialObject
 from repro.streams.sources import iter_chunks
+from repro.streams.watermark import (
+    IngestStats,
+    WatermarkReorderBuffer,
+    classify_bad_record,
+)
+from repro.streams.windows import OutOfOrderError
 
 #: Chunk cadence of the default automatic checkpoint policy (used when a
 #: ``checkpoint_dir`` is given without an explicit policy).
@@ -104,6 +113,31 @@ class SurgeService:
         Free-form JSON-serialisable metadata stored in every manifest this
         service writes (e.g. the CLI records its ``--chunk-size`` so a
         resume can refuse a mismatching re-chunking).
+    max_lateness:
+        Disorder tolerance of :meth:`run`, in stream seconds.  ``0``
+        (default) is **strict mode**: out-of-order input fails fast with
+        :class:`~repro.streams.windows.OutOfOrderError`, exactly the
+        historical behaviour.  Positive: arrivals are re-sorted through a
+        :class:`~repro.streams.watermark.WatermarkReorderBuffer` ahead of
+        the chunker, stragglers displaced further than the bound are
+        counted and dropped, and any stream whose disorder stays within the
+        bound produces results bit-identical to the pre-sorted stream.
+    on_bad_record:
+        Optional callback ``(record, reason) -> None`` invoked for every
+        malformed record quarantined by :meth:`run` (NaN timestamps,
+        non-finite coordinates, non-``SpatialObject`` values, broken
+        keyword payloads — see
+        :func:`~repro.streams.watermark.classify_bad_record`).  Setting it
+        (or ``quarantine_dir``, or a positive ``max_lateness``) enables the
+        quarantine screen; otherwise malformed records fail fast as before.
+    quarantine_dir:
+        Optional directory; quarantined records are appended to
+        ``quarantine.jsonl`` there (one JSON line each: reason + record),
+        in addition to being counted in
+        :attr:`~repro.service.bus.ServiceStats.ingest`.  The spill is
+        observability, not state: replaying a crashed run may append a
+        pre-crash record again, but the counters are checkpointed and stay
+        exactly-once.
     """
 
     def __init__(
@@ -116,6 +150,9 @@ class SurgeService:
         checkpoint_dir: str | Path | None = None,
         checkpoint_policy: CheckpointPolicy | None = None,
         checkpoint_extra: Mapping[str, Any] | None = None,
+        max_lateness: float = 0.0,
+        on_bad_record: Callable[[Any, str], None] | None = None,
+        quarantine_dir: str | Path | None = None,
     ) -> None:
         if shards < 1:
             raise ValueError(f"shards must be positive, got {shards}")
@@ -148,6 +185,26 @@ class SurgeService:
         self._chunk_offset = 0
         self._stats = ServiceStats()
         self._closed = False
+        # Disorder-tolerant ingestion tier (see run()): active when any of
+        # the three knobs is set, otherwise run() is the historical strict
+        # chunker with zero new work on the hot path.
+        max_lateness = float(max_lateness)
+        if max_lateness < 0:
+            raise ValueError(f"max_lateness must be >= 0, got {max_lateness}")
+        self.max_lateness = max_lateness
+        self.on_bad_record = on_bad_record
+        self.quarantine_dir = Path(quarantine_dir) if quarantine_dir is not None else None
+        self._reorder: WatermarkReorderBuffer | None = (
+            WatermarkReorderBuffer(max_lateness) if max_lateness > 0 else None
+        )
+        #: Released by the reorder buffer (or screened, in lateness-0
+        #: tolerant mode) but not yet dispatched as a full chunk.
+        self._pending: list[SpatialObject] = []
+        #: Raw records consumed from the input stream by tolerant run()s —
+        #: the tolerant tier's replay offset (resume skips raw records, not
+        #: chunks: a chunk boundary no longer maps 1:1 to the raw stream).
+        self._raw_consumed = 0
+        self._quarantined = 0
         # Durability (all disabled until a checkpoint directory is attached).
         self._checkpoint_dir: Path | None = None
         self._checkpoint_policy: CheckpointPolicy = CheckpointPolicy()
@@ -231,11 +288,14 @@ class SurgeService:
         previous = self._time
         for position, obj in enumerate(objs):
             if obj.timestamp < previous:
-                raise ValueError(
+                raise OutOfOrderError(
                     f"out-of-order arrival in service chunk: object "
                     f"id={obj.object_id} (chunk position {position}) has "
                     f"timestamp t={obj.timestamp}, earlier than the "
-                    f"last-accepted stream time t={previous}"
+                    f"last-accepted stream time t={previous}",
+                    object_id=obj.object_id,
+                    timestamp=obj.timestamp,
+                    last_time=previous,
                 )
             previous = obj.timestamp
         if objs:
@@ -272,9 +332,11 @@ class SurgeService:
         its effects durable.
         """
         if stream_time < self._time:
-            raise ValueError(
+            raise OutOfOrderError(
                 f"cannot move stream time backwards: requested t={stream_time} "
-                f"is earlier than the last-accepted stream time t={self._time}"
+                f"is earlier than the last-accepted stream time t={self._time}",
+                timestamp=stream_time,
+                last_time=self._time,
             )
         self._time = stream_time
         return self._dispatch(("advance", stream_time, self._chunk_index), 0)
@@ -314,9 +376,137 @@ class SurgeService:
         ``start_offset=service.chunk_offset`` (and the *same* ``chunk_size``
         as the original run, or the skipped prefix would not line up), so
         every chunk lands in the service state exactly once.
+
+        With the disorder-tolerant tier enabled (``max_lateness``,
+        ``on_bad_record`` or ``quarantine_dir`` set) the stream is screened
+        and re-sorted *ahead of* the chunker: malformed records are
+        quarantined, bounded disorder is absorbed by the reorder buffer, and
+        the ordered output is re-cut into ``chunk_size`` chunks — so the
+        chunks the shards see are exactly those of the pre-sorted stream,
+        which is what makes the results bit-identical to it (chunk
+        boundaries are score-visible at the 1e-15 level, so re-sorting
+        *within* chunks would not be enough).  Resume then replays *raw
+        records*, not chunks: pass ``start_offset=service.chunk_offset``
+        exactly as in strict mode, and the tier skips the
+        already-consumed raw prefix itself.
         """
-        for chunk in iter_chunks(stream, chunk_size, start_offset=start_offset):
+        if not self._tolerant:
+            for chunk in iter_chunks(stream, chunk_size, start_offset=start_offset):
+                yield self.push_many(chunk)
+            return
+        yield from self._run_tolerant(stream, chunk_size, start_offset)
+
+    @property
+    def _tolerant(self) -> bool:
+        return (
+            self._reorder is not None
+            or self.on_bad_record is not None
+            or self.quarantine_dir is not None
+        )
+
+    def _run_tolerant(
+        self,
+        stream: Iterable[SpatialObject],
+        chunk_size: int,
+        start_offset: int,
+    ) -> Iterator[list[QueryUpdate]]:
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        if start_offset != self._chunk_offset:
+            raise ValueError(
+                f"tolerant-mode resume replays raw records, not chunks: pass "
+                f"start_offset=service.chunk_offset "
+                f"(={self._chunk_offset}), got {start_offset}"
+            )
+        iterator = iter(stream)
+        # Skip the raw records already consumed before the checkpoint this
+        # service was restored from; their surviving effects (applied
+        # chunks, held-back buffer contents, pending list, counters) were
+        # all restored with the service state.
+        skipped = 0
+        while skipped < self._raw_consumed:
+            try:
+                next(iterator)
+            except StopIteration:
+                raise ValueError(
+                    f"resume stream is shorter than the checkpoint's "
+                    f"raw-record offset: consumed {self._raw_consumed} "
+                    f"records before the crash, replay provided {skipped} "
+                    f"(different stream?)"
+                ) from None
+            skipped += 1
+        for record in iterator:
+            yield from self._ingest_record(record, chunk_size)
+        # End of stream: everything still held back is released (in order)
+        # and dispatched, last chunk possibly short — exactly what chunking
+        # the pre-sorted stream would have produced.
+        if self._reorder is not None:
+            self._pending.extend(self._reorder.flush())
+        while self._pending:
+            chunk = self._pending[:chunk_size]
+            del self._pending[:chunk_size]
             yield self.push_many(chunk)
+
+    def _ingest_record(
+        self, record: Any, chunk_size: int
+    ) -> Iterator[list[QueryUpdate]]:
+        self._raw_consumed += 1
+        reason = classify_bad_record(record)
+        if reason is not None:
+            self._quarantine(record, reason)
+            return
+        if self._reorder is not None:
+            self._pending.extend(self._reorder.push(record))
+        else:
+            # Lateness 0 with only the quarantine screen active: ordering
+            # stays strict, and the violation surfaces here (fail-fast)
+            # rather than at the next chunk boundary.
+            last = self._pending[-1].timestamp if self._pending else self._time
+            if record.timestamp < last:
+                raise OutOfOrderError(
+                    f"out-of-order arrival: object id={record.object_id} has "
+                    f"timestamp t={record.timestamp}, which is earlier than "
+                    f"the last-accepted stream time t={last} (strict mode: "
+                    f"set max_lateness > 0 to absorb bounded disorder)",
+                    object_id=record.object_id,
+                    timestamp=record.timestamp,
+                    last_time=last,
+                )
+            self._pending.append(record)
+        # Dispatch in full chunks only; the remainder stays pending so the
+        # chunk boundaries match the pre-sorted stream's.  A checkpoint
+        # firing inside push_many sees consistent state: the dispatched
+        # chunk is already off the pending list and _raw_consumed counts
+        # every record consumed so far.
+        while len(self._pending) >= chunk_size:
+            chunk = self._pending[:chunk_size]
+            del self._pending[:chunk_size]
+            yield self.push_many(chunk)
+
+    def _quarantine(self, record: Any, reason: str) -> None:
+        self._quarantined += 1
+        if self.quarantine_dir is not None:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            if isinstance(record, SpatialObject):
+                payload: Any = {
+                    "x": record.x,
+                    "y": record.y,
+                    "timestamp": record.timestamp,
+                    "weight": record.weight,
+                    "object_id": record.object_id,
+                    "attributes": dict(record.attributes),
+                }
+            else:
+                payload = repr(record)
+            line = json.dumps(
+                {"reason": reason, "record": payload}, default=repr, sort_keys=True
+            )
+            with open(
+                self.quarantine_dir / "quarantine.jsonl", "a", encoding="utf-8"
+            ) as handle:
+                handle.write(line + "\n")
+        if self.on_bad_record is not None:
+            self.on_bad_record(record, reason)
 
     # ------------------------------------------------------------------
     # Results and stats
@@ -344,7 +534,21 @@ class SurgeService:
         self._stats.per_query = {
             query_id: self.bus.stats(query_id) for query_id in self._order
         }
+        self._stats.ingest = self.ingest_stats()
         return self._stats
+
+    def ingest_stats(self) -> IngestStats:
+        """The disorder-tolerant tier's counters (all zero in strict mode,
+        except ``subscriber_errors``, which the bus isolates unconditionally)."""
+        stats = IngestStats(
+            quarantined=self._quarantined,
+            subscriber_errors=self.bus.subscriber_errors,
+        )
+        if self._reorder is not None:
+            stats.reordered = self._reorder.reordered
+            stats.late_dropped = self._reorder.late_dropped
+            stats.duplicates_seen = self._reorder.duplicates_seen
+        return stats
 
     # ------------------------------------------------------------------
     # Durability (see repro.state for the file formats)
@@ -448,6 +652,30 @@ class SurgeService:
                 for index, name in enumerate(shard_files)
             ]
         )
+        ingest_record: dict[str, Any] | None = None
+        if self._tolerant:
+            # The ingest tier's held-back events are part of checkpoint
+            # state: without them a resume would replay the raw stream into
+            # an empty buffer and double- or under-deliver around the
+            # watermark.  Written before the manifest (same crash-safety
+            # ordering as the shard files).
+            ingest_file = ingest_snapshot_name(generation)
+            write_snapshot(
+                target / ingest_file,
+                INGEST_SNAPSHOT_KIND,
+                {
+                    "reorder": self._reorder,
+                    "pending": list(self._pending),
+                },
+                meta=dict(shard_meta, raw_consumed=self._raw_consumed),
+            )
+            ingest_record = {
+                "max_lateness": self.max_lateness,
+                "raw_consumed": self._raw_consumed,
+                "quarantined": self._quarantined,
+                "subscriber_errors": self.bus.subscriber_errors,
+                "snapshot_file": ingest_file,
+            }
         manifest = ServiceManifest(
             generation=generation,
             chunk_offset=self._chunk_offset,
@@ -470,6 +698,7 @@ class SurgeService:
             shard_files=shard_files,
             extra=dict(self.checkpoint_extra),
             shared_plan=self.shared_plan,
+            ingest=ingest_record,
         )
         path = write_manifest(target, manifest)
         ChunkWal(wal_path(target)).mark_checkpoint(
@@ -495,6 +724,8 @@ class SurgeService:
         shared_plan: bool | None = None,
         checkpoint_policy: CheckpointPolicy | None = None,
         attach: bool = True,
+        on_bad_record: Callable[[Any, str], None] | None = None,
+        quarantine_dir: str | Path | None = None,
     ) -> "SurgeService":
         """Rebuild a service from the last checkpoint in ``directory``.
 
@@ -519,6 +750,15 @@ class SurgeService:
         With ``attach=True`` (default) the directory stays attached for
         further WAL appends and automatic checkpoints under
         ``checkpoint_policy`` (default: the recorded policy).
+
+        A checkpoint taken with the disorder-tolerant tier enabled restores
+        the tier too: ``max_lateness`` comes from the manifest (it shapes
+        the replayed chunking, so it cannot be changed mid-stream), the
+        reorder buffer's held-back events and the raw-record replay offset
+        come from the ingest snapshot, and the quarantine counters carry
+        over.  ``on_bad_record`` / ``quarantine_dir`` re-attach the
+        non-picklable spill targets (callbacks and paths are configuration,
+        not state).
         """
         directory = Path(directory)
         manifest = read_manifest(directory)
@@ -537,6 +777,7 @@ class SurgeService:
                 )
         specs = [QuerySpec.from_dict(record) for record in manifest.specs]
 
+        ingest_record = manifest.ingest
         service = cls(
             (),
             shards=manifest.n_shards,
@@ -544,6 +785,13 @@ class SurgeService:
             shared_plan=(
                 manifest.shared_plan if shared_plan is None else shared_plan
             ),
+            max_lateness=(
+                float(ingest_record.get("max_lateness", 0.0))
+                if ingest_record is not None
+                else 0.0
+            ),
+            on_bad_record=on_bad_record,
+            quarantine_dir=quarantine_dir,
         )
         # Registry bookkeeping comes from the manifest verbatim: replaying
         # round-robin over the surviving specs would mis-assign after
@@ -564,6 +812,26 @@ class SurgeService:
             wall_seconds=float(stats.get("wall_seconds", 0.0)),
         )
         service.bus.load_stats(stats.get("per_query", {}))
+        if ingest_record is not None:
+            service._raw_consumed = int(ingest_record.get("raw_consumed", 0))
+            service._quarantined = int(ingest_record.get("quarantined", 0))
+            service.bus.subscriber_errors = int(
+                ingest_record.get("subscriber_errors", 0)
+            )
+            snapshot_file = ingest_record.get("snapshot_file")
+            if snapshot_file is not None:
+                ingest_path = directory / snapshot_file
+                if not ingest_path.exists():
+                    raise SnapshotError(
+                        f"{manifest_path(directory)} names a missing ingest "
+                        f"snapshot {ingest_path.name} (incomplete checkpoint "
+                        f"directory?)"
+                    )
+                _, ingest_state = read_snapshot(
+                    ingest_path, expected_kind=INGEST_SNAPSHOT_KIND
+                )
+                service._reorder = ingest_state["reorder"]
+                service._pending = list(ingest_state["pending"])
 
         replies = service._executor.scatter(
             [("restore", str(path)) for path in shard_paths]

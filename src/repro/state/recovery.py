@@ -46,10 +46,20 @@ WAL_NAME = "wal.log"
 #: ``kind`` of the per-shard snapshot files in a checkpoint directory.
 SHARD_SNAPSHOT_KIND = "service-shard"
 
+#: ``kind`` of the ingest-tier snapshot (reorder buffer + released-but-
+#: undispatched objects) written alongside the shard files when the service
+#: runs the disorder-tolerant ingestion tier.
+INGEST_SNAPSHOT_KIND = "service-ingest"
+
 
 def shard_snapshot_name(shard_index: int, generation: int) -> str:
     """File name of one shard's snapshot at one checkpoint generation."""
     return f"shard-{shard_index:02d}.g{generation:06d}.ckpt"
+
+
+def ingest_snapshot_name(generation: int) -> str:
+    """File name of the ingest-tier snapshot at one checkpoint generation."""
+    return f"ingest.g{generation:06d}.ckpt"
 
 
 def encode_stream_time(time: float) -> float | None:
@@ -90,6 +100,13 @@ class ServiceManifest:
     #: services effectively ran bit-identically to (either value restores
     #: them correctly).
     shared_plan: bool = True
+    #: Disorder-tolerant ingestion tier state (``None`` = strict mode, and
+    #: in every pre-robustness manifest): ``max_lateness``, the raw-record
+    #: replay offset ``raw_consumed``, the quarantine/subscriber counters,
+    #: and the name of the generation's ingest snapshot file (reorder
+    #: buffer + released-but-undispatched objects).  Optional field, same
+    #: schema version — old manifests load with the tier off.
+    ingest: dict | None = None
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -109,6 +126,7 @@ class ServiceManifest:
             "shard_files": list(self.shard_files),
             "extra": dict(self.extra),
             "shared_plan": self.shared_plan,
+            "ingest": dict(self.ingest) if self.ingest is not None else None,
         }
 
     @staticmethod
@@ -131,6 +149,11 @@ class ServiceManifest:
                 shard_files=list(record["shard_files"]),
                 extra=dict(record.get("extra", {})),
                 shared_plan=bool(record.get("shared_plan", True)),
+                ingest=(
+                    dict(record["ingest"])
+                    if record.get("ingest") is not None
+                    else None
+                ),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise SnapshotError(
@@ -185,11 +208,13 @@ def next_generation(directory: str | Path) -> int:
 
 
 def prune_generations(directory: str | Path, keep_generation: int) -> None:
-    """Best-effort removal of shard snapshots from older generations."""
+    """Best-effort removal of shard/ingest snapshots from older generations."""
     keep_suffix = f".g{keep_generation:06d}.ckpt"
-    for path in Path(directory).glob("shard-*.ckpt"):
-        if not path.name.endswith(keep_suffix):
-            try:
-                path.unlink()
-            except OSError:
-                pass  # a stale file is harmless; the manifest never names it
+    directory = Path(directory)
+    for pattern in ("shard-*.ckpt", "ingest.*.ckpt"):
+        for path in directory.glob(pattern):
+            if not path.name.endswith(keep_suffix):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass  # a stale file is harmless; the manifest never names it

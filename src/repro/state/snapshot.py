@@ -17,11 +17,17 @@ File format (``snapshot/v1``)
     <pickle bytes>                    the payload
 
 The header carries ``schema`` (the codec version), ``kind`` (what the
-payload is: ``"monitor"``, ``"service-shard"``, ...) and a free-form
-``meta`` mapping (chunk offsets, stream time, generation numbers).  The
-header is parsed and validated *before* the payload is unpickled, so a
-snapshot written by a newer codec fails with a clear
-:class:`SnapshotSchemaError` instead of a confusing unpickling crash.
+payload is: ``"monitor"``, ``"service-shard"``, ...), a free-form
+``meta`` mapping (chunk offsets, stream time, generation numbers), and —
+since the robustness pass — a ``crc32`` / ``payload_bytes`` pair over the
+pickle bytes.  The header is parsed and validated *before* the payload is
+unpickled, so a snapshot written by a newer codec fails with a clear
+:class:`SnapshotSchemaError` instead of a confusing unpickling crash, and
+a truncated or bit-rotted payload fails the checksum with a clear
+:class:`SnapshotError` instead of unpickling garbage (unpickling corrupt
+bytes can execute arbitrary reduce hooks — the checksum runs first).
+Files written before the checksum existed carry no ``crc32`` and still
+load.
 
 Writes are atomic: the file is assembled under a temporary name in the same
 directory, flushed and fsynced, then moved into place with :func:`os.replace`
@@ -40,6 +46,7 @@ import io
 import json
 import os
 import pickle
+import zlib
 from pathlib import Path
 from typing import Any, Mapping
 
@@ -98,19 +105,25 @@ def write_snapshot(
     Returns the header that was written.  The write is atomic; on any
     failure the previous file at ``path`` (if one existed) is untouched.
     """
+    try:
+        payload_bytes = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:  # pickling failure: unserialisable state
+        raise SnapshotError(f"cannot snapshot {kind!r} state to {path}: {exc}") from exc
     header = {
         "schema": SNAPSHOT_SCHEMA,
         "kind": kind,
         "meta": dict(meta) if meta else {},
+        # Integrity check of the payload, verified before unpickling on
+        # read.  Same schema version: readers without the field ignore it,
+        # files without the field skip verification.
+        "crc32": zlib.crc32(payload_bytes),
+        "payload_bytes": len(payload_bytes),
     }
     buffer = io.BytesIO()
     buffer.write(SNAPSHOT_MAGIC)
     buffer.write(json.dumps(header, sort_keys=True).encode("utf-8"))
     buffer.write(b"\n")
-    try:
-        buffer.write(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
-    except Exception as exc:  # pickling failure: unserialisable state
-        raise SnapshotError(f"cannot snapshot {kind!r} state to {path}: {exc}") from exc
+    buffer.write(payload_bytes)
     _atomic_write_bytes(Path(path), buffer.getvalue())
     return header
 
@@ -156,8 +169,27 @@ def read_snapshot(
     with open(path, "rb") as handle:
         handle.read(len(SNAPSHOT_MAGIC))
         handle.readline()
-        try:
-            payload = pickle.load(handle)
-        except Exception as exc:
-            raise SnapshotError(f"{path}: corrupt snapshot payload: {exc}") from exc
+        payload_bytes = handle.read()
+    expected_crc = header.get("crc32")
+    if expected_crc is not None:
+        # Verified *before* unpickling: corrupt pickle bytes can execute
+        # arbitrary reduce hooks, so garbage must never reach the codec.
+        expected_size = header.get("payload_bytes")
+        if expected_size is not None and len(payload_bytes) != expected_size:
+            raise SnapshotError(
+                f"{path}: corrupt snapshot payload: {len(payload_bytes)} bytes "
+                f"on disk, header records {expected_size} (truncated or "
+                f"overwritten file)"
+            )
+        found_crc = zlib.crc32(payload_bytes)
+        if found_crc != expected_crc:
+            raise SnapshotError(
+                f"{path}: corrupt snapshot payload: CRC32 mismatch "
+                f"(found {found_crc:#010x}, header records "
+                f"{expected_crc:#010x}) — the file was truncated or bit-rotted"
+            )
+    try:
+        payload = pickle.loads(payload_bytes)
+    except Exception as exc:
+        raise SnapshotError(f"{path}: corrupt snapshot payload: {exc}") from exc
     return header, payload

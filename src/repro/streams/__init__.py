@@ -21,13 +21,19 @@ from repro.streams.objects import (
     SpatialObject,
     WindowEvent,
 )
-from repro.streams.windows import SlidingWindowPair, WindowState
+from repro.streams.windows import OutOfOrderError, SlidingWindowPair, WindowState
 from repro.streams.sources import (
     ListSource,
     merge_streams,
     stretch_to_rate,
     stretch_to_duration,
 )
+from repro.streams.watermark import (
+    IngestStats,
+    WatermarkReorderBuffer,
+    classify_bad_record,
+)
+from repro.streams.faults import FaultInjector, FaultProfile
 
 __all__ = [
     "EventBatch",
@@ -35,10 +41,16 @@ __all__ = [
     "RectangleObject",
     "SpatialObject",
     "WindowEvent",
+    "OutOfOrderError",
     "SlidingWindowPair",
     "WindowState",
     "ListSource",
     "merge_streams",
     "stretch_to_rate",
     "stretch_to_duration",
+    "IngestStats",
+    "WatermarkReorderBuffer",
+    "classify_bad_record",
+    "FaultInjector",
+    "FaultProfile",
 ]

@@ -1,0 +1,256 @@
+"""Seeded fault injection for chaos tests, smokes and robustness benchmarks.
+
+:class:`FaultInjector` wraps a clean, timestamp-ordered stream and replays
+it with composable, *deterministic* (seeded) imperfections:
+
+* **bounded disorder** — a fraction of objects arrive late, displaced by up
+  to ``max_disorder`` stream seconds.  The injector perturbs each chosen
+  object's *sort key* (its timestamp plus a uniform delay) and re-sorts the
+  arrival order by the perturbed keys, so an object is emitted after peers
+  up to ``max_disorder`` seconds ahead of it — exactly the bound
+  :class:`~repro.streams.watermark.WatermarkReorderBuffer` absorbs losslessly
+  when ``max_lateness >= max_disorder``;
+* **duplicate object ids** — a fraction of arrivals is re-emitted shortly
+  after the original with the same ``object_id`` (the retry/replay failure
+  mode), offset within ``duplicate_delay`` so they stay inside the same
+  reorder horizon;
+* **malformed / poison records** — records that must never reach a sliding
+  window: NaN timestamps, non-finite coordinates, raw dicts, broken
+  ``keywords`` payloads.  The kinds are selectable so file-based harnesses
+  can restrict themselves to kinds their serialisation can round-trip;
+* **flash-crowd ramps** — a burst window during which arrival gaps are
+  compressed by ``flash_crowd_factor``, modelling a sudden crowd without
+  changing object contents (timestamps are rewritten, which is why this
+  profile is applied to the *clean* stream before disorder, and why
+  :meth:`FaultInjector.reference` returns the post-ramp stream as the
+  ground truth).
+
+The injector is pure: :meth:`materialize` always returns the same arrival
+list for the same input and profile, and :meth:`reference` returns the
+matching fault-free, pre-sorted stream the detectors' output is compared
+against.  Tests, ``scripts/chaos_smoke.py`` and
+``benchmarks/bench_robustness.py`` all share it, so "10% disorder" means
+the same thing everywhere.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field, replace
+from typing import Any, Iterator, Sequence
+
+from repro.streams.objects import SpatialObject
+
+__all__ = ["FaultProfile", "FaultInjector", "POISON_KINDS"]
+
+#: All poison-record kinds the injector can produce.  ``nan_timestamp`` /
+#: ``nan_x`` / ``inf_weight`` survive CSV round-trips (float('nan')/'inf'
+#: parse back), so file-based harnesses use those; ``raw_dict`` and
+#: ``bad_keywords`` only exist in-memory.
+POISON_KINDS = ("nan_timestamp", "nan_x", "inf_weight", "raw_dict", "bad_keywords")
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """A composable description of what to inject.
+
+    All fractions are of the clean stream's length; every fault class is
+    disabled at its default.  Fields compose freely — e.g. disorder plus
+    duplicates plus poison is the chaos smoke's profile.
+    """
+
+    #: Fraction of objects emitted out of order, displaced by up to
+    #: ``max_disorder`` stream seconds.
+    disorder_fraction: float = 0.0
+    #: Upper bound (stream seconds) on any injected displacement.
+    max_disorder: float = 0.0
+    #: Fraction of arrivals re-emitted with the same object id.
+    duplicate_fraction: float = 0.0
+    #: Re-emission delay bound (stream seconds) for duplicates.
+    duplicate_delay: float = 1.0
+    #: Fraction of *extra* malformed records interleaved into the stream.
+    poison_fraction: float = 0.0
+    #: Which poison kinds to draw from (subset of :data:`POISON_KINDS`).
+    poison_kinds: tuple[str, ...] = ("nan_timestamp", "nan_x", "inf_weight")
+    #: Arrival-gap compression factor inside the flash-crowd window
+    #: (> 1 = faster arrivals); 1.0 disables the ramp.
+    flash_crowd_factor: float = 1.0
+    #: Flash-crowd window as fractions of the stream's index range.
+    flash_crowd_span: tuple[float, float] = (0.4, 0.6)
+
+    def __post_init__(self) -> None:
+        for name in ("disorder_fraction", "duplicate_fraction", "poison_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+        if self.disorder_fraction > 0 and self.max_disorder <= 0:
+            raise ValueError(
+                "disorder_fraction > 0 requires a positive max_disorder bound"
+            )
+        if self.duplicate_delay < 0:
+            raise ValueError(f"duplicate_delay must be >= 0, got {self.duplicate_delay!r}")
+        if self.flash_crowd_factor < 1.0:
+            raise ValueError(
+                f"flash_crowd_factor must be >= 1, got {self.flash_crowd_factor!r}"
+            )
+        unknown = set(self.poison_kinds) - set(POISON_KINDS)
+        if unknown:
+            raise ValueError(
+                f"unknown poison kinds {sorted(unknown)}; choose from {POISON_KINDS}"
+            )
+
+
+class FaultInjector:
+    """Deterministically replays a clean stream with injected faults.
+
+    Parameters
+    ----------
+    objects:
+        The clean stream (sorted by ``(timestamp, object_id)`` on entry so
+        the reference is well defined regardless of input order).
+    profile:
+        The :class:`FaultProfile` to apply; keyword overrides build one
+        in place (``FaultInjector(objs, seed=7, disorder_fraction=0.1,
+        max_disorder=5.0)``).
+    seed:
+        Seed for the private RNG — same seed, same arrival sequence.
+
+    After :meth:`materialize` (or iteration) the injected counts are
+    available as ``disordered``, ``duplicates``, ``poisoned``.  Replayed
+    through the tolerant tier, ``duplicates`` and ``poisoned`` match the
+    ``duplicates_seen`` / ``quarantined`` :class:`~repro.streams.watermark.
+    IngestStats` counters exactly; ``disordered`` upper-bounds ``reordered``
+    (a delayed object that no peer actually overtook still arrives in
+    order).
+
+    Displacement bound: an object's arrival is displaced by at most
+    ``max_disorder`` stream seconds, a *duplicate's* by at most
+    ``max_disorder + duplicate_delay`` — size the tolerant tier's
+    ``max_lateness`` to at least their sum for a lossless (zero
+    ``late_dropped``) replay.
+    """
+
+    def __init__(
+        self,
+        objects: Sequence[SpatialObject],
+        profile: FaultProfile | None = None,
+        *,
+        seed: int,
+        **overrides: Any,
+    ) -> None:
+        if profile is None:
+            profile = FaultProfile(**overrides)
+        elif overrides:
+            profile = replace(profile, **overrides)
+        self.profile = profile
+        self.seed = seed
+        clean = sorted(objects, key=lambda o: (o.timestamp, o.object_id))
+        self._reference = self._apply_flash_crowd(clean)
+        self._arrivals: list[Any] | None = None
+        self.disordered = 0
+        self.duplicates = 0
+        self.poisoned = 0
+
+    # ------------------------------------------------------------------
+    # The faulty stream and its ground truth
+    # ------------------------------------------------------------------
+    def reference(self) -> list[SpatialObject]:
+        """The fault-free, pre-sorted stream results are compared against.
+
+        Flash-crowd timestamp rewriting (which changes the *true* stream) is
+        included; disorder, duplicates and poison (which the tolerant tier
+        must absorb) are not.
+        """
+        return list(self._reference)
+
+    def materialize(self) -> list[Any]:
+        """The faulty arrival sequence (cached; iteration uses it too).
+
+        Entries are :class:`~repro.streams.objects.SpatialObject` instances
+        plus, when ``poison_fraction > 0``, the malformed records — which may
+        be non-``SpatialObject`` values (e.g. raw dicts), hence the loose
+        element type.
+        """
+        if self._arrivals is None:
+            self._arrivals = self._build()
+        return list(self._arrivals)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.materialize())
+
+    def __len__(self) -> int:
+        return len(self.materialize())
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _apply_flash_crowd(self, clean: list[SpatialObject]) -> list[SpatialObject]:
+        profile = self.profile
+        if profile.flash_crowd_factor == 1.0 or len(clean) < 3:
+            return clean
+        lo_frac, hi_frac = profile.flash_crowd_span
+        lo = max(1, int(len(clean) * lo_frac))
+        hi = max(lo + 1, int(len(clean) * hi_frac))
+        # Rebuild timestamps from inter-arrival gaps, compressing the gaps
+        # inside [lo, hi) by the factor; everything after the window shifts
+        # earlier by the time saved, so the stream stays ordered throughout.
+        out = list(clean)
+        previous = out[0].timestamp
+        for index in range(1, len(out)):
+            gap = clean[index].timestamp - clean[index - 1].timestamp
+            if lo <= index < hi:
+                gap /= profile.flash_crowd_factor
+            previous += gap
+            out[index] = replace(out[index], timestamp=previous)
+        return out
+
+    def _build(self) -> list[Any]:
+        rng = random.Random(self.seed)
+        profile = self.profile
+        reference = self._reference
+        self.disordered = 0
+        self.duplicates = 0
+        self.poisoned = 0
+
+        # Arrival order: perturb chosen objects' sort keys by a uniform
+        # delay in (0, max_disorder], then stable-sort by perturbed key.
+        # An object can then only be overtaken by peers whose true
+        # timestamps are within max_disorder of its own — the displacement
+        # bound the reorder buffer's watermark needs.
+        keyed: list[tuple[float, int, Any]] = []
+        for index, obj in enumerate(reference):
+            key = obj.timestamp
+            if profile.disorder_fraction > 0 and rng.random() < profile.disorder_fraction:
+                key += rng.uniform(0.0, profile.max_disorder)
+                if key != obj.timestamp:
+                    self.disordered += 1
+            keyed.append((key, index, obj))
+            if profile.duplicate_fraction > 0 and rng.random() < profile.duplicate_fraction:
+                delay = rng.uniform(0.0, profile.duplicate_delay)
+                keyed.append((key + delay, index, obj))
+                self.duplicates += 1
+        keyed.sort(key=lambda entry: (entry[0], entry[1]))
+        arrivals: list[Any] = [entry[2] for entry in keyed]
+
+        if profile.poison_fraction > 0 and reference:
+            count = max(1, int(len(reference) * profile.poison_fraction))
+            self.poisoned = count
+            for _ in range(count):
+                position = rng.randrange(len(arrivals) + 1)
+                template = reference[rng.randrange(len(reference))]
+                arrivals.insert(position, self._make_poison(rng, template))
+        return arrivals
+
+    def _make_poison(self, rng: random.Random, template: SpatialObject) -> Any:
+        kind = rng.choice(self.profile.poison_kinds)
+        if kind == "nan_timestamp":
+            return replace(template, timestamp=float("nan"))
+        if kind == "nan_x":
+            return replace(template, x=float("nan"))
+        if kind == "inf_weight":
+            return replace(template, weight=float("inf"))
+        if kind == "raw_dict":
+            return {"x": template.x, "y": template.y, "timestamp": template.timestamp}
+        assert kind == "bad_keywords"
+        return replace(template, attributes={"keywords": 7})

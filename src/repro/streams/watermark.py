@@ -1,0 +1,305 @@
+"""Watermark-based bounded-disorder ingestion: buffer, re-sort, count, drop.
+
+The paper's model assumes a perfectly ordered stream, and the detectors'
+incremental state genuinely requires it — :class:`~repro.streams.windows.
+SlidingWindowPair` raises :class:`~repro.streams.windows.OutOfOrderError`
+on a backwards timestamp because accepting it would silently corrupt every
+downstream window and cell record.  Real traffic is not so polite: events
+are delayed, batched, retried and replayed, so arrivals are *late* by
+bounded amounts almost all the time and by unbounded amounts occasionally.
+
+:class:`WatermarkReorderBuffer` is the standard streaming answer (low
+watermarks in the Millwheel/Beam/Flink sense) specialised to this
+reproduction's bit-identity bar:
+
+* arrivals are buffered and re-sorted within a configurable ``max_lateness``
+  (stream seconds);
+* the **watermark** trails the maximum observed timestamp by
+  ``max_lateness`` and only ever advances; everything strictly behind it is
+  released in ``(timestamp, object_id)`` order, so the emitted stream is
+  always non-decreasing;
+* an arrival already strictly behind the watermark cannot be emitted
+  without breaking the order of what was already released, so it is
+  **counted and dropped** (``late_dropped``) — graceful degradation instead
+  of a crash, with the loss observable;
+* **provable exactness inside the bound**: if every arrival's displacement
+  is within ``max_lateness`` (formally: no object arrives after an object
+  whose timestamp exceeds its own by more than ``max_lateness``), then no
+  arrival is ever behind the watermark, nothing is dropped, and the emitted
+  sequence is *exactly* ``sorted(arrivals, key=(timestamp, object_id))`` —
+  so every downstream detector result is bit-identical to running over the
+  pre-sorted stream.  ``tests/test_service_robustness.py`` locks this with a
+  Hypothesis property across detectors, plans and executors.
+
+The buffer is plain picklable Python state (a heap plus counters), which is
+what lets :class:`~repro.service.SurgeService` include its held-back events
+in checkpoint snapshots: SIGKILL-and-resume under disorder replays the raw
+stream from the recorded offset into the restored buffer and stays
+exactly-once (``scripts/chaos_smoke.py``).
+
+:class:`IngestStats` is the observable surface of the whole disorder-
+tolerant tier (reordering, drops, duplicates, quarantined poison records,
+subscriber faults), exported through
+:class:`~repro.service.bus.ServiceStats`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+from repro.streams.objects import SpatialObject
+
+__all__ = [
+    "IngestStats",
+    "WatermarkReorderBuffer",
+    "classify_bad_record",
+]
+
+
+@dataclass
+class IngestStats:
+    """Counters of everything the disorder-tolerant ingestion tier absorbed.
+
+    ``reordered``
+        Arrivals whose timestamp was behind the maximum already observed —
+        they arrived out of order and were re-sorted inside the buffer.
+    ``late_dropped``
+        Arrivals already strictly behind the watermark (displaced by more
+        than ``max_lateness``): emitting them would break the order of what
+        was already released, so they were counted and discarded.
+    ``duplicates_seen``
+        Arrivals whose object id was already observed within the reorder
+        horizon.  Duplicates are *processed as distinct arrivals* (the
+        paper's model has no dedup — two objects may legitimately share an
+        id), so this is an observability counter, not a filter.
+    ``quarantined``
+        Malformed/poison records screened out before they reached any
+        window (see :func:`classify_bad_record`).
+    ``subscriber_errors``
+        Exceptions raised by result-bus subscriber callbacks and isolated
+        by :meth:`~repro.service.bus.ResultBus.publish`.
+    """
+
+    reordered: int = 0
+    late_dropped: int = 0
+    duplicates_seen: int = 0
+    quarantined: int = 0
+    subscriber_errors: int = 0
+
+    def to_dict(self) -> dict[str, int]:
+        """JSON form stored in service checkpoint manifests."""
+        return {
+            "reordered": self.reordered,
+            "late_dropped": self.late_dropped,
+            "duplicates_seen": self.duplicates_seen,
+            "quarantined": self.quarantined,
+            "subscriber_errors": self.subscriber_errors,
+        }
+
+    @staticmethod
+    def from_dict(record: Mapping[str, Any]) -> "IngestStats":
+        return IngestStats(
+            reordered=int(record.get("reordered", 0)),
+            late_dropped=int(record.get("late_dropped", 0)),
+            duplicates_seen=int(record.get("duplicates_seen", 0)),
+            quarantined=int(record.get("quarantined", 0)),
+            subscriber_errors=int(record.get("subscriber_errors", 0)),
+        )
+
+
+def classify_bad_record(record: Any) -> str | None:
+    """Why ``record`` must not reach a sliding window (``None`` = it may).
+
+    The screen admits exactly the records the rest of the pipeline is
+    specified over: a :class:`~repro.streams.objects.SpatialObject` with
+    finite coordinates, timestamp and weight, and (when present) a
+    ``keywords`` attribute the keyword router can iterate.  Anything else —
+    a raw dict from a decoder, a NaN timestamp from a corrupt row, a
+    ``keywords: 7`` — would either crash deep inside a detector or, worse,
+    silently poison window arithmetic (NaN never compares, so a NaN
+    timestamp defeats every cutoff test).
+    """
+    if not isinstance(record, SpatialObject):
+        return f"not a SpatialObject (got {type(record).__name__})"
+    try:
+        if not math.isfinite(record.timestamp):
+            return f"non-finite timestamp {record.timestamp!r}"
+        if not math.isfinite(record.x) or not math.isfinite(record.y):
+            return f"non-finite location ({record.x!r}, {record.y!r})"
+        if not math.isfinite(record.weight):
+            return f"non-finite weight {record.weight!r}"
+    except TypeError:
+        return "non-numeric coordinates, timestamp or weight"
+    if record.weight < 0:
+        return f"negative weight {record.weight!r}"
+    attributes = record.attributes
+    if attributes:
+        if not isinstance(attributes, Mapping):
+            return f"attributes is not a mapping (got {type(attributes).__name__})"
+        keywords = attributes.get("keywords")
+        if keywords is not None and not isinstance(keywords, str):
+            if not isinstance(keywords, Iterable):
+                return (
+                    f"keywords attribute is not a string or iterable "
+                    f"(got {type(keywords).__name__})"
+                )
+            try:
+                if any(not isinstance(keyword, str) for keyword in keywords):
+                    return "keywords attribute contains non-string entries"
+            except TypeError:  # pragma: no cover - exotic iterables
+                return "keywords attribute is not iterable"
+    return None
+
+
+class WatermarkReorderBuffer:
+    """Re-sorts bounded-disorder arrivals behind an advancing watermark.
+
+    Parameters
+    ----------
+    max_lateness:
+        How far (in stream seconds) an arrival's timestamp may trail the
+        maximum timestamp observed so far and still be re-sorted into place.
+        Must be positive — ``max_lateness == 0`` *is* the strict mode, in
+        which the caller skips the buffer entirely and out-of-order input
+        fails fast with :class:`~repro.streams.windows.OutOfOrderError`.
+
+    Contract
+    --------
+    * :meth:`push` returns the arrivals released by this push, in
+      ``(timestamp, object_id)`` order; concatenating all released lists
+      (plus a final :meth:`flush`) yields a globally non-decreasing stream.
+    * Only objects with ``timestamp < watermark`` are released, and only
+      objects with ``timestamp < watermark`` are refused — so an input
+      stream whose disorder stays within ``max_lateness`` loses nothing and
+      comes out exactly sorted (see the module docstring for the argument).
+    * The buffer is plain picklable state; a pickled copy resumes the
+      arrival sequence with identical releases, drops and counters, which is
+      what makes held-back events checkpointable.
+    """
+
+    def __init__(self, max_lateness: float) -> None:
+        max_lateness = float(max_lateness)
+        if not math.isfinite(max_lateness) or max_lateness <= 0:
+            raise ValueError(
+                f"max_lateness must be a positive number of stream seconds, "
+                f"got {max_lateness!r} (lateness 0 is strict mode: skip the "
+                f"buffer and let out-of-order input fail fast)"
+            )
+        self.max_lateness = max_lateness
+        #: Held-back arrivals as a heap of ``(timestamp, object_id, seq, obj)``
+        #: — ``seq`` makes ties total so heap order is deterministic and
+        #: release order is stable for exact-duplicate arrivals.
+        self._heap: list[tuple[float, int, int, SpatialObject]] = []
+        self._seq = 0
+        self._max_timestamp = float("-inf")
+        #: Object ids observed within the reorder horizon: id → latest
+        #: timestamp, pruned as the watermark passes them.  Bounds memory to
+        #: the ids alive inside one lateness window while still catching the
+        #: duplicates that can actually interleave with reordering.
+        self._recent_ids: dict[int, float] = {}
+        self.reordered = 0
+        self.late_dropped = 0
+        self.duplicates_seen = 0
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    @property
+    def watermark(self) -> float:
+        """Completeness frontier: everything before it has been released.
+
+        ``-inf`` until the first arrival.  The watermark trails the maximum
+        observed timestamp by ``max_lateness`` and never retreats.
+        """
+        return self._max_timestamp - self.max_lateness
+
+    def __len__(self) -> int:
+        """Number of held-back arrivals."""
+        return len(self._heap)
+
+    def push(self, obj: SpatialObject) -> list[SpatialObject]:
+        """Accept one arrival; return the objects it released, oldest first.
+
+        A straggler already strictly behind the watermark is counted in
+        ``late_dropped`` and discarded (releasing it would break the order
+        of the already-released prefix).  Everything else is buffered, the
+        watermark advances to ``obj.timestamp - max_lateness`` if that is
+        ahead of it, and every held-back object strictly behind the new
+        watermark comes out in ``(timestamp, object_id)`` order.
+        """
+        timestamp = obj.timestamp
+        if timestamp < self._max_timestamp:
+            self.reordered += 1
+            if timestamp < self.watermark:
+                self.late_dropped += 1
+                return []
+        object_id = obj.object_id
+        known = self._recent_ids.get(object_id)
+        if known is not None:
+            self.duplicates_seen += 1
+            if timestamp > known:
+                self._recent_ids[object_id] = timestamp
+        else:
+            self._recent_ids[object_id] = timestamp
+        heapq.heappush(self._heap, (timestamp, object_id, self._seq, obj))
+        self._seq += 1
+        if timestamp > self._max_timestamp:
+            self._max_timestamp = timestamp
+            return self._release(self.watermark)
+        return []
+
+    def push_many(self, objects: Iterable[SpatialObject]) -> list[SpatialObject]:
+        """Accept several arrivals; return everything they released, in order."""
+        released: list[SpatialObject] = []
+        for obj in objects:
+            released.extend(self.push(obj))
+        return released
+
+    def flush(self) -> list[SpatialObject]:
+        """Release every held-back arrival (end of stream), oldest first.
+
+        The watermark itself does not move: a subsequent arrival within the
+        lateness bound of the maximum observed timestamp would still be
+        accepted — but anything it releases now trails an already-flushed
+        object, so flushing mid-stream forfeits the sorted-output guarantee.
+        Callers flush exactly once, after the last arrival.
+        """
+        return self._release(float("inf"))
+
+    def _release(self, frontier: float) -> list[SpatialObject]:
+        released: list[SpatialObject] = []
+        heap = self._heap
+        while heap and heap[0][0] < frontier:
+            timestamp, object_id, _, obj = heapq.heappop(heap)
+            released.append(obj)
+            # Prune the duplicate horizon: once the watermark passed this
+            # timestamp, a same-id arrival could not legally recur anyway.
+            known = self._recent_ids.get(object_id)
+            if known is not None and known <= timestamp:
+                del self._recent_ids[object_id]
+        return released
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> list[SpatialObject]:
+        """The held-back arrivals in release order (a sorted copy)."""
+        return [entry[3] for entry in sorted(self._heap)]
+
+    def counters(self) -> dict[str, int]:
+        """The buffer's three counters as a plain dict."""
+        return {
+            "reordered": self.reordered,
+            "late_dropped": self.late_dropped,
+            "duplicates_seen": self.duplicates_seen,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WatermarkReorderBuffer(max_lateness={self.max_lateness}, "
+            f"pending={len(self._heap)}, watermark={self.watermark})"
+        )

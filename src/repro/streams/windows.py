@@ -36,6 +36,39 @@ from typing import Iterable, Iterator, Sequence
 from repro.streams.objects import EventBatch, EventKind, SpatialObject, WindowEvent
 
 
+class OutOfOrderError(ValueError):
+    """An arrival (or clock advance) would move stream time backwards.
+
+    Subclasses :class:`ValueError` so historical ``except ValueError``
+    callers keep working, while the service's strict mode and the
+    quarantine path can catch it precisely — and act on the attributes —
+    without string matching.
+
+    Attributes
+    ----------
+    object_id:
+        Id of the offending object, or ``None`` for a bare
+        :meth:`SlidingWindowPair.advance_time` call.
+    timestamp:
+        The offending (earlier) timestamp.
+    last_time:
+        The last-accepted stream time it fell behind.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        object_id: int | None = None,
+        timestamp: float,
+        last_time: float,
+    ) -> None:
+        super().__init__(message)
+        self.object_id = object_id
+        self.timestamp = timestamp
+        self.last_time = last_time
+
+
 @dataclass(frozen=True, slots=True)
 class WindowState:
     """An immutable snapshot of the two sliding windows.
@@ -71,8 +104,10 @@ class SlidingWindowPair:
     Notes
     -----
     Objects must be observed in non-decreasing timestamp order; the class
-    raises :class:`ValueError` otherwise, because out-of-order arrivals would
-    silently corrupt every detector's incremental state.
+    raises :class:`OutOfOrderError` (a :class:`ValueError`) otherwise,
+    because out-of-order arrivals would silently corrupt every detector's
+    incremental state.  Callers that tolerate bounded disorder re-sort ahead
+    of the windows with :class:`repro.streams.watermark.WatermarkReorderBuffer`.
     """
 
     def __init__(self, window_length: float, past_window_length: float | None = None) -> None:
@@ -101,11 +136,14 @@ class SlidingWindowPair:
         followed by the ``NEW`` event for ``obj`` itself.
         """
         if obj.timestamp < self._time:
-            raise ValueError(
+            raise OutOfOrderError(
                 f"out-of-order arrival: object id={obj.object_id} has "
                 f"timestamp t={obj.timestamp}, which is earlier than the "
                 f"last-accepted stream time t={self._time} (arrivals must "
-                f"be in non-decreasing timestamp order)"
+                f"be in non-decreasing timestamp order)",
+                object_id=obj.object_id,
+                timestamp=obj.timestamp,
+                last_time=self._time,
             )
         events = self.advance_time(obj.timestamp)
         self._current.append(obj)
@@ -136,12 +174,15 @@ class SlidingWindowPair:
         previous = self._time
         for index, obj in enumerate(objs):
             if obj.timestamp < previous:
-                raise ValueError(
+                raise OutOfOrderError(
                     f"out-of-order arrival in batch: object id={obj.object_id} "
                     f"(chunk position {index}) has timestamp t={obj.timestamp}, "
                     f"which is earlier than the last-accepted stream time "
                     f"t={previous} (arrivals must be in non-decreasing "
-                    f"timestamp order)"
+                    f"timestamp order)",
+                    object_id=obj.object_id,
+                    timestamp=obj.timestamp,
+                    last_time=previous,
                 )
             previous = obj.timestamp
 
@@ -205,9 +246,11 @@ class SlidingWindowPair:
         to evaluate the detector state at an arbitrary instant.
         """
         if time < self._time:
-            raise ValueError(
+            raise OutOfOrderError(
                 f"cannot move stream time backwards: requested t={time} is "
-                f"earlier than the last-accepted stream time t={self._time}"
+                f"earlier than the last-accepted stream time t={self._time}",
+                timestamp=time,
+                last_time=self._time,
             )
         self._time = time
         self._state_cache = None

@@ -130,6 +130,50 @@ class TestSnapshotCodec:
             read_snapshot(path)
 
 
+class TestPayloadChecksum:
+    def test_header_records_crc_and_length(self, tmp_path):
+        path = tmp_path / "state.snap"
+        header = write_snapshot(path, "monitor", {"generation": 1})
+        assert isinstance(header["crc32"], int)
+        assert header["payload_bytes"] > 0
+        assert read_snapshot_header(path)["crc32"] == header["crc32"]
+
+    def test_bit_rot_detected_before_unpickling(self, tmp_path):
+        path = tmp_path / "rotten.snap"
+        write_snapshot(path, "monitor", list(range(100)))
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0xFF  # flip bits in the last payload byte
+        path.write_bytes(bytes(raw))
+        with pytest.raises(SnapshotError, match="CRC32 mismatch"):
+            read_snapshot(path)
+
+    def test_swapped_payload_of_equal_length_detected(self, tmp_path):
+        """Length alone is not enough — the checksum catches same-size swaps."""
+        a, b = tmp_path / "a.snap", tmp_path / "b.snap"
+        write_snapshot(a, "monitor", (1, 2, 3))
+        write_snapshot(b, "monitor", (4, 5, 6))
+        a_header = a.read_bytes().split(b"\n", 2)
+        b_payload = b.read_bytes().split(b"\n", 2)[2]
+        a.write_bytes(a_header[0] + b"\n" + a_header[1] + b"\n" + b_payload)
+        with pytest.raises(SnapshotError, match="CRC32 mismatch"):
+            read_snapshot(a)
+
+    def test_legacy_file_without_checksum_still_loads(self, tmp_path):
+        """Files written before the checksum existed carry no crc32 field."""
+        path = tmp_path / "legacy.snap"
+        header = {"schema": SNAPSHOT_SCHEMA, "kind": "monitor", "meta": {}}
+        payload = {"deque": [1.5, 2.5]}
+        path.write_bytes(
+            SNAPSHOT_MAGIC
+            + json.dumps(header).encode()
+            + b"\n"
+            + pickle.dumps(payload)
+        )
+        got_header, got_payload = read_snapshot(path)
+        assert got_header.get("crc32") is None
+        assert got_payload == payload
+
+
 class TestChunkWal:
     def test_append_and_read(self, tmp_path):
         wal = ChunkWal(tmp_path / "wal.log")
