@@ -22,6 +22,12 @@
 #                      (serial + 2-shard process + a cross-plan checkpoint
 #                      resume) and assert bit-identity with the unshared
 #                      plan (the CI shared-plan smoke)
+#   make smoke-overload flash-crowd a prioritised service and assert the
+#                      overload tier's contract: bounded buffering, counted
+#                      priority shedding, compaction after churn, and the
+#                      strict policy's typed refusal (the CI overload smoke)
+#   make smoke         all four smokes above, each under a hard `timeout`
+#                      (SMOKE_TIMEOUT seconds, default 900)
 #   make coverage      unit suite under pytest-cov with the pinned fail-under
 #                      (requires pytest-cov; the CI coverage leg runs this)
 #   make lint          byte-compile every source tree as a fast syntax/import gate
@@ -32,6 +38,9 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 BENCH_FLAGS ?=
+# Hard wall-clock cap per smoke under `make smoke`: a hung victim or resume
+# must fail the build, not wedge it.
+SMOKE_TIMEOUT ?= 900
 # Line-coverage floor for `make coverage`. Baseline measured 2026-07-30 at
 # 94.9% over src/repro (full tests/ suite, stdlib line tracer; worker-process
 # code runs uncounted, as it does under un-configured pytest-cov), pinned a
@@ -39,7 +48,8 @@ BENCH_FLAGS ?=
 COVERAGE_MIN ?= 92
 
 .PHONY: test bench bench-sweep bench-ingest bench-service bench-recovery \
-	bench-robustness smoke-recovery smoke-shared smoke-chaos coverage lint
+	bench-robustness smoke smoke-recovery smoke-shared smoke-chaos \
+	smoke-overload coverage lint
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -61,6 +71,12 @@ bench-recovery:
 bench-robustness:
 	$(PYTHON) benchmarks/bench_robustness.py $(BENCH_FLAGS)
 
+smoke:
+	timeout $(SMOKE_TIMEOUT) $(PYTHON) scripts/recovery_smoke.py
+	timeout $(SMOKE_TIMEOUT) $(PYTHON) scripts/shared_plan_smoke.py
+	timeout $(SMOKE_TIMEOUT) $(PYTHON) scripts/chaos_smoke.py
+	timeout $(SMOKE_TIMEOUT) $(PYTHON) scripts/overload_smoke.py
+
 smoke-recovery:
 	$(PYTHON) scripts/recovery_smoke.py
 
@@ -69,6 +85,9 @@ smoke-shared:
 
 smoke-chaos:
 	$(PYTHON) scripts/chaos_smoke.py
+
+smoke-overload:
+	$(PYTHON) scripts/overload_smoke.py
 
 coverage:
 	$(PYTHON) -m pytest tests -q --cov=repro --cov-report=term-missing:skip-covered \

@@ -39,7 +39,8 @@ from repro.core.monitor import DETECTOR_NAMES, SurgeMonitor
 from repro.core.query import SurgeQuery
 from repro.datasets.io import load_stream, write_csv_stream, write_jsonl_stream
 from repro.datasets.profiles import PROFILES
-from repro.service import SurgeService, load_query_specs
+from repro.service import OverloadConfig, OverloadError, SurgeService, load_query_specs
+from repro.service.overload import OVERLOAD_POLICIES
 from repro.service.shards import EXECUTOR_NAMES
 
 
@@ -217,6 +218,64 @@ def _build_parser() -> argparse.ArgumentParser:
         "quarantine.jsonl in this directory; quarantined records are "
         "counted in the ingest stats",
     )
+    serve.add_argument(
+        "--max-inflight-chunks",
+        type=int,
+        default=None,
+        metavar="CHUNKS",
+        help="bound the ingest tier's buffered backlog (reorder buffer + "
+        "pending remainder) to this many chunks' worth of objects; over "
+        "budget, the oldest held-back arrivals are force-released early "
+        "(still in order, counted in the ingest stats) so memory stays "
+        "bounded through any flash crowd.  Requires --max-lateness > 0",
+    )
+    serve.add_argument(
+        "--overload-high",
+        type=float,
+        default=None,
+        metavar="CHUNKS",
+        help="enter degraded mode when the queue depth (ingest backlog or "
+        "slowest subscriber queue, in chunks) reaches this watermark; "
+        "enables the overload tier.  With --resume the checkpoint's "
+        "recorded overload configuration is restored and a differing "
+        "value is refused (shed decisions replay deterministically)",
+    )
+    serve.add_argument(
+        "--overload-low",
+        type=float,
+        default=None,
+        metavar="CHUNKS",
+        help="leave degraded mode when the queue depth falls back to this "
+        "watermark (hysteresis; default: a quarter of --overload-high)",
+    )
+    serve.add_argument(
+        "--overload-policy",
+        choices=sorted(OVERLOAD_POLICIES),
+        default=None,
+        help="what degraded mode does: 'shed' skips low-priority queries "
+        "(counted per query), 'stretch' multiplies the checkpoint cadence, "
+        "'error' aborts with OverloadError for strict deployments "
+        "(default: shed)",
+    )
+    serve.add_argument(
+        "--shed-below-priority",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with the shed policy, shed queries whose priority is below N "
+        "(default: the highest priority present, i.e. keep only the most "
+        "important tier)",
+    )
+    serve.add_argument(
+        "--compact-every",
+        type=int,
+        default=None,
+        metavar="CHUNKS",
+        help="run a shared-plan compaction pass every N chunks: queries "
+        "registered after churn whose windows have converged with an "
+        "existing group's are re-epoched into it, restoring shared "
+        "execution (results are bit-identical; merges are counted)",
+    )
 
     generate = subparsers.add_parser(
         "generate", help="generate a synthetic stream mimicking a paper dataset"
@@ -308,9 +367,39 @@ def _format_result(result) -> str:
     )
 
 
+def _overload_config_from_args(args: argparse.Namespace) -> OverloadConfig | None:
+    """The :class:`OverloadConfig` the serve flags describe (``None`` = off)."""
+    dependent = {
+        "--overload-low": args.overload_low,
+        "--overload-policy": args.overload_policy,
+        "--shed-below-priority": args.shed_below_priority,
+    }
+    if args.overload_high is None:
+        given = [name for name, value in dependent.items() if value is not None]
+        if given:
+            raise ValueError(
+                f"{', '.join(given)} require --overload-high (the watermark "
+                f"that enables the overload tier)"
+            )
+        return None
+    low = (
+        args.overload_low
+        if args.overload_low is not None
+        else args.overload_high / 4.0
+    )
+    return OverloadConfig(
+        high_watermark_chunks=args.overload_high,
+        low_watermark_chunks=low,
+        policy=args.overload_policy if args.overload_policy is not None else "shed",
+        shed_below_priority=args.shed_below_priority,
+    )
+
+
 def _build_serve_service(args: argparse.Namespace):
     """Construct (service, start_offset) for ``serve`` — fresh or resumed."""
     from repro.state import CheckpointPolicy, has_checkpoint, read_manifest
+
+    overload_config = _overload_config_from_args(args)
 
     checkpoint_dir = args.checkpoint_dir
     if args.resume and checkpoint_dir is None:
@@ -360,6 +449,42 @@ def _build_serve_service(args: argparse.Namespace):
                 f"the lateness bound shapes the replayed chunking, so it "
                 f"cannot change mid-stream"
             )
+        # The overload configuration shapes which chunks were shed, so —
+        # like --chunk-size and --max-lateness — it is part of the replayed
+        # results and cannot change mid-stream.  Flags that merely restate
+        # the recorded values are accepted.
+        recorded_overload = manifest.overload or {}
+        recorded_config = (
+            OverloadConfig.from_dict(recorded_overload["config"])
+            if recorded_overload.get("config") is not None
+            else None
+        )
+        if overload_config is not None and overload_config != recorded_config:
+            raise ValueError(
+                "--resume with a different overload configuration than the "
+                "checkpoint recorded: degraded-mode shed decisions are part "
+                "of the replayed results, so the watermarks and policy "
+                "cannot change mid-stream"
+            )
+        recorded_inflight = recorded_overload.get("max_inflight_chunks")
+        if (
+            args.max_inflight_chunks is not None
+            and args.max_inflight_chunks != recorded_inflight
+        ):
+            raise ValueError(
+                f"--resume with --max-inflight-chunks "
+                f"{args.max_inflight_chunks}, but the checkpoint was taken "
+                f"at {recorded_inflight}: the budget shapes which arrivals "
+                f"were force-released, so it cannot change mid-stream"
+            )
+        recorded_compact = recorded_overload.get("compact_every_chunks")
+        if args.compact_every is not None and args.compact_every != recorded_compact:
+            raise ValueError(
+                f"--resume with --compact-every {args.compact_every}, but "
+                f"the checkpoint was taken at {recorded_compact}: compaction "
+                f"offsets are part of the replayed plan, so the cadence "
+                f"cannot change mid-stream"
+            )
         if args.queries is not None:
             print(
                 "note: --resume restores the query registry from the "
@@ -397,6 +522,13 @@ def _build_serve_service(args: argparse.Namespace):
         specs = load_query_specs(args.queries)
     except (OSError, ValueError) as exc:
         raise ValueError(f"failed to load {args.queries}: {exc}") from exc
+    if args.max_inflight_chunks is not None and (
+        args.max_lateness is None or args.max_lateness <= 0
+    ):
+        raise ValueError(
+            "--max-inflight-chunks bounds the reorder buffer, which only "
+            "exists with --max-lateness > 0"
+        )
     service = SurgeService(
         specs,
         shards=args.shards if args.shards is not None else 1,
@@ -407,6 +539,9 @@ def _build_serve_service(args: argparse.Namespace):
         checkpoint_extra={"chunk_size": args.chunk_size},
         max_lateness=args.max_lateness if args.max_lateness is not None else 0.0,
         quarantine_dir=args.quarantine_dir,
+        max_inflight_chunks=args.max_inflight_chunks,
+        overload=overload_config,
+        compact_every_chunks=args.compact_every,
     )
     return service, 0
 
@@ -447,15 +582,25 @@ def _command_serve(args: argparse.Namespace) -> int:
         )
     report_chunks = max(1, -(-args.report_every // args.chunk_size))
     with service:
-        for index, updates in enumerate(
-            service.run(stream, args.chunk_size, start_offset=start_offset),
-            start=start_offset + 1,
-        ):
-            pushed = min(index * args.chunk_size, len(stream))
-            if index % report_chunks == 0 or pushed >= len(stream):
-                print(f"[{pushed:>8} objects, t={stream[pushed - 1].timestamp:.0f}]")
-                for update in updates:
-                    print(f"  {update.query_id:>12}: {_format_result(update.result)}")
+        try:
+            for index, updates in enumerate(
+                service.run(stream, args.chunk_size, start_offset=start_offset),
+                start=start_offset + 1,
+            ):
+                pushed = min(index * args.chunk_size, len(stream))
+                if index % report_chunks == 0 or pushed >= len(stream):
+                    print(f"[{pushed:>8} objects, t={stream[pushed - 1].timestamp:.0f}]")
+                    for update in updates:
+                        print(f"  {update.query_id:>12}: {_format_result(update.result)}")
+        except OverloadError as exc:
+            print(
+                f"overload: queue depth {exc.depth_chunks:.1f} chunks "
+                f"crossed the high watermark (policy=error); aborting — "
+                f"rerun with --overload-policy shed or stretch to degrade "
+                f"gracefully instead",
+                file=sys.stderr,
+            )
+            return 1
         if service.checkpoint_dir is not None:
             # Final checkpoint: a subsequent --resume of the same stream is a
             # no-op replay that just reprints the final results.
@@ -474,6 +619,26 @@ def _command_serve(args: argparse.Namespace) -> int:
                 f"quarantined={ingest.quarantined} "
                 f"subscriber_errors={ingest.subscriber_errors}"
             )
+        overload_on = (
+            service.overload_config is not None
+            or service.max_inflight_chunks is not None
+            or service.compact_every_chunks is not None
+        )
+        if overload_on:
+            # Also part of the compared block: the chaos smoke's overload
+            # leg asserts shed/compaction counters survive a crash+resume.
+            overload = service.overload_stats()
+            ingest = service.ingest_stats()
+            print(
+                f"overload: entered={overload.entered_degraded} "
+                f"exited={overload.exited_degraded} "
+                f"chunks_shed={overload.chunks_shed} "
+                f"updates_shed={overload.updates_shed} "
+                f"checkpoints_deferred={overload.checkpoints_deferred} "
+                f"compactions={overload.compactions} "
+                f"queries_compacted={overload.queries_compacted} "
+                f"force_released={ingest.force_released}"
+            )
         stats = service.stats()
         print(
             f"done: {stats.objects_pushed} objects x {len(service.query_ids)} "
@@ -484,6 +649,15 @@ def _command_serve(args: argparse.Namespace) -> int:
             f"plan={'shared' if service.shared_plan else 'unshared'})",
             file=sys.stderr,
         )
+        if overload_on:
+            overload = service.overload_stats()
+            print(
+                f"  overload: max queue depth "
+                f"{overload.max_depth_chunks:.1f} chunks, "
+                f"degraded={'yes' if service.degraded else 'no'}, "
+                f"peak buffered {service.ingest_stats().peak_buffered} objects",
+                file=sys.stderr,
+            )
         for query_id in service.query_ids:
             query_stats = stats.per_query[query_id]
             print(

@@ -12,7 +12,12 @@ Public surface:
   ``process`` shard executors (:data:`~repro.service.shards.EXECUTOR_NAMES`);
 * :mod:`~repro.service.bus` — :class:`~repro.service.bus.QueryUpdate`,
   :class:`~repro.service.bus.QueryStats`,
-  :class:`~repro.service.bus.ServiceStats` and the subscriber bus.
+  :class:`~repro.service.bus.ServiceStats` and the subscriber bus, with
+  bounded :class:`~repro.service.bus.Subscription` queues;
+* :mod:`~repro.service.overload` — the overload tier's types:
+  :class:`~repro.service.overload.OverloadConfig` (watermarks + policy),
+  :class:`~repro.service.overload.OverloadStats` and the typed
+  :class:`~repro.service.overload.OverloadError`.
 
 Durability — :meth:`SurgeService.checkpoint` / :meth:`SurgeService.restore`,
 the ``checkpoint_dir`` / ``checkpoint_policy`` constructor options and the
@@ -20,18 +25,29 @@ the ``checkpoint_dir`` / ``checkpoint_policy`` constructor options and the
 :mod:`repro.state` (snapshot codec, write-ahead log, policies).
 """
 
-from repro.service.bus import QueryStats, QueryUpdate, ResultBus, ServiceStats
+from repro.service.bus import (
+    QueryStats,
+    QueryUpdate,
+    ResultBus,
+    ServiceStats,
+    Subscription,
+)
+from repro.service.overload import OverloadConfig, OverloadError, OverloadStats
 from repro.service.service import SurgeService
 from repro.service.shards import EXECUTOR_NAMES, make_executor
 from repro.service.spec import QuerySpec, load_query_specs, make_query_grid
 
 __all__ = [
     "EXECUTOR_NAMES",
+    "OverloadConfig",
+    "OverloadError",
+    "OverloadStats",
     "QuerySpec",
     "QueryStats",
     "QueryUpdate",
     "ResultBus",
     "ServiceStats",
+    "Subscription",
     "SurgeService",
     "load_query_specs",
     "make_executor",

@@ -7,18 +7,37 @@ subscribers (dashboards, alert hooks, tests), and accumulates the per-query
 (how long a query's answer trailed the service receiving the chunk, i.e.
 wall time of the whole broadcast minus nothing: the query's result is only
 available once its shard's reply is gathered).
+
+Two subscriber surfaces coexist:
+
+* :meth:`ResultBus.subscribe` — the legacy synchronous callback, still
+  isolated (a raising callback is counted and skipped, never kills
+  ingestion) but *unbounded*: a slow callback slows the publish path.
+* :meth:`ResultBus.open_subscription` — a bounded queue with a selectable
+  slow-consumer policy (:data:`SUBSCRIPTION_POLICIES`): ``block``
+  propagates backpressure to the publisher, ``drop_oldest`` discards the
+  stalest update (counted globally and per query in
+  :attr:`QueryStats.dropped_results`), ``evict`` unsubscribes the laggard.
+  Whatever the consumer does, bus memory is bounded by
+  ``sum(maxsize)`` updates.
 """
 
 from __future__ import annotations
 
 import logging
+import threading
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
 from repro.core.base import RegionResult
+from repro.service.overload import OverloadError, OverloadStats
 from repro.streams.watermark import IngestStats
 
 logger = logging.getLogger(__name__)
+
+#: Selectable slow-consumer policies for bounded subscriptions.
+SUBSCRIPTION_POLICIES = ("block", "drop_oldest", "evict")
 
 
 @dataclass(frozen=True, slots=True)
@@ -29,6 +48,8 @@ class QueryUpdate:
     detecting inside its shard; ``lag_seconds`` (stamped by the service, not
     the shard) is the wall time from chunk submission until this update was
     surfaced — the queueing/transport overhead a tenant actually observes.
+    ``shed`` marks an update whose chunk was load-shed for this query: the
+    carried ``result`` is the last computed answer, not a fresh one.
     """
 
     query_id: str
@@ -37,6 +58,7 @@ class QueryUpdate:
     objects_routed: int
     busy_seconds: float
     lag_seconds: float = 0.0
+    shed: bool = False
 
     def with_lag(self, lag_seconds: float) -> "QueryUpdate":
         return QueryUpdate(
@@ -46,6 +68,7 @@ class QueryUpdate:
             objects_routed=self.objects_routed,
             busy_seconds=self.busy_seconds,
             lag_seconds=lag_seconds,
+            shed=self.shed,
         )
 
 
@@ -58,6 +81,11 @@ class QueryStats:
     busy_seconds: float = 0.0
     last_lag_seconds: float = 0.0
     max_lag_seconds: float = 0.0
+    #: Updates for this query discarded by a bounded subscription's
+    #: ``drop_oldest`` policy (summed across subscriptions).
+    dropped_results: int = 0
+    #: Chunks load-shed for this query while the service was degraded.
+    chunks_shed: int = 0
 
     @property
     def objects_per_second(self) -> float:
@@ -67,6 +95,9 @@ class QueryStats:
         return self.objects_routed / self.busy_seconds
 
     def observe(self, update: QueryUpdate) -> None:
+        if update.shed:
+            self.chunks_shed += 1
+            return
         self.objects_routed += update.objects_routed
         self.chunks_processed += 1
         self.busy_seconds += update.busy_seconds
@@ -82,6 +113,8 @@ class QueryStats:
             "busy_seconds": self.busy_seconds,
             "last_lag_seconds": self.last_lag_seconds,
             "max_lag_seconds": self.max_lag_seconds,
+            "dropped_results": self.dropped_results,
+            "chunks_shed": self.chunks_shed,
         }
 
     @staticmethod
@@ -92,6 +125,8 @@ class QueryStats:
             busy_seconds=float(record.get("busy_seconds", 0.0)),
             last_lag_seconds=float(record.get("last_lag_seconds", 0.0)),
             max_lag_seconds=float(record.get("max_lag_seconds", 0.0)),
+            dropped_results=int(record.get("dropped_results", 0)),
+            chunks_shed=int(record.get("chunks_shed", 0)),
         )
 
 
@@ -108,6 +143,10 @@ class ServiceStats:
     ``ingest`` surfaces the disorder-tolerant ingestion tier's counters
     (reordered, late_dropped, duplicates_seen, quarantined,
     subscriber_errors) — all zero when the service runs in strict mode.
+
+    ``overload`` surfaces the overload tier's counters (degraded-mode
+    transitions, shed work, deferred checkpoints, compactions) — all zero
+    when the service never crossed its watermark.
     """
 
     objects_pushed: int = 0
@@ -116,6 +155,7 @@ class ServiceStats:
     wall_seconds: float = 0.0
     per_query: dict[str, QueryStats] = field(default_factory=dict)
     ingest: IngestStats = field(default_factory=IngestStats)
+    overload: OverloadStats = field(default_factory=OverloadStats)
 
     @property
     def pairs_per_second(self) -> float:
@@ -124,25 +164,201 @@ class ServiceStats:
         return self.object_query_pairs / self.wall_seconds
 
 
+class Subscription:
+    """A bounded per-subscriber queue with a slow-consumer policy.
+
+    Consumers pull with :meth:`get` / :meth:`drain`; the publisher enqueues
+    through the owning bus.  The queue never holds more than ``maxsize``
+    updates, whatever the consumer does:
+
+    * ``block`` — the publisher waits for space (backpressure propagates to
+      the ingestion path); a ``block_timeout`` bounds the wait and raises
+      :class:`~repro.service.overload.OverloadError` on expiry, so a dead
+      consumer cannot hang the service forever.  ``maxsize`` must be
+      positive (a zero-capacity blocking queue could never accept).
+    * ``drop_oldest`` — the stalest update is discarded to make room,
+      counted in :attr:`dropped` and per query.  ``maxsize == 0`` degrades
+      to dropping every offered update — still bounded, still counted.
+    * ``evict`` — the subscription is closed and detached from the bus on
+      the first overflowing publish (``maxsize == 0`` evicts on the first
+      publish), counted in ``ResultBus.evicted_subscribers``.
+
+    Counters satisfy ``offered == delivered + dropped + depth`` at every
+    quiescent point (i.e. outside a concurrent :meth:`get`).
+    """
+
+    def __init__(
+        self,
+        *,
+        maxsize: int,
+        policy: str = "block",
+        block_timeout: float | None = None,
+    ) -> None:
+        maxsize = int(maxsize)
+        if maxsize < 0:
+            raise ValueError(f"maxsize must be >= 0, got {maxsize}")
+        if policy not in SUBSCRIPTION_POLICIES:
+            raise ValueError(
+                f"policy must be one of {SUBSCRIPTION_POLICIES}, got {policy!r}"
+            )
+        if policy == "block" and maxsize == 0:
+            raise ValueError(
+                "a zero-capacity blocking subscription could never accept an "
+                "update; use maxsize >= 1 or the drop_oldest/evict policy"
+            )
+        if block_timeout is not None and block_timeout <= 0:
+            raise ValueError(f"block_timeout must be positive, got {block_timeout!r}")
+        self.maxsize = maxsize
+        self.policy = policy
+        self.block_timeout = block_timeout
+        self._queue: deque[QueryUpdate] = deque()
+        self._cond = threading.Condition()
+        self.offered = 0
+        self.delivered = 0
+        self.dropped = 0
+        self.peak_depth = 0
+        self.closed = False
+        self.evicted = False
+
+    @property
+    def depth(self) -> int:
+        """Updates currently buffered."""
+        return len(self._queue)
+
+    def _offer(self, update: QueryUpdate) -> list[str] | None:
+        """Enqueue one update (publisher side).
+
+        Returns the query ids of any updates discarded to make room, or
+        ``None`` when the subscription must be evicted.
+        """
+        with self._cond:
+            if self.closed:
+                return []
+            self.offered += 1
+            if self.policy == "evict":
+                if len(self._queue) >= self.maxsize:
+                    self.evicted = True
+                    self.closed = True
+                    self._cond.notify_all()
+                    return None
+                self._queue.append(update)
+            elif self.policy == "drop_oldest":
+                dropped_ids: list[str] = []
+                if self.maxsize == 0:
+                    self.dropped += 1
+                    return [update.query_id]
+                while len(self._queue) >= self.maxsize:
+                    stale = self._queue.popleft()
+                    self.dropped += 1
+                    dropped_ids.append(stale.query_id)
+                self._queue.append(update)
+                if len(self._queue) > self.peak_depth:
+                    self.peak_depth = len(self._queue)
+                return dropped_ids
+            else:  # block
+                if not self._cond.wait_for(
+                    lambda: self.closed or len(self._queue) < self.maxsize,
+                    timeout=self.block_timeout,
+                ):
+                    raise OverloadError(
+                        f"subscriber queue full for {self.block_timeout}s "
+                        f"(maxsize={self.maxsize}, policy=block)",
+                        depth_chunks=float(len(self._queue)),
+                    )
+                if self.closed:
+                    return []
+                self._queue.append(update)
+            if len(self._queue) > self.peak_depth:
+                self.peak_depth = len(self._queue)
+            self._cond.notify_all()
+            return []
+
+    def get(self, timeout: float | None = None) -> QueryUpdate | None:
+        """Pop the oldest buffered update (``None`` on timeout/closed-empty)."""
+        with self._cond:
+            if not self._cond.wait_for(
+                lambda: self._queue or self.closed, timeout=timeout
+            ):
+                return None
+            if not self._queue:
+                return None
+            update = self._queue.popleft()
+            self.delivered += 1
+            self._cond.notify_all()
+            return update
+
+    def drain(self) -> list[QueryUpdate]:
+        """Pop everything currently buffered, oldest first."""
+        with self._cond:
+            drained = list(self._queue)
+            self._queue.clear()
+            self.delivered += len(drained)
+            self._cond.notify_all()
+            return drained
+
+    def close(self) -> None:
+        """Stop accepting updates (buffered ones remain drainable)."""
+        with self._cond:
+            self.closed = True
+            self._cond.notify_all()
+
+    def counters(self) -> dict[str, int]:
+        """The subscription's accounting as a plain dict."""
+        return {
+            "offered": self.offered,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "depth": self.depth,
+            "peak_depth": self.peak_depth,
+        }
+
+
 class ResultBus:
     """Latest-result cache plus subscriber fan-out for query updates.
 
     Subscriber callbacks are *isolated*: a raising callback must not kill
     ingestion (it runs on the service's push path), so :meth:`publish`
     catches the exception, counts it in :attr:`subscriber_errors`, logs it,
-    and keeps delivering the update to the remaining subscribers.
+    and keeps delivering the update to the remaining subscribers.  Bounded
+    :class:`Subscription` queues (see :meth:`open_subscription`) bound the
+    memory a slow consumer can pin.
     """
 
     def __init__(self) -> None:
         self._latest: dict[str, QueryUpdate] = {}
         self._stats: dict[str, QueryStats] = {}
         self._subscribers: list[Callable[[QueryUpdate], None]] = []
+        self._subscriptions: list[Subscription] = []
         #: Exceptions raised (and swallowed) by subscriber callbacks.
         self.subscriber_errors = 0
+        #: Subscriptions detached by the ``evict`` policy.
+        self.evicted_subscribers = 0
 
     def subscribe(self, callback: Callable[[QueryUpdate], None]) -> None:
         """Register a callback invoked once per update, in publish order."""
         self._subscribers.append(callback)
+
+    def open_subscription(
+        self,
+        *,
+        maxsize: int,
+        policy: str = "block",
+        block_timeout: float | None = None,
+    ) -> Subscription:
+        """Open a bounded pull subscription (see :class:`Subscription`)."""
+        subscription = Subscription(
+            maxsize=maxsize, policy=policy, block_timeout=block_timeout
+        )
+        self._subscriptions.append(subscription)
+        return subscription
+
+    def unsubscribe(self, subscription: Subscription) -> None:
+        """Detach and close a bounded subscription."""
+        subscription.close()
+        try:
+            self._subscriptions.remove(subscription)
+        except ValueError:
+            pass
 
     def publish(self, updates: Iterable[QueryUpdate]) -> None:
         for update in updates:
@@ -159,6 +375,25 @@ class ResultBus:
                         callback,
                         update.query_id,
                     )
+            if self._subscriptions:
+                evicted: list[Subscription] = []
+                for subscription in self._subscriptions:
+                    dropped_ids = subscription._offer(update)
+                    if dropped_ids is None:
+                        evicted.append(subscription)
+                        continue
+                    for query_id in dropped_ids:
+                        self._stats.setdefault(
+                            query_id, QueryStats()
+                        ).dropped_results += 1
+                for subscription in evicted:
+                    self._subscriptions.remove(subscription)
+                    self.evicted_subscribers += 1
+                    logger.warning(
+                        "result-bus subscription evicted after overflowing its "
+                        "%d-update queue (policy=evict)",
+                        subscription.maxsize,
+                    )
 
     def latest(self, query_id: str) -> QueryUpdate | None:
         """The most recent update for a query (``None`` before the first)."""
@@ -172,6 +407,18 @@ class ResultBus:
         """Drop the cached state of a removed query."""
         self._latest.pop(query_id, None)
         self._stats.pop(query_id, None)
+
+    def max_queue_depth(self) -> int:
+        """Deepest bounded-subscription queue right now (0 with none open)."""
+        if not self._subscriptions:
+            return 0
+        return max(subscription.depth for subscription in self._subscriptions)
+
+    def peak_queue_depth(self) -> int:
+        """Deepest any bounded-subscription queue has ever been."""
+        if not self._subscriptions:
+            return 0
+        return max(subscription.peak_depth for subscription in self._subscriptions)
 
     # ------------------------------------------------------------------
     # Durability (service checkpoints carry the cumulative stats along)

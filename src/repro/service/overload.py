@@ -1,0 +1,193 @@
+"""Overload tier: typed errors, configuration and counters for degraded mode.
+
+The service is only production-credible if it stays *bounded* when consumers
+or detectors cannot keep up.  Three cooperating mechanisms live behind this
+module's types:
+
+* **Backpressure** — ``SurgeService(max_inflight_chunks=)`` bounds how many
+  chunks' worth of raw arrivals may sit buffered ahead of the shards, and
+  :class:`~repro.service.bus.Subscription` bounds every subscriber queue.
+* **Load-shedding / degraded mode** — when the observed queue depth crosses
+  ``high_watermark_chunks`` the service flips into a counted degraded state
+  and applies :attr:`OverloadConfig.policy` until depth falls back to
+  ``low_watermark_chunks`` (hysteresis, so the service does not flap on a
+  boundary).  ``shed`` skips whole sheddable route classes (lowest-priority
+  queries first), ``stretch`` widens the checkpoint cadence, and ``error``
+  raises :class:`OverloadError` for strict deployments that prefer failing
+  loudly over degrading silently.
+* **Observability** — every transition and every shed unit of work is
+  counted in :class:`OverloadStats`, exported through
+  :class:`~repro.service.bus.ServiceStats`, persisted in checkpoint
+  manifests, and printed in the ``repro serve`` final block, so a resumed
+  service reports exactly what an uninterrupted one would.
+
+All types here are plain data with exact JSON round-trips; the state machine
+itself lives in :class:`~repro.service.service.SurgeService`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = [
+    "OverloadError",
+    "OverloadConfig",
+    "OverloadStats",
+    "OVERLOAD_POLICIES",
+]
+
+#: Selectable degraded-mode policies (see :class:`OverloadConfig.policy`).
+OVERLOAD_POLICIES = ("shed", "stretch", "error")
+
+
+class OverloadError(RuntimeError):
+    """The service crossed its overload watermark under the ``error`` policy.
+
+    Raised from the ingestion path (``push_many`` / ``run``) so strict
+    deployments fail fast instead of degrading silently.  The queue depth
+    that tripped the watermark is carried for the operator.
+    """
+
+    def __init__(self, message: str, *, depth_chunks: float = 0.0) -> None:
+        super().__init__(message)
+        self.depth_chunks = depth_chunks
+
+
+@dataclass(frozen=True)
+class OverloadConfig:
+    """Degraded-mode thresholds and policy for one service instance.
+
+    ``high_watermark_chunks`` / ``low_watermark_chunks``
+        Queue depth (in chunks of buffered work) at which the service
+        enters / exits degraded mode.  ``low < high`` gives hysteresis:
+        once degraded, the service stays degraded until depth falls to the
+        low watermark, so a depth oscillating around one threshold does not
+        flap the mode (and the transition counters stay meaningful).
+    ``policy``
+        ``"shed"``  — skip sheddable route classes (queries whose
+        :attr:`~repro.service.spec.QuerySpec.priority` is below
+        ``shed_below_priority``) while degraded, counting every skipped
+        chunk and suppressed update.
+        ``"stretch"`` — multiply the checkpoint cadence by
+        ``checkpoint_stretch`` while degraded, trading recovery granularity
+        for ingest throughput.
+        ``"error"`` — raise :class:`OverloadError` on entry (strict mode).
+    ``shed_below_priority``
+        Queries with ``priority`` strictly below this rank are sheddable.
+        ``None`` (default) sheds everything below the highest priority
+        present — with uniform priorities nothing is sheddable and ``shed``
+        degrades to counting transitions only, which is the safe default.
+    ``checkpoint_stretch``
+        Cadence multiplier for the ``stretch`` policy (must be ``>= 1``).
+    """
+
+    high_watermark_chunks: float = 8.0
+    low_watermark_chunks: float = 2.0
+    policy: str = "shed"
+    shed_below_priority: int | None = None
+    checkpoint_stretch: int = 4
+
+    def __post_init__(self) -> None:
+        if self.policy not in OVERLOAD_POLICIES:
+            raise ValueError(
+                f"policy must be one of {OVERLOAD_POLICIES}, got {self.policy!r}"
+            )
+        if not self.high_watermark_chunks > 0:
+            raise ValueError(
+                f"high_watermark_chunks must be positive, "
+                f"got {self.high_watermark_chunks!r}"
+            )
+        if not 0 <= self.low_watermark_chunks <= self.high_watermark_chunks:
+            raise ValueError(
+                f"low_watermark_chunks must satisfy 0 <= low <= high, got "
+                f"low={self.low_watermark_chunks!r} "
+                f"high={self.high_watermark_chunks!r}"
+            )
+        if self.checkpoint_stretch < 1:
+            raise ValueError(
+                f"checkpoint_stretch must be >= 1, got {self.checkpoint_stretch!r}"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON form stored in service checkpoint manifests."""
+        return {
+            "high_watermark_chunks": self.high_watermark_chunks,
+            "low_watermark_chunks": self.low_watermark_chunks,
+            "policy": self.policy,
+            "shed_below_priority": self.shed_below_priority,
+            "checkpoint_stretch": self.checkpoint_stretch,
+        }
+
+    @staticmethod
+    def from_dict(record: Mapping[str, Any]) -> "OverloadConfig":
+        shed_below = record.get("shed_below_priority")
+        return OverloadConfig(
+            high_watermark_chunks=float(record.get("high_watermark_chunks", 8.0)),
+            low_watermark_chunks=float(record.get("low_watermark_chunks", 2.0)),
+            policy=str(record.get("policy", "shed")),
+            shed_below_priority=None if shed_below is None else int(shed_below),
+            checkpoint_stretch=int(record.get("checkpoint_stretch", 4)),
+        )
+
+
+@dataclass
+class OverloadStats:
+    """Counters of everything the overload tier did.
+
+    ``degraded``
+        Whether the service is currently in degraded mode.
+    ``entered_degraded`` / ``exited_degraded``
+        Hysteresis transitions (entries can exceed exits by at most one).
+    ``chunks_shed`` / ``updates_shed``
+        Chunks skipped for at least one query and individual per-query
+        updates suppressed while shedding.
+    ``checkpoints_deferred``
+        Checkpoints the ``stretch`` policy postponed while degraded.
+    ``compactions`` / ``queries_compacted``
+        Safe-boundary re-epoching passes that ran and the number of
+        late-registered queries they merged back into shared plan groups.
+    ``max_depth_chunks``
+        Peak observed queue depth, in chunks.
+    """
+
+    degraded: bool = False
+    entered_degraded: int = 0
+    exited_degraded: int = 0
+    chunks_shed: int = 0
+    updates_shed: int = 0
+    checkpoints_deferred: int = 0
+    compactions: int = 0
+    queries_compacted: int = 0
+    max_depth_chunks: float = 0.0
+    #: Query ids currently being shed (live view, not checkpointed as truth —
+    #: recomputed from the registry + config after restore).
+    shedding: list[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON form stored in service checkpoint manifests."""
+        return {
+            "degraded": self.degraded,
+            "entered_degraded": self.entered_degraded,
+            "exited_degraded": self.exited_degraded,
+            "chunks_shed": self.chunks_shed,
+            "updates_shed": self.updates_shed,
+            "checkpoints_deferred": self.checkpoints_deferred,
+            "compactions": self.compactions,
+            "queries_compacted": self.queries_compacted,
+            "max_depth_chunks": self.max_depth_chunks,
+        }
+
+    @staticmethod
+    def from_dict(record: Mapping[str, Any]) -> "OverloadStats":
+        return OverloadStats(
+            degraded=bool(record.get("degraded", False)),
+            entered_degraded=int(record.get("entered_degraded", 0)),
+            exited_degraded=int(record.get("exited_degraded", 0)),
+            chunks_shed=int(record.get("chunks_shed", 0)),
+            updates_shed=int(record.get("updates_shed", 0)),
+            checkpoints_deferred=int(record.get("checkpoints_deferred", 0)),
+            compactions=int(record.get("compactions", 0)),
+            queries_compacted=int(record.get("queries_compacted", 0)),
+            max_depth_chunks=float(record.get("max_depth_chunks", 0.0)),
+        )

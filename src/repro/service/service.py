@@ -40,12 +40,14 @@ Example::
 from __future__ import annotations
 
 import json
+import logging
 import time
 from pathlib import Path
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.core.base import RegionResult
 from repro.service.bus import QueryUpdate, ResultBus, ServiceStats
+from repro.service.overload import OverloadConfig, OverloadError, OverloadStats
 from repro.service.shards import EXECUTOR_NAMES, make_executor
 from repro.service.spec import QuerySpec
 from repro.state.policy import CheckpointPolicy
@@ -73,6 +75,8 @@ from repro.streams.watermark import (
     classify_bad_record,
 )
 from repro.streams.windows import OutOfOrderError
+
+logger = logging.getLogger(__name__)
 
 #: Chunk cadence of the default automatic checkpoint policy (used when a
 #: ``checkpoint_dir`` is given without an explicit policy).
@@ -137,7 +141,41 @@ class SurgeService:
         :attr:`~repro.service.bus.ServiceStats.ingest`.  The spill is
         observability, not state: replaying a crashed run may append a
         pre-crash record again, but the counters are checkpointed and stay
-        exactly-once.
+        exactly-once.  An unwritable or full directory never kills
+        ingestion — failed spills are counted
+        (:attr:`~repro.streams.watermark.IngestStats.spill_errors`) with a
+        one-time warning, and the service continues.
+    max_inflight_chunks:
+        Optional bound (in chunks) on the raw arrivals buffered between the
+        disorder-tolerant ingestion tier and the shard executors (reorder
+        heap plus pending chunk).  When the budget would be exceeded, the
+        oldest held-back arrivals are force-released early
+        (:meth:`~repro.streams.watermark.WatermarkReorderBuffer.
+        force_release`) and dispatched: memory stays provably bounded at
+        ``max_inflight_chunks × chunk_size`` objects whatever the stream
+        does, trading a slice of the reorder horizon under pressure
+        (force-released objects are counted; a straggler landing behind the
+        raised order floor is dropped as late).  ``None`` (default)
+        disables the budget.
+    overload:
+        Optional :class:`~repro.service.overload.OverloadConfig` enabling
+        degraded mode: when the observed queue depth (buffered ingest work
+        and/or the deepest bounded bus subscription, measured in chunks)
+        crosses the high watermark, the service flips into a counted
+        degraded state and applies the configured policy — ``shed`` (skip
+        chunks for low-priority route classes), ``stretch`` (widen the
+        checkpoint cadence), or ``error`` (raise
+        :class:`~repro.service.overload.OverloadError`) — until depth
+        falls back to the low watermark (hysteresis).  All transitions and
+        shed work are counted in
+        :attr:`~repro.service.bus.ServiceStats.overload`.
+    compact_every_chunks:
+        Optional cadence (in chunks) for automatic safe-boundary
+        re-epoching: every that-many ingested chunks the service runs a
+        :meth:`compact` pass, merging late-registered queries whose window
+        state has converged with their route-mates' back into shared plan
+        groups (restoring the sharing a churn storm destroyed).  ``None``
+        (default) means manual :meth:`compact` calls only.
     """
 
     def __init__(
@@ -153,6 +191,9 @@ class SurgeService:
         max_lateness: float = 0.0,
         on_bad_record: Callable[[Any, str], None] | None = None,
         quarantine_dir: str | Path | None = None,
+        max_inflight_chunks: int | None = None,
+        overload: OverloadConfig | None = None,
+        compact_every_chunks: int | None = None,
     ) -> None:
         if shards < 1:
             raise ValueError(f"shards must be positive, got {shards}")
@@ -205,6 +246,28 @@ class SurgeService:
         #: chunks: a chunk boundary no longer maps 1:1 to the raw stream).
         self._raw_consumed = 0
         self._quarantined = 0
+        self._spill_errors = 0
+        self._spill_warned = False
+        # Overload tier (see the class docstring): backpressure budget,
+        # degraded-mode state machine, compaction cadence.
+        if max_inflight_chunks is not None and max_inflight_chunks < 1:
+            raise ValueError(
+                f"max_inflight_chunks must be >= 1, got {max_inflight_chunks}"
+            )
+        if compact_every_chunks is not None and compact_every_chunks < 1:
+            raise ValueError(
+                f"compact_every_chunks must be >= 1, got {compact_every_chunks}"
+            )
+        self.max_inflight_chunks = max_inflight_chunks
+        self.overload_config = overload
+        self.compact_every_chunks = compact_every_chunks
+        self._overload = OverloadStats()
+        self._peak_buffered = 0
+        #: Chunk size of the active run() (the unit the queue depth is
+        #: measured in); manual push_many callers can rely on the bus-side
+        #: depth only.
+        self._run_chunk_size: int | None = None
+        self._shed_cache: frozenset[str] | None = None
         # Durability (all disabled until a checkpoint directory is attached).
         self._checkpoint_dir: Path | None = None
         self._checkpoint_policy: CheckpointPolicy = CheckpointPolicy()
@@ -227,6 +290,7 @@ class SurgeService:
         self._order.append(spec.query_id)
         self._specs[spec.query_id] = spec
         self._registered += 1
+        self._shed_cache = None
 
     # ------------------------------------------------------------------
     # Query registry
@@ -268,9 +332,157 @@ class SurgeService:
         self._order.remove(query_id)
         del self._shard_of[query_id]
         del self._specs[query_id]
+        self._shed_cache = None
         self.bus.forget(query_id)
         if self._checkpoint_dir is not None:
             self.checkpoint()
+
+    # ------------------------------------------------------------------
+    # Overload tier: queue depth, hysteresis, shedding
+    # ------------------------------------------------------------------
+    def queue_depth_chunks(self) -> float:
+        """Observed queue depth in chunks — the overload watermark's input.
+
+        The larger of two backlogs: raw arrivals buffered ahead of the
+        shards (reorder heap + pending chunk, over the active run's chunk
+        size — a pure function of the stream, so replayed runs see the
+        same depths), and the deepest bounded bus subscription (updates,
+        over the live query count: one chunk produces one update per
+        query).
+        """
+        depth = 0.0
+        if self._run_chunk_size:
+            buffered = len(self._pending)
+            if self._reorder is not None:
+                buffered += len(self._reorder)
+            depth = buffered / self._run_chunk_size
+        if self._order:
+            bus_depth = self.bus.max_queue_depth() / len(self._order)
+            if bus_depth > depth:
+                depth = bus_depth
+        return depth
+
+    def overload_stats(self) -> OverloadStats:
+        """The overload tier's counters (all zero while never overloaded)."""
+        return self._overload
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the service is currently in degraded mode."""
+        return self._overload.degraded
+
+    def _sheddable_ids(self) -> frozenset[str]:
+        """Query ids shed while degraded: whole low-priority route classes.
+
+        Shedding is decided at *route class* granularity — the
+        (keyword, window lengths) key that also defines shared window
+        groups — and a class is shed only when **every** member is below
+        the priority threshold.  A partially-shed class would force a
+        shared window group's clock to advance for some members but not
+        others, splitting provably-identical state; whole classes keep
+        every group fully shed or fully active, so the shared and unshared
+        plans degrade bit-identically.
+        """
+        if self._shed_cache is not None:
+            return self._shed_cache
+        config = self.overload_config
+        if config is None or not self._specs:
+            self._shed_cache = frozenset()
+            return self._shed_cache
+        threshold = config.shed_below_priority
+        if threshold is None:
+            # Default: shed everything ranked below the best present.  With
+            # uniform priorities nothing is sheddable — degrading to
+            # transition-counting only, never to silently dropped work.
+            threshold = max(spec.priority for spec in self._specs.values())
+        classes: dict[tuple, list[QuerySpec]] = {}
+        for spec in self._specs.values():
+            query = spec.query
+            past = (
+                query.past_window_length
+                if query.past_window_length is not None
+                else query.window_length
+            )
+            key = (spec.keyword, query.window_length, past)
+            classes.setdefault(key, []).append(spec)
+        shed: set[str] = set()
+        for members in classes.values():
+            if all(member.priority < threshold for member in members):
+                shed.update(member.query_id for member in members)
+        self._shed_cache = frozenset(shed)
+        return self._shed_cache
+
+    def _evaluate_overload(self) -> frozenset[str]:
+        """Run the hysteresis state machine; return the chunk's shed set.
+
+        Degraded mode is entered at ``depth >= high_watermark_chunks`` and
+        left at ``depth <= low_watermark_chunks`` — the dead band between
+        them keeps a depth oscillating around one threshold from flapping
+        the mode.  Under the ``error`` policy entry raises
+        :class:`~repro.service.overload.OverloadError` (strict mode fails
+        loudly); ``shed`` returns the sheddable route classes;
+        ``stretch`` only flags the mode (the checkpoint path consults it).
+        """
+        config = self.overload_config
+        if config is None:
+            return frozenset()
+        depth = self.queue_depth_chunks()
+        stats = self._overload
+        if depth > stats.max_depth_chunks:
+            stats.max_depth_chunks = depth
+        if not stats.degraded:
+            if depth >= config.high_watermark_chunks:
+                stats.degraded = True
+                stats.entered_degraded += 1
+                if config.policy == "error":
+                    raise OverloadError(
+                        f"queue depth {depth:.2f} chunks crossed the "
+                        f"high watermark "
+                        f"({config.high_watermark_chunks} chunks) under the "
+                        f"error policy",
+                        depth_chunks=depth,
+                    )
+        elif depth <= config.low_watermark_chunks:
+            stats.degraded = False
+            stats.exited_degraded += 1
+        if stats.degraded and config.policy == "shed":
+            shed = self._sheddable_ids()
+            stats.shedding = sorted(shed)
+            return shed
+        stats.shedding = []
+        return frozenset()
+
+    def _stretched_due(self, chunks_since: int) -> bool:
+        """Whether a due checkpoint survives the ``stretch`` policy.
+
+        While degraded under ``stretch``, the configured cadence is
+        multiplied by ``checkpoint_stretch``; a checkpoint the base policy
+        wanted but the stretched one defers is counted.
+        """
+        config = self.overload_config
+        if (
+            config is None
+            or config.policy != "stretch"
+            or not self._overload.degraded
+        ):
+            return True
+        policy = self._checkpoint_policy
+        stretched = CheckpointPolicy(
+            every_chunks=(
+                policy.every_chunks * config.checkpoint_stretch
+                if policy.every_chunks is not None
+                else None
+            ),
+            every_stream_seconds=(
+                policy.every_stream_seconds * config.checkpoint_stretch
+                if policy.every_stream_seconds is not None
+                else None
+            ),
+        )
+        if stretched.due(chunks_since, self._time, self._last_checkpoint_time):
+            return True
+        self._overload.checkpoints_deferred += 1
+        return False
 
     # ------------------------------------------------------------------
     # Ingestion
@@ -300,26 +512,63 @@ class SurgeService:
             previous = obj.timestamp
         if objs:
             self._time = previous
-        updates = self._dispatch(("chunk", objs, self._chunk_index), len(objs))
+        shed = self._evaluate_overload()
+        if shed:
+            message = ("chunk", objs, self._chunk_index, shed)
+        else:
+            message = ("chunk", objs, self._chunk_index)
+        updates = self._dispatch(message, len(objs))
+        if shed and objs:
+            self._overload.chunks_shed += 1
+            self._overload.updates_shed += len(shed)
         if objs:
             # Empty chunks are no-ops for every monitor and are never
             # produced by iter_chunks, so they must not advance the replay
             # offset — counting one would make a resume skip a real chunk.
             offset = self._chunk_offset
             self._chunk_offset = offset + 1
+            if (
+                self.compact_every_chunks is not None
+                and self._chunk_offset % self.compact_every_chunks == 0
+            ):
+                # Before a possible checkpoint, so the snapshot carries the
+                # merged plan — and on replay the same offsets re-run the
+                # same (deterministic) passes, keeping counters exactly-once.
+                self.compact()
             if self._wal is not None:
                 self._wal.append_chunk(offset, len(objs), objs[-1].timestamp)
+                chunks_since = self._chunk_offset - self._last_checkpoint_offset
                 if self._checkpoint_policy.due(
-                    self._chunk_offset - self._last_checkpoint_offset,
+                    chunks_since,
                     self._time,
                     self._last_checkpoint_time,
-                ):
+                ) and self._stretched_due(chunks_since):
                     self.checkpoint()
         return updates
 
     def push(self, obj: SpatialObject) -> list[QueryUpdate]:
         """Push a single object (a one-object chunk)."""
         return self.push_many([obj])
+
+    def compact(self) -> int:
+        """Safe-boundary re-epoching: restore sharing lost to churn.
+
+        Runs between chunks (every pipeline settled at the same chunk
+        boundary, no partial state anywhere) and asks every shard to merge
+        late-registered queries whose window state has *converged* with
+        their route-mates' back into the veterans' sharing groups — see
+        :meth:`repro.service.shards.ShardState.compact` for the exactness
+        argument.  Results are bit-identical before and after: the pass
+        only de-duplicates provably equal state.
+
+        Returns the number of queries merged (0 when nothing has converged
+        yet — the pass is cheap and idempotent, so calling it on a cadence
+        via ``compact_every_chunks`` is the intended mode).
+        """
+        merged = sum(self._executor.broadcast(("compact",)))
+        self._overload.compactions += 1
+        self._overload.queries_compacted += merged
+        return merged
 
     def advance_time(self, stream_time: float) -> list[QueryUpdate]:
         """Advance every query's clock without new arrivals.
@@ -358,7 +607,11 @@ class SurgeService:
         self._chunk_index += 1
         self._stats.objects_pushed += n_objects
         self._stats.chunks_pushed += 1
-        self._stats.object_query_pairs += n_objects * len(updates)
+        # Shed queries did no work on this chunk, so they contribute no
+        # object–query pairs to the throughput headline.
+        self._stats.object_query_pairs += n_objects * sum(
+            1 for update in updates if not update.shed
+        )
         self._stats.wall_seconds += wall
         self.bus.publish(updates)
         return updates
@@ -390,6 +643,7 @@ class SurgeService:
         exactly as in strict mode, and the tier skips the
         already-consumed raw prefix itself.
         """
+        self._run_chunk_size = chunk_size
         if not self._tolerant:
             for chunk in iter_chunks(stream, chunk_size, start_offset=start_offset):
                 yield self.push_many(chunk)
@@ -482,11 +736,39 @@ class SurgeService:
             chunk = self._pending[:chunk_size]
             del self._pending[:chunk_size]
             yield self.push_many(chunk)
+        if self.max_inflight_chunks is not None and self._reorder is not None:
+            # Backpressure valve: the reorder heap is the only place raw
+            # arrivals can pile up without bound (a flash crowd inside one
+            # lateness window).  Over budget, the oldest held-back arrivals
+            # are released early — still in sorted order — and dispatched,
+            # so the buffered total never exceeds the budget after any
+            # record (the transient above it is the one record just pushed).
+            budget = self.max_inflight_chunks * chunk_size
+            while (
+                len(self._pending) + len(self._reorder) > budget
+                and len(self._reorder) > 0
+            ):
+                # Release enough to cover the excess AND complete a full
+                # chunk — a release that leaves pending short of a chunk
+                # dispatches nothing and the total would stay over budget.
+                excess = len(self._pending) + len(self._reorder) - budget
+                short = chunk_size - (len(self._pending) % chunk_size)
+                self._pending.extend(
+                    self._reorder.force_release(max(excess, short))
+                )
+                while len(self._pending) >= chunk_size:
+                    chunk = self._pending[:chunk_size]
+                    del self._pending[:chunk_size]
+                    yield self.push_many(chunk)
+        buffered = len(self._pending) + (
+            len(self._reorder) if self._reorder is not None else 0
+        )
+        if buffered > self._peak_buffered:
+            self._peak_buffered = buffered
 
     def _quarantine(self, record: Any, reason: str) -> None:
         self._quarantined += 1
         if self.quarantine_dir is not None:
-            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
             if isinstance(record, SpatialObject):
                 payload: Any = {
                     "x": record.x,
@@ -501,10 +783,26 @@ class SurgeService:
             line = json.dumps(
                 {"reason": reason, "record": payload}, default=repr, sort_keys=True
             )
-            with open(
-                self.quarantine_dir / "quarantine.jsonl", "a", encoding="utf-8"
-            ) as handle:
-                handle.write(line + "\n")
+            try:
+                self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+                with open(
+                    self.quarantine_dir / "quarantine.jsonl", "a", encoding="utf-8"
+                ) as handle:
+                    handle.write(line + "\n")
+            except OSError as exc:
+                # The spill is observability, not state: an unwritable or
+                # full directory must not kill ingestion mid-chunk.  The
+                # failure is counted and warned about exactly once.
+                self._spill_errors += 1
+                if not self._spill_warned:
+                    self._spill_warned = True
+                    logger.warning(
+                        "quarantine spill to %s failed (%s); quarantined "
+                        "records are still counted and skipped, but will not "
+                        "be written out (warning once)",
+                        self.quarantine_dir,
+                        exc,
+                    )
         if self.on_bad_record is not None:
             self.on_bad_record(record, reason)
 
@@ -535,6 +833,7 @@ class SurgeService:
             query_id: self.bus.stats(query_id) for query_id in self._order
         }
         self._stats.ingest = self.ingest_stats()
+        self._stats.overload = self._overload
         return self._stats
 
     def ingest_stats(self) -> IngestStats:
@@ -543,11 +842,14 @@ class SurgeService:
         stats = IngestStats(
             quarantined=self._quarantined,
             subscriber_errors=self.bus.subscriber_errors,
+            spill_errors=self._spill_errors,
+            peak_buffered=self._peak_buffered,
         )
         if self._reorder is not None:
             stats.reordered = self._reorder.reordered
             stats.late_dropped = self._reorder.late_dropped
             stats.duplicates_seen = self._reorder.duplicates_seen
+            stats.force_released = self._reorder.force_released
         return stats
 
     # ------------------------------------------------------------------
@@ -674,7 +976,26 @@ class SurgeService:
                 "raw_consumed": self._raw_consumed,
                 "quarantined": self._quarantined,
                 "subscriber_errors": self.bus.subscriber_errors,
+                "spill_errors": self._spill_errors,
+                "peak_buffered": self._peak_buffered,
                 "snapshot_file": ingest_file,
+            }
+        overload_record: dict[str, Any] | None = None
+        if (
+            self.overload_config is not None
+            or self.max_inflight_chunks is not None
+            or self.compact_every_chunks is not None
+            or self._overload != OverloadStats()
+        ):
+            overload_record = {
+                "config": (
+                    self.overload_config.to_dict()
+                    if self.overload_config is not None
+                    else None
+                ),
+                "stats": self._overload.to_dict(),
+                "max_inflight_chunks": self.max_inflight_chunks,
+                "compact_every_chunks": self.compact_every_chunks,
             }
         manifest = ServiceManifest(
             generation=generation,
@@ -699,6 +1020,7 @@ class SurgeService:
             extra=dict(self.checkpoint_extra),
             shared_plan=self.shared_plan,
             ingest=ingest_record,
+            overload=overload_record,
         )
         path = write_manifest(target, manifest)
         ChunkWal(wal_path(target)).mark_checkpoint(
@@ -778,6 +1100,20 @@ class SurgeService:
         specs = [QuerySpec.from_dict(record) for record in manifest.specs]
 
         ingest_record = manifest.ingest
+        overload_record = manifest.overload
+        overload_config = None
+        max_inflight_chunks = None
+        compact_every_chunks = None
+        if overload_record is not None:
+            config_record = overload_record.get("config")
+            if config_record is not None:
+                overload_config = OverloadConfig.from_dict(config_record)
+            raw_inflight = overload_record.get("max_inflight_chunks")
+            if raw_inflight is not None:
+                max_inflight_chunks = int(raw_inflight)
+            raw_compact = overload_record.get("compact_every_chunks")
+            if raw_compact is not None:
+                compact_every_chunks = int(raw_compact)
         service = cls(
             (),
             shards=manifest.n_shards,
@@ -792,7 +1128,18 @@ class SurgeService:
             ),
             on_bad_record=on_bad_record,
             quarantine_dir=quarantine_dir,
+            max_inflight_chunks=max_inflight_chunks,
+            overload=overload_config,
+            compact_every_chunks=compact_every_chunks,
         )
+        if overload_record is not None:
+            # Cumulative counters carry over; the degraded flag restored
+            # with them makes the resumed run continue shedding exactly
+            # where the victim stopped (the hysteresis re-evaluates from
+            # the restored depth on the next chunk).
+            service._overload = OverloadStats.from_dict(
+                overload_record.get("stats", {})
+            )
         # Registry bookkeeping comes from the manifest verbatim: replaying
         # round-robin over the surviving specs would mis-assign after
         # removals, and the shard snapshot files already partition by the
@@ -815,6 +1162,8 @@ class SurgeService:
         if ingest_record is not None:
             service._raw_consumed = int(ingest_record.get("raw_consumed", 0))
             service._quarantined = int(ingest_record.get("quarantined", 0))
+            service._spill_errors = int(ingest_record.get("spill_errors", 0))
+            service._peak_buffered = int(ingest_record.get("peak_buffered", 0))
             service.bus.subscriber_errors = int(
                 ingest_record.get("subscriber_errors", 0)
             )

@@ -214,8 +214,18 @@ class QueryPipeline:
             busy_seconds=shared_seconds,
         )
 
-    def skip_chunk(self, chunk_index: int, shared_seconds: float = 0.0) -> QueryUpdate:
-        """The settle-free fast path: nothing routed, clock unmoved."""
+    def skip_chunk(
+        self,
+        chunk_index: int,
+        shared_seconds: float = 0.0,
+        shed: bool = False,
+    ) -> QueryUpdate:
+        """The settle-free fast path: nothing routed, clock unmoved.
+
+        With ``shed=True`` the chunk was load-shed for this query (degraded
+        mode), not merely empty: the update is marked so the bus can count
+        it separately and consumers know the carried result is stale.
+        """
         started = time.perf_counter()
         result = self.last_result
         self.chunks_skipped += 1
@@ -228,6 +238,7 @@ class QueryPipeline:
             result=result,
             objects_routed=0,
             busy_seconds=busy,
+            shed=shed,
         )
 
     def apply_window_events(self, events, chunk_index: int) -> QueryUpdate:
@@ -275,6 +286,40 @@ class WindowGroup:
         self.units = units
 
 
+#: Detectors whose settled results are a pure function of current window
+#: *content*: two monitors holding element-wise equal windows settle to
+#: bit-identical answers regardless of how each arrived at that content.
+#: The grid-family approximations (``gaps``/``mgaps`` and their top-k
+#: variants) are excluded — their cell accumulators are maintained
+#: incrementally (``+=``/``-=`` on floats), so an add-then-expire cycle
+#: leaves a path-dependent residue that can shift a result by an ulp.
+#: Compaction therefore merges grid-family queries at the window tier only
+#: (whole units move; monitors are never aliased across histories).
+_PURE_RESULT_ALGORITHMS = frozenset({"ccs", "kccs", "bccs", "base", "ag2", "naive"})
+
+
+def _windows_equal(a: SlidingWindowPair, b: SlidingWindowPair) -> bool:
+    """Element-wise equality of two window pairs (the compaction gate).
+
+    Two pairs are mergeable when they hold the same objects, the same
+    clock, and the same stability flag: from that point on, identical
+    inputs produce identical events from either pair, so aliasing one for
+    the other is unobservable downstream.
+    """
+    if a is b:
+        return True
+    return (
+        a.window_length == b.window_length
+        and a.past_window_length == b.past_window_length
+        and a._time == b._time
+        and a._expired_seen == b._expired_seen
+        and len(a._current) == len(b._current)
+        and len(a._past) == len(b._past)
+        and all(x == y for x, y in zip(a._current, b._current))
+        and all(x == y for x, y in zip(a._past, b._past))
+    )
+
+
 def _detector_unit_key(spec: QuerySpec):
     """Hashable identity of everything that shapes a monitor's evolution.
 
@@ -298,10 +343,17 @@ class ShardState:
     Messages are ``(kind, *payload)`` tuples so they cross process
     boundaries as plain pickles:
 
-    ``("chunk", objects, chunk_index)``
+    ``("chunk", objects, chunk_index)`` / ``("chunk", objects, chunk_index, shed)``
         Route a shared-stream chunk through every pipeline; returns the
         per-query :class:`~repro.service.bus.QueryUpdate` list in query
-        registration order.
+        registration order.  The optional ``shed`` frozenset names queries
+        whose chunk is load-shed (degraded mode): their window clocks stay
+        unmoved and their updates carry ``shed=True``.  The service only
+        sheds whole route classes, so a shared-plan window group is always
+        fully shed or fully active.
+    ``("compact",)``
+        Safe-boundary re-epoching (see :meth:`compact`); returns the
+        number of pipelines merged back into older sharing groups.
     ``("advance", stream_time, chunk_index)``
         Advance every pipeline's clock; returns updates.
     ``("add", spec)`` / ``("remove", query_id)``
@@ -346,6 +398,97 @@ class ShardState:
             raise KeyError(f"query {query_id!r} is not registered on this shard")
         del self.pipelines[query_id]
         self._rebuild_plan()
+
+    def compact(self) -> int:
+        """Safe-boundary re-epoching: merge equal-state pipelines back together.
+
+        The epoch rule keeps a mid-stream registration out of every sharing
+        group *forever*, because at registration time its (empty) windows
+        provably differ from its route-mates'.  But the difference is not
+        forever: once the stream has run past the late registration by the
+        full window span, the old content has expired from the veterans'
+        windows and both hold exactly the objects of the recent past — the
+        states have *converged*.  Compaction detects that convergence by
+        direct comparison (:func:`_windows_equal`) at a chunk boundary
+        (every pipeline settled, no partial chunk anywhere) and restamps
+        the late pipeline's epoch to its route-mates', so the next
+        :meth:`_rebuild_plan` re-aliases them into one group: sharing is
+        restored after churn.
+
+        Merging moves whole *units* (pipelines that already share a
+        monitor move together — splitting a unit across groups would leave
+        one monitor referenced by two groups).  A pipeline whose algorithm
+        is in :data:`_PURE_RESULT_ALGORITHMS` may additionally join an
+        existing detector unit (adopting the veteran monitor, which by
+        purity settles to the same answers its own would); grid-family
+        pipelines only ever share windows, never monitors, across
+        histories.  All decisions are pure functions of pipeline state, so
+        every plan and every executor compacts identically — and under
+        ``shared_plan=False`` the restamp is recorded but aliases nothing,
+        keeping cross-plan checkpoints interchangeable.
+
+        Returns the number of pipelines merged into an older epoch.
+        """
+        clusters: dict[tuple, list[QueryPipeline]] = {}
+        for pipeline in self.pipelines.values():
+            windows = pipeline.monitor.windows
+            key = (
+                pipeline.spec.keyword,
+                windows.window_length,
+                windows.past_window_length,
+            )
+            clusters.setdefault(key, []).append(pipeline)
+        merged = 0
+        for members in clusters.values():
+            if len(members) < 2:
+                continue
+            anchored = [p for p in members if p.epoch is not None]
+            if not anchored:
+                continue
+            representative = min(anchored, key=lambda p: p.epoch)
+            rep_windows = representative.monitor.windows
+            # Unit keys already present at the representative's epoch: a
+            # pure-algorithm unit may join them; an impure one must not
+            # alias a monitor with a different history.
+            rep_keys = {
+                _detector_unit_key(p.spec)
+                for p in members
+                if p.epoch == representative.epoch
+            }
+            rep_keys.discard(None)
+            units: dict[tuple, list[QueryPipeline]] = {}
+            for pipeline in members:
+                if pipeline.epoch == representative.epoch:
+                    continue
+                unit_key = _detector_unit_key(pipeline.spec)
+                if unit_key is None or pipeline.epoch is None:
+                    # Unshareable options or unknown history: never aliased
+                    # with anyone, so it moves (or stays) alone.
+                    bucket = ("own", id(pipeline))
+                else:
+                    bucket = ("unit", pipeline.epoch, unit_key)
+                units.setdefault(bucket, []).append(pipeline)
+            for unit_members in units.values():
+                if not all(
+                    _windows_equal(p.monitor.windows, rep_windows)
+                    for p in unit_members
+                ):
+                    continue
+                unit_key = _detector_unit_key(unit_members[0].spec)
+                pure = (
+                    unit_members[0].spec.algorithm.lower()
+                    in _PURE_RESULT_ALGORITHMS
+                )
+                if unit_key is not None and unit_key in rep_keys and not pure:
+                    continue
+                for pipeline in unit_members:
+                    pipeline.epoch = representative.epoch
+                merged += len(unit_members)
+                if unit_key is not None:
+                    rep_keys.add(unit_key)
+        if merged:
+            self._rebuild_plan()
+        return merged
 
     # ------------------------------------------------------------------
     # Shared-work execution plan
@@ -472,7 +615,12 @@ class ShardState:
                     bucket.append(obj)
         return buckets
 
-    def _push_chunk_shared(self, chunk: Sequence[SpatialObject], chunk_index: int) -> list[QueryUpdate]:
+    def _push_chunk_shared(
+        self,
+        chunk: Sequence[SpatialObject],
+        chunk_index: int,
+        shed: frozenset[str] = frozenset(),
+    ) -> list[QueryUpdate]:
         started = time.perf_counter()
         buckets = self._route_chunk(chunk)
         # The one-pass routing scan is shard-level work; spread it evenly so
@@ -484,6 +632,23 @@ class ShardState:
         )
         updates: dict[str, QueryUpdate] = {}
         for group in self._groups:
+            if shed and all(
+                pipeline.spec.query_id in shed
+                for unit in group.units
+                for pipeline in unit
+            ):
+                # The whole group is shed: its window clock stays unmoved
+                # (exactly the unshared plan's per-pipeline behaviour, since
+                # the service only sheds whole route classes).  Shedding a
+                # *partial* group is never requested — it would advance the
+                # shared windows past the shed members — so a partial shed
+                # set is ignored and the group processes normally.
+                for unit in group.units:
+                    for pipeline in unit:
+                        updates[pipeline.spec.query_id] = pipeline.skip_chunk(
+                            chunk_index, shared_seconds, shed=True
+                        )
+                continue
             sub = chunk if group.keyword is None else buckets.get(group.keyword, ())
             if sub:
                 batch = group.windows.observe_batch(sub)
@@ -566,12 +731,18 @@ class ShardState:
     def handle(self, message: tuple) -> Any:
         kind = message[0]
         if kind == "chunk":
-            _, chunk, chunk_index = message
+            if len(message) == 4:
+                _, chunk, chunk_index, shed = message
+            else:
+                _, chunk, chunk_index = message
+                shed = frozenset()
             if self.shared_plan:
-                return self._push_chunk_shared(chunk, chunk_index)
+                return self._push_chunk_shared(chunk, chunk_index, shed)
             self._epoch += 1
             return [
-                pipeline.push_chunk(chunk, chunk_index)
+                pipeline.skip_chunk(chunk_index, shed=True)
+                if pipeline.spec.query_id in shed
+                else pipeline.push_chunk(chunk, chunk_index)
                 for pipeline in self.pipelines.values()
             ]
         if kind == "advance":
@@ -613,6 +784,8 @@ class ShardState:
             return self.checkpoint(message[1], message[2])
         if kind == "restore":
             return self.restore(message[1])
+        if kind == "compact":
+            return self.compact()
         raise ValueError(f"unknown shard message kind {kind!r}")
 
 

@@ -54,6 +54,12 @@ class QuerySpec:
         Optional SL-CSPOT sweep backend override for this query.
     options:
         Extra keyword arguments for the detector constructor.
+    priority:
+        Load-shedding rank (higher = more important).  When the service
+        enters degraded mode under the ``shed`` policy, queries whose
+        priority is below the configured threshold are skipped until load
+        recedes.  Priority plays no part in routing or sharing — two specs
+        differing only in priority still share windows and detectors.
     """
 
     query_id: str
@@ -62,6 +68,7 @@ class QuerySpec:
     keyword: str | None = None
     backend: str | None = None
     options: Mapping[str, Any] = field(default_factory=dict)
+    priority: int = 0
 
     def __post_init__(self) -> None:
         if not self.query_id:
@@ -115,6 +122,8 @@ class QuerySpec:
             record["area"] = [area.min_x, area.min_y, area.max_x, area.max_y]
         if self.options:
             record["options"] = dict(self.options)
+        if self.priority != 0:
+            record["priority"] = self.priority
         return record
 
     @staticmethod
@@ -153,6 +162,7 @@ class QuerySpec:
             keyword=record.get("keyword"),
             backend=record.get("backend"),
             options=dict(record.get("options", {})),
+            priority=int(record.get("priority", 0)),
         )
 
 

@@ -107,6 +107,14 @@ class ServiceManifest:
     #: buffer + released-but-undispatched objects).  Optional field, same
     #: schema version — old manifests load with the tier off.
     ingest: dict | None = None
+    #: Overload tier state (``None`` = tier unconfigured, and in every
+    #: pre-overload manifest): the :class:`~repro.service.overload.
+    #: OverloadConfig` in force, the cumulative :class:`~repro.service.
+    #: overload.OverloadStats` (including whether the service was degraded
+    #: at checkpoint time, so a resume continues shedding exactly where the
+    #: victim stopped), and the ``max_inflight_chunks`` budget.  Optional
+    #: field, same schema version — old manifests load with the tier off.
+    overload: dict | None = None
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -127,6 +135,7 @@ class ServiceManifest:
             "extra": dict(self.extra),
             "shared_plan": self.shared_plan,
             "ingest": dict(self.ingest) if self.ingest is not None else None,
+            "overload": dict(self.overload) if self.overload is not None else None,
         }
 
     @staticmethod
@@ -152,6 +161,11 @@ class ServiceManifest:
                 ingest=(
                     dict(record["ingest"])
                     if record.get("ingest") is not None
+                    else None
+                ),
+                overload=(
+                    dict(record["overload"])
+                    if record.get("overload") is not None
                     else None
                 ),
             )

@@ -23,7 +23,20 @@ it with composable, *deterministic* (seeded) imperfections:
   changing object contents (timestamps are rewritten, which is why this
   profile is applied to the *clean* stream before disorder, and why
   :meth:`FaultInjector.reference` returns the post-ramp stream as the
-  ground truth).
+  ground truth);
+* **slow subscribers** — :meth:`FaultInjector.make_slow_subscriber` wraps a
+  result callback so a seeded fraction of deliveries blocks for a bounded
+  wall-clock delay, the consumer-side failure mode the service's bounded
+  :class:`~repro.service.bus.Subscription` queues and overload watermarks
+  must absorb;
+* **detector stalls** — :meth:`FaultInjector.make_stall_gate` returns a
+  per-chunk gate that blocks on a seeded fraction of chunk indices,
+  modelling a slow detector/executor that lets ingest back up.
+
+The sleeps are wall-clock (they model *latency*, not stream content), but
+*which* deliveries or chunks stall is seeded — two runs with the same
+profile and seed stall at the same points, so a chaos replay after a crash
+meets the same slowdown schedule.
 
 The injector is pure: :meth:`materialize` always returns the same arrival
 list for the same input and profile, and :meth:`reference` returns the
@@ -37,8 +50,9 @@ from __future__ import annotations
 
 import math
 import random
+import time
 from dataclasses import dataclass, field, replace
-from typing import Any, Iterator, Sequence
+from typing import Any, Callable, Iterator, Sequence
 
 from repro.streams.objects import SpatialObject
 
@@ -78,12 +92,32 @@ class FaultProfile:
     flash_crowd_factor: float = 1.0
     #: Flash-crowd window as fractions of the stream's index range.
     flash_crowd_span: tuple[float, float] = (0.4, 0.6)
+    #: Fraction of subscriber deliveries that block (0 disables the
+    #: slow-subscriber profile; see :meth:`FaultInjector.make_slow_subscriber`).
+    slow_subscriber_fraction: float = 0.0
+    #: Upper bound (wall seconds) on one blocked delivery's sleep.
+    slow_subscriber_delay: float = 0.005
+    #: Fraction of chunk indices at which the detector-stall gate blocks
+    #: (0 disables the profile; see :meth:`FaultInjector.make_stall_gate`).
+    detector_stall_fraction: float = 0.0
+    #: Upper bound (wall seconds) on one stalled chunk's sleep.
+    detector_stall_delay: float = 0.005
 
     def __post_init__(self) -> None:
-        for name in ("disorder_fraction", "duplicate_fraction", "poison_fraction"):
+        for name in (
+            "disorder_fraction",
+            "duplicate_fraction",
+            "poison_fraction",
+            "slow_subscriber_fraction",
+            "detector_stall_fraction",
+        ):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+        for name in ("slow_subscriber_delay", "detector_stall_delay"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ValueError(f"{name} must be >= 0, got {value!r}")
         if self.disorder_fraction > 0 and self.max_disorder <= 0:
             raise ValueError(
                 "disorder_fraction > 0 requires a positive max_disorder bound"
@@ -151,6 +185,8 @@ class FaultInjector:
         self.disordered = 0
         self.duplicates = 0
         self.poisoned = 0
+        self.subscriber_stalls = 0
+        self.detector_stalls = 0
 
     # ------------------------------------------------------------------
     # The faulty stream and its ground truth
@@ -181,6 +217,59 @@ class FaultInjector:
 
     def __len__(self) -> int:
         return len(self.materialize())
+
+    # ------------------------------------------------------------------
+    # Latency profiles (consumer- and detector-side slowness)
+    # ------------------------------------------------------------------
+    def make_slow_subscriber(
+        self, inner: Any | None = None
+    ) -> "Callable[[Any], None]":
+        """A result callback that blocks on a seeded fraction of deliveries.
+
+        Wraps ``inner`` (a ``bus.subscribe`` callback, or ``None`` for a
+        sink): each call draws from a private RNG seeded off the injector's
+        seed; with probability ``slow_subscriber_fraction`` it sleeps up to
+        ``slow_subscriber_delay`` wall seconds before forwarding.  The stall
+        schedule (which delivery numbers block) is deterministic; the
+        injector counts blocked deliveries in ``subscriber_stalls``.
+        """
+        profile = self.profile
+        rng = random.Random(f"{self.seed}:slow_subscriber")
+
+        def callback(update: Any) -> None:
+            if (
+                profile.slow_subscriber_fraction > 0
+                and rng.random() < profile.slow_subscriber_fraction
+            ):
+                self.subscriber_stalls += 1
+                time.sleep(rng.uniform(0.0, profile.slow_subscriber_delay))
+            if inner is not None:
+                inner(update)
+
+        return callback
+
+    def make_stall_gate(self) -> "Callable[[int], None]":
+        """A per-chunk gate that blocks on a seeded fraction of chunks.
+
+        Call it with each chunk index between ``push_many`` calls (or from a
+        subscriber loop): a private RNG keyed off the injector's seed *and
+        the chunk index* decides whether that chunk stalls for up to
+        ``detector_stall_delay`` wall seconds — keying off the index means a
+        replay that revisits chunk ``i`` meets the same decision, whatever
+        order calls arrive in.  Stalls are counted in ``detector_stalls``.
+        """
+        profile = self.profile
+        seed = self.seed
+
+        def gate(chunk_index: int) -> None:
+            if profile.detector_stall_fraction <= 0:
+                return
+            rng = random.Random(f"{seed}:detector_stall:{chunk_index}")
+            if rng.random() < profile.detector_stall_fraction:
+                self.detector_stalls += 1
+                time.sleep(rng.uniform(0.0, profile.detector_stall_delay))
+
+        return gate
 
     # ------------------------------------------------------------------
     # Construction

@@ -81,6 +81,19 @@ class IngestStats:
     ``subscriber_errors``
         Exceptions raised by result-bus subscriber callbacks and isolated
         by :meth:`~repro.service.bus.ResultBus.publish`.
+    ``force_released``
+        Held-back arrivals released *early* by the in-flight-chunk budget
+        (``SurgeService(max_inflight_chunks=)``) before the watermark
+        reached them — the memory bound traded a slice of the reorder
+        horizon for boundedness.
+    ``spill_errors``
+        Quarantine spill writes that failed (unwritable/full
+        ``quarantine_dir``); the records were still counted and skipped,
+        ingestion continued.
+    ``peak_buffered``
+        The most raw arrivals ever buffered ahead of the shards (reorder
+        heap plus pending chunk) — with ``max_inflight_chunks`` set this
+        stays ``<= max_inflight_chunks * chunk_size``.
     """
 
     reordered: int = 0
@@ -88,6 +101,9 @@ class IngestStats:
     duplicates_seen: int = 0
     quarantined: int = 0
     subscriber_errors: int = 0
+    force_released: int = 0
+    spill_errors: int = 0
+    peak_buffered: int = 0
 
     def to_dict(self) -> dict[str, int]:
         """JSON form stored in service checkpoint manifests."""
@@ -97,6 +113,9 @@ class IngestStats:
             "duplicates_seen": self.duplicates_seen,
             "quarantined": self.quarantined,
             "subscriber_errors": self.subscriber_errors,
+            "force_released": self.force_released,
+            "spill_errors": self.spill_errors,
+            "peak_buffered": self.peak_buffered,
         }
 
     @staticmethod
@@ -107,6 +126,9 @@ class IngestStats:
             duplicates_seen=int(record.get("duplicates_seen", 0)),
             quarantined=int(record.get("quarantined", 0)),
             subscriber_errors=int(record.get("subscriber_errors", 0)),
+            force_released=int(record.get("force_released", 0)),
+            spill_errors=int(record.get("spill_errors", 0)),
+            peak_buffered=int(record.get("peak_buffered", 0)),
         )
 
 
@@ -200,9 +222,22 @@ class WatermarkReorderBuffer:
         #: the ids alive inside one lateness window while still catching the
         #: duplicates that can actually interleave with reordering.
         self._recent_ids: dict[int, float] = {}
+        #: Order floor raised by :meth:`force_release`: arrivals behind it
+        #: would trail an already force-released object, so they are refused
+        #: even when the watermark alone would still admit them.
+        self._floor = float("-inf")
         self.reordered = 0
         self.late_dropped = 0
         self.duplicates_seen = 0
+        self.force_released = 0
+
+    def __setstate__(self, state: dict) -> None:
+        # Buffers pickled before the overload tier lack the floor/counter.
+        self.__dict__.update(state)
+        if "_floor" not in state:
+            self._floor = float("-inf")
+        if "force_released" not in state:
+            self.force_released = 0
 
     # ------------------------------------------------------------------
     # Ingestion
@@ -233,7 +268,10 @@ class WatermarkReorderBuffer:
         timestamp = obj.timestamp
         if timestamp < self._max_timestamp:
             self.reordered += 1
-            if timestamp < self.watermark:
+            if timestamp < self.watermark or timestamp < self._floor:
+                # Behind the watermark, or behind the order floor a
+                # force-release raised: emitting it would break the order
+                # of the already-released prefix either way.
                 self.late_dropped += 1
                 return []
         object_id = obj.object_id
@@ -269,6 +307,32 @@ class WatermarkReorderBuffer:
         """
         return self._release(float("inf"))
 
+    def force_release(self, count: int) -> list[SpatialObject]:
+        """Release the ``count`` oldest held-back arrivals *now*, in order.
+
+        The backpressure valve: when the in-flight budget is exceeded the
+        service trades a slice of the reorder horizon for a memory bound.
+        Released objects still come out in ``(timestamp, object_id)``
+        order, and the order floor rises to the last released timestamp so
+        a later straggler behind it is dropped (counted in
+        ``late_dropped``) instead of breaking the sorted-output guarantee.
+        A disorder-free stream is unaffected: early release only changes
+        outcomes for stragglers that would have landed behind the floor.
+        """
+        released: list[SpatialObject] = []
+        heap = self._heap
+        for _ in range(min(int(count), len(heap))):
+            timestamp, object_id, _, obj = heapq.heappop(heap)
+            released.append(obj)
+            known = self._recent_ids.get(object_id)
+            if known is not None and known <= timestamp:
+                del self._recent_ids[object_id]
+        if released:
+            self.force_released += len(released)
+            if released[-1].timestamp > self._floor:
+                self._floor = released[-1].timestamp
+        return released
+
     def _release(self, frontier: float) -> list[SpatialObject]:
         released: list[SpatialObject] = []
         heap = self._heap
@@ -291,11 +355,12 @@ class WatermarkReorderBuffer:
         return [entry[3] for entry in sorted(self._heap)]
 
     def counters(self) -> dict[str, int]:
-        """The buffer's three counters as a plain dict."""
+        """The buffer's counters as a plain dict."""
         return {
             "reordered": self.reordered,
             "late_dropped": self.late_dropped,
             "duplicates_seen": self.duplicates_seen,
+            "force_released": self.force_released,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -164,3 +164,65 @@ class TestFaultInjector:
         )
         assert list(injector) == injector.materialize()
         assert len(injector) == len(clean) + injector.duplicates + injector.poisoned
+
+
+class TestLatencyProfiles:
+    def test_latency_fractions_and_delays_validated(self):
+        with pytest.raises(ValueError, match="slow_subscriber_fraction"):
+            FaultProfile(slow_subscriber_fraction=1.5)
+        with pytest.raises(ValueError, match="detector_stall_fraction"):
+            FaultProfile(detector_stall_fraction=-0.1)
+        with pytest.raises(ValueError, match="slow_subscriber_delay"):
+            FaultProfile(slow_subscriber_delay=-1.0)
+        with pytest.raises(ValueError, match="detector_stall_delay"):
+            FaultProfile(detector_stall_delay=-1.0)
+
+    def test_slow_subscriber_stalls_a_seeded_fraction_and_forwards(self):
+        clean = make_clean(10)
+        injector = FaultInjector(
+            clean, seed=13, slow_subscriber_fraction=0.5, slow_subscriber_delay=0.0
+        )
+        got = []
+        callback = injector.make_slow_subscriber(got.append)
+        for index in range(40):
+            callback(index)
+        assert got == list(range(40))  # every update still delivered
+        assert 0 < injector.subscriber_stalls < 40
+        # Same seed, same stall schedule.
+        twin = FaultInjector(
+            clean, seed=13, slow_subscriber_fraction=0.5, slow_subscriber_delay=0.0
+        )
+        twin_callback = twin.make_slow_subscriber(None)
+        for index in range(40):
+            twin_callback(index)
+        assert twin.subscriber_stalls == injector.subscriber_stalls
+
+    def test_disabled_slow_subscriber_never_stalls(self):
+        injector = FaultInjector(make_clean(5), seed=13)
+        callback = injector.make_slow_subscriber(None)
+        for index in range(20):
+            callback(index)
+        assert injector.subscriber_stalls == 0
+
+    def test_stall_gate_is_keyed_by_chunk_index(self):
+        clean = make_clean(10)
+        injector = FaultInjector(
+            clean, seed=17, detector_stall_fraction=0.5, detector_stall_delay=0.0
+        )
+        gate = injector.make_stall_gate()
+        for index in range(40):
+            gate(index)
+        first = injector.detector_stalls
+        assert 0 < first < 40
+        # Replaying the same chunk indices meets the same decisions — the
+        # property a resumed chaos run relies on.
+        for index in range(40):
+            gate(index)
+        assert injector.detector_stalls == 2 * first
+
+    def test_disabled_stall_gate_is_a_no_op(self):
+        injector = FaultInjector(make_clean(5), seed=17)
+        gate = injector.make_stall_gate()
+        for index in range(20):
+            gate(index)
+        assert injector.detector_stalls == 0

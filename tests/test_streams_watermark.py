@@ -42,6 +42,7 @@ class TestWatermarkReorderBuffer:
             "reordered": 0,
             "late_dropped": 0,
             "duplicates_seen": 0,
+            "force_released": 0,
         }
 
     def test_bounded_disorder_emits_exactly_sorted(self):
