@@ -1,13 +1,15 @@
 # Developer entry points for the SURGE reproduction.
 #
 #   make test          tier-1 test suite (unit tests; pure stdlib fallback works)
-#   make bench         all five benchmarks below
+#   make bench         all six benchmarks below
 #   make bench-sweep   sweep-kernel microbenchmark -> BENCH_sweep.json
 #   make bench-ingest  end-to-end ingestion throughput -> BENCH_ingest.json
 #   make bench-service multi-query service throughput -> BENCH_service.json
 #   make bench-recovery checkpoint overhead + crash recovery -> BENCH_recovery.json
 #   make bench-robustness reorder-buffer overhead under disorder + adversarial
 #                      (skew/churn) workloads -> BENCH_robustness.json
+#   make bench-server  live-traffic latency through the TCP front end
+#                      (concurrent subscriber fan-out) -> BENCH_server.json
 #                      (each refuses to record a >20% regression;
 #                       BENCH_FLAGS=--force overrides, BENCH_FLAGS=--quick
 #                       runs a reduced smoke configuration)
@@ -26,7 +28,12 @@
 #                      overload tier's contract: bounded buffering, counted
 #                      priority shedding, compaction after churn, and the
 #                      strict policy's typed refusal (the CI overload smoke)
-#   make smoke         all four smokes above, each under a hard `timeout`
+#   make smoke-server  serve over TCP in a subprocess, register + ingest +
+#                      subscribe + scrape /metrics over the wire, SIGTERM
+#                      mid-stream, then --resume re-serves the recorded
+#                      endpoint and the final results must be bit-identical
+#                      to an uninterrupted run (the CI network-tier smoke)
+#   make smoke         all five smokes above, each under a hard `timeout`
 #                      (SMOKE_TIMEOUT seconds, default 900)
 #   make coverage      unit suite under pytest-cov with the pinned fail-under
 #                      (requires pytest-cov; the CI coverage leg runs this)
@@ -48,13 +55,14 @@ SMOKE_TIMEOUT ?= 900
 COVERAGE_MIN ?= 92
 
 .PHONY: test bench bench-sweep bench-ingest bench-service bench-recovery \
-	bench-robustness smoke smoke-recovery smoke-shared smoke-chaos \
-	smoke-overload coverage lint
+	bench-robustness bench-server smoke smoke-recovery smoke-shared \
+	smoke-chaos smoke-overload smoke-server coverage lint
 
 test:
 	$(PYTHON) -m pytest -x -q
 
-bench: bench-sweep bench-ingest bench-service bench-recovery bench-robustness
+bench: bench-sweep bench-ingest bench-service bench-recovery bench-robustness \
+	bench-server
 
 bench-sweep:
 	$(PYTHON) benchmarks/bench_sweep.py $(BENCH_FLAGS)
@@ -71,11 +79,15 @@ bench-recovery:
 bench-robustness:
 	$(PYTHON) benchmarks/bench_robustness.py $(BENCH_FLAGS)
 
+bench-server:
+	$(PYTHON) benchmarks/bench_server.py $(BENCH_FLAGS)
+
 smoke:
 	timeout $(SMOKE_TIMEOUT) $(PYTHON) scripts/recovery_smoke.py
 	timeout $(SMOKE_TIMEOUT) $(PYTHON) scripts/shared_plan_smoke.py
 	timeout $(SMOKE_TIMEOUT) $(PYTHON) scripts/chaos_smoke.py
 	timeout $(SMOKE_TIMEOUT) $(PYTHON) scripts/overload_smoke.py
+	timeout $(SMOKE_TIMEOUT) $(PYTHON) scripts/server_smoke.py
 
 smoke-recovery:
 	$(PYTHON) scripts/recovery_smoke.py
@@ -88,6 +100,9 @@ smoke-chaos:
 
 smoke-overload:
 	$(PYTHON) scripts/overload_smoke.py
+
+smoke-server:
+	$(PYTHON) scripts/server_smoke.py
 
 coverage:
 	$(PYTHON) -m pytest tests -q --cov=repro --cov-report=term-missing:skip-covered \

@@ -1,0 +1,403 @@
+"""Live-traffic latency harness for the network tier (``repro.server``).
+
+``bench_service.py`` measures the engine with function calls; this harness
+measures the service **as deployed**: a real :class:`~repro.server.server.
+SurgeServer` on a loopback socket, hundreds of concurrent client
+connections, and the full wire path — frame codec, asyncio front end,
+command queue, result-bus pump threads — between an ingested object and the
+subscriber that sees its effect.
+
+Per concurrency level ``N`` (default {8, 32, 128}):
+
+* **N registrant users** connect concurrently, each waiting a seeded
+  Locust-style ``between(a, b)`` think time, then registering one query
+  over the wire (grid-cycled keyword, varied priority — the full
+  ``QuerySpec`` travels as JSON) and opening a *second* connection
+  subscribed to just that query (``2N`` connections per cell, plus admin);
+* **one feeder connection** then streams a seeded
+  :class:`~repro.streams.faults.FaultInjector` workload (10% bounded
+  disorder, absorbed by ``max_lateness``) in timestamp-ordered batches.
+  One feeder keeps the *arrival sequence* deterministic — concurrency
+  lives in the subscriber fan-out, which is where the latency is;
+* each batch's send instant is recorded (``perf_counter``) and mapped to
+  the chunks its ack reports dispatched; every subscriber records the
+  arrival instant of each pushed result frame.  **Result lag** for a
+  chunk = subscriber arrival − batch send: the end-to-end time from
+  offering data to the service until a tenant holds the answer.
+
+Recorded per cell: ingest throughput (objects/sec through the full wire
+round trip) and the p50/p95/p99 of the pooled per-frame result lag.  Every
+cell's final scores are cross-checked **bit-identical** against an
+in-process serial reference (same specs, same arrival sequence, same
+chunking) before the cell may be recorded — a fast-but-wrong transport
+cannot pass.
+
+Regression guard
+----------------
+As with the other BENCH files: if a previous ``BENCH_server.json`` exists,
+the script refuses to overwrite it when any cell's objects/sec regressed
+by more than ``REGRESSION_TOLERANCE`` (20%); ``--force`` overrides.  Lag
+percentiles are recorded for trajectory, not guarded — wall-clock latency
+on shared CI hosts is too noisy to gate on.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_server.py [--force] [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.query import SurgeQuery
+from repro.server import ServerClient, SurgeServer
+from repro.server.protocol import decode_result
+from repro.service import QuerySpec, SurgeService
+from repro.streams.faults import FaultInjector
+from repro.streams.objects import SpatialObject
+
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_server.json"
+SCHEMA = "bench_server/v1"
+SEED = 20180416
+REGRESSION_TOLERANCE = 0.20
+
+TOTAL_OBJECTS = 4096
+CHUNK_SIZE = 64
+BATCH_SIZE = 64
+EXTENT = 8.0
+WINDOW = 600.0
+ALPHA = 0.5
+ALGORITHM = "ccs"
+BACKEND = "python"
+VOCABULARY = ("traffic", "food", "weather", "sports", "news", "music", "work", "travel")
+CONCURRENCY_LEVELS = (8, 32, 128)
+DISORDER_FRACTION = 0.10
+MAX_DISORDER = 2.0
+THINK_TIME = (0.001, 0.010)  # Locust-style between(a, b), seconds
+SUBSCRIBER_MAXSIZE = 8192  # deep enough that no lag sample is ever dropped
+
+
+def make_stream(total: int, seed: int = SEED) -> list[SpatialObject]:
+    rng = random.Random(seed)
+    return [
+        SpatialObject(
+            x=rng.uniform(0.0, EXTENT),
+            y=rng.uniform(0.0, EXTENT),
+            timestamp=float(index),
+            weight=rng.uniform(0.5, 10.0),
+            object_id=index,
+            attributes={"keywords": (rng.choice(VOCABULARY),)},
+        )
+        for index in range(total)
+    ]
+
+
+def make_spec(user_index: int) -> QuerySpec:
+    side = 1.0 + 0.25 * (user_index % 4)
+    return QuerySpec(
+        query_id=f"user-{user_index:04d}",
+        query=SurgeQuery(side, side, window_length=WINDOW, alpha=ALPHA),
+        algorithm=ALGORITHM,
+        keyword=VOCABULARY[user_index % len(VOCABULARY)],
+        backend=BACKEND,
+        priority=user_index % 3,
+    )
+
+
+def percentile(samples: list[float], fraction: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+class SubscriberUser(threading.Thread):
+    """One registrant: think, register the query, then pump result frames."""
+
+    def __init__(self, user_index: int, port: int, ready: threading.Barrier) -> None:
+        super().__init__(name=f"user-{user_index}", daemon=True)
+        self.user_index = user_index
+        self.port = port
+        self.ready = ready
+        self.spec = make_spec(user_index)
+        self.rng = random.Random(SEED + 7919 * user_index)
+        self.arrivals: list[tuple[int, float]] = []  # (chunk_index, recv_t)
+        self.error: BaseException | None = None
+        self._conn: ServerClient | None = None
+
+    def run(self) -> None:
+        try:
+            time.sleep(self.rng.uniform(*THINK_TIME))
+            with ServerClient("127.0.0.1", self.port, timeout=120) as admin:
+                admin.register(self.spec)
+            self._conn = ServerClient("127.0.0.1", self.port, timeout=120)
+            self._conn.subscribe(
+                maxsize=SUBSCRIBER_MAXSIZE,
+                queries=[self.spec.query_id],
+                name=self.spec.query_id,
+            )
+            self.ready.wait(timeout=120)
+            while True:
+                frame = self._conn.recv_raw()
+                if frame.get("type") == "result":
+                    self.arrivals.append(
+                        (frame["chunk_index"], time.perf_counter())
+                    )
+        except (ConnectionError, OSError):
+            pass  # server drained: the cell is over
+        except BaseException as exc:
+            self.error = exc
+            try:
+                self.ready.wait(timeout=1)
+            except Exception:
+                pass
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+
+
+def serial_reference(specs, arrivals) -> dict:
+    with SurgeService(specs, max_lateness=MAX_DISORDER) as service:
+        for _ in service.feed(arrivals, CHUNK_SIZE):
+            pass
+        for _ in service.flush_pending(CHUNK_SIZE):
+            pass
+        return {
+            query_id: (result.score if result is not None else None)
+            for query_id, result in service.results().items()
+        }
+
+
+def run_cell(n_users: int, arrivals: list, reference_scores: dict) -> dict:
+    service = SurgeService([], max_lateness=MAX_DISORDER)
+    server = SurgeServer(service, port=0, chunk_size=CHUNK_SIZE)
+    server.start_background()
+    users: list[SubscriberUser] = []
+    try:
+        ready = threading.Barrier(n_users + 1)
+        register_started = time.perf_counter()
+        users = [SubscriberUser(index, server.port, ready) for index in range(n_users)]
+        for user in users:
+            user.start()
+        ready.wait(timeout=300)
+        failed = [user for user in users if user.error is not None]
+        if failed:
+            raise RuntimeError(f"user setup failed: {failed[0].error!r}")
+        register_seconds = time.perf_counter() - register_started
+
+        # Phase 2: one feeder streams the workload; batch send instants map
+        # to the chunks each ack reports dispatched.
+        chunk_send_t: dict[int, float] = {}
+        ingest_started = time.perf_counter()
+        with ServerClient("127.0.0.1", server.port, timeout=300) as feeder:
+            chunk_cursor = 0
+            for start in range(0, len(arrivals), BATCH_SIZE):
+                batch = arrivals[start : start + BATCH_SIZE]
+                sent_at = time.perf_counter()
+                ack = feeder.ingest(batch)
+                for chunk_index in range(chunk_cursor, ack["chunk_offset"]):
+                    chunk_send_t[chunk_index] = sent_at
+                chunk_cursor = ack["chunk_offset"]
+            sent_at = time.perf_counter()
+            ack = feeder.flush()
+            for chunk_index in range(chunk_cursor, ack["chunk_offset"]):
+                chunk_send_t[chunk_index] = sent_at
+            total_chunks = ack["chunk_offset"]
+            ingest_seconds = time.perf_counter() - ingest_started
+
+            # Wait until every subscriber holds the final chunk's frame.
+            last_chunk = total_chunks - 1
+            deadline = time.monotonic() + 300
+            while time.monotonic() < deadline:
+                if all(
+                    user.arrivals and user.arrivals[-1][0] >= last_chunk
+                    for user in users
+                ):
+                    break
+                time.sleep(0.01)
+
+            wire_scores = {
+                query_id: (None if record is None else record["score"])
+                for query_id, record in feeder.results().items()
+            }
+            snapshot = feeder.stats()
+        if wire_scores != reference_scores:
+            raise AssertionError(
+                f"c{n_users}: wire results diverge from the in-process "
+                f"serial reference"
+            )
+        for record in snapshot["subscriptions"]:
+            offered = record["offered"]
+            settled = record["delivered"] + record["dropped"] + record["depth"]
+            if offered != settled:
+                raise AssertionError(
+                    f"c{n_users}: conservation violated for subscription "
+                    f"{record['name']!r}: offered={offered} != "
+                    f"delivered+dropped+depth={settled}"
+                )
+    finally:
+        try:
+            server.drain(timeout=120)
+        finally:
+            for user in users:
+                user.close()
+            for user in users:
+                user.join(timeout=30)
+            service.close()
+
+    lags = [
+        recv_t - chunk_send_t[chunk_index]
+        for user in users
+        for chunk_index, recv_t in user.arrivals
+        if chunk_index in chunk_send_t
+    ]
+    expected_frames = total_chunks * n_users
+    return {
+        "users": n_users,
+        "connections": 2 * n_users + 1,
+        "objects_per_second": (
+            len(arrivals) / ingest_seconds if ingest_seconds > 0 else 0.0
+        ),
+        "ingest_wall_seconds": ingest_seconds,
+        "register_wall_seconds": register_seconds,
+        "chunks": total_chunks,
+        "result_frames": len(lags),
+        "expected_frames": expected_frames,
+        "lag_seconds": {
+            "p50": percentile(lags, 0.50),
+            "p95": percentile(lags, 0.95),
+            "p99": percentile(lags, 0.99),
+            "max": max(lags) if lags else 0.0,
+            "samples": len(lags),
+        },
+    }
+
+
+def run_benchmark(levels, total_objects: int) -> dict:
+    clean = make_stream(total_objects)
+    injector = FaultInjector(
+        clean,
+        seed=SEED,
+        disorder_fraction=DISORDER_FRACTION,
+        max_disorder=MAX_DISORDER,
+    )
+    arrivals = injector.materialize()
+    results: dict[str, dict] = {}
+    for n_users in levels:
+        specs = [make_spec(index) for index in range(n_users)]
+        reference_scores = serial_reference(specs, arrivals)
+        started = time.perf_counter()
+        cell = run_cell(n_users, arrivals, reference_scores)
+        results[f"c{n_users}"] = cell
+        lag = cell["lag_seconds"]
+        print(
+            f"  c{n_users:>4}  {cell['objects_per_second']:9,.0f} obj/s  "
+            f"lag p50 {1000 * lag['p50']:7.1f} ms  "
+            f"p95 {1000 * lag['p95']:7.1f} ms  "
+            f"p99 {1000 * lag['p99']:7.1f} ms  "
+            f"({cell['result_frames']}/{cell['expected_frames']} frames, "
+            f"total {time.perf_counter() - started:6.1f}s)",
+            flush=True,
+        )
+    return {
+        "schema": SCHEMA,
+        "config": {
+            "seed": SEED,
+            "total_objects": total_objects,
+            "chunk_size": CHUNK_SIZE,
+            "batch_size": BATCH_SIZE,
+            "algorithm": ALGORITHM,
+            "backend": BACKEND,
+            "window": WINDOW,
+            "alpha": ALPHA,
+            "vocabulary_size": len(VOCABULARY),
+            "disorder_fraction": DISORDER_FRACTION,
+            "max_lateness": MAX_DISORDER,
+            "think_time": list(THINK_TIME),
+            "concurrency_levels": list(levels),
+            "cpu_count": os.cpu_count(),
+        },
+        "results": results,
+    }
+
+
+def check_regression(old: dict, new: dict, tolerance: float = REGRESSION_TOLERANCE):
+    regressions = []
+    for cell_key, cell in old.get("results", {}).items():
+        new_cell = new["results"].get(cell_key)
+        if new_cell is None:
+            regressions.append(
+                f"{cell_key}: cell missing from the new run; refusing to "
+                "drop its recorded trajectory"
+            )
+            continue
+        before = cell["objects_per_second"]
+        after = new_cell["objects_per_second"]
+        if after < before * (1.0 - tolerance):
+            regressions.append(
+                f"{cell_key}: {before:,.0f} -> {after:,.0f} obj/s "
+                f"({100.0 * (1.0 - after / before):.1f}% slower)"
+            )
+    return regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="overwrite BENCH_server.json even on regression",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small levels and stream (CI smoke mode; never overwrites the "
+        "tracked trajectory file)",
+    )
+    parser.add_argument("--out", default=str(OUTPUT_PATH), help="output JSON path")
+    args = parser.parse_args(argv)
+
+    levels, total_objects = CONCURRENCY_LEVELS, TOTAL_OBJECTS
+    if args.quick:
+        levels, total_objects = (4, 8), TOTAL_OBJECTS // 8
+
+    print(
+        f"bench_server: levels={list(levels)} total={total_objects} "
+        f"chunk={CHUNK_SIZE} batch={BATCH_SIZE} "
+        f"disorder={DISORDER_FRACTION:.0%} cpu_count={os.cpu_count()}"
+    )
+    report = run_benchmark(levels, total_objects)
+
+    out_path = Path(args.out)
+    if args.quick and args.out == str(OUTPUT_PATH):
+        print("quick mode: skipping BENCH_server.json update (pass --out to write)")
+        return 0
+    if out_path.exists() and not args.force:
+        old = json.loads(out_path.read_text())
+        regressions = check_regression(old, report)
+        if regressions:
+            print(
+                "refusing to overwrite {}: throughput regressed >{}%\n  {}".format(
+                    out_path, int(REGRESSION_TOLERANCE * 100), "\n  ".join(regressions)
+                ),
+                file=sys.stderr,
+            )
+            return 1
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

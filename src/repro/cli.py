@@ -12,6 +12,11 @@ Three subcommands cover the most common standalone uses of the library:
     (:class:`repro.service.SurgeService`): N registered queries from a
     ``queries.json`` file, keyword routing, sharded execution with a
     selectable backend, per-query results at a reporting interval.
+    With ``--listen HOST:PORT`` (and no stream file) the service is
+    served over TCP instead — length-prefixed JSON frames for ingest /
+    register / subscribe, an optional ``--metrics HOST:PORT`` Prometheus
+    endpoint, and a graceful SIGINT/SIGTERM drain (final checkpoint,
+    exit 0).  Both modes drain gracefully on SIGINT/SIGTERM.
 
 ``generate``
     Produce a synthetic stream that mimics one of the paper's datasets
@@ -32,7 +37,9 @@ Examples
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
+import threading
 from typing import Sequence
 
 from repro.core.monitor import DETECTOR_NAMES, SurgeMonitor
@@ -100,7 +107,40 @@ def _build_parser() -> argparse.ArgumentParser:
         "serve",
         help="replay a stream through the multi-query service (N queries, sharded)",
     )
-    serve.add_argument("stream", help="path to a .csv or .jsonl stream file")
+    serve.add_argument(
+        "stream",
+        nargs="?",
+        default=None,
+        help="path to a .csv or .jsonl stream file (omit with --listen: "
+        "the stream then arrives over the network as ingest frames)",
+    )
+    serve.add_argument(
+        "--listen",
+        default=None,
+        metavar="[HOST:]PORT",
+        help="serve over TCP instead of replaying a file: accept "
+        "length-prefixed JSON frames (ingest/register/unregister/"
+        "subscribe/stats, see repro.server.protocol) on this endpoint; "
+        "PORT 0 picks a free port (printed on stdout).  With --resume "
+        "and no --listen, the endpoint recorded in the checkpoint is "
+        "re-served",
+    )
+    serve.add_argument(
+        "--metrics",
+        default=None,
+        metavar="[HOST:]PORT",
+        help="with --listen: also serve GET /metrics (Prometheus text "
+        "format) and /healthz on this HTTP endpoint",
+    )
+    serve.add_argument(
+        "--max-queued-batches",
+        type=int,
+        default=256,
+        metavar="N",
+        help="with --listen: admission bound on queued ingest batches; "
+        "batches beyond it are refused with a typed 503 overloaded "
+        "reply instead of buffering without bound (default 256)",
+    )
     serve.add_argument(
         "--queries",
         default=None,
@@ -395,7 +435,7 @@ def _overload_config_from_args(args: argparse.Namespace) -> OverloadConfig | Non
     )
 
 
-def _build_serve_service(args: argparse.Namespace):
+def _build_serve_service(args: argparse.Namespace, *, require_queries: bool = True):
     """Construct (service, start_offset) for ``serve`` — fresh or resumed."""
     from repro.state import CheckpointPolicy, has_checkpoint, read_manifest
 
@@ -510,7 +550,7 @@ def _build_serve_service(args: argparse.Namespace):
         )
         return service, service.chunk_offset
 
-    if args.queries is None:
+    if args.queries is None and require_queries:
         raise ValueError("--queries is required (unless resuming with --resume)")
     if checkpoint_dir is not None and has_checkpoint(checkpoint_dir):
         raise ValueError(
@@ -518,10 +558,15 @@ def _build_serve_service(args: argparse.Namespace):
             f"--resume to continue it, or point --checkpoint-dir somewhere "
             f"else to start fresh"
         )
-    try:
-        specs = load_query_specs(args.queries)
-    except (OSError, ValueError) as exc:
-        raise ValueError(f"failed to load {args.queries}: {exc}") from exc
+    if args.queries is None:
+        # Network mode without --queries: the registry starts empty and
+        # fills through register frames.
+        specs = []
+    else:
+        try:
+            specs = load_query_specs(args.queries)
+        except (OSError, ValueError) as exc:
+            raise ValueError(f"failed to load {args.queries}: {exc}") from exc
     if args.max_inflight_chunks is not None and (
         args.max_lateness is None or args.max_lateness <= 0
     ):
@@ -546,6 +591,85 @@ def _build_serve_service(args: argparse.Namespace):
     return service, 0
 
 
+def _parse_endpoint(value: str, *, flag: str) -> tuple[str, int]:
+    """Parse a ``[HOST:]PORT`` endpoint (default host: loopback)."""
+    host, sep, port = value.rpartition(":")
+    if not sep:
+        host, port = "", value
+    if not host:
+        host = "127.0.0.1"
+    try:
+        port_number = int(port)
+    except ValueError:
+        raise ValueError(f"{flag} expects [HOST:]PORT, got {value!r}") from None
+    if not 0 <= port_number <= 65535:
+        raise ValueError(f"{flag} port must be in 0..65535, got {port_number}")
+    return host, port_number
+
+
+def _command_serve_network(args: argparse.Namespace, service) -> int:
+    """Serve the service over TCP until drained (SIGINT/SIGTERM/drain frame)."""
+    from repro.server import SurgeServer
+
+    recorded = service.server_info or {}
+    if args.listen is not None:
+        host, port = _parse_endpoint(args.listen, flag="--listen")
+    else:
+        # --resume without --listen: re-serve the endpoint the checkpoint
+        # recorded (the manifest's "server" field).
+        host, port = recorded["host"], int(recorded["port"])
+    metrics_host: str | None = None
+    metrics_port: int | None = None
+    if args.metrics is not None:
+        metrics_host, metrics_port = _parse_endpoint(args.metrics, flag="--metrics")
+    elif args.listen is None and recorded.get("metrics_port") is not None:
+        metrics_host = recorded.get("metrics_host")
+        metrics_port = int(recorded["metrics_port"])
+    server = SurgeServer(
+        service,
+        host=host,
+        port=port,
+        metrics_host=metrics_host,
+        metrics_port=metrics_port,
+        chunk_size=args.chunk_size,
+        max_queued_batches=args.max_queued_batches,
+    )
+    with service:
+        # Handlers go in BEFORE the listening line is printed: tooling
+        # sends the drain signal as soon as it reads that line, and a
+        # pre-start request_drain() is already safe (the server drains
+        # immediately after binding).
+        previous = {}
+        if threading.current_thread() is threading.main_thread():
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                previous[signum] = signal.signal(
+                    signum, lambda *_: server.request_drain()
+                )
+        server.start_background()
+        metrics_note = (
+            f" (metrics http://{metrics_host or host}:{server.metrics_port}/metrics)"
+            if server.metrics_port is not None
+            else ""
+        )
+        # Parsed by tooling (the server smoke reads the bound ports here).
+        print(f"listening on {server.host}:{server.port}{metrics_note}", flush=True)
+        try:
+            while server._thread is not None and server._thread.is_alive():
+                server._thread.join(timeout=0.5)
+        finally:
+            for signum, handler in previous.items():
+                signal.signal(signum, handler)
+        summary = server.drain_summary or {}
+        checkpoint = summary.get("checkpoint")
+        print(
+            f"drained: {service.stats().objects_pushed} objects in "
+            f"{service.chunk_offset} chunks"
+            + (f", final checkpoint {checkpoint}" if checkpoint else ""),
+            file=sys.stderr,
+        )
+    return 0
+
+
 def _command_serve(args: argparse.Namespace) -> int:
     if args.shards is not None and args.shards < 1:
         print("--shards must be a positive number of shards", file=sys.stderr)
@@ -559,11 +683,42 @@ def _command_serve(args: argparse.Namespace) -> int:
     if args.max_lateness is not None and args.max_lateness < 0:
         print("--max-lateness must be >= 0 stream seconds", file=sys.stderr)
         return 2
+    if args.max_queued_batches < 1:
+        print("--max-queued-batches must be >= 1", file=sys.stderr)
+        return 2
+    network = args.listen is not None or args.stream is None
+    if network and args.stream is not None:
+        print(
+            "--listen serves the network; it cannot be combined with a "
+            "stream file (the stream arrives as ingest frames)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.metrics is not None and not network:
+        print("--metrics requires --listen", file=sys.stderr)
+        return 2
     try:
-        service, start_offset = _build_serve_service(args)
+        service, start_offset = _build_serve_service(
+            args, require_queries=not network
+        )
     except (OSError, ValueError, RuntimeError) as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    if network:
+        if args.listen is None and not (service.server_info or {}).get("port"):
+            service.close()
+            print(
+                "no stream file and no --listen endpoint: pass a stream to "
+                "replay, or --listen [HOST:]PORT to serve the network (the "
+                "resumed checkpoint records no listener to re-serve)",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            return _command_serve_network(args, service)
+        except (OSError, ValueError, RuntimeError) as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
     # With the disorder-tolerant tier on, the file records an *arrival
     # order* for the tier to absorb — loading it pre-sorted would silently
     # repair the disorder (and poison NaN timestamps break sorting).
@@ -581,6 +736,16 @@ def _command_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     report_chunks = max(1, -(-args.report_every // args.chunk_size))
+    # Graceful drain on SIGINT/SIGTERM: finish the in-flight chunk, stop
+    # consuming, then fall through to the final checkpoint and results —
+    # the stdout block is exactly a clean run over the consumed prefix.
+    drain = threading.Event()
+    previous_handlers = {}
+    if threading.current_thread() is threading.main_thread():
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            previous_handlers[signum] = signal.signal(
+                signum, lambda *_: drain.set()
+            )
     with service:
         try:
             for index, updates in enumerate(
@@ -592,6 +757,14 @@ def _command_serve(args: argparse.Namespace) -> int:
                     print(f"[{pushed:>8} objects, t={stream[pushed - 1].timestamp:.0f}]")
                     for update in updates:
                         print(f"  {update.query_id:>12}: {_format_result(update.result)}")
+                if drain.is_set():
+                    print(
+                        f"draining: stopping after {index} chunks "
+                        f"({pushed} objects consumed); taking the final "
+                        f"checkpoint and reporting the consumed prefix",
+                        file=sys.stderr,
+                    )
+                    break
         except OverloadError as exc:
             print(
                 f"overload: queue depth {exc.depth_chunks:.1f} chunks "
@@ -600,6 +773,7 @@ def _command_serve(args: argparse.Namespace) -> int:
                 f"gracefully instead",
                 file=sys.stderr,
             )
+            _restore_signal_handlers(previous_handlers)
             return 1
         if service.checkpoint_dir is not None:
             # Final checkpoint: a subsequent --resume of the same stream is a
@@ -666,7 +840,17 @@ def _command_serve(args: argparse.Namespace) -> int:
                 f"last lag {1000.0 * query_stats.last_lag_seconds:.1f} ms",
                 file=sys.stderr,
             )
+    _restore_signal_handlers(previous_handlers)
     return 0
+
+
+def _restore_signal_handlers(previous: dict) -> None:
+    """Put back the handlers ``serve`` replaced (in-process callers)."""
+    for signum, handler in previous.items():
+        try:
+            signal.signal(signum, handler)
+        except (ValueError, TypeError):  # pragma: no cover - non-main thread
+            pass
 
 
 def _command_generate(args: argparse.Namespace) -> int:

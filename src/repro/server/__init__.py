@@ -1,0 +1,36 @@
+"""Network tier: serve a :class:`~repro.service.SurgeService` over TCP.
+
+Public surface:
+
+* :class:`~repro.server.server.SurgeServer` — the asyncio front end:
+  length-prefixed JSON frame listener, optional HTTP ``/metrics``
+  endpoint, graceful SIGINT/SIGTERM drain;
+* :class:`~repro.server.engine.ServerEngine` — the single worker thread
+  that owns the service and serialises every operation;
+* :class:`~repro.server.client.ServerClient` — a blocking stdlib client
+  (one connection, request/reply + subscribe mode);
+* :mod:`~repro.server.protocol` — the frame format and the
+  object/result/update JSON codecs;
+* :func:`~repro.server.metrics.render_prometheus` — the Prometheus text
+  rendering of the service's stats surfaces.
+
+See the README's "Serving over the network" section for the wire
+contract (frame catalogue, overload reply semantics, drain behaviour).
+"""
+
+from repro.server.client import ServerClient, http_get
+from repro.server.engine import EngineDrainingError, ServerEngine
+from repro.server.metrics import render_prometheus
+from repro.server.protocol import ProtocolError, ServerError
+from repro.server.server import SurgeServer
+
+__all__ = [
+    "EngineDrainingError",
+    "ProtocolError",
+    "ServerClient",
+    "ServerEngine",
+    "ServerError",
+    "SurgeServer",
+    "http_get",
+    "render_prometheus",
+]

@@ -1,0 +1,187 @@
+"""Blocking frame-protocol client (tests, benches, smokes, simple tools).
+
+One :class:`ServerClient` is one TCP connection.  Request/reply methods
+send a frame and read exactly one reply frame; ``error`` replies raise a
+typed :class:`~repro.server.protocol.ServerError` (code 503 =
+overloaded/draining — inspect ``exc.overloaded`` / ``exc.info``).  A
+connection switched into subscribe mode mixes pushed ``result`` and
+``control`` frames into the stream; :meth:`recv` reads them one at a
+time and :meth:`recv_result` filters for results.
+
+The client is deliberately synchronous and stdlib-only: the load harness
+drives hundreds of them from plain threads, and the smoke runs without
+any event-loop machinery in the parent process.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Iterable
+
+from repro.server.protocol import (
+    LENGTH_STRUCT,
+    ProtocolError,
+    ServerError,
+    decode_frame_body,
+    decode_frame_length,
+    encode_frame,
+    encode_object,
+)
+from repro.service.spec import QuerySpec
+from repro.streams.objects import SpatialObject
+
+
+class ServerClient:
+    """One blocking frame-protocol connection to a :class:`SurgeServer`."""
+
+    def __init__(
+        self, host: str, port: int, *, timeout: float | None = 60.0
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.settimeout(timeout)
+
+    # ------------------------------------------------------------------
+    # Framing
+    # ------------------------------------------------------------------
+    def send(self, frame: dict[str, Any]) -> None:
+        self._sock.sendall(encode_frame(frame))
+
+    def _read_exactly(self, n: int) -> bytes:
+        chunks: list[bytes] = []
+        remaining = n
+        while remaining:
+            chunk = self._sock.recv(remaining)
+            if not chunk:
+                raise ConnectionError(
+                    f"connection closed mid-frame ({n - remaining} of {n} bytes)"
+                )
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def recv(self) -> dict[str, Any]:
+        """Read the next frame (reply or pushed), raising on ``error``."""
+        frame = self.recv_raw()
+        if frame.get("type") == "error":
+            raise ServerError(
+                int(frame.get("code", 500)),
+                str(frame.get("error", "unknown error")),
+                {
+                    key: value
+                    for key, value in frame.items()
+                    if key not in ("type", "code", "error")
+                },
+            )
+        return frame
+
+    def recv_raw(self) -> dict[str, Any]:
+        """Read the next frame without raising on ``error`` replies."""
+        length = decode_frame_length(self._read_exactly(LENGTH_STRUCT.size))
+        return decode_frame_body(self._read_exactly(length))
+
+    def request(self, frame: dict[str, Any]) -> dict[str, Any]:
+        self.send(frame)
+        return self.recv()
+
+    # ------------------------------------------------------------------
+    # Commands
+    # ------------------------------------------------------------------
+    def ping(self) -> dict[str, Any]:
+        return self.request({"type": "ping"})
+
+    def ingest(self, objects: Iterable[Any]) -> dict[str, Any]:
+        """Send one timestamp-ordered batch; returns the ack."""
+        records = [
+            encode_object(obj) if isinstance(obj, SpatialObject) else obj
+            for obj in objects
+        ]
+        return self.request({"type": "ingest", "objects": records})
+
+    def register(self, spec: QuerySpec | dict[str, Any]) -> dict[str, Any]:
+        record = spec.to_dict() if isinstance(spec, QuerySpec) else dict(spec)
+        return self.request({"type": "register", "spec": record})
+
+    def unregister(self, query_id: str) -> dict[str, Any]:
+        return self.request({"type": "unregister", "query_id": query_id})
+
+    def subscribe(
+        self,
+        *,
+        maxsize: int = 64,
+        policy: str = "drop_oldest",
+        block_timeout: float | None = None,
+        queries: list[str] | None = None,
+        name: str | None = None,
+    ) -> dict[str, Any]:
+        """Switch this connection into subscribe mode; returns the ack.
+
+        After this, pushed ``result``/``control`` frames interleave with
+        any further replies — use a dedicated connection for subscribing.
+        """
+        return self.request(
+            {
+                "type": "subscribe",
+                "maxsize": maxsize,
+                "policy": policy,
+                "block_timeout": block_timeout,
+                "queries": queries,
+                "name": name,
+            }
+        )
+
+    def recv_result(self) -> dict[str, Any]:
+        """Read pushed frames until the next ``result`` frame."""
+        while True:
+            frame = self.recv()
+            if frame.get("type") == "result":
+                return frame
+
+    def stats(self) -> dict[str, Any]:
+        return self.request({"type": "stats"})["stats"]
+
+    def results(self) -> dict[str, Any]:
+        return self.request({"type": "results"})["results"]
+
+    def flush(self) -> dict[str, Any]:
+        return self.request({"type": "flush"})
+
+    def drain(self) -> dict[str, Any]:
+        return self.request({"type": "drain"})
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServerClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def http_get(
+    host: str, port: int, path: str, *, timeout: float = 30.0
+) -> tuple[int, str]:
+    """Minimal HTTP/1.0 GET (stdlib sockets): returns (status, body)."""
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.settimeout(timeout)
+        sock.sendall(
+            f"GET {path} HTTP/1.0\r\nHost: {host}\r\n\r\n".encode("latin-1")
+        )
+        chunks: list[bytes] = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+    raw = b"".join(chunks)
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status_line = head.split(b"\r\n", 1)[0].decode("latin-1", "replace")
+    parts = status_line.split()
+    status = int(parts[1]) if len(parts) > 1 and parts[1].isdigit() else 0
+    return status, body.decode("utf-8", "replace")
+
+
+__all__ = ["ServerClient", "ServerError", "ProtocolError", "http_get"]

@@ -1,0 +1,234 @@
+"""Wire protocol of the network tier: length-prefixed JSON frames.
+
+Every frame is a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON encoding one object with a ``"type"`` key.  JSON is
+emitted with ``allow_nan=True`` (Python's extension literals ``NaN`` /
+``Infinity``), so poison records — NaN timestamps, infinite coordinates —
+survive the wire and exercise the service's quarantine screen exactly as
+they do in-process.  Floats round-trip exactly (``repr`` codec), which is
+what makes the bit-identity checks of the bench and smoke meaningful
+across the socket.
+
+Client → server request types
+-----------------------------
+``ingest``      ``{"objects": [<object>, ...]}`` — one timestamp-ordered
+                batch; acked with the post-batch chunk offset/index.
+``register``    ``{"spec": <QuerySpec dict>}`` — full spec incl. priority.
+``unregister``  ``{"query_id": str}``
+``subscribe``   ``{"maxsize": int, "policy": "block"|"drop_oldest"|"evict",
+                "block_timeout": float|null, "queries": [str]|null}`` —
+                turns the connection into a result stream.
+``stats``       ``{}`` — service + ingest + overload + subscription stats.
+``results``     ``{}`` — current result of every live query.
+``flush``       ``{}`` — release the reorder buffer and pending remainder
+                (end-of-stream semantics; used by tests for determinism).
+``ping``        ``{}`` — liveness probe.
+``drain``       ``{}`` — ask the whole server to drain and exit (admin;
+                same path as SIGTERM).
+
+Server → client frame types
+---------------------------
+``ack``         request succeeded; carries request-specific fields.
+``error``       ``{"code": int, "error": str, ...}`` — 400 malformed /
+                unsupported, 404 unknown query, 409 duplicate id, **503
+                overloaded** (carries ``depth_chunks`` and ``advice``).
+``stats`` / ``results``  reply payloads for the matching requests.
+``result``      one pushed :class:`~repro.service.bus.QueryUpdate` on a
+                subscribed connection.
+``control``     service state transitions pushed to subscribers:
+                ``{"event": "degraded_entered"|"degraded_exited"|
+                "draining", ...}``.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any
+
+from repro.core.base import RegionResult
+from repro.geometry.primitives import Point, Rect
+from repro.service.bus import QueryUpdate
+from repro.streams.objects import SpatialObject
+
+#: Frame length prefix: 4-byte big-endian unsigned.
+LENGTH_STRUCT = struct.Struct(">I")
+
+#: Upper bound on a single frame's payload — a desynchronised or malicious
+#: length prefix must not trigger a multi-gigabyte allocation.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+class ProtocolError(ValueError):
+    """A malformed frame (bad length prefix, bad JSON, or bad shape)."""
+
+
+class ServerError(RuntimeError):
+    """A typed ``error`` reply surfaced client-side.
+
+    ``code`` follows the HTTP convention documented in the module
+    docstring; ``info`` carries the reply's extra fields (e.g.
+    ``depth_chunks`` and ``advice`` on a 503).
+    """
+
+    def __init__(self, code: int, message: str, info: dict[str, Any]) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+        self.info = dict(info)
+
+    @property
+    def overloaded(self) -> bool:
+        return self.code == 503
+
+
+def encode_frame(payload: dict[str, Any]) -> bytes:
+    """Serialise one frame: length prefix + compact JSON."""
+    body = json.dumps(
+        payload, separators=(",", ":"), allow_nan=True, sort_keys=True
+    ).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame payload of {len(body)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte frame limit"
+        )
+    return LENGTH_STRUCT.pack(len(body)) + body
+
+
+def decode_frame_length(prefix: bytes) -> int:
+    """Parse and validate the 4-byte length prefix."""
+    if len(prefix) != LENGTH_STRUCT.size:
+        raise ProtocolError(
+            f"truncated frame length prefix: got {len(prefix)} of "
+            f"{LENGTH_STRUCT.size} bytes"
+        )
+    (length,) = LENGTH_STRUCT.unpack(prefix)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte "
+            f"frame limit (desynchronised stream?)"
+        )
+    return length
+
+
+def decode_frame_body(body: bytes) -> dict[str, Any]:
+    """Parse one frame body into its JSON object."""
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"frame body is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"frame body must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Object / result / update codecs
+# ----------------------------------------------------------------------
+def encode_object(obj: SpatialObject) -> dict[str, Any]:
+    """JSON form of one stream object (attributes carried verbatim)."""
+    record: dict[str, Any] = {
+        "x": obj.x,
+        "y": obj.y,
+        "timestamp": obj.timestamp,
+        "weight": obj.weight,
+        "object_id": obj.object_id,
+    }
+    if obj.attributes:
+        attributes = dict(obj.attributes)
+        keywords = attributes.get("keywords")
+        if isinstance(keywords, tuple):
+            attributes["keywords"] = list(keywords)
+        record["attributes"] = attributes
+    return record
+
+
+def decode_object(record: Any) -> Any:
+    """Rebuild a :class:`SpatialObject`; unparseable records pass through.
+
+    A record that cannot be shaped into a ``SpatialObject`` is returned
+    as-is so the service's quarantine screen (not the transport) decides
+    its fate — the wire must not be stricter than in-process ingestion.
+    """
+    if not isinstance(record, dict):
+        return record
+    try:
+        attributes = record.get("attributes") or {}
+        if not isinstance(attributes, dict):
+            return record
+        attributes = dict(attributes)
+        keywords = attributes.get("keywords")
+        if isinstance(keywords, list):
+            attributes["keywords"] = tuple(keywords)
+        return SpatialObject(
+            x=float(record["x"]),
+            y=float(record["y"]),
+            timestamp=float(record["timestamp"]),
+            weight=float(record.get("weight", 1.0)),
+            object_id=int(record.get("object_id", -1)),
+            attributes=attributes,
+        )
+    except (KeyError, TypeError, ValueError):
+        return record
+
+
+def encode_result(result: RegionResult | None) -> dict[str, Any] | None:
+    if result is None:
+        return None
+    return {
+        "region": [
+            result.region.min_x,
+            result.region.min_y,
+            result.region.max_x,
+            result.region.max_y,
+        ],
+        "score": result.score,
+        "point": [result.point.x, result.point.y],
+        "fc": result.fc,
+        "fp": result.fp,
+    }
+
+
+def decode_result(record: dict[str, Any] | None) -> RegionResult | None:
+    if record is None:
+        return None
+    min_x, min_y, max_x, max_y = record["region"]
+    px, py = record["point"]
+    return RegionResult(
+        region=Rect(min_x=min_x, min_y=min_y, max_x=max_x, max_y=max_y),
+        score=record["score"],
+        point=Point(x=px, y=py),
+        fc=record.get("fc", 0.0),
+        fp=record.get("fp", 0.0),
+    )
+
+
+def encode_update(update: QueryUpdate) -> dict[str, Any]:
+    """JSON form of one pushed result frame."""
+    return {
+        "type": "result",
+        "query_id": update.query_id,
+        "chunk_index": update.chunk_index,
+        "result": encode_result(update.result),
+        "objects_routed": update.objects_routed,
+        "busy_seconds": update.busy_seconds,
+        "lag_seconds": update.lag_seconds,
+        "shed": update.shed,
+    }
+
+
+def error_frame(code: int, message: str, **info: Any) -> dict[str, Any]:
+    frame = {"type": "error", "code": code, "error": message}
+    frame.update(info)
+    return frame
+
+
+def overloaded_frame(
+    message: str, *, depth_chunks: float | None, advice: str
+) -> dict[str, Any]:
+    """The typed 503 reply an ``OverloadError`` maps to on the wire."""
+    return error_frame(
+        503, message, depth_chunks=depth_chunks, advice=advice, overloaded=True
+    )

@@ -31,6 +31,7 @@ from repro.service.bus import (
     ResultBus,
     ServiceStats,
     Subscription,
+    SubscriptionSelfBlockError,
 )
 from repro.service.overload import OverloadConfig, OverloadError, OverloadStats
 from repro.service.service import SurgeService
@@ -48,6 +49,7 @@ __all__ = [
     "ResultBus",
     "ServiceStats",
     "Subscription",
+    "SubscriptionSelfBlockError",
     "SurgeService",
     "load_query_specs",
     "make_executor",

@@ -40,6 +40,22 @@ logger = logging.getLogger(__name__)
 SUBSCRIPTION_POLICIES = ("block", "drop_oldest", "evict")
 
 
+class SubscriptionSelfBlockError(RuntimeError):
+    """A blocking subscription would deadlock its own publisher.
+
+    Raised by a ``policy="block"`` subscription with no ``block_timeout``
+    when the publishing thread is also the only thread that has ever
+    consumed from it and the queue is full: waiting would hang forever,
+    because the one thread able to make room is the one about to wait.
+    Single-threaded callers that both publish and drain should drain
+    first, set a ``block_timeout``, or use ``drop_oldest``.
+    """
+
+    def __init__(self, message: str, *, subscription_name: str) -> None:
+        super().__init__(message)
+        self.subscription_name = subscription_name
+
+
 @dataclass(frozen=True, slots=True)
 class QueryUpdate:
     """One query's answer after one ingestion step.
@@ -184,7 +200,10 @@ class Subscription:
       publish), counted in ``ResultBus.evicted_subscribers``.
 
     Counters satisfy ``offered == delivered + dropped + depth`` at every
-    quiescent point (i.e. outside a concurrent :meth:`get`).
+    quiescent point (i.e. outside a concurrent :meth:`get`).  With a
+    ``query_ids`` filter, updates for other queries bypass the subscription
+    entirely — they are not offered, so the identity holds over the
+    filtered updates alone.
     """
 
     def __init__(
@@ -193,6 +212,8 @@ class Subscription:
         maxsize: int,
         policy: str = "block",
         block_timeout: float | None = None,
+        name: str | None = None,
+        query_ids: Iterable[str] | None = None,
     ) -> None:
         maxsize = int(maxsize)
         if maxsize < 0:
@@ -211,8 +232,17 @@ class Subscription:
         self.maxsize = maxsize
         self.policy = policy
         self.block_timeout = block_timeout
+        self.name = name
+        #: Optional per-query filter: ``None`` = every update, otherwise
+        #: only updates whose ``query_id`` is in the set are offered.
+        self.query_ids: frozenset[str] | None = (
+            frozenset(query_ids) if query_ids is not None else None
+        )
         self._queue: deque[QueryUpdate] = deque()
         self._cond = threading.Condition()
+        #: Thread idents that have ever consumed (get/drain) — the
+        #: self-block detector's evidence that nobody else can make room.
+        self._consumer_idents: set[int] = set()
         self.offered = 0
         self.delivered = 0
         self.dropped = 0
@@ -231,6 +261,8 @@ class Subscription:
         Returns the query ids of any updates discarded to make room, or
         ``None`` when the subscription must be evicted.
         """
+        if self.query_ids is not None and update.query_id not in self.query_ids:
+            return []
         with self._cond:
             if self.closed:
                 return []
@@ -256,6 +288,26 @@ class Subscription:
                     self.peak_depth = len(self._queue)
                 return dropped_ids
             else:  # block
+                if (
+                    self.block_timeout is None
+                    and len(self._queue) >= self.maxsize
+                    and self._consumer_idents == {threading.get_ident()}
+                ):
+                    # The queue is full, the wait would be unbounded, and
+                    # the only thread that has ever drained this
+                    # subscription is the one publishing: nobody else can
+                    # make room, so waiting would deadlock.  Fail typed
+                    # and loud instead of hanging the ingestion path.
+                    label = self.name if self.name is not None else "<anonymous>"
+                    raise SubscriptionSelfBlockError(
+                        f"subscription {label!r} would self-deadlock: "
+                        f"policy=block with no block_timeout, queue full "
+                        f"(maxsize={self.maxsize}), and the publishing "
+                        f"thread is the only consumer this subscription "
+                        f"has ever had; drain first, set a block_timeout, "
+                        f"or use the drop_oldest policy",
+                        subscription_name=label,
+                    )
                 if not self._cond.wait_for(
                     lambda: self.closed or len(self._queue) < self.maxsize,
                     timeout=self.block_timeout,
@@ -276,6 +328,7 @@ class Subscription:
     def get(self, timeout: float | None = None) -> QueryUpdate | None:
         """Pop the oldest buffered update (``None`` on timeout/closed-empty)."""
         with self._cond:
+            self._consumer_idents.add(threading.get_ident())
             if not self._cond.wait_for(
                 lambda: self._queue or self.closed, timeout=timeout
             ):
@@ -290,6 +343,7 @@ class Subscription:
     def drain(self) -> list[QueryUpdate]:
         """Pop everything currently buffered, oldest first."""
         with self._cond:
+            self._consumer_idents.add(threading.get_ident())
             drained = list(self._queue)
             self._queue.clear()
             self.delivered += len(drained)
@@ -344,13 +398,23 @@ class ResultBus:
         maxsize: int,
         policy: str = "block",
         block_timeout: float | None = None,
+        name: str | None = None,
+        query_ids: Iterable[str] | None = None,
     ) -> Subscription:
         """Open a bounded pull subscription (see :class:`Subscription`)."""
         subscription = Subscription(
-            maxsize=maxsize, policy=policy, block_timeout=block_timeout
+            maxsize=maxsize,
+            policy=policy,
+            block_timeout=block_timeout,
+            name=name,
+            query_ids=query_ids,
         )
         self._subscriptions.append(subscription)
         return subscription
+
+    def subscriptions(self) -> list[Subscription]:
+        """The live bounded subscriptions (a copy; for stats surfaces)."""
+        return list(self._subscriptions)
 
     def unsubscribe(self, subscription: Subscription) -> None:
         """Detach and close a bounded subscription."""

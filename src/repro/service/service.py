@@ -268,6 +268,10 @@ class SurgeService:
         #: depth only.
         self._run_chunk_size: int | None = None
         self._shed_cache: frozenset[str] | None = None
+        #: Listener configuration recorded by the network tier (see
+        #: :mod:`repro.server`): persisted in the manifest so a ``--resume``
+        #: can re-serve the same endpoint without re-specifying it.
+        self.server_info: dict[str, Any] | None = None
         # Durability (all disabled until a checkpoint directory is attached).
         self._checkpoint_dir: Path | None = None
         self._checkpoint_policy: CheckpointPolicy = CheckpointPolicy()
@@ -658,6 +662,54 @@ class SurgeService:
             or self.quarantine_dir is not None
         )
 
+    def feed(
+        self, records: Iterable[Any], chunk_size: int = 512
+    ) -> Iterator[list[QueryUpdate]]:
+        """Push-style incremental ingestion — the network tier's entry point.
+
+        Unlike :meth:`run`, which consumes a whole stream, ``feed`` accepts
+        arrivals in arbitrary batches and dispatches whatever *full* chunks
+        they complete, holding the remainder (and, in tolerant mode, the
+        reorder buffer's contents) for the next batch.  Interleaving
+        ``feed`` calls with :meth:`flush_pending` at the very end is
+        bit-identical to one :meth:`run` over the concatenated batches:
+        chunk boundaries depend only on the arrival sequence, never on how
+        it was split across calls.
+
+        In tolerant mode (``max_lateness`` / ``on_bad_record`` /
+        ``quarantine_dir``) records are screened and re-sorted exactly as in
+        :meth:`run`.  In strict mode a malformed record raises
+        :class:`ValueError` and an out-of-order one raises
+        :class:`~repro.streams.windows.OutOfOrderError` — fail-fast, so a
+        network caller gets a typed refusal instead of silent corruption.
+        """
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        self._run_chunk_size = chunk_size
+        for record in records:
+            yield from self._ingest_record(record, chunk_size)
+
+    def flush_pending(
+        self, chunk_size: int | None = None
+    ) -> Iterator[list[QueryUpdate]]:
+        """Release every held-back arrival and dispatch the remainder.
+
+        End-of-stream semantics for :meth:`feed`: the reorder buffer is
+        drained in order and the pending list is cut into chunks, the last
+        possibly short — exactly what chunking the pre-sorted stream would
+        have produced.  Safe to call when nothing is pending (no-op).
+        """
+        if chunk_size is None:
+            chunk_size = self._run_chunk_size or 512
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        if self._reorder is not None:
+            self._pending.extend(self._reorder.flush())
+        while self._pending:
+            chunk = self._pending[:chunk_size]
+            del self._pending[:chunk_size]
+            yield self.push_many(chunk)
+
     def _run_tolerant(
         self,
         stream: Iterable[SpatialObject],
@@ -694,12 +746,7 @@ class SurgeService:
         # End of stream: everything still held back is released (in order)
         # and dispatched, last chunk possibly short — exactly what chunking
         # the pre-sorted stream would have produced.
-        if self._reorder is not None:
-            self._pending.extend(self._reorder.flush())
-        while self._pending:
-            chunk = self._pending[:chunk_size]
-            del self._pending[:chunk_size]
-            yield self.push_many(chunk)
+        yield from self.flush_pending(chunk_size)
 
     def _ingest_record(
         self, record: Any, chunk_size: int
@@ -707,6 +754,15 @@ class SurgeService:
         self._raw_consumed += 1
         reason = classify_bad_record(record)
         if reason is not None:
+            if not self._tolerant:
+                # feed() in strict mode: fail fast with the classifier's
+                # reason instead of quarantining silently — the historical
+                # strict contract, surfaced as a typed refusal.
+                raise ValueError(
+                    f"malformed record in strict mode ({reason}); enable "
+                    f"the quarantine screen (max_lateness, on_bad_record "
+                    f"or quarantine_dir) to absorb bad records"
+                )
             self._quarantine(record, reason)
             return
         if self._reorder is not None:
@@ -861,6 +917,21 @@ class SurgeService:
         return self._chunk_offset
 
     @property
+    def chunk_index(self) -> int:
+        """Number of chunk dispatches so far (empty chunks included)."""
+        return self._chunk_index
+
+    @property
+    def stream_time(self) -> float:
+        """The last-accepted stream timestamp (``-inf`` before any object)."""
+        return self._time
+
+    @property
+    def raw_consumed(self) -> int:
+        """Raw records consumed by ``feed``/tolerant ``run`` (replay offset)."""
+        return self._raw_consumed
+
+    @property
     def checkpoint_dir(self) -> Path | None:
         """The attached checkpoint directory (``None`` = durability off)."""
         return self._checkpoint_dir
@@ -955,7 +1026,10 @@ class SurgeService:
             ]
         )
         ingest_record: dict[str, Any] | None = None
-        if self._tolerant:
+        if self._tolerant or self._pending or self._raw_consumed:
+            # The second and third conditions cover strict-mode feed():
+            # a partial pending chunk and the raw-record offset are state
+            # too, even without the reorder buffer.
             # The ingest tier's held-back events are part of checkpoint
             # state: without them a resume would replay the raw stream into
             # an empty buffer and double- or under-deliver around the
@@ -1021,6 +1095,9 @@ class SurgeService:
             shared_plan=self.shared_plan,
             ingest=ingest_record,
             overload=overload_record,
+            server=(
+                dict(self.server_info) if self.server_info is not None else None
+            ),
         )
         path = write_manifest(target, manifest)
         ChunkWal(wal_path(target)).mark_checkpoint(
@@ -1181,6 +1258,8 @@ class SurgeService:
                 )
                 service._reorder = ingest_state["reorder"]
                 service._pending = list(ingest_state["pending"])
+        if manifest.server is not None:
+            service.server_info = dict(manifest.server)
 
         replies = service._executor.scatter(
             [("restore", str(path)) for path in shard_paths]

@@ -115,6 +115,13 @@ class ServiceManifest:
     #: victim stopped), and the ``max_inflight_chunks`` budget.  Optional
     #: field, same schema version — old manifests load with the tier off.
     overload: dict | None = None
+    #: Network-tier listener configuration (``None`` = the service was not
+    #: serving, and in every pre-server manifest): host/port of the frame
+    #: listener and the optional metrics endpoint, plus the serving chunk
+    #: size — enough for ``repro serve --resume`` to re-serve the same
+    #: endpoint without re-specifying it.  Optional field, same schema
+    #: version — old manifests load with no listener recorded.
+    server: dict | None = None
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -136,6 +143,7 @@ class ServiceManifest:
             "shared_plan": self.shared_plan,
             "ingest": dict(self.ingest) if self.ingest is not None else None,
             "overload": dict(self.overload) if self.overload is not None else None,
+            "server": dict(self.server) if self.server is not None else None,
         }
 
     @staticmethod
@@ -166,6 +174,11 @@ class ServiceManifest:
                 overload=(
                     dict(record["overload"])
                     if record.get("overload") is not None
+                    else None
+                ),
+                server=(
+                    dict(record["server"])
+                    if record.get("server") is not None
                     else None
                 ),
             )

@@ -1,0 +1,163 @@
+"""Wire codec round-trips and frame-layer guards (``repro.server.protocol``).
+
+The transport's one hard promise is *transparency*: anything the service
+would see in-process must survive the wire byte-for-byte — float exactness
+(the bit-identity checks lean on it), keyword tuples, and even poison
+records with NaN timestamps, which must reach the quarantine screen rather
+than be rejected by the transport.  The frame layer itself must refuse a
+desynchronised or malicious length prefix before allocating.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.base import RegionResult
+from repro.geometry.primitives import Point, Rect
+from repro.server.protocol import (
+    LENGTH_STRUCT,
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    ServerError,
+    decode_frame_body,
+    decode_frame_length,
+    decode_object,
+    decode_result,
+    encode_frame,
+    encode_object,
+    encode_result,
+    encode_update,
+    error_frame,
+    overloaded_frame,
+)
+from repro.service.bus import QueryUpdate
+from repro.streams.objects import SpatialObject
+
+
+class TestFrames:
+    def test_round_trip(self):
+        frame = {"type": "ping", "nested": {"a": [1, 2.5, "x"]}}
+        data = encode_frame(frame)
+        length = decode_frame_length(data[: LENGTH_STRUCT.size])
+        assert length == len(data) - LENGTH_STRUCT.size
+        assert decode_frame_body(data[LENGTH_STRUCT.size :]) == frame
+
+    def test_floats_round_trip_exactly(self):
+        value = 0.1 + 0.2  # not representable as a short decimal
+        data = encode_frame({"type": "x", "value": value})
+        decoded = decode_frame_body(data[LENGTH_STRUCT.size :])
+        assert decoded["value"] == value
+
+    def test_nan_and_infinity_survive(self):
+        data = encode_frame({"type": "x", "t": float("nan"), "w": float("inf")})
+        decoded = decode_frame_body(data[LENGTH_STRUCT.size :])
+        assert math.isnan(decoded["t"])
+        assert decoded["w"] == float("inf")
+
+    def test_length_prefix_guard(self):
+        with pytest.raises(ProtocolError, match="exceeds"):
+            decode_frame_length(LENGTH_STRUCT.pack(MAX_FRAME_BYTES + 1))
+
+    def test_truncated_prefix_rejected(self):
+        with pytest.raises(ProtocolError, match="truncated"):
+            decode_frame_length(b"\x00\x00")
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            decode_frame_body(b"{nope")
+
+    def test_non_object_body_rejected(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            decode_frame_body(b"[1,2,3]")
+
+
+class TestObjectCodec:
+    def test_round_trip_with_keywords(self):
+        obj = SpatialObject(
+            x=1.25,
+            y=-3.5,
+            timestamp=17.125,
+            weight=2.5,
+            object_id=42,
+            attributes={"keywords": ("concert", "parade"), "venue": "plaza"},
+        )
+        restored = decode_object(encode_object(obj))
+        assert restored == obj
+        assert restored.attributes["keywords"] == ("concert", "parade")
+
+    def test_poison_record_passes_through(self):
+        # The transport must not be stricter than in-process ingestion:
+        # malformed records reach the quarantine screen untouched.
+        record = {"x": "not-a-number", "timestamp": 1.0}
+        assert decode_object(record) is record
+        assert decode_object("garbage") == "garbage"
+
+    def test_nan_timestamp_object_survives(self):
+        obj = SpatialObject(x=0.0, y=0.0, timestamp=float("nan"), object_id=7)
+        restored = decode_object(
+            decode_frame_body(
+                encode_frame({"type": "x", "o": encode_object(obj)})[
+                    LENGTH_STRUCT.size :
+                ]
+            )["o"]
+        )
+        assert isinstance(restored, SpatialObject)
+        assert math.isnan(restored.timestamp)
+
+
+class TestResultCodec:
+    def test_round_trip(self):
+        result = RegionResult(
+            region=Rect(0.5, 1.5, 2.0, 3.0),
+            score=2.7182818,
+            point=Point(1.0, 2.0),
+            fc=5.5,
+            fp=1.25,
+        )
+        assert decode_result(encode_result(result)) == result
+
+    def test_none_round_trips(self):
+        assert encode_result(None) is None
+        assert decode_result(None) is None
+
+    def test_update_frame_shape(self):
+        update = QueryUpdate(
+            query_id="kw",
+            chunk_index=3,
+            result=None,
+            objects_routed=12,
+            busy_seconds=0.5,
+            lag_seconds=0.01,
+        )
+        frame = encode_update(update)
+        assert frame["type"] == "result"
+        assert frame["query_id"] == "kw"
+        assert frame["chunk_index"] == 3
+        assert frame["result"] is None
+        assert frame["shed"] is False
+
+
+class TestErrorFrames:
+    def test_overloaded_frame_is_typed(self):
+        frame = overloaded_frame("busy", depth_chunks=9.5, advice="back off")
+        assert frame["type"] == "error"
+        assert frame["code"] == 503
+        assert frame["overloaded"] is True
+        assert frame["depth_chunks"] == 9.5
+
+    def test_server_error_surface(self):
+        exc = ServerError(503, "busy", {"depth_chunks": 2.0})
+        assert exc.overloaded
+        assert exc.info["depth_chunks"] == 2.0
+        assert not ServerError(404, "missing", {}).overloaded
+
+    def test_error_frame_extra_fields(self):
+        frame = error_frame(404, "unknown query", query_id="x")
+        assert frame == {
+            "type": "error",
+            "code": 404,
+            "error": "unknown query",
+            "query_id": "x",
+        }

@@ -1,0 +1,174 @@
+"""``feed``/``flush_pending``: push-style ingestion ≡ one ``run``.
+
+The network tier dispatches whatever batches connections happen to carry,
+so the service grew a push-style entry point.  Its contract: interleaving
+``feed`` calls (any batch split, including one record at a time) with one
+final ``flush_pending`` is **bit-identical** to a single ``run`` over the
+concatenated arrivals — chunk boundaries depend only on the arrival
+sequence, never on how it was split across calls.  Strict mode keeps the
+historical fail-fast contract as typed errors, and a checkpoint taken
+mid-feed restores to an exactly-once continuation.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.query import SurgeQuery
+from repro.service import QuerySpec, SurgeService
+from repro.streams.faults import FaultInjector
+from repro.streams.objects import SpatialObject
+from repro.streams.windows import OutOfOrderError
+
+MAX_LATENESS = 2.0
+
+
+def make_clean(count: int, seed: int) -> list[SpatialObject]:
+    rng = random.Random(seed)
+    t = 0.0
+    objects = []
+    for index in range(count):
+        t += rng.uniform(0.1, 0.6)
+        objects.append(
+            SpatialObject(
+                x=rng.uniform(0.0, 6.0),
+                y=rng.uniform(0.0, 6.0),
+                timestamp=t,
+                weight=rng.uniform(0.5, 5.0),
+                object_id=index,
+                attributes={"keywords": (rng.choice(("concert", "parade")),)},
+            )
+        )
+    return objects
+
+
+def make_specs() -> list[QuerySpec]:
+    query = SurgeQuery(1.5, 1.5, window_length=8.0, alpha=0.5)
+    return [
+        QuerySpec(
+            query_id="kw", query=query, algorithm="ccs",
+            keyword="concert", backend="python",
+        ),
+        QuerySpec(query_id="all", query=query, algorithm="ccs", backend="python"),
+    ]
+
+
+def run_reference(arrivals, *, chunk_size=8, max_lateness=0.0):
+    with SurgeService(make_specs(), max_lateness=max_lateness) as service:
+        chunks = [list(updates) for updates in service.run(arrivals, chunk_size)]
+        return service.results(), chunks
+
+
+def split_batches(arrivals, sizes):
+    batches, cursor = [], 0
+    index = 0
+    while cursor < len(arrivals):
+        size = sizes[index % len(sizes)]
+        batches.append(arrivals[cursor : cursor + size])
+        cursor += size
+        index += 1
+    return batches
+
+
+class TestStrictFeed:
+    @pytest.mark.parametrize("sizes", [(1,), (3, 5, 2), (17,), (64,)])
+    def test_feed_equals_run(self, sizes):
+        arrivals = make_clean(60, seed=11)
+        expected_results, expected_chunks = run_reference(arrivals)
+        with SurgeService(make_specs()) as service:
+            got_chunks = []
+            for batch in split_batches(arrivals, sizes):
+                got_chunks.extend(
+                    list(updates) for updates in service.feed(batch, 8)
+                )
+            got_chunks.extend(
+                list(updates) for updates in service.flush_pending()
+            )
+            assert service.results() == expected_results
+        # Chunk boundaries (and hence every update) line up exactly.
+        assert [
+            [(u.query_id, u.chunk_index, u.result) for u in chunk]
+            for chunk in got_chunks
+        ] == [
+            [(u.query_id, u.chunk_index, u.result) for u in chunk]
+            for chunk in expected_chunks
+        ]
+
+    def test_malformed_record_raises_typed(self):
+        with SurgeService(make_specs()) as service:
+            with pytest.raises(ValueError, match="strict mode"):
+                list(service.feed([{"not": "an object"}], 8))
+
+    def test_out_of_order_raises(self):
+        arrivals = make_clean(10, seed=2)
+        swapped = [arrivals[3]] + arrivals[:3]
+        with SurgeService(make_specs()) as service:
+            with pytest.raises(OutOfOrderError):
+                list(service.feed(swapped, 8))
+
+    def test_chunk_size_validated(self):
+        with SurgeService(make_specs()) as service:
+            with pytest.raises(ValueError, match="positive"):
+                list(service.feed([], 0))
+            with pytest.raises(ValueError, match="positive"):
+                list(service.flush_pending(0))
+
+    def test_flush_without_feed_is_noop(self):
+        with SurgeService(make_specs()) as service:
+            assert list(service.flush_pending()) == []
+
+
+class TestTolerantFeed:
+    @pytest.mark.parametrize("sizes", [(1,), (5, 9), (23,)])
+    def test_disordered_feed_equals_sorted_run(self, sizes):
+        clean = make_clean(60, seed=7)
+        injector = FaultInjector(
+            clean, seed=13, disorder_fraction=0.3, max_disorder=MAX_LATENESS
+        )
+        expected_results, _ = run_reference(injector.reference())
+        arrivals = injector.materialize()
+        with SurgeService(make_specs(), max_lateness=MAX_LATENESS) as service:
+            for batch in split_batches(arrivals, sizes):
+                for _ in service.feed(batch, 8):
+                    pass
+            for _ in service.flush_pending():
+                pass
+            assert service.ingest_stats().late_dropped == 0
+            assert service.results() == expected_results
+
+    def test_poison_records_quarantined_not_raised(self):
+        clean = make_clean(40, seed=5)
+        injector = FaultInjector(clean, seed=21, poison_fraction=0.2)
+        with SurgeService(make_specs(), max_lateness=MAX_LATENESS) as service:
+            for _ in service.feed(injector.materialize(), 8):
+                pass
+            for _ in service.flush_pending():
+                pass
+            ingest = service.ingest_stats()
+            assert ingest.quarantined == injector.poisoned
+        expected_results, _ = run_reference(injector.reference())
+        assert service.results() == expected_results
+
+
+class TestFeedCheckpoint:
+    def test_mid_feed_checkpoint_resumes_exactly_once(self, tmp_path):
+        arrivals = make_clean(50, seed=9)
+        expected_results, _ = run_reference(arrivals, chunk_size=8)
+        first = SurgeService(make_specs(), checkpoint_dir=tmp_path)
+        # Feed a prefix that leaves a partial chunk pending, checkpoint,
+        # and abandon the instance (simulated crash).
+        for _ in first.feed(arrivals[:21], 8):
+            pass
+        first.checkpoint()
+        first.close()
+        restored = SurgeService.restore(tmp_path)
+        with restored as service:
+            consumed = service.raw_consumed
+            assert consumed == 21
+            for _ in service.feed(arrivals[consumed:], 8):
+                pass
+            for _ in service.flush_pending():
+                pass
+            assert service.results() == expected_results
