@@ -1,7 +1,7 @@
 # Developer entry points for the SURGE reproduction.
 #
 #   make test          tier-1 test suite (unit tests; pure stdlib fallback works)
-#   make bench         all six benchmarks below
+#   make bench         all seven benchmarks below
 #   make bench-sweep   sweep-kernel microbenchmark -> BENCH_sweep.json
 #   make bench-ingest  end-to-end ingestion throughput -> BENCH_ingest.json
 #   make bench-service multi-query service throughput -> BENCH_service.json
@@ -10,6 +10,9 @@
 #                      (skew/churn) workloads -> BENCH_robustness.json
 #   make bench-server  live-traffic latency through the TCP front end
 #                      (concurrent subscriber fan-out) -> BENCH_server.json
+#   make bench-obs     tracing-tier overhead on the ingestion hot path
+#                      (off / disabled / enabled, bars 2% and 10%)
+#                      -> BENCH_obs.json
 #                      (each refuses to record a >20% regression;
 #                       BENCH_FLAGS=--force overrides, BENCH_FLAGS=--quick
 #                       runs a reduced smoke configuration)
@@ -33,7 +36,12 @@
 #                      mid-stream, then --resume re-serves the recorded
 #                      endpoint and the final results must be bit-identical
 #                      to an uninterrupted run (the CI network-tier smoke)
-#   make smoke         all five smokes above, each under a hard `timeout`
+#   make smoke-obs     serve traced over TCP (--trace-dir --slow-chunk
+#                      --log-json), assert the stats frame's stages section,
+#                      the /metrics stage histograms, the JSON log lines,
+#                      and the exported Chrome trace's lanes + span nesting
+#                      (the CI observability smoke)
+#   make smoke         all six smokes above, each under a hard `timeout`
 #                      (SMOKE_TIMEOUT seconds, default 900)
 #   make coverage      unit suite under pytest-cov with the pinned fail-under
 #                      (requires pytest-cov; the CI coverage leg runs this)
@@ -55,14 +63,15 @@ SMOKE_TIMEOUT ?= 900
 COVERAGE_MIN ?= 92
 
 .PHONY: test bench bench-sweep bench-ingest bench-service bench-recovery \
-	bench-robustness bench-server smoke smoke-recovery smoke-shared \
-	smoke-chaos smoke-overload smoke-server coverage lint
+	bench-robustness bench-server bench-obs smoke smoke-recovery \
+	smoke-shared smoke-chaos smoke-overload smoke-server smoke-obs \
+	coverage lint
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 bench: bench-sweep bench-ingest bench-service bench-recovery bench-robustness \
-	bench-server
+	bench-server bench-obs
 
 bench-sweep:
 	$(PYTHON) benchmarks/bench_sweep.py $(BENCH_FLAGS)
@@ -82,12 +91,16 @@ bench-robustness:
 bench-server:
 	$(PYTHON) benchmarks/bench_server.py $(BENCH_FLAGS)
 
+bench-obs:
+	$(PYTHON) benchmarks/bench_obs.py $(BENCH_FLAGS)
+
 smoke:
 	timeout $(SMOKE_TIMEOUT) $(PYTHON) scripts/recovery_smoke.py
 	timeout $(SMOKE_TIMEOUT) $(PYTHON) scripts/shared_plan_smoke.py
 	timeout $(SMOKE_TIMEOUT) $(PYTHON) scripts/chaos_smoke.py
 	timeout $(SMOKE_TIMEOUT) $(PYTHON) scripts/overload_smoke.py
 	timeout $(SMOKE_TIMEOUT) $(PYTHON) scripts/server_smoke.py
+	timeout $(SMOKE_TIMEOUT) $(PYTHON) scripts/obs_smoke.py
 
 smoke-recovery:
 	$(PYTHON) scripts/recovery_smoke.py
@@ -103,6 +116,9 @@ smoke-overload:
 
 smoke-server:
 	$(PYTHON) scripts/server_smoke.py
+
+smoke-obs:
+	$(PYTHON) scripts/obs_smoke.py
 
 coverage:
 	$(PYTHON) -m pytest tests -q --cov=repro --cov-report=term-missing:skip-covered \

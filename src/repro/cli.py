@@ -18,10 +18,22 @@ Three subcommands cover the most common standalone uses of the library:
     endpoint, and a graceful SIGINT/SIGTERM drain (final checkpoint,
     exit 0).  Both modes drain gracefully on SIGINT/SIGTERM.
 
+``trace``
+    The perf workbench: replay a stream through the service with the
+    tracing tier (:mod:`repro.obs`) enabled, print a per-stage latency
+    table, and export the recorded spans as Chrome ``trace_event`` JSON —
+    loadable in Perfetto or ``chrome://tracing``, one lane per shard.
+
 ``generate``
     Produce a synthetic stream that mimics one of the paper's datasets
     (UK / US / Taxi) and write it to CSV or JSON Lines, so that ``run`` —
     or an external system — has something to consume.
+
+``serve`` grows the same tracing tier behind ``--trace-dir DIR`` (write
+``trace.json`` + a stage table on exit), ``--slow-chunk SECONDS`` (flag
+slow dispatches with their span tree and queue depths), ``--log-json``
+(structured JSON log lines), and the ``REPRO_TRACE`` / ``REPRO_LOG_JSON``
+environment switches.
 
 Examples
 --------
@@ -37,18 +49,36 @@ Examples
 from __future__ import annotations
 
 import argparse
+import os
 import signal
 import sys
 import threading
+from pathlib import Path
 from typing import Sequence
 
 from repro.core.monitor import DETECTOR_NAMES, SurgeMonitor
 from repro.core.query import SurgeQuery
 from repro.datasets.io import load_stream, write_csv_stream, write_jsonl_stream
 from repro.datasets.profiles import PROFILES
+from repro.obs import (
+    Tracer,
+    enable_json_logging,
+    format_stage_table,
+    install as install_tracer,
+    write_chrome_trace,
+)
 from repro.service import OverloadConfig, OverloadError, SurgeService, load_query_specs
 from repro.service.overload import OVERLOAD_POLICIES
 from repro.service.shards import EXECUTOR_NAMES
+
+#: Environment switches of the observability tier (see repro.obs): truthy
+#: values enable tracing / JSON logging without the corresponding flag.
+TRACE_ENV_VAR = "REPRO_TRACE"
+LOG_JSON_ENV_VAR = "REPRO_LOG_JSON"
+
+
+def _env_truthy(name: str) -> bool:
+    return os.environ.get(name, "").strip().lower() not in ("", "0", "false", "no")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -316,6 +346,88 @@ def _build_parser() -> argparse.ArgumentParser:
         "existing group's are re-epoched into it, restoring shared "
         "execution (results are bit-identical; merges are counted)",
     )
+    serve.add_argument(
+        "--trace-dir",
+        default=None,
+        metavar="DIR",
+        help="enable the tracing tier (repro.obs: per-stage spans into a "
+        "bounded flight recorder) and, on exit, write the recorded spans "
+        "as Chrome trace_event JSON to DIR/trace.json (loadable in "
+        "Perfetto / chrome://tracing, one lane per shard) plus a "
+        "per-stage latency table on stderr.  REPRO_TRACE=1 enables "
+        "tracing without the export",
+    )
+    serve.add_argument(
+        "--slow-chunk",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="flag chunk dispatches slower than this: the chunk's span "
+        "tree and the live queue depths are captured to the flight "
+        "recorder and a counted structured warning is logged (implies "
+        "tracing on)",
+    )
+    serve.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit structured JSON log lines — {ts, level, logger, event, "
+        "...fields} — on stderr instead of the default text format "
+        "(REPRO_LOG_JSON=1 does the same)",
+    )
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="replay a stream through the service under the tracer and "
+        "export a Chrome trace (the perf workbench)",
+    )
+    trace.add_argument("stream", help="path to a .csv or .jsonl stream file")
+    trace.add_argument(
+        "--queries",
+        required=True,
+        help="path to a queries.json file (list of query records, see "
+        "repro.service.spec)",
+    )
+    trace.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="number of shards (each gets its own trace lane; default 1)",
+    )
+    trace.add_argument(
+        "--executor",
+        default="serial",
+        choices=EXECUTOR_NAMES,
+        help="shard execution backend (default: serial)",
+    )
+    trace.add_argument(
+        "--chunk-size",
+        type=int,
+        default=512,
+        help="shared-chunker batch size (default 512)",
+    )
+    trace.add_argument(
+        "--out",
+        default="trace.json",
+        help="Chrome trace_event JSON output path (default: trace.json); "
+        "load it in Perfetto or chrome://tracing",
+    )
+    trace.add_argument(
+        "--slow-chunk",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="also capture chunk dispatches slower than this to the "
+        "flight recorder's slow-chunk buffer (span tree + queue depths)",
+    )
+    trace.add_argument(
+        "--ring-size",
+        type=int,
+        default=None,
+        metavar="SPANS",
+        help="flight-recorder ring capacity in spans (default 4096); the "
+        "export holds at most this many of the newest spans, while the "
+        "per-stage aggregates always cover the whole replay",
+    )
 
     generate = subparsers.add_parser(
         "generate", help="generate a synthetic stream mimicking a paper dataset"
@@ -435,11 +547,38 @@ def _overload_config_from_args(args: argparse.Namespace) -> OverloadConfig | Non
     )
 
 
+def _serve_tracer_from_args(args: argparse.Namespace) -> Tracer | None:
+    """The serve tracer the flags/environment ask for (``None`` = off).
+
+    Tracing turns on with ``--trace-dir`` (span export on exit),
+    ``--slow-chunk`` (the detector needs spans to capture), or the
+    ``REPRO_TRACE`` environment variable.  The tracer is also installed
+    process-globally so call sites outside the service object — the wire
+    codec's ``wire.encode``/``wire.decode`` spans — reach the same
+    recorder.
+    """
+    if args.slow_chunk is not None and args.slow_chunk < 0:
+        raise ValueError(
+            f"--slow-chunk must be >= 0 seconds, got {args.slow_chunk}"
+        )
+    enabled = (
+        args.trace_dir is not None
+        or args.slow_chunk is not None
+        or _env_truthy(TRACE_ENV_VAR)
+    )
+    if not enabled:
+        return None
+    tracer = Tracer(enabled=True, slow_chunk_threshold=args.slow_chunk)
+    install_tracer(tracer)
+    return tracer
+
+
 def _build_serve_service(args: argparse.Namespace, *, require_queries: bool = True):
     """Construct (service, start_offset) for ``serve`` — fresh or resumed."""
     from repro.state import CheckpointPolicy, has_checkpoint, read_manifest
 
     overload_config = _overload_config_from_args(args)
+    tracer = _serve_tracer_from_args(args)
 
     checkpoint_dir = args.checkpoint_dir
     if args.resume and checkpoint_dir is None:
@@ -547,6 +686,7 @@ def _build_serve_service(args: argparse.Namespace, *, require_queries: bool = Tr
             shared_plan=args.shared_plan,
             checkpoint_policy=policy,
             quarantine_dir=args.quarantine_dir,
+            tracer=tracer,
         )
         return service, service.chunk_offset
 
@@ -587,6 +727,7 @@ def _build_serve_service(args: argparse.Namespace, *, require_queries: bool = Tr
         max_inflight_chunks=args.max_inflight_chunks,
         overload=overload_config,
         compact_every_chunks=args.compact_every,
+        tracer=tracer,
     )
     return service, 0
 
@@ -670,7 +811,26 @@ def _command_serve_network(args: argparse.Namespace, service) -> int:
     return 0
 
 
+def _write_trace_export(service, args: argparse.Namespace) -> None:
+    """Export the serve run's spans to ``--trace-dir`` (if both are on)."""
+    tracer = service.tracer
+    if args.trace_dir is None or tracer is None:
+        return
+    out = Path(args.trace_dir) / "trace.json"
+    try:
+        spans = write_chrome_trace(out, tracer.recorder)
+    except OSError as exc:
+        print(f"trace export to {out} failed: {exc}", file=sys.stderr)
+        return
+    print(f"trace: {spans} spans -> {out}", file=sys.stderr)
+    table = format_stage_table(tracer.recorder.stage_stats())
+    if table:
+        print(table, file=sys.stderr)
+
+
 def _command_serve(args: argparse.Namespace) -> int:
+    if args.log_json or _env_truthy(LOG_JSON_ENV_VAR):
+        enable_json_logging()
     if args.shards is not None and args.shards < 1:
         print("--shards must be a positive number of shards", file=sys.stderr)
         return 2
@@ -715,10 +875,12 @@ def _command_serve(args: argparse.Namespace) -> int:
             )
             return 2
         try:
-            return _command_serve_network(args, service)
+            code = _command_serve_network(args, service)
         except (OSError, ValueError, RuntimeError) as exc:
             print(str(exc), file=sys.stderr)
             return 2
+        _write_trace_export(service, args)
+        return code
     # With the disorder-tolerant tier on, the file records an *arrival
     # order* for the tier to absorb — loading it pre-sorted would silently
     # repair the disorder (and poison NaN timestamps break sorting).
@@ -840,6 +1002,7 @@ def _command_serve(args: argparse.Namespace) -> int:
                 f"last lag {1000.0 * query_stats.last_lag_seconds:.1f} ms",
                 file=sys.stderr,
             )
+    _write_trace_export(service, args)
     _restore_signal_handlers(previous_handlers)
     return 0
 
@@ -851,6 +1014,69 @@ def _restore_signal_handlers(previous: dict) -> None:
             signal.signal(signum, handler)
         except (ValueError, TypeError):  # pragma: no cover - non-main thread
             pass
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    """The perf workbench: replay under the tracer, export a Chrome trace.
+
+    Every pipeline stage of the replay records spans into the tracer's
+    flight recorder; afterwards the newest ``--ring-size`` spans go out as
+    Chrome ``trace_event`` JSON (one lane per shard, plus the ingest/bus
+    lanes) and the whole-replay per-stage aggregates print as a table.
+    """
+    if args.shards < 1:
+        print("--shards must be a positive number of shards", file=sys.stderr)
+        return 2
+    if args.chunk_size < 1:
+        print("--chunk-size must be a positive number of objects", file=sys.stderr)
+        return 2
+    if args.slow_chunk is not None and args.slow_chunk < 0:
+        print("--slow-chunk must be >= 0 seconds", file=sys.stderr)
+        return 2
+    if args.ring_size is not None and args.ring_size < 1:
+        print("--ring-size must be a positive number of spans", file=sys.stderr)
+        return 2
+    try:
+        specs = load_query_specs(args.queries)
+    except (OSError, ValueError) as exc:
+        print(f"failed to load {args.queries}: {exc}", file=sys.stderr)
+        return 2
+    stream = load_stream(args.stream)
+    if not stream:
+        print("stream is empty", file=sys.stderr)
+        return 1
+    tracer_kwargs = {"slow_chunk_threshold": args.slow_chunk}
+    if args.ring_size is not None:
+        tracer_kwargs["ring_size"] = args.ring_size
+    tracer = Tracer(enabled=True, **tracer_kwargs)
+    install_tracer(tracer)
+    try:
+        service = SurgeService(
+            specs,
+            shards=args.shards,
+            executor=args.executor,
+            tracer=tracer,
+        )
+        with service:
+            for _ in service.run(stream, args.chunk_size):
+                pass
+        stage_stats = service.stage_stats()
+    finally:
+        install_tracer(None)
+    try:
+        spans = write_chrome_trace(args.out, tracer.recorder)
+    except OSError as exc:
+        print(f"trace export to {args.out} failed: {exc}", file=sys.stderr)
+        return 1
+    print(format_stage_table(stage_stats))
+    slow = tracer.recorder.slow_chunk_count
+    print(
+        f"trace: {len(stream)} objects, {service.chunk_offset} chunks, "
+        f"{spans} spans -> {args.out}"
+        + (f" ({slow} slow chunks flagged)" if slow else ""),
+        file=sys.stderr,
+    )
+    return 0
 
 
 def _command_generate(args: argparse.Namespace) -> int:
@@ -892,6 +1118,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_run(args)
     if args.command == "serve":
         return _command_serve(args)
+    if args.command == "trace":
+        return _command_trace(args)
     if args.command == "generate":
         return _command_generate(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover

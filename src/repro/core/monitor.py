@@ -26,11 +26,13 @@ approximations, all baselines and the top-k extensions.
 
 from __future__ import annotations
 
+from time import perf_counter
 from pathlib import Path
 from typing import Any, Callable, Iterable, Iterator, Mapping
 
 from repro.core.base import BurstyRegionDetector, RegionResult
 from repro.core.query import SurgeQuery
+from repro.obs.tracer import current as _current_tracer
 from repro.streams.objects import EventBatch, SpatialObject, WindowEvent
 from repro.streams.windows import SlidingWindowPair, WindowState
 
@@ -180,7 +182,13 @@ class SurgeMonitor:
         detectors (see :mod:`repro.service.shards`) call this once and then
         :meth:`apply_batch` per detector.
         """
-        return self.windows.observe_batch(objs)
+        tracer = _current_tracer()
+        if tracer is None or not tracer.enabled:
+            return self.windows.observe_batch(objs)
+        started = perf_counter()
+        batch = self.windows.observe_batch(objs)
+        tracer.record("window.observe", started, perf_counter())
+        return batch
 
     def apply_batch(self, batch: "EventBatch") -> RegionResult | None:
         """The detector half of :meth:`push_many`: event batch → result.
@@ -190,9 +198,17 @@ class SurgeMonitor:
         monitor's detector, accounts the arrivals, and settles the result
         once.
         """
+        tracer = _current_tracer()
+        if tracer is None or not tracer.enabled:
+            self.detector.apply_events(batch)
+            self._objects_seen += batch.arrivals
+            return self.detector.result()
+        started = perf_counter()
         self.detector.apply_events(batch)
         self._objects_seen += batch.arrivals
-        return self.detector.result()
+        result = self.detector.result()
+        tracer.record("settle", started, perf_counter())
+        return result
 
     def drain_time(self, time: float) -> list[WindowEvent]:
         """The window half of :meth:`advance_time`: clock advance → events.

@@ -120,6 +120,17 @@ class AdaptiveSweepBackend:
         self._python = PythonSweepBackend()
         self._numpy = NumpySweepBackend() if _HAVE_NUMPY else None
 
+    def select(self, n_rects: int) -> SweepBackend:
+        """The concrete kernel a snapshot of ``n_rects`` dispatches to.
+
+        Exposed so callers that label work by kernel (the tracing layer's
+        ``sweep.<backend>`` spans) can name the kernel that actually ran
+        instead of the ``auto`` facade.
+        """
+        if self._numpy is not None and n_rects >= self.numpy_threshold:
+            return self._numpy
+        return self._python
+
     def sweep(
         self,
         rects: Sequence[LabeledRect],
@@ -127,9 +138,9 @@ class AdaptiveSweepBackend:
         current_length: float,
         past_length: float,
     ) -> SweepResult:
-        if self._numpy is not None and len(rects) >= self.numpy_threshold:
-            return self._numpy.sweep(rects, alpha, current_length, past_length)
-        return self._python.sweep(rects, alpha, current_length, past_length)
+        return self.select(len(rects)).sweep(
+            rects, alpha, current_length, past_length
+        )
 
 
 def available_backends() -> tuple[str, ...]:

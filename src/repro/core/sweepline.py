@@ -50,11 +50,13 @@ cell), and the neighbourhood searches of the adapted aG2 baseline.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Iterable
 
 from repro.core.sweep_backends import SweepBackend, clip_rects, resolve_backend
 from repro.core.sweep_backends.types import LabeledRect, SweepResult
 from repro.geometry.primitives import Rect
+from repro.obs.tracer import current as _current_tracer
 
 __all__ = ["LabeledRect", "SweepResult", "sweep_bursty_point"]
 
@@ -97,4 +99,17 @@ def sweep_bursty_point(
     if not rect_list:
         return None
     engine = resolve_backend(backend)
-    return engine.sweep(rect_list, alpha, current_length, past_length)
+    tracer = _current_tracer()
+    if tracer is None or not tracer.enabled:
+        return engine.sweep(rect_list, alpha, current_length, past_length)
+    # Name the kernel that actually runs: the adaptive facade exposes its
+    # per-snapshot dispatch decision so the span says python/numpy, not auto.
+    select = getattr(engine, "select", None)
+    kernel = select(len(rect_list)).name if select is not None else engine.name
+    started = perf_counter()
+    result = engine.sweep(rect_list, alpha, current_length, past_length)
+    tracer.record(
+        f"sweep.{kernel}", started, perf_counter(),
+        meta={"rects": len(rect_list)},
+    )
+    return result

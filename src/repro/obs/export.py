@@ -1,0 +1,91 @@
+"""Chrome ``trace_event`` export of the flight recorder.
+
+The output loads in Perfetto (https://ui.perfetto.dev) or Chrome's
+``about:tracing``: one process, one thread row ("lane") per pipeline
+actor — ``service`` for the ingest path, ``shard0..N`` for shard
+execution (process shards ship their spans back with scatter replies),
+``server``/``wire`` for the network tier.  Spans are emitted as "X"
+(complete) events with microsecond timestamps rebased so the earliest
+span starts at t=0, which keeps the viewer's timeline readable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.tracer import FlightRecorder
+
+_PID = 1
+
+
+def chrome_trace_events(spans: list[tuple]) -> dict:
+    """``{"traceEvents": [...]}`` for a list of span tuples."""
+    lanes: dict[str, int] = {}
+    events: list[dict] = []
+    base = min((span[1] for span in spans), default=0.0)
+    for stage, start, duration, lane, chunk, meta in spans:
+        lane = lane or "main"
+        tid = lanes.get(lane)
+        if tid is None:
+            tid = lanes[lane] = len(lanes) + 1
+        args: dict = {}
+        if chunk is not None:
+            args["chunk"] = chunk
+        if meta:
+            args.update(meta)
+        events.append(
+            {
+                "name": stage,
+                "cat": stage.split(".", 1)[0],
+                "ph": "X",
+                "pid": _PID,
+                "tid": tid,
+                "ts": (start - base) * 1e6,
+                "dur": duration * 1e6,
+                "args": args,
+            }
+        )
+    # Thread-name metadata rows so the viewer labels each lane; sort_index
+    # keeps the lanes in first-seen order rather than tid-hash order.
+    for lane, tid in lanes.items():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": _PID,
+                "tid": tid,
+                "args": {"name": lane},
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: str | Path, recorder: FlightRecorder) -> int:
+    """Dump the recorder's ring as a Chrome trace; returns the span count."""
+    spans = recorder.spans()
+    payload = chrome_trace_events(spans)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload) + "\n", encoding="utf-8")
+    return len(spans)
+
+
+def format_stage_table(stage_stats: dict[str, dict]) -> str:
+    """Human-readable per-stage summary (the ``repro trace`` footer)."""
+    if not stage_stats:
+        return "no spans recorded"
+    lines = [
+        f"{'stage':<20} {'count':>8} {'total':>10} {'mean':>10} "
+        f"{'min':>10} {'max':>10}"
+    ]
+    for stage, data in stage_stats.items():
+        count = data["count"]
+        total = data["total_seconds"]
+        mean = total / count if count else 0.0
+        lines.append(
+            f"{stage:<20} {count:>8} {total:>9.4f}s {1e3 * mean:>8.3f}ms "
+            f"{1e3 * data['min_seconds']:>8.3f}ms "
+            f"{1e3 * data['max_seconds']:>8.3f}ms"
+        )
+    return "\n".join(lines)

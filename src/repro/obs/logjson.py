@@ -1,0 +1,70 @@
+"""Structured JSON logging for the service/server loggers.
+
+Opt-in via ``repro serve --log-json`` or ``REPRO_LOG_JSON=1``: one
+:class:`JsonLogFormatter` attached to the ``repro`` logger turns every
+log line from the existing ``repro.*`` loggers (``service.service``,
+``service.bus``, ``server.engine``, ``server.server``) into one JSON
+object per line::
+
+    {"ts": 1754550000.123456, "level": "WARNING",
+     "logger": "repro.service.service", "event": "quarantined record ...",
+     "reason": "nan_timestamp", "chunk_index": 12}
+
+``event`` is the rendered message; any ``extra={...}`` fields the call
+site passed ride along as top-level keys, which is what makes
+subscriber-fault / quarantine / degraded-mode / slow-chunk events
+machine-parseable instead of grep-parseable.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import IO
+
+#: Attributes every LogRecord carries; anything else came from ``extra=``.
+_RESERVED = frozenset(
+    (
+        "args", "asctime", "created", "exc_info", "exc_text", "filename",
+        "funcName", "levelname", "levelno", "lineno", "module", "msecs",
+        "message", "msg", "name", "pathname", "process", "processName",
+        "relativeCreated", "stack_info", "taskName", "thread", "threadName",
+    )
+)
+
+
+class JsonLogFormatter(logging.Formatter):
+    """Render each record as one JSON object: ``{ts, level, logger, event, **fields}``."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key not in _RESERVED and key not in payload:
+                payload[key] = value
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exc"] = self.formatException(record.exc_info)
+        # default=str: extra= fields may carry Paths, specs, exceptions —
+        # a log line must never raise, so everything coerces.
+        return json.dumps(payload, default=str, allow_nan=True)
+
+
+def enable_json_logging(
+    *, level: int = logging.INFO, stream: IO[str] | None = None
+) -> logging.Handler:
+    """Attach a JSON handler to the ``repro`` logger tree.
+
+    Every ``repro.*`` logger propagates to it, so one handler covers the
+    whole pipeline.  Returns the handler (tests detach it again).
+    """
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonLogFormatter())
+    root = logging.getLogger("repro")
+    root.addHandler(handler)
+    root.setLevel(level)
+    return handler

@@ -1,0 +1,342 @@
+"""Stage spans, streaming aggregates, and the flight recorder.
+
+The tracing layer measures *where a chunk's time goes* as it moves
+through the pipeline — reorder-buffer hold, keyword routing, window
+ingest, the sweep kernel, result settle, bus publish, wire pump — with
+an overhead contract enforced by ``benchmarks/bench_obs.py``: a
+*disabled* tracer must cost ≤2% on the ingestion hot path and an
+*enabled* one ≤10%.
+
+Three pieces:
+
+* :class:`Tracer` — the recording front end.  The hot API is
+  :meth:`Tracer.record`, which takes the two ``perf_counter`` readings
+  the caller already made; nothing is allocated and no clock is read
+  when tracing is off (call sites guard on ``tracer.enabled`` or skip
+  the clock reads entirely when no tracer is installed).
+* :class:`FlightRecorder` — a bounded ring of the most recent spans plus
+  per-stage streaming aggregates (count, total, min/max, HDR-style
+  log-bucketed latency histogram) and a bounded list of slow-chunk
+  captures.  The whole recorder pickles, so a service checkpoint can
+  carry it and a ``--resume`` can explain its own recovery.
+* The module-global *current tracer* (:func:`install` / :func:`current`
+  / :func:`activate`) — how deep, otherwise-pure call sites (the sweep
+  kernel, the window pair, the wire codec) find the tracer without
+  threading it through every signature.  ``activate`` is a
+  thread-local override so concurrent shard threads never cross-record.
+
+Span representation
+-------------------
+A span is a plain tuple — the cheapest picklable thing Python has —
+``(stage, start, duration, lane, chunk_index, meta)`` with times in
+``perf_counter`` seconds.  ``lane`` groups spans into rows in the
+Chrome-trace export (``service``, ``shard0..N``, ``server``, ``wire``);
+shards leave it ``None`` and the service stamps their lane when the
+spans ship back with the scatter reply.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from contextlib import contextmanager
+from time import perf_counter
+
+#: Stage names threaded through the pipeline.  Not enforced — a span may
+#: carry any stage string (e.g. ``sweep.numpy``) — but every built-in
+#: call site uses one of these prefixes.
+STAGES = (
+    "ingest.reorder",
+    "ingest.quarantine",
+    "route.bucket",
+    "window.observe",
+    "sweep.python",
+    "sweep.numpy",
+    "settle",
+    "checkpoint",
+    "bus.publish",
+    "server.pump",
+    "wire.encode",
+    "wire.decode",
+)
+
+#: HDR-style log-bucketed histogram bounds (seconds): a 1–2.5–5 ladder
+#: per decade from 10 µs to 10 s, plus the implicit +Inf bucket.  Chosen
+#: to straddle everything from a single sweep call (~µs) to a stalled
+#: checkpoint (~s) with ~15% relative error.
+HISTOGRAM_BOUNDS = (
+    1e-5, 2.5e-5, 5e-5,
+    1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3,
+    1e-2, 2.5e-2, 5e-2,
+    1e-1, 2.5e-1, 5e-1,
+    1.0, 2.5, 5.0, 10.0,
+)
+
+#: Default flight-recorder ring capacity (spans).
+DEFAULT_RING_SIZE = 4096
+
+#: Slow-chunk captures kept (oldest evicted first).
+DEFAULT_SLOW_CHUNK_CAPACITY = 32
+
+
+class StageAggregate:
+    """Streaming per-stage aggregate: count, total, min/max, histogram.
+
+    ``buckets`` holds *non-cumulative* counts, one per
+    :data:`HISTOGRAM_BOUNDS` entry plus a final +Inf bucket; the
+    Prometheus renderer re-accumulates them into ``le`` form.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+        self.buckets = [0] * (len(HISTOGRAM_BOUNDS) + 1)
+
+    def observe(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        if seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+        self.buckets[bisect_left(HISTOGRAM_BOUNDS, seconds)] += 1
+
+    def merge(self, other: "StageAggregate") -> None:
+        self.count += other.count
+        self.total += other.total
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+        for index, value in enumerate(other.buckets):
+            self.buckets[index] += value
+
+    def to_dict(self) -> dict:
+        """JSON form carried on the ``stats`` wire frame and /metrics."""
+        return {
+            "count": self.count,
+            "total_seconds": self.total,
+            "min_seconds": self.min if self.count else 0.0,
+            "max_seconds": self.max,
+            "buckets": list(self.buckets),
+        }
+
+    @staticmethod
+    def from_dict(record: dict) -> "StageAggregate":
+        aggregate = StageAggregate()
+        aggregate.count = int(record.get("count", 0))
+        aggregate.total = float(record.get("total_seconds", 0.0))
+        aggregate.min = (
+            float(record.get("min_seconds", 0.0))
+            if aggregate.count
+            else float("inf")
+        )
+        aggregate.max = float(record.get("max_seconds", 0.0))
+        buckets = list(record.get("buckets", ()))
+        if len(buckets) == len(HISTOGRAM_BOUNDS) + 1:
+            aggregate.buckets = [int(value) for value in buckets]
+        return aggregate
+
+
+class FlightRecorder:
+    """Bounded span ring + per-stage aggregates + slow-chunk captures.
+
+    Thread-safe (spans arrive from the ingest thread, the server's pump
+    threads, and the asyncio loop) and picklable: the lock is dropped on
+    ``__getstate__`` and rebuilt on ``__setstate__``, everything else is
+    plain tuples/dicts, so a checkpoint can carry the recorder and a
+    resumed service starts with its pre-crash history intact.
+    """
+
+    def __init__(
+        self,
+        ring_size: int = DEFAULT_RING_SIZE,
+        slow_chunk_capacity: int = DEFAULT_SLOW_CHUNK_CAPACITY,
+    ) -> None:
+        if ring_size < 1:
+            raise ValueError(f"ring_size must be >= 1, got {ring_size}")
+        self.ring_size = int(ring_size)
+        self._ring: list[tuple] = []
+        self._aggregates: dict[str, StageAggregate] = {}
+        self._slow_chunks: list[dict] = []
+        self._slow_chunk_capacity = int(slow_chunk_capacity)
+        self.slow_chunk_count = 0
+        self._lock = threading.Lock()
+
+    # -- recording -----------------------------------------------------
+    def record(self, span: tuple) -> None:
+        with self._lock:
+            self._record_locked(span)
+
+    def record_many(self, spans: list[tuple]) -> None:
+        with self._lock:
+            for span in spans:
+                self._record_locked(span)
+
+    def _record_locked(self, span: tuple) -> None:
+        ring = self._ring
+        ring.append(span)
+        if len(ring) > self.ring_size:
+            # Amortised trim: shed the oldest half in one slice instead
+            # of paying a popleft per span (a deque would not pickle its
+            # maxlen portably across refactors; a list slice is simpler
+            # and just as bounded).
+            del ring[: len(ring) - self.ring_size]
+        stage = span[0]
+        aggregate = self._aggregates.get(stage)
+        if aggregate is None:
+            aggregate = self._aggregates[stage] = StageAggregate()
+        aggregate.observe(span[2])
+
+    def record_slow_chunk(self, record: dict) -> int:
+        """Capture one slow-chunk record; returns the running count."""
+        with self._lock:
+            self.slow_chunk_count += 1
+            self._slow_chunks.append(record)
+            if len(self._slow_chunks) > self._slow_chunk_capacity:
+                del self._slow_chunks[0]
+            return self.slow_chunk_count
+
+    # -- reading -------------------------------------------------------
+    def spans(self) -> list[tuple]:
+        """Snapshot of the ring, oldest first."""
+        with self._lock:
+            return list(self._ring)
+
+    def drain_spans(self) -> list[tuple]:
+        """Pop every buffered span (shard-side shipping)."""
+        with self._lock:
+            spans, self._ring = self._ring, []
+            return spans
+
+    def slow_chunks(self) -> list[dict]:
+        with self._lock:
+            return list(self._slow_chunks)
+
+    def stage_stats(self) -> dict[str, dict]:
+        """Per-stage aggregates as JSON-ready dicts, stage-sorted."""
+        with self._lock:
+            return {
+                stage: self._aggregates[stage].to_dict()
+                for stage in sorted(self._aggregates)
+            }
+
+    # -- pickling ------------------------------------------------------
+    def __getstate__(self) -> dict:
+        with self._lock:
+            state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+
+class Tracer:
+    """The recording front end installed on a service, shard, or server.
+
+    ``enabled`` is the single hot-path gate: call sites read it once,
+    skip their ``perf_counter`` pair entirely when it is false, and call
+    :meth:`record` with readings they already made when it is true — so
+    the *disabled* cost is one attribute load and one branch.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        *,
+        ring_size: int = DEFAULT_RING_SIZE,
+        slow_chunk_threshold: float | None = None,
+    ) -> None:
+        self.enabled = bool(enabled)
+        self.recorder = FlightRecorder(ring_size=ring_size)
+        if slow_chunk_threshold is not None and slow_chunk_threshold < 0:
+            raise ValueError(
+                f"slow_chunk_threshold must be >= 0 seconds, "
+                f"got {slow_chunk_threshold}"
+            )
+        self.slow_chunk_threshold = slow_chunk_threshold
+
+    def record(
+        self,
+        stage: str,
+        started: float,
+        ended: float,
+        *,
+        lane: str | None = None,
+        chunk: int | None = None,
+        meta: dict | None = None,
+    ) -> None:
+        """Record one finished span from the caller's clock readings."""
+        if not self.enabled:
+            return
+        self.recorder.record((stage, started, ended - started, lane, chunk, meta))
+
+    @contextmanager
+    def span(
+        self,
+        stage: str,
+        *,
+        lane: str | None = None,
+        chunk: int | None = None,
+        meta: dict | None = None,
+    ):
+        """Context-manager convenience for cold paths (CLI, checkpoint)."""
+        if not self.enabled:
+            yield
+            return
+        started = perf_counter()
+        try:
+            yield
+        finally:
+            self.recorder.record(
+                (stage, started, perf_counter() - started, lane, chunk, meta)
+            )
+
+    def drain_spans(self) -> list[tuple]:
+        """Pop buffered spans (shards ship these back with replies)."""
+        return self.recorder.drain_spans()
+
+    def stage_stats(self) -> dict[str, dict]:
+        return self.recorder.stage_stats()
+
+
+# ----------------------------------------------------------------------
+# The module-global current tracer
+# ----------------------------------------------------------------------
+_GLOBAL: Tracer | None = None
+_TLS = threading.local()
+
+
+def install(tracer: Tracer | None) -> None:
+    """Install (or clear, with ``None``) the process-wide tracer."""
+    global _GLOBAL
+    _GLOBAL = tracer
+
+
+def current() -> Tracer | None:
+    """The active tracer: the thread-local override, else the global."""
+    tracer = getattr(_TLS, "tracer", None)
+    return tracer if tracer is not None else _GLOBAL
+
+
+@contextmanager
+def activate(tracer: Tracer | None):
+    """Thread-locally override :func:`current` (shard message handling).
+
+    Concurrent shard threads each activate their own tracer, so spans
+    recorded by shared code (the sweep kernel, the window pair) land in
+    the tracer of the shard actually doing the work.
+    """
+    previous = getattr(_TLS, "tracer", None)
+    _TLS.tracer = tracer
+    try:
+        yield
+    finally:
+        _TLS.tracer = previous

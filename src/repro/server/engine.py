@@ -196,8 +196,6 @@ class ServerEngine:
         if degraded == self._degraded_seen:
             return
         self._degraded_seen = degraded
-        if self.on_control is None:
-            return
         stats = self._service.overload_stats()
         event = {
             "type": "control",
@@ -205,6 +203,18 @@ class ServerEngine:
             "depth_chunks": self._service.queue_depth_chunks(),
             "shedding": list(stats.shedding),
         }
+        logger.info(
+            "service %s degraded mode at depth %.2f chunks",
+            "entered" if degraded else "exited",
+            event["depth_chunks"],
+            extra={
+                "degraded": degraded,
+                "depth_chunks": event["depth_chunks"],
+                "shedding": event["shedding"],
+            },
+        )
+        if self.on_control is None:
+            return
         try:
             self.on_control(event)
         except Exception:  # pragma: no cover - defensive isolation
@@ -326,6 +336,7 @@ class ServerEngine:
             "chunk_index": service.chunk_index,
             "stream_time": encode_stream_time(service.stream_time),
             "subscriptions": subscriptions,
+            "stages": service.stage_stats(),
         }
 
 

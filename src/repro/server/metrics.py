@@ -19,7 +19,12 @@ escaped per the spec.  Families:
 * ``repro_subscription_*`` — per-subscription conservation counters
   labelled ``{subscription="...",policy="..."}``;
 * ``repro_server_*`` — the front end's own counters (connections,
-  subscribers, refused ingest batches).
+  subscribers, refused ingest batches);
+* ``repro_stage_seconds`` — per-stage latency histograms from the tracing
+  tier's flight recorder (see :mod:`repro.obs`), one series set per stage
+  label with the log-bucketed bounds of
+  :data:`repro.obs.tracer.HISTOGRAM_BOUNDS`; rendered only when the
+  snapshot carries a ``stages`` section (i.e. a tracer is attached).
 
 Everything renders from one immutable snapshot taken inside the engine
 thread, so a scrape never observes a torn update.
@@ -28,6 +33,8 @@ thread, so a scrape never observes a torn update.
 from __future__ import annotations
 
 from typing import Any, Iterable
+
+from repro.obs.tracer import HISTOGRAM_BOUNDS
 
 #: (metric suffix, snapshot key) pairs of the service-level counters.
 _SERVICE_COUNTERS = (
@@ -267,7 +274,60 @@ def render_prometheus(snapshot: dict[str, Any]) -> str:
         "Ingest batches queued ahead of the engine worker.",
         [_sample(name, snapshot.get("queued_ingest_batches", 0))],
     )
+
+    stages = snapshot.get("stages") or {}
+    if stages:
+        lines += _family(
+            "repro_stage_seconds",
+            "histogram",
+            "Pipeline stage latency from the tracing flight recorder.",
+            _stage_histogram_samples(stages),
+        )
     return "\n".join(lines) + "\n"
+
+
+def _stage_histogram_samples(stages: dict[str, Any]) -> list[str]:
+    """Histogram sample lines for every traced stage, cumulative per spec.
+
+    The recorder stores *non-cumulative* log-spaced buckets (one slot per
+    bound of :data:`~repro.obs.tracer.HISTOGRAM_BOUNDS` plus the overflow);
+    the exposition format wants cumulative ``le`` buckets ending at
+    ``+Inf`` with ``_sum``/``_count`` conservation, so the re-accumulation
+    happens here at render time.
+    """
+    samples: list[str] = []
+    for stage in sorted(stages):
+        record = stages[stage]
+        buckets = list(record.get("buckets", ()))
+        count = int(record.get("count", 0))
+        cumulative = 0
+        for index, bound in enumerate(HISTOGRAM_BOUNDS):
+            cumulative += buckets[index] if index < len(buckets) else 0
+            samples.append(
+                _sample(
+                    "repro_stage_seconds_bucket",
+                    cumulative,
+                    {"stage": stage, "le": repr(float(bound))},
+                )
+            )
+        samples.append(
+            _sample(
+                "repro_stage_seconds_bucket",
+                count,
+                {"stage": stage, "le": "+Inf"},
+            )
+        )
+        samples.append(
+            _sample(
+                "repro_stage_seconds_sum",
+                float(record.get("total_seconds", 0.0)),
+                {"stage": stage},
+            )
+        )
+        samples.append(
+            _sample("repro_stage_seconds_count", count, {"stage": stage})
+        )
+    return samples
 
 
 __all__ = ["render_prometheus", "escape_label_value"]

@@ -38,16 +38,26 @@ Server → client frame types
 ``control``     service state transitions pushed to subscribers:
                 ``{"event": "degraded_entered"|"degraded_exited"|
                 "draining", ...}``.
+
+The ``stats`` reply gains a ``stages`` section when the served service has
+a tracer attached (see :mod:`repro.obs`): per-stage latency aggregates —
+count, total/min/max seconds and log-bucketed histogram counts — keyed by
+stage name.  When tracing is active the codec itself records
+``wire.encode`` / ``wire.decode`` spans via the process-global tracer
+(:func:`repro.obs.tracer.current`), so serialisation cost shows up in the
+trace next to the pipeline stages it brackets.
 """
 
 from __future__ import annotations
 
 import json
 import struct
+from time import perf_counter
 from typing import Any
 
 from repro.core.base import RegionResult
 from repro.geometry.primitives import Point, Rect
+from repro.obs.tracer import current as _current_tracer
 from repro.service.bus import QueryUpdate
 from repro.streams.objects import SpatialObject
 
@@ -84,6 +94,10 @@ class ServerError(RuntimeError):
 
 def encode_frame(payload: dict[str, Any]) -> bytes:
     """Serialise one frame: length prefix + compact JSON."""
+    tracer = _current_tracer()
+    started = (
+        perf_counter() if tracer is not None and tracer.enabled else 0.0
+    )
     body = json.dumps(
         payload, separators=(",", ":"), allow_nan=True, sort_keys=True
     ).encode("utf-8")
@@ -91,6 +105,14 @@ def encode_frame(payload: dict[str, Any]) -> bytes:
         raise ProtocolError(
             f"frame payload of {len(body)} bytes exceeds the "
             f"{MAX_FRAME_BYTES}-byte frame limit"
+        )
+    if started:
+        tracer.record(
+            "wire.encode",
+            started,
+            perf_counter(),
+            lane="wire",
+            meta={"bytes": len(body)},
         )
     return LENGTH_STRUCT.pack(len(body)) + body
 
@@ -113,6 +135,10 @@ def decode_frame_length(prefix: bytes) -> int:
 
 def decode_frame_body(body: bytes) -> dict[str, Any]:
     """Parse one frame body into its JSON object."""
+    tracer = _current_tracer()
+    started = (
+        perf_counter() if tracer is not None and tracer.enabled else 0.0
+    )
     try:
         payload = json.loads(body.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -120,6 +146,14 @@ def decode_frame_body(body: bytes) -> dict[str, Any]:
     if not isinstance(payload, dict):
         raise ProtocolError(
             f"frame body must be a JSON object, got {type(payload).__name__}"
+        )
+    if started:
+        tracer.record(
+            "wire.decode",
+            started,
+            perf_counter(),
+            lane="wire",
+            meta={"bytes": len(body)},
         )
     return payload
 

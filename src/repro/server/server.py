@@ -37,6 +37,7 @@ import itertools
 import logging
 import signal
 import threading
+from time import perf_counter
 from typing import Any
 
 from repro.server import protocol
@@ -322,7 +323,11 @@ class SurgeServer:
         if isinstance(exc, ValueError):
             code = 409 if "already registered" in str(exc) else 400
             return error_frame(code, str(exc))
-        logger.exception("unexpected error handling a frame", exc_info=exc)
+        logger.exception(
+            "unexpected error handling a frame",
+            exc_info=exc,
+            extra={"error_type": type(exc).__name__},
+        )
         return error_frame(500, f"internal error: {exc}")
 
     async def _dispatch(self, conn: _Connection, payload: dict[str, Any]) -> None:
@@ -418,6 +423,7 @@ class SurgeServer:
     def _pump(self, conn: _Connection, subscription: Subscription) -> None:
         loop = self._loop
         assert loop is not None
+        tracer = self._service.tracer
         while True:
             update = subscription.get(timeout=0.25)
             if update is None:
@@ -426,6 +432,8 @@ class SurgeServer:
                 ):
                     return
                 continue
+            traced = tracer is not None and tracer.enabled
+            pump_started = perf_counter() if traced else 0.0
             frame = encode_update(update)
             try:
                 future = asyncio.run_coroutine_threadsafe(
@@ -437,6 +445,13 @@ class SurgeServer:
                 future.result()
             except Exception:
                 return
+            if traced:
+                tracer.record(
+                    "server.pump",
+                    pump_started,
+                    perf_counter(),
+                    lane="server",
+                )
 
     def _on_control_event(self, event: dict[str, Any]) -> None:
         # Engine worker thread: hand the broadcast to the event loop and

@@ -28,6 +28,7 @@ import logging
 import threading
 from collections import deque
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable, Iterable
 
 from repro.core.base import RegionResult
@@ -387,6 +388,10 @@ class ResultBus:
         self.subscriber_errors = 0
         #: Subscriptions detached by the ``evict`` policy.
         self.evicted_subscribers = 0
+        #: Optional :class:`~repro.obs.tracer.Tracer` (set by the owning
+        #: service); when enabled, every :meth:`publish` records one
+        #: ``bus.publish`` span covering the whole fan-out.
+        self.tracer = None
 
     def subscribe(self, callback: Callable[[QueryUpdate], None]) -> None:
         """Register a callback invoked once per update, in publish order."""
@@ -425,6 +430,15 @@ class ResultBus:
             pass
 
     def publish(self, updates: Iterable[QueryUpdate]) -> None:
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            started = perf_counter()
+            self._publish(updates)
+            tracer.record("bus.publish", started, perf_counter(), lane="bus")
+            return
+        self._publish(updates)
+
+    def _publish(self, updates: Iterable[QueryUpdate]) -> None:
         for update in updates:
             self._latest[update.query_id] = update
             self._stats.setdefault(update.query_id, QueryStats()).observe(update)

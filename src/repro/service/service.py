@@ -46,6 +46,7 @@ from pathlib import Path
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.core.base import RegionResult
+from repro.obs.tracer import FlightRecorder, Tracer
 from repro.service.bus import QueryUpdate, ResultBus, ServiceStats
 from repro.service.overload import OverloadConfig, OverloadError, OverloadStats
 from repro.service.shards import EXECUTOR_NAMES, make_executor
@@ -53,12 +54,14 @@ from repro.service.spec import QuerySpec
 from repro.state.policy import CheckpointPolicy
 from repro.state.recovery import (
     INGEST_SNAPSHOT_KIND,
+    OBS_SNAPSHOT_KIND,
     ServiceManifest,
     encode_stream_time,
     has_checkpoint,
     ingest_snapshot_name,
     manifest_path,
     next_generation,
+    obs_snapshot_name,
     prune_generations,
     read_manifest,
     shard_snapshot_name,
@@ -176,6 +179,16 @@ class SurgeService:
         state has converged with their route-mates' back into shared plan
         groups (restoring the sharing a churn storm destroyed).  ``None``
         (default) means manual :meth:`compact` calls only.
+    tracer:
+        Optional :class:`~repro.obs.tracer.Tracer` enabling pipeline-wide
+        stage tracing (see :mod:`repro.obs`): every shard records spans for
+        its routing/window/sweep/settle stages and ships them back with the
+        chunk's results, the ingest tier traces reorder and quarantine work,
+        and the bus traces publication — all into the tracer's bounded
+        flight recorder.  A tracer with ``enabled=False`` keeps the plumbing
+        attached but records nothing (the zero-overhead off switch the
+        benchmarks measure).  The recorder is included in checkpoints and
+        restored by :meth:`restore` when a tracer is passed there.
     """
 
     def __init__(
@@ -194,6 +207,7 @@ class SurgeService:
         max_inflight_chunks: int | None = None,
         overload: OverloadConfig | None = None,
         compact_every_chunks: int | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if shards < 1:
             raise ValueError(f"shards must be positive, got {shards}")
@@ -221,6 +235,14 @@ class SurgeService:
             self.executor_name, shard_specs, shared_plan=self.shared_plan
         )
         self.bus = ResultBus()
+        # Observability tier (see repro.obs): shard-side span recording is
+        # switched on with one control message; the shards ship their spans
+        # back piggybacked on each chunk's reply, so the per-chunk cost of
+        # tracing is one list per shard, never an extra round-trip.
+        self._tracer = tracer
+        self.bus.tracer = tracer
+        if tracer is not None and tracer.enabled:
+            self._executor.broadcast(("trace", True))
         self._time = float("-inf")
         self._chunk_index = 0
         self._chunk_offset = 0
@@ -595,12 +617,21 @@ class SurgeService:
         return self._dispatch(("advance", stream_time, self._chunk_index), 0)
 
     def _dispatch(self, message: tuple, n_objects: int) -> list[QueryUpdate]:
+        chunk_index = self._chunk_index
         started = time.perf_counter()
         replies = self._executor.broadcast(message)
         wall = time.perf_counter() - started
-        by_query = {
-            update.query_id: update for reply in replies for update in reply
-        }
+        by_query: dict[str, QueryUpdate] = {}
+        for shard, reply in enumerate(replies):
+            if isinstance(reply, tuple):
+                # A tracing shard replies (updates, spans): absorb the spans
+                # into the service-side recorder, labelled with the shard's
+                # lane so the exported trace shows per-shard timelines.
+                reply, spans = reply
+                if spans:
+                    self._absorb_shard_spans(shard, spans, started)
+            for update in reply:
+                by_query[update.query_id] = update
         # Registration order, with the broadcast wall time stamped as each
         # query's lag: an update is only observable once the gather returns.
         updates = [
@@ -618,7 +649,70 @@ class SurgeService:
         )
         self._stats.wall_seconds += wall
         self.bus.publish(updates)
+        tracer = self._tracer
+        if tracer is not None and tracer.enabled:
+            threshold = tracer.slow_chunk_threshold
+            if threshold is not None and wall > threshold:
+                self._record_slow_chunk(chunk_index, wall, started)
         return updates
+
+    def _absorb_shard_spans(
+        self, shard: int, spans: list[tuple], dispatch_started: float
+    ) -> None:
+        tracer = self._tracer
+        if tracer is None or not tracer.enabled:
+            return
+        if self.executor_name == "process":
+            # Worker processes run on their own perf_counter epoch; rebase
+            # their spans onto this process's clock (anchored at the
+            # dispatch start) so all lanes share one timeline.  Serial and
+            # thread executors already share the clock — no shift.
+            delta = dispatch_started - min(span[1] for span in spans)
+        else:
+            delta = 0.0
+        lane = f"shard{shard}"
+        recorder = tracer.recorder
+        for stage, start, duration, span_lane, chunk, meta in spans:
+            recorder.record(
+                (stage, start + delta, duration, span_lane or lane, chunk, meta)
+            )
+
+    def _record_slow_chunk(
+        self, chunk_index: int, wall: float, started: float
+    ) -> None:
+        """Capture a slow chunk: its span tree plus the live queue depths."""
+        tracer = self._tracer
+        assert tracer is not None
+        depths: dict[str, Any] = {
+            "pending_objects": len(self._pending),
+            "bus_max_queue_depth": self.bus.max_queue_depth(),
+            "queue_depth_chunks": self.queue_depth_chunks(),
+        }
+        if self._reorder is not None:
+            depths["reorder"] = self._reorder.depths()
+        spans = [span for span in tracer.recorder.spans() if span[1] >= started]
+        count = tracer.recorder.record_slow_chunk(
+            {
+                "chunk_index": chunk_index,
+                "wall_seconds": wall,
+                "threshold_seconds": tracer.slow_chunk_threshold,
+                "spans": spans,
+                "depths": depths,
+            }
+        )
+        logger.warning(
+            "slow chunk %d: %.6fs wall (threshold %.6fs), %d spans captured",
+            chunk_index,
+            wall,
+            tracer.slow_chunk_threshold,
+            len(spans),
+            extra={
+                "chunk_index": chunk_index,
+                "wall_seconds": wall,
+                "threshold_seconds": tracer.slow_chunk_threshold,
+                "slow_chunks": count,
+            },
+        )
 
     def run(
         self,
@@ -766,7 +860,19 @@ class SurgeService:
             self._quarantine(record, reason)
             return
         if self._reorder is not None:
-            self._pending.extend(self._reorder.push(record))
+            tracer = self._tracer
+            if tracer is not None and tracer.enabled:
+                reorder_started = time.perf_counter()
+                released = self._reorder.push(record)
+                tracer.record(
+                    "ingest.reorder",
+                    reorder_started,
+                    time.perf_counter(),
+                    lane="ingest",
+                )
+                self._pending.extend(released)
+            else:
+                self._pending.extend(self._reorder.push(record))
         else:
             # Lateness 0 with only the quarantine screen active: ordering
             # stays strict, and the violation surfaces here (fail-fast)
@@ -823,6 +929,9 @@ class SurgeService:
             self._peak_buffered = buffered
 
     def _quarantine(self, record: Any, reason: str) -> None:
+        tracer = self._tracer
+        traced = tracer is not None and tracer.enabled
+        quarantine_started = time.perf_counter() if traced else 0.0
         self._quarantined += 1
         if self.quarantine_dir is not None:
             if isinstance(record, SpatialObject):
@@ -858,9 +967,21 @@ class SurgeService:
                         "be written out (warning once)",
                         self.quarantine_dir,
                         exc,
+                        extra={
+                            "quarantine_dir": str(self.quarantine_dir),
+                            "spill_errors": self._spill_errors,
+                        },
                     )
         if self.on_bad_record is not None:
             self.on_bad_record(record, reason)
+        if traced:
+            tracer.record(
+                "ingest.quarantine",
+                quarantine_started,
+                time.perf_counter(),
+                lane="ingest",
+                meta={"reason": reason},
+            )
 
     # ------------------------------------------------------------------
     # Results and stats
@@ -891,6 +1012,23 @@ class SurgeService:
         self._stats.ingest = self.ingest_stats()
         self._stats.overload = self._overload
         return self._stats
+
+    @property
+    def tracer(self) -> Tracer | None:
+        """The attached tracer (``None`` = observability tier off)."""
+        return self._tracer
+
+    def stage_stats(self) -> dict[str, dict[str, Any]]:
+        """Per-stage latency aggregates from the attached tracer's recorder.
+
+        Stage-sorted ``{stage: {count, total_seconds, min_seconds,
+        max_seconds, buckets}}`` — the payload behind the stats frame's
+        ``stages`` section and the ``repro_stage_seconds`` Prometheus
+        histograms.  Empty without a tracer (or before any span).
+        """
+        if self._tracer is None:
+            return {}
+        return self._tracer.recorder.stage_stats()
 
     def ingest_stats(self) -> IngestStats:
         """The disorder-tolerant tier's counters (all zero in strict mode,
@@ -997,6 +1135,9 @@ class SurgeService:
                 "no checkpoint directory: construct the service with "
                 "checkpoint_dir=... or pass an explicit directory"
             )
+        tracer = self._tracer
+        traced = tracer is not None and tracer.enabled
+        checkpoint_started = time.perf_counter() if traced else 0.0
         target.mkdir(parents=True, exist_ok=True)
         # Spelling-insensitive "is this the attached directory?" — a relative
         # vs absolute path must not fork the bookkeeping.
@@ -1054,6 +1195,23 @@ class SurgeService:
                 "peak_buffered": self._peak_buffered,
                 "snapshot_file": ingest_file,
             }
+        obs_record: dict[str, Any] | None = None
+        if tracer is not None:
+            # The flight recorder is state worth surviving a crash: the
+            # aggregates are the service's latency history and the ring is
+            # the last-moments evidence an operator wants after a restore.
+            obs_file = obs_snapshot_name(generation)
+            write_snapshot(
+                target / obs_file,
+                OBS_SNAPSHOT_KIND,
+                tracer.recorder,
+                meta=dict(shard_meta),
+            )
+            obs_record = {
+                "snapshot_file": obs_file,
+                "enabled": tracer.enabled,
+                "slow_chunk_threshold": tracer.slow_chunk_threshold,
+            }
         overload_record: dict[str, Any] | None = None
         if (
             self.overload_config is not None
@@ -1098,6 +1256,7 @@ class SurgeService:
             server=(
                 dict(self.server_info) if self.server_info is not None else None
             ),
+            obs=obs_record,
         )
         path = write_manifest(target, manifest)
         ChunkWal(wal_path(target)).mark_checkpoint(
@@ -1112,6 +1271,13 @@ class SurgeService:
             self._generation = generation
             self._last_checkpoint_offset = self._chunk_offset
             self._last_checkpoint_time = self._time
+        if traced:
+            tracer.record(
+                "checkpoint",
+                checkpoint_started,
+                time.perf_counter(),
+                meta={"generation": generation},
+            )
         return path
 
     @classmethod
@@ -1125,6 +1291,7 @@ class SurgeService:
         attach: bool = True,
         on_bad_record: Callable[[Any, str], None] | None = None,
         quarantine_dir: str | Path | None = None,
+        tracer: Tracer | None = None,
     ) -> "SurgeService":
         """Rebuild a service from the last checkpoint in ``directory``.
 
@@ -1158,6 +1325,13 @@ class SurgeService:
         over.  ``on_bad_record`` / ``quarantine_dir`` re-attach the
         non-picklable spill targets (callbacks and paths are configuration,
         not state).
+
+        ``tracer`` re-attaches the observability tier (a tracer, like a
+        callback, is configuration): when the checkpoint carries a flight
+        recorder snapshot, the recorder's ring and per-stage aggregates are
+        loaded into the passed tracer, so latency history accumulates
+        across restarts.  Without a ``tracer`` argument the snapshot is
+        left on disk untouched.
         """
         directory = Path(directory)
         manifest = read_manifest(directory)
@@ -1208,7 +1382,21 @@ class SurgeService:
             max_inflight_chunks=max_inflight_chunks,
             overload=overload_config,
             compact_every_chunks=compact_every_chunks,
+            tracer=tracer,
         )
+        if tracer is not None and manifest.obs is not None:
+            snapshot_file = manifest.obs.get("snapshot_file")
+            if snapshot_file is not None:
+                obs_path = directory / snapshot_file
+                if obs_path.exists():
+                    # A missing recorder snapshot is tolerated (unlike shard
+                    # or ingest snapshots): tracing history is observability,
+                    # not correctness state.
+                    _, recorder = read_snapshot(
+                        obs_path, expected_kind=OBS_SNAPSHOT_KIND
+                    )
+                    if isinstance(recorder, FlightRecorder):
+                        tracer.recorder = recorder
         if overload_record is not None:
             # Cumulative counters carry over; the degraded flag restored
             # with them makes the resumed run continue shedding exactly

@@ -79,6 +79,7 @@ import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Sequence
 
+from repro.obs.tracer import Tracer, activate
 from repro.service.bus import QueryUpdate
 from repro.service.spec import QuerySpec
 from repro.streams.objects import SpatialObject
@@ -372,6 +373,13 @@ class ShardState:
     ``("restore", path)``
         Replace the shard's pipelines with the snapshot at ``path``;
         returns the restored query ids.
+    ``("trace", enabled)``
+        Attach (or detach) a shard-local :class:`~repro.obs.tracer.Tracer`.
+        While attached, ``chunk``/``advance`` replies become
+        ``(updates, spans)`` tuples: the spans recorded during the message
+        (routing, window observe, settle, sweep kernel) ship back with the
+        reply so the service can merge them into its flight recorder —
+        this is how process shards get their lane in the Chrome trace.
     """
 
     def __init__(self, specs: Sequence[QuerySpec] = (), shared_plan: bool = True) -> None:
@@ -380,9 +388,17 @@ class ShardState:
         self._epoch = 0
         self._groups: list[WindowGroup] = []
         self._routed_keywords: frozenset[str] = frozenset()
+        self._tracer: Tracer | None = None
         for spec in specs:
             self._register(spec)
         self._rebuild_plan()
+
+    def __getstate__(self) -> dict:
+        # Tracers hold a lock and per-run history; a checkpoint must carry
+        # neither (the service snapshots the recorder separately).
+        state = self.__dict__.copy()
+        state["_tracer"] = None
+        return state
 
     def _register(self, spec: QuerySpec) -> None:
         if spec.query_id in self.pipelines:
@@ -621,14 +637,16 @@ class ShardState:
         chunk_index: int,
         shed: frozenset[str] = frozenset(),
     ) -> list[QueryUpdate]:
+        tracer = self._tracer if self._tracer is not None and self._tracer.enabled else None
         started = time.perf_counter()
         buckets = self._route_chunk(chunk)
+        routed_at = time.perf_counter()
+        if tracer is not None:
+            tracer.record("route.bucket", started, routed_at, chunk=chunk_index)
         # The one-pass routing scan is shard-level work; spread it evenly so
         # per-query busy_seconds still sums to the shard's true cost.
         shared_seconds = (
-            (time.perf_counter() - started) / len(self.pipelines)
-            if self.pipelines
-            else 0.0
+            (routed_at - started) / len(self.pipelines) if self.pipelines else 0.0
         )
         updates: dict[str, QueryUpdate] = {}
         for group in self._groups:
@@ -651,15 +669,31 @@ class ShardState:
                 continue
             sub = chunk if group.keyword is None else buckets.get(group.keyword, ())
             if sub:
+                observe_started = time.perf_counter()
                 batch = group.windows.observe_batch(sub)
+                observe_ended = time.perf_counter()
+                if tracer is not None:
+                    tracer.record(
+                        "window.observe", observe_started, observe_ended,
+                        chunk=chunk_index,
+                    )
+                # The group-level window ingest is work every member causes;
+                # spread it across the group (it ran once *for* all of them)
+                # on top of each member's routing slice.  Summed over the
+                # shard, busy_seconds stays routing + observe + settle — a
+                # strict lower bound on the handle wall time, never above it.
+                members = sum(len(unit) for unit in group.units)
+                group_seconds = (
+                    shared_seconds + (observe_ended - observe_started) / members
+                )
                 n_routed = len(sub)
                 for unit in group.units:
                     leader = unit[0]
-                    update = leader.apply_batch(batch, chunk_index, n_routed, shared_seconds)
+                    update = leader.apply_batch(batch, chunk_index, n_routed, group_seconds)
                     updates[leader.spec.query_id] = update
                     for follower in unit[1:]:
                         updates[follower.spec.query_id] = follower.mirror_result(
-                            update.result, chunk_index, n_routed, shared_seconds
+                            update.result, chunk_index, n_routed, group_seconds
                         )
             else:
                 for unit in group.units:
@@ -728,7 +762,8 @@ class ShardState:
         self._rebuild_plan()
         return list(self.pipelines)
 
-    def handle(self, message: tuple) -> Any:
+    def _handle_ingest(self, message: tuple) -> list[QueryUpdate]:
+        """The ``chunk``/``advance`` half of :meth:`handle`."""
         kind = message[0]
         if kind == "chunk":
             if len(message) == 4:
@@ -745,15 +780,34 @@ class ShardState:
                 else pipeline.push_chunk(chunk, chunk_index)
                 for pipeline in self.pipelines.values()
             ]
-        if kind == "advance":
-            _, stream_time, chunk_index = message
-            if self.shared_plan:
-                return self._advance_shared(stream_time, chunk_index)
-            self._epoch += 1
-            return [
-                pipeline.advance(stream_time, chunk_index)
-                for pipeline in self.pipelines.values()
-            ]
+        _, stream_time, chunk_index = message
+        if self.shared_plan:
+            return self._advance_shared(stream_time, chunk_index)
+        self._epoch += 1
+        return [
+            pipeline.advance(stream_time, chunk_index)
+            for pipeline in self.pipelines.values()
+        ]
+
+    def handle(self, message: tuple) -> Any:
+        kind = message[0]
+        if kind in ("chunk", "advance"):
+            tracer = self._tracer
+            if tracer is None:
+                return self._handle_ingest(message)
+            # Activate the shard's tracer thread-locally so spans recorded
+            # by shared code underneath (the window pair, the sweep kernel)
+            # land here, then ship everything recorded during this message
+            # back with the reply: under the process executor the spans
+            # cross the pipe as plain tuples, and the service stamps this
+            # shard's lane and rebases the worker-local clock.
+            with activate(tracer):
+                updates = self._handle_ingest(message)
+            return (updates, tracer.drain_spans())
+        if kind == "trace":
+            enabled = bool(message[1])
+            self._tracer = Tracer(enabled=True) if enabled else None
+            return enabled
         if kind == "add":
             self.add(message[1])
             return list(self.pipelines)

@@ -7,6 +7,8 @@ A service checkpoint directory looks like::
       wal.log                 chunk-offset write-ahead log (repro.state.wal)
       shard-00.g000003.ckpt   one snapshot file per shard, per generation
       shard-01.g000003.ckpt   (repro.state.snapshot, kind "service-shard")
+      ingest.g000003.ckpt     disorder-tolerant tier state, when enabled
+      obs.g000003.ckpt        tracing flight recorder, when a tracer is on
 
 Checkpoint protocol (crash-safe by ordering):
 
@@ -51,6 +53,11 @@ SHARD_SNAPSHOT_KIND = "service-shard"
 #: runs the disorder-tolerant ingestion tier.
 INGEST_SNAPSHOT_KIND = "service-ingest"
 
+#: ``kind`` of the observability snapshot (the tracing tier's flight
+#: recorder: span ring + per-stage latency aggregates) written alongside the
+#: shard files when the service carries a tracer.
+OBS_SNAPSHOT_KIND = "service-obs"
+
 
 def shard_snapshot_name(shard_index: int, generation: int) -> str:
     """File name of one shard's snapshot at one checkpoint generation."""
@@ -60,6 +67,11 @@ def shard_snapshot_name(shard_index: int, generation: int) -> str:
 def ingest_snapshot_name(generation: int) -> str:
     """File name of the ingest-tier snapshot at one checkpoint generation."""
     return f"ingest.g{generation:06d}.ckpt"
+
+
+def obs_snapshot_name(generation: int) -> str:
+    """File name of the flight-recorder snapshot at one checkpoint generation."""
+    return f"obs.g{generation:06d}.ckpt"
 
 
 def encode_stream_time(time: float) -> float | None:
@@ -122,6 +134,12 @@ class ServiceManifest:
     #: endpoint without re-specifying it.  Optional field, same schema
     #: version — old manifests load with no listener recorded.
     server: dict | None = None
+    #: Observability tier state (``None`` = no tracer attached, and in every
+    #: pre-tracing manifest): whether the tracer was enabled, its slow-chunk
+    #: threshold, and the name of the generation's flight-recorder snapshot
+    #: (span ring + per-stage latency aggregates).  Optional field, same
+    #: schema version — old manifests load with the tier off.
+    obs: dict | None = None
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -144,6 +162,7 @@ class ServiceManifest:
             "ingest": dict(self.ingest) if self.ingest is not None else None,
             "overload": dict(self.overload) if self.overload is not None else None,
             "server": dict(self.server) if self.server is not None else None,
+            "obs": dict(self.obs) if self.obs is not None else None,
         }
 
     @staticmethod
@@ -179,6 +198,11 @@ class ServiceManifest:
                 server=(
                     dict(record["server"])
                     if record.get("server") is not None
+                    else None
+                ),
+                obs=(
+                    dict(record["obs"])
+                    if record.get("obs") is not None
                     else None
                 ),
             )
@@ -235,10 +259,10 @@ def next_generation(directory: str | Path) -> int:
 
 
 def prune_generations(directory: str | Path, keep_generation: int) -> None:
-    """Best-effort removal of shard/ingest snapshots from older generations."""
+    """Best-effort removal of shard/ingest/obs snapshots from older generations."""
     keep_suffix = f".g{keep_generation:06d}.ckpt"
     directory = Path(directory)
-    for pattern in ("shard-*.ckpt", "ingest.*.ckpt"):
+    for pattern in ("shard-*.ckpt", "ingest.*.ckpt", "obs.*.ckpt"):
         for path in directory.glob(pattern):
             if not path.name.endswith(keep_suffix):
                 try:

@@ -363,6 +363,21 @@ class WatermarkReorderBuffer:
             "force_released": self.force_released,
         }
 
+    def depths(self) -> dict[str, float | int]:
+        """Instantaneous hold state, cheap enough for per-chunk sampling.
+
+        The slow-chunk detector captures this alongside the span tree: a
+        chunk that stalled because the reorder buffer was holding thousands
+        of arrivals looks very different from one that stalled in a sweep.
+        """
+        heap = self._heap
+        return {
+            "held_back": len(heap),
+            "watermark": self.watermark,
+            "oldest_held": heap[0][0] if heap else None,
+            "recent_ids": len(self._recent_ids),
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"WatermarkReorderBuffer(max_lateness={self.max_lateness}, "
