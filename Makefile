@@ -1,7 +1,7 @@
 # Developer entry points for the SURGE reproduction.
 #
 #   make test          tier-1 test suite (unit tests; pure stdlib fallback works)
-#   make bench         all seven benchmarks below
+#   make bench         all eight benchmarks below
 #   make bench-sweep   sweep-kernel microbenchmark -> BENCH_sweep.json
 #   make bench-ingest  end-to-end ingestion throughput -> BENCH_ingest.json
 #   make bench-service multi-query service throughput -> BENCH_service.json
@@ -13,6 +13,9 @@
 #   make bench-obs     tracing-tier overhead on the ingestion hot path
 #                      (off / disabled / enabled, bars 2% and 10%)
 #                      -> BENCH_obs.json
+#   make bench-remote  distributed shard tier: remote-executor throughput at
+#                      1/2/4 workers (bit-identical to serial) plus a
+#                      kill-a-worker failover cell -> BENCH_remote.json
 #                      (each refuses to record a >20% regression;
 #                       BENCH_FLAGS=--force overrides, BENCH_FLAGS=--quick
 #                       runs a reduced smoke configuration)
@@ -41,7 +44,12 @@
 #                      the /metrics stage histograms, the JSON log lines,
 #                      and the exported Chrome trace's lanes + span nesting
 #                      (the CI observability smoke)
-#   make smoke         all six smokes above, each under a hard `timeout`
+#   make smoke-remote  serve with the remote executor and three external
+#                      `repro worker --connect` processes, SIGKILL one
+#                      mid-stream, and assert the final results stay
+#                      bit-identical to a serial run while the failover
+#                      counters prove the kill landed (the CI distributed smoke)
+#   make smoke         all seven smokes above, each under a hard `timeout`
 #                      (SMOKE_TIMEOUT seconds, default 900)
 #   make coverage      unit suite under pytest-cov with the pinned fail-under
 #                      (requires pytest-cov; the CI coverage leg runs this)
@@ -63,15 +71,15 @@ SMOKE_TIMEOUT ?= 900
 COVERAGE_MIN ?= 92
 
 .PHONY: test bench bench-sweep bench-ingest bench-service bench-recovery \
-	bench-robustness bench-server bench-obs smoke smoke-recovery \
+	bench-robustness bench-server bench-obs bench-remote smoke smoke-recovery \
 	smoke-shared smoke-chaos smoke-overload smoke-server smoke-obs \
-	coverage lint
+	smoke-remote coverage lint
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 bench: bench-sweep bench-ingest bench-service bench-recovery bench-robustness \
-	bench-server bench-obs
+	bench-server bench-obs bench-remote
 
 bench-sweep:
 	$(PYTHON) benchmarks/bench_sweep.py $(BENCH_FLAGS)
@@ -94,6 +102,9 @@ bench-server:
 bench-obs:
 	$(PYTHON) benchmarks/bench_obs.py $(BENCH_FLAGS)
 
+bench-remote:
+	$(PYTHON) benchmarks/bench_remote.py $(BENCH_FLAGS)
+
 smoke:
 	timeout $(SMOKE_TIMEOUT) $(PYTHON) scripts/recovery_smoke.py
 	timeout $(SMOKE_TIMEOUT) $(PYTHON) scripts/shared_plan_smoke.py
@@ -101,6 +112,7 @@ smoke:
 	timeout $(SMOKE_TIMEOUT) $(PYTHON) scripts/overload_smoke.py
 	timeout $(SMOKE_TIMEOUT) $(PYTHON) scripts/server_smoke.py
 	timeout $(SMOKE_TIMEOUT) $(PYTHON) scripts/obs_smoke.py
+	timeout $(SMOKE_TIMEOUT) $(PYTHON) scripts/remote_smoke.py
 
 smoke-recovery:
 	$(PYTHON) scripts/recovery_smoke.py
@@ -119,6 +131,9 @@ smoke-server:
 
 smoke-obs:
 	$(PYTHON) scripts/obs_smoke.py
+
+smoke-remote:
+	$(PYTHON) scripts/remote_smoke.py
 
 coverage:
 	$(PYTHON) -m pytest tests -q --cov=repro --cov-report=term-missing:skip-covered \

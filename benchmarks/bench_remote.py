@@ -1,0 +1,309 @@
+"""Distributed shard tier benchmark: remote-executor throughput + failover.
+
+Two questions decide whether the fault-tolerant remote executor
+(:mod:`repro.distributed`) is deployable:
+
+``remote overhead / scaling``
+    A q64 query grid over one shared stream is replayed through the
+    ``remote`` executor with a fleet of 1, 2 and 4 spawned worker
+    processes (4 shards, shared plan) and compared against the in-process
+    serial reference.  Every cell's final results must be **bit-identical**
+    to serial — the run fails otherwise — and the recorded
+    ``object_query_pairs_per_second`` shows what the wire (pickled chunks
+    over loopback TCP, one RPC per shard per chunk) costs against the
+    in-process baselines.
+
+``failover``
+    The same workload with a 2-worker fleet and a checkpoint directory;
+    one worker is SIGKILLed at mid-stream.  The run must *still* finish
+    bit-identical to serial (checkpoint-base restore + ledger replay on
+    the survivor), and the cell records the measured
+    ``failover_seconds``, ``workers_lost`` and ``shards_failed_over``.
+
+Regression guard
+----------------
+As with the other BENCH files: if a previous ``BENCH_remote.json``
+exists, the script refuses to overwrite it when any fleet cell's
+pairs/sec regressed by more than ``REGRESSION_TOLERANCE`` (20%);
+``--force`` overrides.  The failover latency is recorded for the ROADMAP
+table but not guarded (it is dominated by process death detection and
+snapshot IO, both machine-noise-prone at this scale).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_remote.py [--force] [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import shutil
+import signal
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.evaluation.runner import run_service
+from repro.service import SurgeService, make_query_grid
+from repro.state import CheckpointPolicy
+from repro.streams.objects import SpatialObject
+
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_remote.json"
+SCHEMA = "bench_remote/v1"
+SEED = 20180416
+REGRESSION_TOLERANCE = 0.20
+
+TOTAL_OBJECTS = 4096
+CHUNK_SIZE = 256
+N_QUERIES = 64
+SHARDS = 4
+WORKER_COUNTS = (1, 2, 4)
+FAILOVER_WORKERS = 2
+FAILOVER_CHECKPOINT_EVERY = 8
+EXTENT = 8.0
+BASE_RECT = (1.0, 1.0)
+BASE_WINDOW = 600.0
+ALPHA = 0.5
+ALGORITHM = "ccs"
+BACKEND = "python"
+VOCABULARY = ("traffic", "food", "weather", "sports", "news", "music", "work", "travel")
+
+#: Fleet options shared by every remote cell (heartbeats fast enough to
+#: notice the staged kill well inside the run).
+FLEET = {
+    "join_timeout": 120.0,
+    "heartbeat_interval": 0.25,
+    "heartbeat_miss_budget": 2,
+}
+
+
+def make_stream(total: int, seed: int = SEED) -> list[SpatialObject]:
+    """Uniform keyword-tagged stream, one object per second (stdlib only)."""
+    rng = random.Random(seed)
+    return [
+        SpatialObject(
+            x=rng.uniform(0.0, EXTENT),
+            y=rng.uniform(0.0, EXTENT),
+            timestamp=float(index),
+            weight=rng.uniform(0.5, 10.0),
+            object_id=index,
+            attributes={"keywords": (rng.choice(VOCABULARY),)},
+        )
+        for index in range(total)
+    ]
+
+
+def make_specs(n_queries: int):
+    return make_query_grid(
+        n_queries,
+        base_rect=BASE_RECT,
+        base_window=BASE_WINDOW,
+        alpha=ALPHA,
+        algorithm=ALGORITHM,
+        backend=BACKEND,
+        keywords=VOCABULARY,
+    )
+
+
+def assert_parity(reference, other, label: str) -> None:
+    for query_id, result in reference.items():
+        if other[query_id] != result:
+            raise AssertionError(
+                f"{label}: query {query_id} diverged from the serial reference"
+            )
+
+
+def run_fleet_cells(stream, n_queries: int) -> tuple[dict, dict]:
+    specs = make_specs(n_queries)
+    serial = run_service(
+        specs, stream, shards=SHARDS, executor="serial", chunk_size=CHUNK_SIZE
+    )
+    serial_pps = serial.pairs_per_second
+    print(f"  serial ({SHARDS} shards):      {serial_pps:10,.0f} pairs/s", flush=True)
+
+    cells = {}
+    for workers in WORKER_COUNTS:
+        outcome = run_service(
+            specs,
+            stream,
+            shards=SHARDS,
+            executor="remote",
+            executor_options=dict(FLEET, workers=workers, spawn_workers=workers),
+            chunk_size=CHUNK_SIZE,
+        )
+        assert_parity(
+            serial.final_results, outcome.final_results, f"remote workers={workers}"
+        )
+        pps = outcome.pairs_per_second
+        cells[f"workers_{workers}"] = {
+            "workers": workers,
+            "object_query_pairs_per_second": pps,
+            "wall_seconds": outcome.wall_seconds,
+            "relative_to_serial": pps / serial_pps if serial_pps else 0.0,
+        }
+        print(
+            f"  remote {workers} worker(s):     {pps:10,.0f} pairs/s  "
+            f"({pps / serial_pps:5.2f}x serial, bit-identical)",
+            flush=True,
+        )
+    return {"object_query_pairs_per_second": serial_pps,
+            "wall_seconds": serial.wall_seconds}, cells
+
+
+def run_failover_cell(stream, n_queries: int, workdir: Path) -> dict:
+    """Kill one of two workers at mid-stream; the run must not notice."""
+    specs = make_specs(n_queries)
+    serial = run_service(
+        specs, stream, shards=SHARDS, executor="serial", chunk_size=CHUNK_SIZE
+    )
+    chunks_total = -(-len(stream) // CHUNK_SIZE)
+    kill_at = chunks_total // 2
+    with SurgeService(
+        specs,
+        shards=SHARDS,
+        executor="remote",
+        executor_options=dict(
+            FLEET, workers=FAILOVER_WORKERS, spawn_workers=FAILOVER_WORKERS
+        ),
+        checkpoint_dir=workdir / "failover",
+        checkpoint_policy=CheckpointPolicy(every_chunks=FAILOVER_CHECKPOINT_EVERY),
+    ) as service:
+        service.results()  # warm the fleet outside the measured window
+        started = time.perf_counter()
+        for index, _ in enumerate(service.run(stream, CHUNK_SIZE)):
+            if index == kill_at:
+                os.kill(service._executor.spawned[0].pid, signal.SIGKILL)
+        wall = time.perf_counter() - started
+        final_results = service.results()
+        distributed = service.distributed_stats()
+    assert_parity(serial.final_results, final_results, "failover cell")
+    if distributed["workers_lost"] < 1 or distributed["shards_failed_over"] < 1:
+        raise AssertionError(
+            "failover cell never lost a worker — the staged kill misfired"
+        )
+    print(
+        f"  failover (kill 1 of {FAILOVER_WORKERS} at chunk {kill_at}): "
+        f"{distributed['shards_failed_over']} shard(s) failed over in "
+        f"{distributed['failover_seconds']:.3f}s, run finished bit-identical "
+        f"in {wall:.2f}s",
+        flush=True,
+    )
+    return {
+        "workers": FAILOVER_WORKERS,
+        "kill_at_chunk": kill_at,
+        "chunks_total": chunks_total,
+        "checkpoint_every_chunks": FAILOVER_CHECKPOINT_EVERY,
+        "wall_seconds": wall,
+        "failover_seconds": distributed["failover_seconds"],
+        "workers_lost": distributed["workers_lost"],
+        "shards_failed_over": distributed["shards_failed_over"],
+        "rpc_retries": distributed["rpc_retries"],
+        "rpc_timeouts": distributed["rpc_timeouts"],
+    }
+
+
+def run_benchmark(total_objects: int, n_queries: int) -> dict:
+    stream = make_stream(total_objects)
+    serial_cell, fleet_cells = run_fleet_cells(stream, n_queries)
+    workdir = Path(tempfile.mkdtemp(prefix="bench-remote-"))
+    try:
+        failover_cell = run_failover_cell(stream, n_queries, workdir)
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    return {
+        "schema": SCHEMA,
+        "config": {
+            "seed": SEED,
+            "total_objects": total_objects,
+            "chunk_size": CHUNK_SIZE,
+            "n_queries": n_queries,
+            "shards": SHARDS,
+            "worker_counts": list(WORKER_COUNTS),
+            "extent": EXTENT,
+            "base_rect": list(BASE_RECT),
+            "base_window": BASE_WINDOW,
+            "alpha": ALPHA,
+            "algorithm": ALGORITHM,
+            "backend": BACKEND,
+            "cpu_count": os.cpu_count(),
+        },
+        "results": {
+            "serial": serial_cell,
+            **fleet_cells,
+            "failover": failover_cell,
+        },
+    }
+
+
+def check_regression(old: dict, new: dict, tolerance: float = REGRESSION_TOLERANCE):
+    """Regressions of the guarded metric (remote pairs/sec per fleet size)."""
+    regressions = []
+    for workers in WORKER_COUNTS:
+        cell = f"workers_{workers}"
+        try:
+            before = old["results"][cell]["object_query_pairs_per_second"]
+        except (KeyError, TypeError):
+            regressions.append(
+                f"{cell}: previous file is not a readable {SCHEMA} report"
+            )
+            continue
+        after = new["results"][cell]["object_query_pairs_per_second"]
+        if after < before * (1.0 - tolerance):
+            regressions.append(
+                f"{cell}: {before:,.0f} -> {after:,.0f} pairs/s "
+                f"({100.0 * (1.0 - after / before):.1f}% slower)"
+            )
+    return regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="overwrite BENCH_remote.json even on regression",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small stream and grid (CI smoke mode; never overwrites the "
+        "tracked trajectory file)",
+    )
+    parser.add_argument("--out", default=str(OUTPUT_PATH), help="output JSON path")
+    args = parser.parse_args(argv)
+
+    total_objects = TOTAL_OBJECTS // 4 if args.quick else TOTAL_OBJECTS
+    n_queries = 16 if args.quick else N_QUERIES
+    print(
+        f"bench_remote: queries={n_queries} total={total_objects} "
+        f"chunk={CHUNK_SIZE} shards={SHARDS} workers={list(WORKER_COUNTS)} "
+        f"backend={BACKEND}"
+    )
+    report = run_benchmark(total_objects, n_queries)
+
+    out_path = Path(args.out)
+    if args.quick and args.out == str(OUTPUT_PATH):
+        print("quick mode: skipping BENCH_remote.json update (pass --out to write)")
+        return 0
+    if out_path.exists() and not args.force:
+        old = json.loads(out_path.read_text())
+        regressions = check_regression(old, report)
+        if regressions:
+            print(
+                "refusing to overwrite {}: throughput regressed >{}%\n  {}".format(
+                    out_path, int(REGRESSION_TOLERANCE * 100), "\n  ".join(regressions)
+                ),
+                file=sys.stderr,
+            )
+            return 1
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

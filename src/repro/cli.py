@@ -202,6 +202,32 @@ def _build_parser() -> argparse.ArgumentParser:
         "shard once and each query's monitor ingests its keyword-filtered "
         "slice through the batched push_many path (default 512)",
     )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --executor remote: size of the worker fleet the "
+        "coordinator waits for before serving (default 1); workers join "
+        "with 'repro worker --connect HOST:PORT' against the endpoint "
+        "printed as 'workers on HOST:PORT', and may join or leave while "
+        "serving (shards are rebalanced at safe chunk boundaries)",
+    )
+    serve.add_argument(
+        "--worker-listen",
+        default=None,
+        metavar="[HOST:]PORT",
+        help="with --executor remote: the endpoint the coordinator accepts "
+        "worker connections on (default 127.0.0.1:0 — an ephemeral port, "
+        "printed on stdout as 'workers on HOST:PORT')",
+    )
+    serve.add_argument(
+        "--spawn-workers",
+        action="store_true",
+        help="with --executor remote: spawn the --workers worker processes "
+        "locally instead of waiting for external 'repro worker' processes "
+        "(single-command distributed mode)",
+    )
     plan = serve.add_mutually_exclusive_group()
     plan.add_argument(
         "--no-shared-plan",
@@ -429,6 +455,33 @@ def _build_parser() -> argparse.ArgumentParser:
         "per-stage aggregates always cover the whole replay",
     )
 
+    worker = subparsers.add_parser(
+        "worker",
+        help="host service shards for a remote coordinator "
+        "(see 'serve --executor remote')",
+    )
+    worker.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="the coordinator's worker endpoint — printed by "
+        "'repro serve --executor remote' as 'workers on HOST:PORT'",
+    )
+    worker.add_argument(
+        "--name",
+        default=None,
+        help="worker name shown in coordinator logs (default: worker-<pid>)",
+    )
+    worker.add_argument(
+        "--connect-retries",
+        type=int,
+        default=30,
+        metavar="N",
+        help="connection attempts before giving up, with exponential "
+        "backoff and jitter between attempts — racing the coordinator's "
+        "bind is fine (default 30)",
+    )
+
     generate = subparsers.add_parser(
         "generate", help="generate a synthetic stream mimicking a paper dataset"
     )
@@ -573,6 +626,49 @@ def _serve_tracer_from_args(args: argparse.Namespace) -> Tracer | None:
     return tracer
 
 
+def _remote_executor_options(
+    args: argparse.Namespace, executor_name: str | None
+) -> dict:
+    """The ``RemoteExecutor`` options the serve flags describe.
+
+    ``executor_name`` is the *resolved* backend (an explicit ``--executor``
+    or, under ``--resume``, the checkpoint's recorded one).  The remote
+    flags are refused for any other backend, and the coordinator's worker
+    endpoint is announced on stdout (``workers on HOST:PORT``) so external
+    ``repro worker --connect`` processes know where to dial.
+    """
+    remote_flags = {
+        "--workers": args.workers,
+        "--worker-listen": args.worker_listen,
+        "--spawn-workers": args.spawn_workers or None,
+    }
+    if executor_name != "remote":
+        given = [name for name, value in remote_flags.items() if value is not None]
+        if given:
+            raise ValueError(
+                f"{', '.join(given)} require --executor remote "
+                f"(the distributed shard tier)"
+            )
+        return {}
+    workers = args.workers if args.workers is not None else 1
+    if workers < 1:
+        raise ValueError(f"--workers must be >= 1, got {workers}")
+    listen = ("127.0.0.1", 0)
+    if args.worker_listen is not None:
+        listen = _parse_endpoint(args.worker_listen, flag="--worker-listen")
+
+    def announce(host: str, port: int) -> None:
+        # Parsed by tooling (the remote smoke reads the endpoint here).
+        print(f"workers on {host}:{port}", flush=True)
+
+    return {
+        "workers": workers,
+        "listen": listen,
+        "spawn_workers": workers if args.spawn_workers else 0,
+        "on_listening": announce,
+    }
+
+
 def _build_serve_service(args: argparse.Namespace, *, require_queries: bool = True):
     """Construct (service, start_offset) for ``serve`` — fresh or resumed."""
     from repro.state import CheckpointPolicy, has_checkpoint, read_manifest
@@ -680,9 +776,13 @@ def _build_serve_service(args: argparse.Namespace, *, require_queries: bool = Tr
         # An explicit --executor overrides; otherwise the recorded backend
         # resumes (defaulting to "serial" here would silently downgrade a
         # process-sharded service).
+        resolved_executor = (
+            args.executor if args.executor is not None else manifest.executor
+        )
         service = SurgeService.restore(
             checkpoint_dir,
             executor=args.executor,
+            executor_options=_remote_executor_options(args, resolved_executor),
             shared_plan=args.shared_plan,
             checkpoint_policy=policy,
             quarantine_dir=args.quarantine_dir,
@@ -714,10 +814,12 @@ def _build_serve_service(args: argparse.Namespace, *, require_queries: bool = Tr
             "--max-inflight-chunks bounds the reorder buffer, which only "
             "exists with --max-lateness > 0"
         )
+    executor_name = args.executor if args.executor is not None else "serial"
     service = SurgeService(
         specs,
         shards=args.shards if args.shards is not None else 1,
-        executor=args.executor if args.executor is not None else "serial",
+        executor=executor_name,
+        executor_options=_remote_executor_options(args, executor_name),
         shared_plan=args.shared_plan if args.shared_plan is not None else True,
         checkpoint_dir=checkpoint_dir,
         checkpoint_policy=policy,
@@ -746,6 +848,26 @@ def _parse_endpoint(value: str, *, flag: str) -> tuple[str, int]:
     if not 0 <= port_number <= 65535:
         raise ValueError(f"{flag} port must be in 0..65535, got {port_number}")
     return host, port_number
+
+
+def _print_remote_summary(service) -> None:
+    """One stderr line of distributed-tier counters (remote executor only).
+
+    Parsed by the remote smoke: the failover counters are the evidence
+    that the kill actually exercised the failover path.
+    """
+    distributed = service.distributed_stats()
+    if distributed is None:
+        return
+    print(
+        "remote: workers_joined={workers_joined} "
+        "workers_lost={workers_lost} "
+        "rpc_retries={rpc_retries} rpc_timeouts={rpc_timeouts} "
+        "shards_failed_over={shards_failed_over} "
+        "shards_migrated={shards_migrated} "
+        "failover_seconds={failover_seconds:.3f}".format(**distributed),
+        file=sys.stderr,
+    )
 
 
 def _command_serve_network(args: argparse.Namespace, service) -> int:
@@ -808,6 +930,7 @@ def _command_serve_network(args: argparse.Namespace, service) -> int:
             + (f", final checkpoint {checkpoint}" if checkpoint else ""),
             file=sys.stderr,
         )
+        _print_remote_summary(service)
     return 0
 
 
@@ -874,8 +997,21 @@ def _command_serve(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
+        from repro.server.server import EndpointInUseError
+
         try:
             code = _command_serve_network(args, service)
+        except EndpointInUseError as exc:
+            # The --resume re-serve trip-wire: the manifest's recorded
+            # endpoint is still held (often by the instance being
+            # replaced).  Typed advice instead of a raw errno traceback.
+            print(
+                f"{exc.strerror}: stop the process holding it, or pass "
+                f"--listen [HOST:]PORT to serve a different endpoint "
+                f"(port 0 picks a free one)",
+                file=sys.stderr,
+            )
+            return 1
         except (OSError, ValueError, RuntimeError) as exc:
             print(str(exc), file=sys.stderr)
             return 2
@@ -1002,6 +1138,7 @@ def _command_serve(args: argparse.Namespace) -> int:
                 f"last lag {1000.0 * query_stats.last_lag_seconds:.1f} ms",
                 file=sys.stderr,
             )
+        _print_remote_summary(service)
     _write_trace_export(service, args)
     _restore_signal_handlers(previous_handlers)
     return 0
@@ -1079,6 +1216,29 @@ def _command_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_worker(args: argparse.Namespace) -> int:
+    """Host service shards for a remote coordinator until told to stop."""
+    if args.connect_retries < 0:
+        print("--connect-retries must be >= 0", file=sys.stderr)
+        return 2
+    try:
+        host, port = _parse_endpoint(args.connect, flag="--connect")
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    # Imported lazily: the distributed tier is only needed by this command
+    # and by 'serve --executor remote'.
+    from repro.distributed.worker import ShardWorker
+
+    worker = ShardWorker(
+        host,
+        port,
+        name=args.name,
+        connect_retries=args.connect_retries,
+    )
+    return worker.run()
+
+
 def _command_generate(args: argparse.Namespace) -> int:
     # Validate the output path before touching the generator, so usage errors
     # are reported even when the optional numpy dependency is missing.
@@ -1120,6 +1280,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_serve(args)
     if args.command == "trace":
         return _command_trace(args)
+    if args.command == "worker":
+        return _command_worker(args)
     if args.command == "generate":
         return _command_generate(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover

@@ -1,0 +1,45 @@
+"""Distributed shard tier: remote workers behind the executor registry.
+
+This package turns the service's shard executor into a small distributed
+system while keeping the bit-identity bar of every other backend:
+
+* :mod:`repro.distributed.protocol` — the worker dialect of the network
+  tier's length-prefixed JSON frame protocol (``hello`` / ``heartbeat`` /
+  ``scatter`` / ``ckpt_ack`` frame kinds) with pickled shard-message
+  payloads and per-shard sequence numbers for at-most-once delivery;
+* :mod:`repro.distributed.worker` — the ``repro worker`` process: dials
+  the coordinator (connect retry + backoff), hosts :class:`ShardState`
+  instances, and deduplicates retried scatters by sequence number so a
+  retry can never double-apply a chunk;
+* :mod:`repro.distributed.executor` — :class:`RemoteExecutor`, the
+  coordinator: shard→worker assignment, per-RPC deadlines with bounded
+  exponential-backoff retries, heartbeats with a miss budget, and
+  checkpoint-driven failover (restore the dead worker's shards from
+  their latest durable generation elsewhere, then replay the message
+  ledger recorded since that checkpoint);
+* :mod:`repro.distributed.stats` — :class:`DistributedStats`, the
+  failure-event counters exported through ``stats`` / ``/metrics``.
+
+The tier assumes a trusted network and shared checkpoint storage, the
+same trust model as the checkpoint files themselves (payloads are
+pickles, exactly like the process executor's pipes).
+"""
+
+from repro.distributed.executor import (
+    RemoteExecutor,
+    RemoteShardError,
+    WorkerLostError,
+)
+from repro.distributed.protocol import DISTRIBUTED_SCHEMA
+from repro.distributed.stats import DistributedStats
+from repro.distributed.worker import ShardWorker, WorkerShardHost
+
+__all__ = [
+    "DISTRIBUTED_SCHEMA",
+    "DistributedStats",
+    "RemoteExecutor",
+    "RemoteShardError",
+    "ShardWorker",
+    "WorkerLostError",
+    "WorkerShardHost",
+]

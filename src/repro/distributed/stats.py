@@ -1,0 +1,47 @@
+"""Failure-event counters of the distributed shard tier."""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any
+
+
+@dataclass
+class DistributedStats:
+    """Cumulative counters over one :class:`RemoteExecutor`'s lifetime.
+
+    Everything that went wrong (and was survived) is counted here and
+    exported through the ``stats`` frame, ``/metrics`` and the final
+    ``remote:`` summary line — a cluster quietly riding its retry budget
+    must be visible before it stops being quiet.
+    """
+
+    #: RPC deadline expiries that were answered by a resend (the worker
+    #: deduplicates by ``seq``, so a resend can never double-apply).
+    rpc_retries: int = 0
+    #: RPC deadline expiries, including the final one before a worker is
+    #: declared lost (``rpc_timeouts >= rpc_retries``).
+    rpc_timeouts: int = 0
+    #: Workers declared dead: connection drop, retry budget exhausted, or
+    #: heartbeat miss budget exhausted.
+    workers_lost: int = 0
+    #: Shards re-restored on a surviving/new worker after their owner died.
+    shards_failed_over: int = 0
+    #: Wall-clock seconds spent in failover (restore + ledger replay).
+    failover_seconds: float = 0.0
+    #: Workers admitted over the lifetime (initial fleet + elastic joins).
+    workers_joined: int = 0
+    #: Shards moved to re-balance after membership changed (owner alive).
+    shards_migrated: int = 0
+    #: Heartbeat probes sent by the coordinator's monitor thread.
+    heartbeats_sent: int = 0
+    #: Heartbeat probes that expired without an answer.
+    heartbeat_misses: int = 0
+    #: Stale reply frames discarded (answers to a resend's earlier copy).
+    replies_discarded: int = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+
+__all__ = ["DistributedStats"]

@@ -195,6 +195,7 @@ def run_service(
     *,
     shards: int = 1,
     executor: str = "serial",
+    executor_options=None,
     shared_plan: bool = True,
     chunk_size: int = 512,
     checkpoint_dir=None,
@@ -217,6 +218,10 @@ def run_service(
     enable durable checkpoints *inside* the measured window, so comparing a
     checkpointed run against a plain one over the same stream isolates the
     durability overhead (``benchmarks/bench_recovery.py``).
+
+    ``executor_options`` is forwarded to the executor factory — the
+    ``remote`` backend takes its fleet configuration (worker count, spawn
+    mode, RPC deadlines) here (``benchmarks/bench_remote.py``).
     """
     from repro.service import SurgeService
 
@@ -224,6 +229,7 @@ def run_service(
         specs,
         shards=shards,
         executor=executor,
+        executor_options=executor_options,
         shared_plan=shared_plan,
         checkpoint_dir=checkpoint_dir,
         checkpoint_policy=checkpoint_policy,

@@ -58,6 +58,8 @@ STAGES = (
     "server.pump",
     "wire.encode",
     "wire.decode",
+    "remote.scatter",
+    "remote.failover",
 )
 
 #: HDR-style log-bucketed histogram bounds (seconds): a 1–2.5–5 ladder

@@ -22,9 +22,10 @@ from repro.server.client import ServerClient, http_get
 from repro.server.engine import EngineDrainingError, ServerEngine
 from repro.server.metrics import render_prometheus
 from repro.server.protocol import ProtocolError, ServerError
-from repro.server.server import SurgeServer
+from repro.server.server import EndpointInUseError, SurgeServer
 
 __all__ = [
+    "EndpointInUseError",
     "EngineDrainingError",
     "ProtocolError",
     "ServerClient",

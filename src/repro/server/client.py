@@ -15,7 +15,9 @@ any event-loop machinery in the parent process.
 
 from __future__ import annotations
 
+import random
 import socket
+from time import monotonic, sleep
 from typing import Any, Iterable
 
 from repro.server.protocol import (
@@ -31,13 +33,73 @@ from repro.service.spec import QuerySpec
 from repro.streams.objects import SpatialObject
 
 
+def connect_backoff_schedule(
+    retries: int,
+    *,
+    base: float = 0.1,
+    cap: float = 2.0,
+    jitter: float = 0.25,
+    rng: random.Random | None = None,
+) -> list[float]:
+    """Sleep schedule for ``retries`` reconnect attempts.
+
+    Exponential doubling from ``base`` capped at ``cap``, each delay
+    stretched by a uniform jitter in ``[1, 1 + jitter)`` so a fleet of
+    workers restarted together does not reconnect in lockstep.
+    """
+    rng = rng if rng is not None else random
+    schedule: list[float] = []
+    for attempt in range(retries):
+        delay = min(cap, base * (2.0**attempt))
+        schedule.append(delay * (1.0 + rng.random() * jitter))
+    return schedule
+
+
 class ServerClient:
-    """One blocking frame-protocol connection to a :class:`SurgeServer`."""
+    """One blocking frame-protocol connection to a :class:`SurgeServer`.
+
+    ``connect_retries`` re-attempts a refused/timed-out connection with
+    exponential backoff + jitter (see :func:`connect_backoff_schedule`)
+    before giving up — a worker racing its coordinator's bind, or a tool
+    started before the server, no longer dies on the first refusal.
+    ``timeout`` remains the per-socket-operation default; individual
+    requests can tighten it with the ``deadline`` argument.
+    """
 
     def __init__(
-        self, host: str, port: int, *, timeout: float | None = 60.0
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float | None = 60.0,
+        connect_retries: int = 0,
+        connect_backoff: float = 0.1,
+        connect_backoff_max: float = 2.0,
+        connect_jitter: float = 0.25,
+        connect_timeout: float | None = None,
+        rng: random.Random | None = None,
     ) -> None:
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._timeout = timeout
+        dial_timeout = connect_timeout if connect_timeout is not None else timeout
+        delays = connect_backoff_schedule(
+            max(0, connect_retries),
+            base=connect_backoff,
+            cap=connect_backoff_max,
+            jitter=connect_jitter,
+            rng=rng,
+        )
+        attempt = 0
+        while True:
+            try:
+                self._sock = socket.create_connection(
+                    (host, port), timeout=dial_timeout
+                )
+                break
+            except (ConnectionError, socket.timeout, OSError):
+                if attempt >= len(delays):
+                    raise
+                sleep(delays[attempt])
+                attempt += 1
         self._sock.settimeout(timeout)
 
     # ------------------------------------------------------------------
@@ -46,10 +108,18 @@ class ServerClient:
     def send(self, frame: dict[str, Any]) -> None:
         self._sock.sendall(encode_frame(frame))
 
-    def _read_exactly(self, n: int) -> bytes:
+    def _read_exactly(self, n: int, deadline_at: float | None = None) -> bytes:
         chunks: list[bytes] = []
         remaining = n
         while remaining:
+            if deadline_at is not None:
+                budget = deadline_at - monotonic()
+                if budget <= 0.0:
+                    raise socket.timeout(
+                        f"request deadline exceeded mid-frame "
+                        f"({n - remaining} of {n} bytes)"
+                    )
+                self._sock.settimeout(budget)
             chunk = self._sock.recv(remaining)
             if not chunk:
                 raise ConnectionError(
@@ -59,9 +129,9 @@ class ServerClient:
             remaining -= len(chunk)
         return b"".join(chunks)
 
-    def recv(self) -> dict[str, Any]:
+    def recv(self, *, deadline: float | None = None) -> dict[str, Any]:
         """Read the next frame (reply or pushed), raising on ``error``."""
-        frame = self.recv_raw()
+        frame = self.recv_raw(deadline=deadline)
         if frame.get("type") == "error":
             raise ServerError(
                 int(frame.get("code", 500)),
@@ -74,14 +144,31 @@ class ServerClient:
             )
         return frame
 
-    def recv_raw(self) -> dict[str, Any]:
-        """Read the next frame without raising on ``error`` replies."""
-        length = decode_frame_length(self._read_exactly(LENGTH_STRUCT.size))
-        return decode_frame_body(self._read_exactly(length))
+    def recv_raw(self, *, deadline: float | None = None) -> dict[str, Any]:
+        """Read the next frame without raising on ``error`` replies.
 
-    def request(self, frame: dict[str, Any]) -> dict[str, Any]:
+        ``deadline`` bounds the whole read (both the length prefix and
+        the body) in seconds; on expiry a ``socket.timeout`` is raised
+        and the socket's default timeout is restored.
+        """
+        deadline_at = None if deadline is None else monotonic() + deadline
+        try:
+            length = decode_frame_length(
+                self._read_exactly(LENGTH_STRUCT.size, deadline_at)
+            )
+            return decode_frame_body(self._read_exactly(length, deadline_at))
+        finally:
+            if deadline_at is not None:
+                try:
+                    self._sock.settimeout(self._timeout)
+                except OSError:
+                    pass
+
+    def request(
+        self, frame: dict[str, Any], *, deadline: float | None = None
+    ) -> dict[str, Any]:
         self.send(frame)
-        return self.recv()
+        return self.recv(deadline=deadline)
 
     # ------------------------------------------------------------------
     # Commands
@@ -184,4 +271,10 @@ def http_get(
     return status, body.decode("utf-8", "replace")
 
 
-__all__ = ["ServerClient", "ServerError", "ProtocolError", "http_get"]
+__all__ = [
+    "ServerClient",
+    "ServerError",
+    "ProtocolError",
+    "connect_backoff_schedule",
+    "http_get",
+]

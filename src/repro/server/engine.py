@@ -337,6 +337,8 @@ class ServerEngine:
             "stream_time": encode_stream_time(service.stream_time),
             "subscriptions": subscriptions,
             "stages": service.stage_stats(),
+            "checkpoint_prune_errors": service.checkpoint_prune_errors,
+            "distributed": service.distributed_stats(),
         }
 
 

@@ -72,6 +72,27 @@ _QUERY_COUNTERS = (
 
 _SUBSCRIPTION_COUNTERS = ("offered", "delivered", "dropped")
 
+#: Counters of the distributed shard tier (see repro.distributed.stats);
+#: rendered only when the snapshot carries a ``distributed`` section
+#: (i.e. the service runs the remote executor).
+_REMOTE_COUNTERS = (
+    "rpc_retries",
+    "rpc_timeouts",
+    "workers_lost",
+    "workers_joined",
+    "shards_failed_over",
+    "shards_migrated",
+    "heartbeats_sent",
+    "heartbeat_misses",
+    "replies_discarded",
+)
+
+_REMOTE_GAUGES = (
+    ("workers_alive", "Workers currently connected and considered live."),
+    ("workers_total", "Workers admitted over the coordinator's lifetime."),
+    ("ledger_depth", "Mutating messages in the failover replay ledger."),
+)
+
 
 def escape_label_value(value: str) -> str:
     """Escape a label value per the text exposition format."""
@@ -274,6 +295,38 @@ def render_prometheus(snapshot: dict[str, Any]) -> str:
         "Ingest batches queued ahead of the engine worker.",
         [_sample(name, snapshot.get("queued_ingest_batches", 0))],
     )
+
+    name = "repro_checkpoint_prune_errors_total"
+    lines += _family(
+        name,
+        "counter",
+        "Checkpoint prune deletes that failed (stale generations left on disk).",
+        [_sample(name, snapshot.get("checkpoint_prune_errors", 0))],
+    )
+
+    distributed = snapshot.get("distributed")
+    if distributed:
+        for key in _REMOTE_COUNTERS:
+            name = f"repro_remote_{key}_total"
+            lines += _family(
+                name,
+                "counter",
+                f"Distributed shard tier counter {key}.",
+                [_sample(name, distributed.get(key, 0))],
+            )
+        name = "repro_remote_failover_seconds_total"
+        lines += _family(
+            name,
+            "counter",
+            "Wall-clock seconds spent failing shards over "
+            "(restore + ledger replay).",
+            [_sample(name, distributed.get("failover_seconds", 0.0))],
+        )
+        for key, help_text in _REMOTE_GAUGES:
+            name = f"repro_remote_{key}"
+            lines += _family(
+                name, "gauge", help_text, [_sample(name, distributed.get(key, 0))]
+            )
 
     stages = snapshot.get("stages") or {}
     if stages:

@@ -159,6 +159,34 @@ def decode_frame_body(body: bytes) -> dict[str, Any]:
 
 
 # ----------------------------------------------------------------------
+# Blocking-socket framing helpers
+# ----------------------------------------------------------------------
+def send_frame(sock, payload: dict[str, Any]) -> None:
+    """Write one frame to a blocking socket."""
+    sock.sendall(encode_frame(payload))
+
+
+def _read_exactly(sock, n: int) -> bytes:
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ConnectionError(
+                f"connection closed mid-frame ({n - remaining} of {n} bytes)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock) -> dict[str, Any]:
+    """Read one frame from a blocking socket (honours its timeout)."""
+    length = decode_frame_length(_read_exactly(sock, LENGTH_STRUCT.size))
+    return decode_frame_body(_read_exactly(sock, length))
+
+
+# ----------------------------------------------------------------------
 # Object / result / update codecs
 # ----------------------------------------------------------------------
 def encode_object(obj: SpatialObject) -> dict[str, Any]:

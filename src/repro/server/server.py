@@ -33,6 +33,7 @@ forwards each update to the event loop for writing.
 from __future__ import annotations
 
 import asyncio
+import errno
 import itertools
 import logging
 import signal
@@ -65,6 +66,30 @@ BACKPRESSURE_ADVICE = (
     "slow down, drain subscribers, and retry after a backoff"
 )
 DRAINING_ADVICE = "server is draining; reconnect to the resumed instance"
+
+
+class EndpointInUseError(OSError):
+    """A listener's endpoint is already bound by another process.
+
+    The common operational trip-wire: ``repro serve --resume`` re-serves
+    the endpoint recorded in the manifest, and the previous instance (or
+    an unrelated process) is still holding it.  Typed so the CLI can turn
+    it into advice naming the ``--listen`` override instead of a raw
+    ``OSError: [Errno 98]`` traceback.
+    """
+
+    def __init__(self, host: str, port: int, kind: str = "listener") -> None:
+        super().__init__(
+            errno.EADDRINUSE,
+            f"{kind} endpoint {host}:{port} is already in use",
+        )
+        self.host = host
+        self.port = port
+        self.kind = kind
+
+
+def _endpoint_in_use(exc: OSError) -> bool:
+    return exc.errno == errno.EADDRINUSE
 
 
 class _Connection:
@@ -151,6 +176,10 @@ class SurgeServer:
         if not ready.wait(timeout=30):
             raise RuntimeError("server failed to start within 30s")
         if self._startup_error is not None:
+            if isinstance(self._startup_error, EndpointInUseError):
+                # Keep the typed refusal typed: the CLI maps it to advice
+                # naming the --listen override.
+                raise self._startup_error
             raise RuntimeError("server failed to start") from self._startup_error
         return self
 
@@ -192,15 +221,32 @@ class SurgeServer:
             max_queued_batches=self.max_queued_batches,
             on_control=self._on_control_event,
         )
-        server = await asyncio.start_server(self._handle_conn, self.host, self.port)
+        try:
+            server = await asyncio.start_server(
+                self._handle_conn, self.host, self.port
+            )
+        except OSError as exc:
+            if _endpoint_in_use(exc):
+                raise EndpointInUseError(self.host, self.port) from exc
+            raise
         self.port = server.sockets[0].getsockname()[1]
         metrics_server = None
         if self.metrics_port is not None:
-            metrics_server = await asyncio.start_server(
-                self._handle_http,
-                self.metrics_host or self.host,
-                self.metrics_port,
-            )
+            try:
+                metrics_server = await asyncio.start_server(
+                    self._handle_http,
+                    self.metrics_host or self.host,
+                    self.metrics_port,
+                )
+            except OSError as exc:
+                server.close()
+                if _endpoint_in_use(exc):
+                    raise EndpointInUseError(
+                        self.metrics_host or self.host,
+                        self.metrics_port,
+                        kind="metrics",
+                    ) from exc
+                raise
             self.metrics_port = metrics_server.sockets[0].getsockname()[1]
         # Record the listener in the service so checkpoints carry it and a
         # --resume can re-serve the same endpoint (manifest "server" field).
@@ -546,4 +592,9 @@ class SurgeServer:
                 pass
 
 
-__all__ = ["SurgeServer", "BACKPRESSURE_ADVICE", "DRAINING_ADVICE"]
+__all__ = [
+    "SurgeServer",
+    "BACKPRESSURE_ADVICE",
+    "DRAINING_ADVICE",
+    "EndpointInUseError",
+]

@@ -64,6 +64,7 @@ from repro.state.recovery import (
     obs_snapshot_name,
     prune_generations,
     read_manifest,
+    read_previous_manifest,
     shard_snapshot_name,
     wal_path,
     write_manifest,
@@ -197,6 +198,7 @@ class SurgeService:
         *,
         shards: int = 1,
         executor: str = "serial",
+        executor_options: Mapping[str, Any] | None = None,
         shared_plan: bool = True,
         checkpoint_dir: str | Path | None = None,
         checkpoint_policy: CheckpointPolicy | None = None,
@@ -217,8 +219,19 @@ class SurgeService:
                 f"{', '.join(EXECUTOR_NAMES)}"
             )
         self.executor_name = executor.lower()
+        self.executor_options = dict(executor_options) if executor_options else {}
         self.n_shards = shards
         self.shared_plan = bool(shared_plan)
+        if self.executor_name == "remote" and checkpoint_dir is None:
+            # Legal but worth flagging: without durable generations the
+            # failover base degrades to "rebuild from specs + replay every
+            # mutating message since the start" — correct, unbounded memory.
+            logger.warning(
+                "remote executor without checkpoint_dir: worker failover "
+                "must replay the full message ledger from the start of the "
+                "stream; attach checkpoint_dir=... to bound recovery",
+                extra={"executor": self.executor_name},
+            )
         # Round-robin assignment keyed to a monotone registration counter:
         # removals never reshuffle surviving queries, so a given sequence of
         # add/remove operations lands every query on the same shard under
@@ -232,7 +245,10 @@ class SurgeService:
             self._claim(spec)
             shard_specs[self._shard_of[spec.query_id]].append(spec)
         self._executor = make_executor(
-            self.executor_name, shard_specs, shared_plan=self.shared_plan
+            self.executor_name,
+            shard_specs,
+            shared_plan=self.shared_plan,
+            **self.executor_options,
         )
         self.bus = ResultBus()
         # Observability tier (see repro.obs): shard-side span recording is
@@ -241,6 +257,11 @@ class SurgeService:
         # tracing is one list per shard, never an extra round-trip.
         self._tracer = tracer
         self.bus.tracer = tracer
+        set_tracer = getattr(self._executor, "set_tracer", None)
+        if set_tracer is not None and tracer is not None:
+            # The remote coordinator records its own spans (remote.scatter,
+            # remote.failover) into the service tracer's recorder.
+            set_tracer(tracer)
         if tracer is not None and tracer.enabled:
             self._executor.broadcast(("trace", True))
         self._time = float("-inf")
@@ -302,6 +323,9 @@ class SurgeService:
         self._generation = 0
         self._last_checkpoint_offset = 0
         self._last_checkpoint_time = float("-inf")
+        #: Checkpoint prune deletes that failed (see prune_generations):
+        #: counted, never fatal — stale generations only cost disk.
+        self._prune_errors = 0
         if checkpoint_dir is not None:
             if checkpoint_policy is None:
                 checkpoint_policy = CheckpointPolicy(
@@ -662,7 +686,7 @@ class SurgeService:
         tracer = self._tracer
         if tracer is None or not tracer.enabled:
             return
-        if self.executor_name == "process":
+        if self.executor_name in ("process", "remote"):
             # Worker processes run on their own perf_counter epoch; rebase
             # their spans onto this process's clock (anchored at the
             # dispatch start) so all lanes share one timeline.  Serial and
@@ -1013,6 +1037,18 @@ class SurgeService:
         self._stats.overload = self._overload
         return self._stats
 
+    def distributed_stats(self) -> dict[str, Any] | None:
+        """The distributed tier's failure counters (``None`` off-remote).
+
+        A dict snapshot of the remote coordinator's
+        :class:`~repro.distributed.stats.DistributedStats` plus live fleet
+        gauges (``workers_alive``, ``workers_total``, ``ledger_depth``) —
+        the payload behind the stats frame's ``distributed`` section and
+        the ``repro_remote_*`` Prometheus series.
+        """
+        snapshot = getattr(self._executor, "stats_snapshot", None)
+        return snapshot() if snapshot is not None else None
+
     @property
     def tracer(self) -> Tracer | None:
         """The attached tracer (``None`` = observability tier off)."""
@@ -1104,6 +1140,8 @@ class SurgeService:
                 f"SurgeService.restore({str(directory)!r}) to continue it, "
                 f"or point checkpoint_dir at a fresh directory"
             )
+        if self.executor_name == "remote":
+            policy = self._clamp_remote_policy(policy)
         self._checkpoint_dir = directory
         self._checkpoint_dir.mkdir(parents=True, exist_ok=True)
         self._checkpoint_policy = policy
@@ -1114,6 +1152,43 @@ class SurgeService:
         self._generation = resume_from.generation if resume_from is not None else 0
         self._last_checkpoint_offset = self._chunk_offset
         self._last_checkpoint_time = self._time
+
+    def _clamp_remote_policy(self, policy: CheckpointPolicy) -> CheckpointPolicy:
+        """Enforce the remote tier's checkpoint-cadence floor.
+
+        Under the remote executor every mutating message since the last
+        durable generation sits in the coordinator's replay ledger, so the
+        checkpoint cadence bounds both failover replay time and coordinator
+        memory.  A policy with no chunk cadence (or one wider than
+        :data:`~repro.distributed.executor.REMOTE_CHECKPOINT_FLOOR_CHUNKS`)
+        is clamped to the floor, with a structured warning.
+        """
+        from repro.distributed.executor import REMOTE_CHECKPOINT_FLOOR_CHUNKS
+
+        every = policy.every_chunks
+        if every is not None and every <= REMOTE_CHECKPOINT_FLOOR_CHUNKS:
+            return policy
+        logger.warning(
+            "remote executor clamps the checkpoint cadence to every %d "
+            "chunks (requested: %s); the cadence bounds failover replay "
+            "and the coordinator's ledger memory",
+            REMOTE_CHECKPOINT_FLOOR_CHUNKS,
+            "none" if every is None else f"every {every} chunks",
+            extra={
+                "event": "remote_checkpoint_floor",
+                "requested_every_chunks": every,
+                "floor_chunks": REMOTE_CHECKPOINT_FLOOR_CHUNKS,
+            },
+        )
+        return CheckpointPolicy(
+            every_chunks=REMOTE_CHECKPOINT_FLOOR_CHUNKS,
+            every_stream_seconds=policy.every_stream_seconds,
+        )
+
+    @property
+    def checkpoint_prune_errors(self) -> int:
+        """Failed checkpoint-prune deletes so far (counted, never fatal)."""
+        return self._prune_errors
 
     def checkpoint(self, directory: str | Path | None = None) -> Path:
         """Snapshot the whole service durably; returns the manifest path.
@@ -1266,7 +1341,7 @@ class SurgeService:
                 stream_time=encode_stream_time(self._time),
             )
         )
-        prune_generations(target, generation)
+        self._prune_errors += prune_generations(target, generation)
         if attached:
             self._generation = generation
             self._last_checkpoint_offset = self._chunk_offset
@@ -1286,6 +1361,7 @@ class SurgeService:
         directory: str | Path,
         *,
         executor: str | None = None,
+        executor_options: Mapping[str, Any] | None = None,
         shared_plan: bool | None = None,
         checkpoint_policy: CheckpointPolicy | None = None,
         attach: bool = True,
@@ -1332,9 +1408,69 @@ class SurgeService:
         loaded into the passed tracer, so latency history accumulates
         across restarts.  Without a ``tracer`` argument the snapshot is
         left on disk untouched.
+
+        Crash-window resilience: when the newest checkpoint is unusable —
+        a manifest torn mid-write, or a manifest published but one of its
+        shard/ingest snapshot files interrupted — restore falls back to
+        the previous generation via the ``MANIFEST.prev.json`` backup
+        (:func:`~repro.state.recovery.read_previous_manifest`; its shard
+        files survive because pruning keeps the last *two* generations).
+        The fallback logs a structured warning and resumes exactly-once
+        from the older offset: the WAL is reset to that checkpoint and the
+        stream replay re-applies the lost chunks.
         """
         directory = Path(directory)
-        manifest = read_manifest(directory)
+        kwargs: dict[str, Any] = dict(
+            executor=executor,
+            executor_options=executor_options,
+            shared_plan=shared_plan,
+            checkpoint_policy=checkpoint_policy,
+            attach=attach,
+            on_bad_record=on_bad_record,
+            quarantine_dir=quarantine_dir,
+            tracer=tracer,
+        )
+        manifest: ServiceManifest | None = None
+        try:
+            manifest = read_manifest(directory)
+            return cls._restore_from_manifest(directory, manifest, **kwargs)
+        except SnapshotError as newest_error:
+            previous = read_previous_manifest(directory)
+            if previous is None or (
+                manifest is not None
+                and previous.generation >= manifest.generation
+            ):
+                raise
+            logger.warning(
+                "restore from %s generation %s failed (%s); falling back "
+                "to the previous manifest (generation %d)",
+                directory,
+                manifest.generation if manifest is not None else "?",
+                newest_error,
+                previous.generation,
+                extra={
+                    "event": "restore_fallback",
+                    "directory": str(directory),
+                    "fallback_generation": previous.generation,
+                },
+            )
+            return cls._restore_from_manifest(directory, previous, **kwargs)
+
+    @classmethod
+    def _restore_from_manifest(
+        cls,
+        directory: Path,
+        manifest: ServiceManifest,
+        *,
+        executor: str | None,
+        executor_options: Mapping[str, Any] | None,
+        shared_plan: bool | None,
+        checkpoint_policy: CheckpointPolicy | None,
+        attach: bool,
+        on_bad_record: Callable[[Any, str], None] | None,
+        quarantine_dir: str | Path | None,
+        tracer: Tracer | None,
+    ) -> "SurgeService":
         if len(manifest.shard_files) != manifest.n_shards:
             raise SnapshotError(
                 f"{manifest_path(directory)}: manifest names "
@@ -1369,6 +1505,7 @@ class SurgeService:
             (),
             shards=manifest.n_shards,
             executor=executor if executor is not None else manifest.executor,
+            executor_options=executor_options,
             shared_plan=(
                 manifest.shared_plan if shared_plan is None else shared_plan
             ),
@@ -1384,6 +1521,42 @@ class SurgeService:
             compact_every_chunks=compact_every_chunks,
             tracer=tracer,
         )
+        try:
+            cls._hydrate_restored(
+                service,
+                directory,
+                manifest,
+                shard_paths,
+                specs,
+                ingest_record,
+                overload_record,
+                checkpoint_policy=checkpoint_policy,
+                attach=attach,
+                tracer=tracer,
+            )
+        except BaseException:
+            # A half-restored service may own real resources (worker
+            # processes, a remote fleet); release them before the caller
+            # sees the failure (or restore() falls back a generation).
+            service.close()
+            raise
+        return service
+
+    @classmethod
+    def _hydrate_restored(
+        cls,
+        service: "SurgeService",
+        directory: Path,
+        manifest: ServiceManifest,
+        shard_paths: list[Path],
+        specs: list[QuerySpec],
+        ingest_record: dict[str, Any] | None,
+        overload_record: dict[str, Any] | None,
+        *,
+        checkpoint_policy: CheckpointPolicy | None,
+        attach: bool,
+        tracer: Tracer | None,
+    ) -> None:
         if tracer is not None and manifest.obs is not None:
             snapshot_file = manifest.obs.get("snapshot_file")
             if snapshot_file is not None:
@@ -1476,7 +1649,6 @@ class SurgeService:
                     stream_time=encode_stream_time(manifest.stream_time),
                 ),
             )
-        return service
 
     # ------------------------------------------------------------------
     # Lifecycle

@@ -86,7 +86,9 @@ from repro.streams.objects import SpatialObject
 from repro.streams.windows import SlidingWindowPair
 
 #: Executor backends accepted by :class:`repro.service.SurgeService`.
-EXECUTOR_NAMES = ("serial", "thread", "process")
+#: ``remote`` lives in :mod:`repro.distributed` and is imported lazily by
+#: :func:`make_executor` (it pulls in the network stack).
+EXECUTOR_NAMES = ("serial", "thread", "process", "remote")
 
 
 class QueryPipeline:
@@ -1025,11 +1027,26 @@ def make_executor(
     name: str,
     shard_specs: Sequence[Sequence[QuerySpec]],
     shared_plan: bool = True,
+    **options: Any,
 ) -> ShardExecutor:
-    """Instantiate a shard executor by backend name."""
+    """Instantiate a shard executor by backend name.
+
+    ``options`` are backend-specific keyword arguments; only the ``remote``
+    backend accepts any (worker count, listen endpoint, checkpoint
+    directory, RPC tuning — see
+    :class:`repro.distributed.executor.RemoteExecutor`).
+    """
     key = name.lower()
+    if key == "remote":
+        from repro.distributed.executor import RemoteExecutor
+
+        return RemoteExecutor(shard_specs, shared_plan, **options)
     if key not in _EXECUTORS:
         raise ValueError(
             f"unknown executor {name!r}; expected one of {', '.join(EXECUTOR_NAMES)}"
+        )
+    if options:
+        raise ValueError(
+            f"executor {key!r} accepts no options, got {sorted(options)}"
         )
     return _EXECUTORS[key](shard_specs, shared_plan)

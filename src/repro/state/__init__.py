@@ -40,6 +40,7 @@ from repro.state.recovery import (
     ServiceManifest,
     has_checkpoint,
     read_manifest,
+    read_previous_manifest,
 )
 from repro.state.snapshot import (
     SNAPSHOT_SCHEMA,
@@ -57,6 +58,7 @@ __all__ = [
     "MANIFEST_SCHEMA",
     "has_checkpoint",
     "read_manifest",
+    "read_previous_manifest",
     "SNAPSHOT_SCHEMA",
     "SnapshotError",
     "SnapshotSchemaError",

@@ -33,6 +33,7 @@ Manifest floats are stored as JSON numbers (Python's ``json`` round-trips
 from __future__ import annotations
 
 import json
+import logging
 import math
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -40,9 +41,16 @@ from typing import Any, Mapping
 
 from repro.state.snapshot import SnapshotError, _atomic_write_bytes, check_schema
 
+logger = logging.getLogger(__name__)
+
 #: The manifest format version this build reads and writes.
 MANIFEST_SCHEMA = "service-manifest/v1"
 MANIFEST_NAME = "MANIFEST.json"
+#: Backup of the manifest the last checkpoint replaced.  Restore falls back
+#: to it when the current manifest names a shard file whose write was
+#: interrupted (a violated atomic-write contract, e.g. power loss between
+#: fsync and publish on some filesystems).
+MANIFEST_PREV_NAME = "MANIFEST.prev.json"
 WAL_NAME = "wal.log"
 
 #: ``kind`` of the per-shard snapshot files in a checkpoint directory.
@@ -217,6 +225,10 @@ def manifest_path(directory: str | Path) -> Path:
     return Path(directory) / MANIFEST_NAME
 
 
+def previous_manifest_path(directory: str | Path) -> Path:
+    return Path(directory) / MANIFEST_PREV_NAME
+
+
 def wal_path(directory: str | Path) -> Path:
     return Path(directory) / WAL_NAME
 
@@ -227,8 +239,18 @@ def has_checkpoint(directory: str | Path) -> bool:
 
 
 def write_manifest(directory: str | Path, manifest: ServiceManifest) -> Path:
-    """Atomically write the manifest into the checkpoint directory."""
+    """Atomically write the manifest into the checkpoint directory.
+
+    The manifest being replaced (if any) is first preserved as
+    ``MANIFEST.prev.json`` so restore can fall back one generation when
+    the new generation's shard files turn out to be unreadable.
+    """
     path = manifest_path(directory)
+    if path.exists():
+        try:
+            _atomic_write_bytes(previous_manifest_path(directory), path.read_bytes())
+        except OSError:
+            pass  # fallback manifest is best-effort; the primary path is intact
     payload = json.dumps(manifest.to_dict(), indent=2, sort_keys=True) + "\n"
     _atomic_write_bytes(path, payload.encode("utf-8"))
     return path
@@ -251,6 +273,20 @@ def read_manifest(directory: str | Path) -> ServiceManifest:
     return ServiceManifest.from_dict(record, path)
 
 
+def read_previous_manifest(directory: str | Path) -> ServiceManifest | None:
+    """The manifest the last checkpoint replaced, or ``None`` if absent/corrupt."""
+    path = previous_manifest_path(directory)
+    if not path.exists():
+        return None
+    try:
+        record = json.loads(path.read_text(encoding="utf-8"))
+        if not isinstance(record, dict):
+            return None
+        return ServiceManifest.from_dict(record, path)
+    except (OSError, json.JSONDecodeError, SnapshotError):
+        return None
+
+
 def next_generation(directory: str | Path) -> int:
     """The generation number the next checkpoint in ``directory`` should use."""
     if not has_checkpoint(directory):
@@ -258,14 +294,51 @@ def next_generation(directory: str | Path) -> int:
     return read_manifest(directory).generation + 1
 
 
-def prune_generations(directory: str | Path, keep_generation: int) -> None:
-    """Best-effort removal of shard/ingest/obs snapshots from older generations."""
-    keep_suffix = f".g{keep_generation:06d}.ckpt"
+#: One structured warning per process for failed prunes — the counter keeps
+#: climbing, the log does not.
+_prune_warned = False
+
+
+def prune_generations(directory: str | Path, keep_generation: int) -> int:
+    """Remove shard/ingest/obs snapshots from superseded generations.
+
+    The newest generation *and* the one before it are kept — the previous
+    generation backs ``MANIFEST.prev.json``, the fallback restore target
+    when the newest generation's files were torn by a crash.  Deletion
+    failures are counted (and warned about once per process, structured)
+    rather than swallowed, so a filling shared checkpoint directory is
+    visible in stats before it fills the disk.  Returns the number of
+    failed deletes.
+    """
+    global _prune_warned
+    keep_suffixes = {f".g{keep_generation:06d}.ckpt"}
+    if keep_generation > 1:
+        keep_suffixes.add(f".g{keep_generation - 1:06d}.ckpt")
     directory = Path(directory)
+    failed = 0
+    first_error: OSError | None = None
     for pattern in ("shard-*.ckpt", "ingest.*.ckpt", "obs.*.ckpt"):
         for path in directory.glob(pattern):
-            if not path.name.endswith(keep_suffix):
+            if not any(path.name.endswith(suffix) for suffix in keep_suffixes):
                 try:
                     path.unlink()
-                except OSError:
-                    pass  # a stale file is harmless; the manifest never names it
+                except OSError as exc:
+                    failed += 1
+                    if first_error is None:
+                        first_error = exc
+    if failed and not _prune_warned:
+        _prune_warned = True
+        logger.warning(
+            "checkpoint prune left %d stale snapshot file(s) in %s: %s "
+            "(counted as prune_errors in stats; the manifest never names "
+            "stale files, but the directory will keep growing)",
+            failed,
+            directory,
+            first_error,
+            extra={
+                "event": "checkpoint_prune_errors",
+                "directory": str(directory),
+                "failed": failed,
+            },
+        )
+    return failed

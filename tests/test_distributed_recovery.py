@@ -1,0 +1,201 @@
+"""Crash-window recovery under the distributed shard layout.
+
+The checkpoint protocol orders its steps (shard files → manifest publish
+→ WAL reset → prune) so that a crash *anywhere* inside the window leaves
+a restorable directory.  This suite injects a crash into each window and
+proves the resume is still exactly-once and bit-identical to the
+uninterrupted run, with the remote executor on at least one side of every
+cycle (its failover ledger and shared-storage bases ride the same files):
+
+* **torn WAL tail** — the process died mid-append; the unparseable final
+  line is detected, ignored, and the replay covers the lost chunk;
+* **manifest published, shard file interrupted** — the newest
+  generation's shard snapshot is truncated (a violated atomic-write
+  contract, e.g. power loss between fsync and publish); restore falls
+  back to ``MANIFEST.prev.json`` one generation earlier, with a
+  structured warning, and replays the extra tail;
+* **shard files written, manifest never published** — the crash hit
+  between the shards' ``ckpt_ack`` and the manifest replace; the
+  directory still restores from the *previous* manifest and the orphaned
+  newer-generation files are ignored.
+"""
+
+from __future__ import annotations
+
+import logging
+
+import pytest
+
+from repro.service import SurgeService
+from repro.state import CheckpointPolicy
+from repro.state.recovery import (
+    manifest_path,
+    previous_manifest_path,
+    read_manifest,
+    wal_path,
+)
+from repro.state.snapshot import SnapshotError
+from repro.state.wal import ChunkWal
+from repro.streams.sources import iter_chunks
+from tests.test_recovery import (
+    CHUNK_SIZE,
+    make_specs,
+    make_stream,
+    result_key,
+    uninterrupted_run,
+)
+
+#: A one-worker self-spawning fleet: enough to put real process and wire
+#: boundaries under every restore without multi-worker scheduling noise.
+REMOTE_OPTIONS = {
+    "workers": 1,
+    "spawn_workers": 1,
+    "join_timeout": 60.0,
+    "heartbeat_interval": 60.0,
+}
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return make_stream()
+
+
+@pytest.fixture(scope="module")
+def reference(stream):
+    return uninterrupted_run(stream)
+
+
+def crash_after(directory, stream, chunks, *, executor="serial", options=None):
+    """Run ``chunks`` chunks with every-2-chunks checkpoints, then "crash".
+
+    The in-memory state is discarded (the executor is shut down so a
+    remote fleet does not leak), leaving only the checkpoint directory —
+    exactly what a killed process leaves behind.
+    """
+    service = SurgeService(
+        make_specs(),
+        shards=2,
+        executor=executor,
+        executor_options=options,
+        checkpoint_dir=directory,
+        checkpoint_policy=CheckpointPolicy(every_chunks=2),
+    )
+    feed = iter(iter_chunks(stream, CHUNK_SIZE))
+    with service:
+        for _ in range(chunks):
+            service.push_many(next(feed))
+    # `close()` only releases the executor; it neither checkpoints nor
+    # flushes, so the directory is indistinguishable from a crash at this
+    # point in the stream.
+
+
+def finish_and_compare(restored, stream, reference):
+    """Replay the tail on a restored service; assert it matches bit for bit."""
+    ref_trace, ref_finals, ref_top_k, _ = reference
+    offset = restored.chunk_offset
+    with restored:
+        tail = [
+            {u.query_id: result_key(u.result) for u in updates}
+            for updates in restored.run(stream, CHUNK_SIZE, start_offset=offset)
+        ]
+        assert tail == ref_trace[offset:]
+        assert {
+            qid: result_key(r) for qid, r in restored.results().items()
+        } == ref_finals
+        assert {
+            qid: tuple(result_key(r) for r in results)
+            for qid, results in restored.top_k().items()
+        } == ref_top_k
+
+
+def test_torn_wal_tail_is_ignored_and_replayed(tmp_path, stream, reference):
+    """A WAL append cut mid-record costs nothing but the replayed chunk."""
+    crash_after(tmp_path, stream, 5)
+    with wal_path(tmp_path).open("a", encoding="utf-8") as handle:
+        handle.write('{"type": "chunk", "chunk": 5, "objec')  # no newline
+    state = ChunkWal.read(wal_path(tmp_path))
+    assert state.torn_tail is True
+    assert state.checkpoint.chunk_offset == 4
+
+    restored = SurgeService.restore(
+        tmp_path, executor="remote", executor_options=dict(REMOTE_OPTIONS)
+    )
+    assert restored.executor_name == "remote"
+    assert restored.chunk_offset == 4
+    finish_and_compare(restored, stream, reference)
+
+
+@pytest.mark.parametrize(
+    "executor,options",
+    [("serial", None), ("remote", REMOTE_OPTIONS)],
+    ids=["serial", "remote"],
+)
+def test_interrupted_shard_file_falls_back_a_generation(
+    tmp_path, stream, reference, caplog, executor, options
+):
+    """Manifest names a torn shard snapshot: restore uses MANIFEST.prev.json.
+
+    Under the remote executor the snapshot error crosses the wire from the
+    worker that tried to load the file; it must still arrive typed as a
+    :class:`SnapshotError` or the fallback never triggers — and the failed
+    attempt's worker fleet must be released, not leaked.
+    """
+    crash_after(tmp_path, stream, 5, executor=executor, options=options)
+    manifest = read_manifest(tmp_path)
+    assert manifest.generation == 2
+    victim = tmp_path / manifest.shard_files[0]
+    victim.write_bytes(victim.read_bytes()[: victim.stat().st_size // 2])
+
+    with caplog.at_level(logging.WARNING, logger="repro.service.service"):
+        restored = SurgeService.restore(
+            tmp_path,
+            executor=executor,
+            executor_options=dict(options) if options else None,
+        )
+    events = [
+        getattr(record, "event", None)
+        for record in caplog.records
+        if record.name == "repro.service.service"
+    ]
+    assert "restore_fallback" in events
+    assert restored.chunk_offset == 2  # generation 1's offset, exactly-once
+    finish_and_compare(restored, stream, reference)
+
+
+def test_fallback_refuses_when_previous_is_missing(tmp_path, stream):
+    """No MANIFEST.prev.json: the original snapshot error surfaces loudly."""
+    crash_after(tmp_path, stream, 5)
+    manifest = read_manifest(tmp_path)
+    victim = tmp_path / manifest.shard_files[0]
+    victim.write_bytes(b"not a snapshot")
+    previous_manifest_path(tmp_path).unlink()
+    with pytest.raises(SnapshotError):
+        SurgeService.restore(tmp_path)
+
+
+def test_checkpoint_without_manifest_publish_restores_previous(
+    tmp_path, stream, reference
+):
+    """Crash between the shards' ckpt-acks and the manifest replace.
+
+    The newer generation's shard files are on disk (all workers acked the
+    checkpoint scatter) but the manifest still names the previous
+    generation — the directory is rewound to that exact window by putting
+    the pre-publish manifest back in place.  Restore must use the old
+    manifest, ignore the orphaned newer files, and replay the tail.
+    """
+    crash_after(tmp_path, stream, 5)
+    manifest = read_manifest(tmp_path)
+    assert manifest.generation == 2
+    # Rewind the publish: generation 2's shard files stay on disk, but the
+    # manifest is the one generation 1 wrote.
+    previous = previous_manifest_path(tmp_path)
+    manifest_path(tmp_path).write_bytes(previous.read_bytes())
+    previous.unlink()
+    assert (tmp_path / manifest.shard_files[0]).exists()  # the orphans
+
+    restored = SurgeService.restore(
+        tmp_path, executor="remote", executor_options=dict(REMOTE_OPTIONS)
+    )
+    assert restored.chunk_offset == 2
+    finish_and_compare(restored, stream, reference)

@@ -31,7 +31,9 @@ versions, missing shard files, snapshots of the wrong kind.
 from __future__ import annotations
 
 import json
+import logging
 import random
+from pathlib import Path
 
 import pytest
 
@@ -459,10 +461,68 @@ class TestDurabilityPlumbing:
         assert state.next_chunk_offset == 5
         manifest = read_manifest(tmp_path)
         assert manifest.chunk_offset == 4
-        # Only the newest generation's shard files remain on disk.
+        # Pruning keeps the last two generations so a torn newest
+        # checkpoint can fall back to MANIFEST.prev.json on restore.
         assert sorted(p.name for p in tmp_path.glob("shard-*.ckpt")) == [
-            "shard-00.g000002.ckpt"
+            "shard-00.g000001.ckpt",
+            "shard-00.g000002.ckpt",
         ]
+
+    def test_prune_generations_returns_the_failed_delete_count(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.state.recovery as recovery_module
+
+        monkeypatch.setattr(recovery_module, "_prune_warned", True)  # quiet
+        for generation in (1, 2, 3):
+            (tmp_path / f"shard-00.g{generation:06d}.ckpt").write_bytes(b"x")
+
+        def refusing_unlink(self, *args, **kwargs):
+            raise PermissionError(f"unlink refused: {self}")
+
+        monkeypatch.setattr(Path, "unlink", refusing_unlink)
+        # keep {g3, g2}: only the g1 file is stale, and its delete fails.
+        assert recovery_module.prune_generations(tmp_path, 3) == 1
+
+    def test_prune_failures_are_counted_and_warned_once(
+        self, tmp_path, stream, monkeypatch, caplog
+    ):
+        """Satellite: failed prune deletes reach stats; the log warns once.
+
+        A read-only or shared checkpoint directory must not crash the
+        checkpoint (the manifest never names stale files) — but it must
+        not be silent either, or the directory grows until the disk fills.
+        """
+        import repro.state.recovery as recovery_module
+
+        monkeypatch.setattr(recovery_module, "_prune_warned", False)
+        real_unlink = Path.unlink
+
+        def refusing_unlink(self, *args, **kwargs):
+            if self.suffix == ".ckpt":
+                raise PermissionError(f"unlink refused: {self}")
+            return real_unlink(self, *args, **kwargs)
+
+        monkeypatch.setattr(Path, "unlink", refusing_unlink)
+        with caplog.at_level(logging.WARNING, logger="repro.state.recovery"):
+            with SurgeService(
+                make_specs()[:1],
+                checkpoint_dir=tmp_path,
+                checkpoint_policy=CheckpointPolicy(every_chunks=2),
+            ) as service:
+                for _ in service.run(stream[: 8 * CHUNK_SIZE], CHUNK_SIZE):
+                    pass
+                # Generations 1..4: the g3 checkpoint fails to delete g1,
+                # the g4 checkpoint fails to delete g1 and g2.
+                assert service.checkpoint_prune_errors == 3
+        events = [
+            getattr(record, "event", None)
+            for record in caplog.records
+            if record.name == "repro.state.recovery"
+        ]
+        assert events.count("checkpoint_prune_errors") == 1
+        # Nothing was deleted: every generation's snapshot is still on disk.
+        assert len(list(tmp_path.glob("shard-00.*.ckpt"))) == 4
 
     def test_fresh_attach_refuses_an_existing_checkpoint(self, tmp_path, stream):
         """Constructing over someone else's checkpoint must not clobber it."""

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import random
 import re
+import socket
 import threading
 import time
 
@@ -29,6 +30,7 @@ import pytest
 
 from repro.core.query import SurgeQuery
 from repro.server import (
+    EndpointInUseError,
     EngineDrainingError,
     ServerClient,
     ServerEngine,
@@ -36,6 +38,7 @@ from repro.server import (
     SurgeServer,
     http_get,
 )
+from repro.server.client import connect_backoff_schedule
 from repro.server.protocol import decode_result
 from repro.service import OverloadConfig, OverloadError, QuerySpec, SurgeService
 from repro.streams.faults import FaultInjector
@@ -523,3 +526,145 @@ class TestWireChurn:
             stable, arrivals, max_lateness=MAX_LATENESS
         )
         assert results == expected
+
+
+class TestClientConnectResilience:
+    """Satellite: ServerClient connect retries, backoff and request deadlines."""
+
+    def test_backoff_schedule_doubles_and_caps(self):
+        schedule = connect_backoff_schedule(6, base=0.1, cap=0.8, jitter=0.0)
+        assert schedule == [0.1, 0.2, 0.4, 0.8, 0.8, 0.8]
+        assert connect_backoff_schedule(0) == []
+
+    def test_backoff_schedule_jitter_is_seeded_and_bounded(self):
+        kwargs = dict(base=0.05, cap=1.0, jitter=0.5)
+        jittered = connect_backoff_schedule(10, rng=random.Random(1234), **kwargs)
+        assert jittered == connect_backoff_schedule(
+            10, rng=random.Random(1234), **kwargs
+        )
+        plain = connect_backoff_schedule(10, jitter=0.0, base=0.05, cap=1.0)
+        for delay, base_delay in zip(jittered, plain):
+            # Stretched by a uniform factor in [1, 1.5): never shorter than
+            # the exponential floor, never past the jitter bound.
+            assert base_delay <= delay < base_delay * 1.5
+
+    def test_refused_connection_without_retries_fails_fast(self):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        started = time.monotonic()
+        with pytest.raises(OSError):
+            ServerClient("127.0.0.1", port, timeout=5.0)
+        assert time.monotonic() - started < 2.0
+
+    def test_connect_retries_ride_out_a_late_binding_listener(self):
+        """A client started before its server connects once the bind lands."""
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        accepted = threading.Event()
+
+        def late_bind():
+            time.sleep(0.3)
+            listener = socket.create_server(("127.0.0.1", port))
+            try:
+                conn, _ = listener.accept()
+                accepted.set()
+                conn.close()
+            finally:
+                listener.close()
+
+        binder = threading.Thread(target=late_bind, daemon=True)
+        binder.start()
+        client = ServerClient(
+            "127.0.0.1",
+            port,
+            timeout=5.0,
+            connect_retries=40,
+            connect_backoff=0.05,
+            connect_backoff_max=0.2,
+            connect_jitter=0.0,
+        )
+        client.close()
+        binder.join(timeout=5.0)
+        assert accepted.is_set()
+
+    def test_request_deadline_bounds_a_stalled_reply(self):
+        """A server that accepts but never answers cannot wedge the client."""
+        listener = socket.create_server(("127.0.0.1", 0))
+        try:
+            client = ServerClient(
+                "127.0.0.1", listener.getsockname()[1], timeout=60.0
+            )
+            # Hold the accepted socket open: the server is connected but
+            # will never answer.
+            stalled, _ = listener.accept()
+            started = time.monotonic()
+            with pytest.raises(socket.timeout):
+                client.request({"type": "ping"}, deadline=0.2)
+            assert time.monotonic() - started < 5.0
+            client.close()
+            stalled.close()
+        finally:
+            listener.close()
+
+
+class TestEndpointInUse:
+    """Satellite: EADDRINUSE becomes a typed error naming the way out."""
+
+    def test_start_background_raises_typed_error(self):
+        occupier = socket.create_server(("127.0.0.1", 0))
+        port = occupier.getsockname()[1]
+        service = SurgeService([make_spec("q")])
+        try:
+            server = SurgeServer(service, host="127.0.0.1", port=port)
+            with pytest.raises(EndpointInUseError) as excinfo:
+                server.start_background()
+            assert excinfo.value.port == port
+            assert f"127.0.0.1:{port} is already in use" in str(excinfo.value)
+        finally:
+            service.close()
+            occupier.close()
+
+    def test_metrics_endpoint_collision_is_typed_too(self):
+        occupier = socket.create_server(("127.0.0.1", 0))
+        port = occupier.getsockname()[1]
+        service = SurgeService([make_spec("q")])
+        try:
+            server = SurgeServer(
+                service, host="127.0.0.1", port=0, metrics_port=port
+            )
+            with pytest.raises(EndpointInUseError) as excinfo:
+                server.start_background()
+            assert excinfo.value.kind == "metrics"
+        finally:
+            service.close()
+            occupier.close()
+
+    def test_cli_serve_exits_1_with_listen_advice(self, tmp_path, capsys):
+        from repro.cli import main
+
+        occupier = socket.create_server(("127.0.0.1", 0))
+        port = occupier.getsockname()[1]
+        queries_path = tmp_path / "queries.json"
+        queries_path.write_text(
+            '[{"id": "q", "rect": [1.5, 1.5], "window": 8, "backend": "python"}]'
+        )
+        try:
+            code = main(
+                [
+                    "serve",
+                    "--listen",
+                    f"127.0.0.1:{port}",
+                    "--queries",
+                    str(queries_path),
+                ]
+            )
+        finally:
+            occupier.close()
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "already in use" in err
+        assert "--listen" in err  # the advice names the override

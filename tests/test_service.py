@@ -171,7 +171,12 @@ class TestExecutors:
     def test_send_and_broadcast(self, name):
         if name == "process":
             pytest.importorskip("multiprocessing")
-        with make_executor(name, [[spec("a")], [spec("b")]]) as executor:
+        options = {}
+        if name == "remote":
+            # The coordinator waits for its fleet: spawn one local worker
+            # instead of expecting an external `repro worker` process.
+            options = {"workers": 1, "spawn_workers": 1, "join_timeout": 30.0}
+        with make_executor(name, [[spec("a")], [spec("b")]], **options) as executor:
             assert executor.n_shards == 2
             assert executor.send(0, ("results",)) == [("a", None)]
             replies = executor.broadcast(("results",))
